@@ -1,0 +1,55 @@
+//! Figure 11: replicated RocksDB (kvlite) YCSB-A update latency —
+//! Naïve-RDMA event-based vs polling vs HyperLoop, co-located with
+//! I/O-intensive background tenants (10:1 threads to cores).
+//!
+//! Usage: `fig11 [--ops N]`
+
+use hl_bench::apps::{run_fig11, Fig11Cfg, KvBackend};
+use hl_bench::table::{us, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+
+    println!("== Figure 11: kvlite (RocksDB-like) update latency (us), YCSB-A ==");
+    let mut t = Table::new(&["impl", "avg", "p95", "p99"]);
+    let mut results = Vec::new();
+    for backend in [
+        KvBackend::NaiveEvent,
+        KvBackend::NaivePolling,
+        KvBackend::HyperLoop,
+    ] {
+        let s = run_fig11(&Fig11Cfg {
+            backend,
+            ops,
+            ..Default::default()
+        });
+        t.row(&[
+            backend.name().to_string(),
+            format!("{:.1}", s.mean_us()),
+            us(s.p95_ns),
+            us(s.p99_ns),
+        ]);
+        results.push((backend, s));
+    }
+    t.print();
+    let hl = &results[2].1;
+    println!(
+        "p99: HyperLoop {:.0}x lower than Naive-Event, {:.0}x lower than Naive-Polling  (paper: 5.7x / 24.2x)",
+        results[0].1.p99_ns as f64 / hl.p99_ns as f64,
+        results[1].1.p99_ns as f64 / hl.p99_ns as f64,
+    );
+    println!(
+        "avg: Naive-Event {} Naive-Polling  (paper: Naive-Event < Naive-Polling under co-location)",
+        if results[0].1.mean_ns < results[1].1.mean_ns {
+            "<"
+        } else {
+            ">="
+        }
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 12: doclite (MongoDB-like) latency across YCSB workloads,
+//! native replication vs HyperLoop, in a multi-tenant cluster.
+//!
+//! Usage: `fig12 [--ops N] [--sets N]`
+
+use hl_bench::apps::{run_fig12, DocMode, Fig12Cfg};
+use hl_bench::table::{ms, Table};
+use hl_ycsb::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    let sets = args
+        .iter()
+        .position(|a| a == "--sets")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    let mut gaps: Vec<(f64, f64)> = Vec::new();
+    for mode in [DocMode::Native, DocMode::HyperLoop] {
+        println!(
+            "\n== Figure 12{}: doclite with {} replication — write latency (ms) ==",
+            if mode == DocMode::Native { "a" } else { "b" },
+            if mode == DocMode::Native {
+                "native"
+            } else {
+                "HyperLoop"
+            },
+        );
+        let mut t = Table::new(&["workload", "avg(ms)", "p95(ms)", "p99(ms)", "server-util"]);
+        for wl in Workload::ALL {
+            let r = run_fig12(&Fig12Cfg {
+                mode,
+                workload: wl,
+                sets,
+                ops,
+                ..Default::default()
+            });
+            // Workload E has no updates (insert only); report writes.
+            let s = r.writes;
+            t.row(&[
+                wl.letter().to_string(),
+                format!("{:.2}", s.mean_ms()),
+                ms(s.p95_ns),
+                ms(s.p99_ns),
+                format!("{:.2}", r.server_util),
+            ]);
+            if wl == Workload::A {
+                gaps.push((s.mean_ns, s.p99_ns as f64));
+            }
+        }
+        t.print();
+    }
+    if gaps.len() == 2 {
+        let (n_avg, n_p99) = gaps[0];
+        let (h_avg, h_p99) = gaps[1];
+        println!(
+            "\nYCSB-A: HyperLoop cuts write avg by {:.0}% (paper: 79%); avg↔p99 gap by {:.0}% (paper: 81%)",
+            (1.0 - h_avg / n_avg) * 100.0,
+            (1.0 - (h_p99 - h_avg) / (n_p99 - n_avg)) * 100.0,
+        );
+    }
+}

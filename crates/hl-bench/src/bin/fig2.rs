@@ -1,0 +1,101 @@
+//! Figure 2: the motivation experiment — native (CPU) replication under
+//! multi-tenancy. (a) latency & context switches grow with the number of
+//! replica sets; (b) latency & context switches fall as cores increase.
+//!
+//! Usage: `fig2 [a|b|both] [--ops N]`
+
+use hl_bench::apps::{run_fig2, Fig2Cfg};
+use hl_bench::table::{ms, Table};
+
+fn part_a(ops: u64) {
+    println!("\n== Figure 2a: vary replica sets (16 cores/server), YCSB-A ==");
+    let mut t = Table::new(&[
+        "sets",
+        "avg(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "ctx-total",
+        "ctx-norm",
+        "util",
+    ]);
+    let mut rows = Vec::new();
+    for sets in [9usize, 12, 15, 18, 21, 24, 27] {
+        let r = run_fig2(&Fig2Cfg {
+            sets,
+            cores: 16,
+            ops_per_set: ops,
+            ..Default::default()
+        });
+        rows.push((sets, r));
+    }
+    let max_ctx = rows.iter().map(|r| r.1.ctx_total).max().unwrap_or(1) as f64;
+    for (sets, r) in &rows {
+        t.row(&[
+            sets.to_string(),
+            format!("{:.2}", r.writes.mean_ms()),
+            ms(r.writes.p95_ns),
+            ms(r.writes.p99_ns),
+            r.ctx_total.to_string(),
+            format!("{:.2}", r.ctx_total as f64 / max_ctx),
+            format!("{:.2}", r.server_util),
+        ]);
+    }
+    t.print();
+    println!("paper: latency and context switches grow with sets; p99 reaches ~100ms+ at 27 sets.");
+}
+
+fn part_b(ops: u64) {
+    println!("\n== Figure 2b: vary cores per server (18 replica sets), YCSB-A ==");
+    let mut t = Table::new(&[
+        "cores",
+        "avg(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "ctx-total",
+        "ctx-norm",
+        "util",
+    ]);
+    let mut rows = Vec::new();
+    for cores in [2usize, 4, 6, 8, 10, 12, 14, 16] {
+        let r = run_fig2(&Fig2Cfg {
+            sets: 18,
+            cores,
+            ops_per_set: ops,
+            ..Default::default()
+        });
+        rows.push((cores, r));
+    }
+    let max_ctx = rows.iter().map(|r| r.1.ctx_total).max().unwrap_or(1) as f64;
+    for (cores, r) in &rows {
+        t.row(&[
+            cores.to_string(),
+            format!("{:.2}", r.writes.mean_ms()),
+            ms(r.writes.p95_ns),
+            ms(r.writes.p99_ns),
+            r.ctx_total.to_string(),
+            format!("{:.2}", r.ctx_total as f64 / max_ctx),
+            format!("{:.2}", r.server_util),
+        ]);
+    }
+    t.print();
+    println!("paper: more cores => lower latency and fewer context switches at fixed load.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("both");
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    match which {
+        "a" => part_a(ops),
+        "b" => part_b(ops),
+        _ => {
+            part_a(ops);
+            part_b(ops);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 8: latency of gWRITE and gMEMCPY vs message size,
+//! HyperLoop vs Naïve-RDMA (group size 3, stress-ng background).
+//!
+//! Usage: `fig8 [gwrite|gmemcpy|both] [--ops N]`
+
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_bench::table::{us, Table};
+
+fn sweep(prim: &str, ops: usize) {
+    let sizes = [128usize, 256, 512, 1024, 2048, 4096, 8192];
+    println!(
+        "\n== Figure 8{}: {} latency (us), group size 3, stress background ==",
+        if prim == "gwrite" { "a" } else { "b" },
+        prim
+    );
+    let mut t = Table::new(&[
+        "size",
+        "naive-avg",
+        "naive-p99",
+        "hl-avg",
+        "hl-p99",
+        "avg-ratio",
+        "p99-ratio",
+    ]);
+    let mut max_p99_ratio: f64 = 0.0;
+    for &size in &sizes {
+        let op = if prim == "gwrite" {
+            MicroOp::GWrite { size, flush: false }
+        } else {
+            MicroOp::GMemcpy { size, flush: false }
+        };
+        let naive = run_micro(&MicroCfg {
+            backend: Backend::NaiveEvent,
+            op,
+            ops,
+            seed: 42 + size as u64,
+            ..Default::default()
+        });
+        let hl = run_micro(&MicroCfg {
+            backend: Backend::HyperLoop,
+            op,
+            ops,
+            seed: 42 + size as u64,
+            ..Default::default()
+        });
+        let avg_ratio = naive.latency.mean_ns / hl.latency.mean_ns;
+        let p99_ratio = naive.latency.p99_ns as f64 / hl.latency.p99_ns as f64;
+        max_p99_ratio = max_p99_ratio.max(p99_ratio);
+        t.row(&[
+            size.to_string(),
+            format!("{:.1}", naive.latency.mean_us()),
+            us(naive.latency.p99_ns),
+            format!("{:.1}", hl.latency.mean_us()),
+            us(hl.latency.p99_ns),
+            format!("{avg_ratio:.0}x"),
+            format!("{p99_ratio:.0}x"),
+        ]);
+    }
+    t.print();
+    println!("max 99th-percentile improvement: {max_p99_ratio:.0}x  (paper: ~800x gWRITE / ~848x gMEMCPY)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let prim = args.get(1).map(|s| s.as_str()).unwrap_or("both");
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    match prim {
+        "gwrite" => sweep("gwrite", ops),
+        "gmemcpy" => sweep("gmemcpy", ops),
+        _ => {
+            sweep("gwrite", ops);
+            sweep("gmemcpy", ops);
+        }
+    }
+}

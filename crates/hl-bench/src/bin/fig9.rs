@@ -1,0 +1,45 @@
+//! Figure 9: gWRITE throughput and critical-path CPU consumption vs
+//! message size (group size 3). The Naïve baseline uses its best case:
+//! dedicated (exclusive) polling cores on the replicas.
+//!
+//! Usage: `fig9 [--mb N]` (total data volume per point, default 32 MB)
+
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mb: usize = args
+        .iter()
+        .position(|a| a == "--mb")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+
+    println!("== Figure 9: gWRITE throughput (Kops/s) and replica CPU (cores) ==");
+    let mut t = Table::new(&["size", "naive-kops", "naive-cpu", "hl-kops", "hl-cpu"]);
+    for size in [1024usize, 2048, 4096, 8192, 16384, 32768, 65536] {
+        let ops = (mb * 1024 * 1024 / size).max(512);
+        let mk = |backend| MicroCfg {
+            backend,
+            op: MicroOp::GWrite { size, flush: false },
+            ops,
+            warmup: 64,
+            pipeline: 32,
+            ring_slots: 1024,
+            stress_per_host: 0, // throughput tool; CPU is what we measure
+            ..Default::default()
+        };
+        let naive = run_micro(&mk(Backend::NaivePolling { pinned: true }));
+        let hl = run_micro(&mk(Backend::HyperLoop));
+        t.row(&[
+            size.to_string(),
+            format!("{:.0}", naive.kops),
+            format!("{:.2}", naive.datapath_cores),
+            format!("{:.0}", hl.kops),
+            format!("{:.2}", hl.datapath_cores),
+        ]);
+    }
+    t.print();
+    println!("paper: similar throughput for both; Naive burns a whole core, HyperLoop ~0.");
+}

@@ -1,0 +1,34 @@
+//! Quick calibration smoke-run for the microbenchmarks.
+
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+
+fn main() {
+    for backend in [
+        Backend::HyperLoop,
+        Backend::NaiveEvent,
+        Backend::NaivePolling { pinned: true },
+    ] {
+        let cfg = MicroCfg {
+            backend,
+            ops: 2000,
+            warmup: 100,
+            op: MicroOp::GWrite {
+                size: 1024,
+                flush: false,
+            },
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_micro(&cfg);
+        println!(
+            "{:22} avg={:8.1}us p95={:8.1}us p99={:8.1}us kops={:8.1} cpu={:.3} cores  [{:.1?} real]",
+            backend.name(),
+            r.latency.mean_us(),
+            r.latency.p95_us(),
+            r.latency.p99_us(),
+            r.kops,
+            r.datapath_cores,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 2: gCAS latency, Naïve-RDMA vs HyperLoop (group size 3,
+//! stress-ng background).
+//!
+//! Usage: `table2 [--ops N]`
+
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_bench::table::{us, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ops = args
+        .iter()
+        .position(|a| a == "--ops")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+
+    println!("== Table 2: gCAS latency (us) ==");
+    let mut t = Table::new(&["impl", "avg", "p95", "p99"]);
+    let mut rows = Vec::new();
+    for backend in [Backend::NaiveEvent, Backend::HyperLoop] {
+        let r = run_micro(&MicroCfg {
+            backend,
+            op: MicroOp::GCas,
+            ops,
+            ..Default::default()
+        });
+        t.row(&[
+            backend.name().to_string(),
+            format!("{:.1}", r.latency.mean_us()),
+            us(r.latency.p95_ns),
+            us(r.latency.p99_ns),
+        ]);
+        rows.push(r.latency);
+    }
+    t.print();
+    println!(
+        "ratios naive/hyperloop: avg {:.0}x  p95 {:.0}x  p99 {:.0}x   (paper: 53.9x / 302.2x / 849x)",
+        rows[0].mean_ns / rows[1].mean_ns,
+        rows[0].p95_ns as f64 / rows[1].p95_ns as f64,
+        rows[0].p99_ns as f64 / rows[1].p99_ns as f64,
+    );
+    println!("paper absolute: naive 539/3928/11886 us, hyperloop 10/13/14 us");
+}

@@ -1,0 +1,18 @@
+//! # hl-bench — the experiment harness
+//!
+//! Reproduces every figure and table of the paper's evaluation (§6) on
+//! the simulated testbed. Each `src/bin/fig*.rs` regenerates one paper
+//! artifact and prints the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! * [`micro`] — Figures 8/9/10, Table 2 (primitive latency, throughput,
+//!   CPU, group-size scaling).
+//! * [`apps`] — Figure 2 (native MongoDB-style multi-tenancy), Figure 11
+//!   (kvlite/RocksDB), Figure 12 (doclite/MongoDB across YCSB mixes).
+//! * [`table`] — plain-text table rendering.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod micro;
+pub mod table;

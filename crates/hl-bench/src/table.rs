@@ -1,0 +1,115 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple column-aligned table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format nanoseconds as microseconds with 1 decimal.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Format nanoseconds (float) as microseconds with 1 decimal.
+pub fn us_f(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+/// Format nanoseconds as milliseconds with 2 decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Format nanoseconds (float) as milliseconds with 2 decimals.
+pub fn ms_f(ns: f64) -> String {
+    format!("{:.2}", ns / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["size", "avg", "p99"]);
+        t.row(&["128".into(), "9.1".into(), "14.2".into()]);
+        t.row(&["65536".into(), "100.0".into(), "120.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("size"));
+        assert!(lines[2].ends_with("14.2"));
+        // Columns align right.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(us(9_500), "9.5");
+        assert_eq!(ms(2_340_000), "2.34");
+        assert_eq!(us_f(100.0), "0.1");
+        assert_eq!(ms_f(5e6), "5.00");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x".into()]);
+    }
+}

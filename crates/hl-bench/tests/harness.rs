@@ -1,0 +1,134 @@
+//! Smoke tests guarding the experiment harness: every runner completes
+//! with miniature parameters and returns sane shapes. (The full-scale
+//! runs live in the `fig*` binaries and EXPERIMENTS.md.)
+
+use hl_bench::apps::{
+    run_fig11, run_fig12, run_fig2, DocMode, Fig11Cfg, Fig12Cfg, Fig2Cfg, KvBackend,
+};
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_ycsb::Workload;
+
+#[test]
+fn micro_runner_covers_all_backends_and_ops() {
+    for backend in [
+        Backend::HyperLoop,
+        Backend::NaiveEvent,
+        Backend::NaivePolling { pinned: true },
+    ] {
+        for op in [
+            MicroOp::GWrite {
+                size: 512,
+                flush: false,
+            },
+            MicroOp::GWrite {
+                size: 512,
+                flush: true,
+            },
+            MicroOp::GMemcpy {
+                size: 512,
+                flush: true,
+            },
+            MicroOp::GCas,
+        ] {
+            let r = run_micro(&MicroCfg {
+                backend,
+                op,
+                ops: 100,
+                warmup: 10,
+                stress_per_host: 4,
+                ring_slots: 64,
+                ..Default::default()
+            });
+            assert_eq!(r.latency.count, 100, "{backend:?} {op:?}");
+            assert!(r.latency.mean_ns > 1_000.0);
+            assert!(r.kops > 0.0);
+            assert!(r.sim_secs > 0.0);
+        }
+    }
+}
+
+#[test]
+fn micro_hyperloop_beats_naive_under_stress() {
+    let mk = |backend| MicroCfg {
+        backend,
+        op: MicroOp::GWrite {
+            size: 1024,
+            flush: false,
+        },
+        ops: 300,
+        warmup: 20,
+        stress_per_host: 32,
+        ..Default::default()
+    };
+    let hl = run_micro(&mk(Backend::HyperLoop));
+    let nv = run_micro(&mk(Backend::NaiveEvent));
+    assert!(
+        nv.latency.p99_ns > 20 * hl.latency.p99_ns,
+        "naive p99 {} vs hl p99 {}",
+        nv.latency.p99_ns,
+        hl.latency.p99_ns
+    );
+}
+
+#[test]
+fn fig2_runner_scales_with_sets() {
+    let small = run_fig2(&Fig2Cfg {
+        sets: 3,
+        cores: 8,
+        ops_per_set: 30,
+        threads_per_set: 4,
+        seed: 1,
+    });
+    let big = run_fig2(&Fig2Cfg {
+        sets: 12,
+        cores: 8,
+        ops_per_set: 30,
+        threads_per_set: 4,
+        seed: 1,
+    });
+    assert!(small.writes.count > 0 && big.writes.count > 0);
+    assert!(big.server_util >= small.server_util);
+    assert!(big.writes.mean_ns > small.writes.mean_ns * 0.8);
+}
+
+#[test]
+fn fig11_runner_orders_backends() {
+    let hl = run_fig11(&Fig11Cfg {
+        backend: KvBackend::HyperLoop,
+        ops: 150,
+        ..Default::default()
+    });
+    let ev = run_fig11(&Fig11Cfg {
+        backend: KvBackend::NaiveEvent,
+        ops: 150,
+        ..Default::default()
+    });
+    assert!(hl.count > 0 && ev.count > 0);
+    assert!(
+        ev.mean_ns > hl.mean_ns,
+        "event {} <= hl {}",
+        ev.mean_ns,
+        hl.mean_ns
+    );
+}
+
+#[test]
+fn fig12_runner_shows_offload_gap() {
+    let native = run_fig12(&Fig12Cfg {
+        mode: DocMode::Native,
+        workload: Workload::A,
+        sets: 4,
+        ops: 120,
+        ..Default::default()
+    });
+    let hl = run_fig12(&Fig12Cfg {
+        mode: DocMode::HyperLoop,
+        workload: Workload::A,
+        sets: 4,
+        ops: 120,
+        ..Default::default()
+    });
+    assert!(native.writes.count > 0 && hl.writes.count > 0);
+    assert!(native.writes.mean_ns > hl.writes.mean_ns);
+    assert!(native.server_util > hl.server_util * 3.0);
+}

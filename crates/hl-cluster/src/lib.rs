@@ -1,0 +1,781 @@
+//! # hl-cluster — the simulated testbed
+//!
+//! Composes the substrates into a cluster: each [`Host`] owns an NVM
+//! arena, an RDMA NIC and a multi-tenant CPU; a [`Fabric`] connects
+//! them; one deterministic [`Engine`] drives everything.
+//!
+//! Two kinds of actors exist:
+//!
+//! * **Processes** ([`Process`]) — application logic that must hold a
+//!   CPU core to run. Events destined for a process (messages, timers,
+//!   completion interrupts) are queued and delivered only after the
+//!   scheduler gives the process a core and charges the declared CPU
+//!   cost. This is how replica CPUs end up on the critical path in the
+//!   baseline systems.
+//! * **Zero-CPU drivers** — closures subscribed to completion queues
+//!   ([`World::subscribe_cq_callback`]). Used by load generators and by
+//!   HyperLoop clients in microbenchmarks, where the paper dedicates an
+//!   uncontended client machine.
+
+#![warn(missing_docs)]
+
+use hl_cpu::{CpuOutput, HostCpu, ProcId};
+use hl_fabric::{Delivery, Fabric, HostId};
+use hl_nvm::{Layout, NvmArena};
+use hl_rnic::{Cqe, Nic, NicOutput, RecvWqe, RingFull, Wqe};
+use hl_sim::config::HwProfile;
+use hl_sim::{Engine, RngFactory, RngStream, SimDuration, SimTime, Tracer};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// Work tag reserved for event-dispatch CPU work.
+const DISPATCH_TAG: u64 = u64::MAX;
+
+/// One simulated server.
+pub struct Host {
+    /// Its RDMA NIC.
+    pub nic: Nic,
+    /// Its non-volatile memory.
+    pub mem: NvmArena,
+    /// Its CPUs.
+    pub cpu: HostCpu,
+    /// Region allocator over the arena.
+    pub layout: Layout,
+}
+
+impl Host {
+    /// Post a send WQE (see [`Nic::post_send`]); splits the NIC/memory
+    /// borrow so callers can go through `&mut Host`.
+    pub fn post_send(&mut self, qpn: u32, wqe: Wqe, deferred: bool) -> Result<u64, RingFull> {
+        self.nic.post_send(&mut self.mem, qpn, wqe, deferred)
+    }
+
+    /// Grant NIC ownership of a deferred WQE.
+    pub fn grant_ownership(&mut self, qpn: u32, idx: u64) {
+        self.nic.grant_ownership(&mut self.mem, qpn, idx)
+    }
+
+    /// Post a receive.
+    pub fn post_recv(&mut self, qpn: u32, wqe: RecvWqe) {
+        self.nic.post_recv(qpn, wqe)
+    }
+}
+
+/// An event delivered to a [`Process`] after it gets CPU time.
+pub enum ProcEvent {
+    /// First activation after [`World::start_process`].
+    Started,
+    /// A message from another process (same or different host).
+    Message(Box<dyn Any>),
+    /// An armed completion queue produced a CQE (event-driven I/O).
+    CqEvent {
+        /// The CQ that fired.
+        cq: u32,
+    },
+    /// A timer set via [`Ctx::set_timer`] expired.
+    Timer {
+        /// The tag given at arm time.
+        tag: u64,
+    },
+    /// CPU work submitted via [`Ctx::submit_work`] finished.
+    WorkDone {
+        /// The tag given at submission.
+        tag: u64,
+    },
+}
+
+/// Application logic scheduled on a host CPU.
+pub trait Process {
+    /// Handle one event. The process has just been charged the delivery
+    /// cost and is running on a core.
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>);
+}
+
+/// Handle to a process: host + process id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcAddr {
+    /// Host the process runs on.
+    pub host: HostId,
+    /// Scheduler id on that host.
+    pub pid: ProcId,
+}
+
+/// Everything a [`Process`] may do while handling an event.
+pub struct Ctx<'a> {
+    /// The whole world (hosts, fabric, tracer).
+    pub world: &'a mut World,
+    /// The event engine, for scheduling raw closures.
+    pub eng: &'a mut Engine<World>,
+    /// The handling process's address.
+    pub me: ProcAddr,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// This process's host.
+    pub fn host(&mut self) -> &mut Host {
+        &mut self.world.hosts[self.me.host.0]
+    }
+
+    /// Submit additional CPU work; completion arrives as
+    /// [`ProcEvent::WorkDone`] with `tag`.
+    pub fn submit_work(&mut self, d: SimDuration, tag: u64) {
+        assert_ne!(tag, DISPATCH_TAG, "reserved tag");
+        let now = self.now();
+        let outs = self.world.hosts[self.me.host.0]
+            .cpu
+            .submit(now, self.me.pid, d.as_nanos(), tag);
+        route_cpu(self.me.host, outs, self.world, self.eng);
+    }
+
+    /// Arm a timer; fires as [`ProcEvent::Timer`] with `tag` after
+    /// `delay`, charged `cost` CPU on delivery.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64, cost: SimDuration) {
+        let me = self.me;
+        self.eng.schedule(delay, move |w: &mut World, eng| {
+            deliver(me, ProcEvent::Timer { tag }, cost, w, eng);
+        });
+    }
+
+    /// Send `msg` to another process. `wire_bytes` is what crosses the
+    /// fabric; `recv_cost` is the CPU charged to the receiver for
+    /// handling it (network-stack + parsing cost).
+    pub fn send_msg(
+        &mut self,
+        to: ProcAddr,
+        msg: Box<dyn Any>,
+        wire_bytes: usize,
+        recv_cost: SimDuration,
+    ) {
+        let now = self.now();
+        self.world
+            .send_msg_at(now, self.me.host, to, msg, wire_bytes, recv_cost, self.eng);
+    }
+
+    /// Ring a QP doorbell and route the NIC's outputs.
+    pub fn ring_doorbell(&mut self, qpn: u32) {
+        let now = self.now();
+        let host = self.me.host;
+        let h = &mut self.world.hosts[host.0];
+        let outs = h.nic.ring_doorbell(now, qpn, &mut h.mem);
+        route_nic(host, outs, self.world, self.eng);
+    }
+
+    /// Poll a CQ (the CPU cost of polling is the caller's to model).
+    pub fn poll_cq(&mut self, cq: u32, max: usize) -> Vec<Cqe> {
+        self.world.hosts[self.me.host.0].nic.poll_cq(cq, max)
+    }
+
+    /// Re-arm the one-shot CQ event.
+    pub fn arm_cq(&mut self, cq: u32) {
+        self.world.hosts[self.me.host.0].nic.arm_cq(cq);
+    }
+}
+
+/// Zero-CPU driver callback signature.
+type CqCallback = Box<dyn FnMut(Cqe, &mut World, &mut Engine<World>)>;
+
+/// CQ subscription kinds.
+enum CqSub {
+    /// Wake a process with a completion interrupt (event-driven I/O).
+    Interrupt { pid: ProcId, cost: SimDuration },
+    /// Zero-CPU driver callback: invoked per CQE, auto-rearmed.
+    Callback(CqCallback),
+}
+
+struct ProcSlot {
+    proc: Option<Box<dyn Process>>,
+    mailbox: VecDeque<ProcEvent>,
+}
+
+/// The simulated world: hosts + fabric + process registry.
+pub struct World {
+    /// All hosts.
+    pub hosts: Vec<Host>,
+    /// The network.
+    pub fabric: Fabric,
+    /// Trace buffer.
+    pub tracer: Tracer,
+    /// Hardware profile used to build this world.
+    pub profile: HwProfile,
+    /// Random stream factory (seeded).
+    pub rng: RngFactory,
+    drop_rng: RngStream,
+    procs: Vec<Vec<ProcSlot>>,
+    cq_subs: HashMap<(usize, u32), CqSub>,
+    /// Packets lost to fault injection.
+    pub dropped_packets: u64,
+}
+
+impl World {
+    /// Host accessor.
+    pub fn host(&mut self, h: HostId) -> &mut Host {
+        &mut self.hosts[h.0]
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True if the world has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Register a process on a host. It is delivered
+    /// [`ProcEvent::Started`] (with `start_cost` CPU) once the engine
+    /// runs.
+    pub fn start_process(
+        &mut self,
+        host: HostId,
+        name: &str,
+        pinned: Option<usize>,
+        proc: Box<dyn Process>,
+        start_cost: SimDuration,
+        eng: &mut Engine<World>,
+    ) -> ProcAddr {
+        let pid = self.hosts[host.0].cpu.spawn(name, pinned);
+        let slots = &mut self.procs[host.0];
+        while slots.len() <= pid.0 {
+            slots.push(ProcSlot {
+                proc: None,
+                mailbox: VecDeque::new(),
+            });
+        }
+        slots[pid.0].proc = Some(proc);
+        let addr = ProcAddr { host, pid };
+        eng.schedule(SimDuration::ZERO, move |w: &mut World, eng| {
+            deliver(addr, ProcEvent::Started, start_cost, w, eng);
+        });
+        addr
+    }
+
+    /// Replace the logic of an existing process (setup-time wiring).
+    pub fn replace_process(&mut self, addr: ProcAddr, proc: Box<dyn Process>) {
+        self.procs[addr.host.0][addr.pid.0].proc = Some(proc);
+    }
+
+    /// Spawn a `stress-ng`-style CPU hog on a host.
+    pub fn spawn_hog(&mut self, host: HostId, name: &str, eng: &mut Engine<World>) {
+        let now = eng.now();
+        let (_pid, outs) = self.hosts[host.0].cpu.spawn_hog(now, name);
+        route_cpu(host, outs, self, eng);
+    }
+
+    /// Subscribe a process to completion events of a CQ (event-driven
+    /// replica). The CQ is armed; each event costs `cost` CPU.
+    pub fn subscribe_cq_interrupt(
+        &mut self,
+        host: HostId,
+        cq: u32,
+        pid: ProcId,
+        cost: SimDuration,
+    ) {
+        self.hosts[host.0].nic.arm_cq(cq);
+        self.cq_subs
+            .insert((host.0, cq), CqSub::Interrupt { pid, cost });
+    }
+
+    /// Subscribe a zero-CPU callback to a CQ (benchmark drivers /
+    /// HyperLoop clients). Drains and auto-rearms.
+    pub fn subscribe_cq_callback(
+        &mut self,
+        host: HostId,
+        cq: u32,
+        f: impl FnMut(Cqe, &mut World, &mut Engine<World>) + 'static,
+    ) {
+        self.hosts[host.0].nic.arm_cq(cq);
+        let cb: CqCallback = Box::new(f);
+        self.cq_subs.insert((host.0, cq), CqSub::Callback(cb));
+    }
+
+    /// Ring a doorbell from outside a process (drivers).
+    pub fn ring_doorbell(&mut self, host: HostId, qpn: u32, eng: &mut Engine<World>) {
+        let now = eng.now();
+        let h = &mut self.hosts[host.0];
+        let outs = h.nic.ring_doorbell(now, qpn, &mut h.mem);
+        route_nic(host, outs, self, eng);
+    }
+
+    /// Send a message between processes (driver-side variant of
+    /// [`Ctx::send_msg`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_msg_at(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: ProcAddr,
+        msg: Box<dyn Any>,
+        wire_bytes: usize,
+        recv_cost: SimDuration,
+        eng: &mut Engine<World>,
+    ) {
+        if from == to.host && wire_bytes == 0 {
+            // Same-host IPC: a microsecond of kernel round trip.
+            let delay = SimDuration::from_micros(1);
+            eng.schedule(delay, move |w: &mut World, eng| {
+                deliver(to, ProcEvent::Message(msg), recv_cost, w, eng);
+            });
+            return;
+        }
+        let draw = self.drop_rng.f64();
+        match self.fabric.send(now, from, to.host, wire_bytes, draw) {
+            Delivery::At(at) => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    deliver(to, ProcEvent::Message(msg), recv_cost, w, eng);
+                });
+            }
+            Delivery::Dropped => self.dropped_packets += 1,
+        }
+    }
+
+    /// Connect two QPs on different hosts (both directions).
+    pub fn connect_qps(&mut self, a: HostId, qp_a: u32, b: HostId, qp_b: u32) {
+        self.hosts[a.0].nic.connect(qp_a, b.0 as u32, qp_b);
+        self.hosts[b.0].nic.connect(qp_b, a.0 as u32, qp_a);
+    }
+}
+
+/// Builder for a [`World`].
+pub struct ClusterBuilder {
+    hosts: usize,
+    arena: usize,
+    profile: HwProfile,
+    seed: u64,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `hosts` hosts.
+    pub fn new(hosts: usize) -> Self {
+        ClusterBuilder {
+            hosts,
+            arena: 8 << 20,
+            profile: HwProfile::default(),
+            seed: 42,
+        }
+    }
+
+    /// NVM arena bytes per host (default 8 MiB).
+    pub fn arena_size(mut self, bytes: usize) -> Self {
+        self.arena = bytes;
+        self
+    }
+
+    /// Hardware profile.
+    pub fn profile(mut self, p: HwProfile) -> Self {
+        self.profile = p;
+        self
+    }
+
+    /// Experiment seed (all randomness derives from it).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Build the world and its engine.
+    pub fn build(self) -> (World, Engine<World>) {
+        let rng = RngFactory::new(self.seed);
+        let hosts = (0..self.hosts)
+            .map(|i| {
+                let mut cpu = HostCpu::new(self.profile.cpu.clone());
+                cpu.set_rng(rng.stream_idx("cpu", i as u64));
+                Host {
+                    nic: Nic::new(
+                        i as u32,
+                        self.profile.nic.clone(),
+                        rng.stream_idx("nic", i as u64),
+                    ),
+                    mem: NvmArena::new(self.arena),
+                    cpu,
+                    layout: Layout::new(self.arena as u64),
+                }
+            })
+            .collect();
+        let world = World {
+            hosts,
+            fabric: Fabric::new(self.hosts, self.profile.net.clone()),
+            tracer: Tracer::default(),
+            drop_rng: rng.stream("fabric-drops"),
+            rng,
+            profile: self.profile,
+            procs: (0..self.hosts).map(|_| Vec::new()).collect(),
+            cq_subs: HashMap::new(),
+            dropped_packets: 0,
+        };
+        (world, Engine::new())
+    }
+}
+
+// ----- event routing -------------------------------------------------------
+
+/// Queue `ev` for a process and charge `cost` CPU for its delivery.
+pub fn deliver(
+    to: ProcAddr,
+    ev: ProcEvent,
+    cost: SimDuration,
+    w: &mut World,
+    eng: &mut Engine<World>,
+) {
+    w.procs[to.host.0][to.pid.0].mailbox.push_back(ev);
+    let now = eng.now();
+    let outs = w.hosts[to.host.0]
+        .cpu
+        .submit(now, to.pid, cost.as_nanos(), DISPATCH_TAG);
+    route_cpu(to.host, outs, w, eng);
+}
+
+/// Turn CPU-model outputs into events.
+pub fn route_cpu(host: HostId, outs: Vec<CpuOutput>, w: &mut World, eng: &mut Engine<World>) {
+    for o in outs {
+        match o {
+            CpuOutput::Timer { core, gen, at } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let now = eng.now();
+                    let outs = w.hosts[host.0].cpu.on_timer(now, core, gen);
+                    route_cpu(host, outs, w, eng);
+                });
+            }
+            CpuOutput::WorkDone { pid, tag } => {
+                let addr = ProcAddr { host, pid };
+                if tag == DISPATCH_TAG {
+                    let Some(ev) = w.procs[host.0][pid.0].mailbox.pop_front() else {
+                        continue;
+                    };
+                    run_handler(addr, ev, w, eng);
+                } else {
+                    run_handler(addr, ProcEvent::WorkDone { tag }, w, eng);
+                }
+            }
+        }
+    }
+}
+
+fn run_handler(addr: ProcAddr, ev: ProcEvent, w: &mut World, eng: &mut Engine<World>) {
+    // Slot dance: take the process out so the handler can borrow the
+    // world mutably.
+    let Some(mut proc) = w.procs[addr.host.0][addr.pid.0].proc.take() else {
+        return; // process was stopped
+    };
+    {
+        let mut ctx = Ctx {
+            world: w,
+            eng,
+            me: addr,
+        };
+        proc.on_event(ev, &mut ctx);
+    }
+    // Put it back unless the handler replaced/stopped itself.
+    let slot = &mut w.procs[addr.host.0][addr.pid.0];
+    if slot.proc.is_none() {
+        slot.proc = Some(proc);
+    }
+}
+
+/// Turn NIC outputs into events.
+pub fn route_nic(host: HostId, outs: Vec<NicOutput>, w: &mut World, eng: &mut Engine<World>) {
+    for o in outs {
+        match o {
+            NicOutput::Transmit {
+                at,
+                dst_nic,
+                packet,
+            } => {
+                let dst = HostId(dst_nic as usize);
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let now = eng.now();
+                    let size = packet.wire_size();
+                    let draw = w.drop_rng.f64();
+                    hl_sim::trace!(
+                        w.tracer,
+                        now,
+                        "fabric",
+                        "{host}->{dst} {size}B qp{}->qp{}",
+                        packet.src_qpn,
+                        packet.dst_qpn
+                    );
+                    match w.fabric.send(now, host, dst, size, draw) {
+                        Delivery::At(arrive) => {
+                            eng.schedule_at(arrive, move |w: &mut World, eng| {
+                                let now = eng.now();
+                                let h = &mut w.hosts[dst.0];
+                                let outs = h.nic.on_packet(now, packet, &mut h.mem);
+                                route_nic(dst, outs, w, eng);
+                            });
+                        }
+                        Delivery::Dropped => {
+                            hl_sim::trace!(w.tracer, now, "fabric", "{host}->{dst} DROPPED");
+                            w.dropped_packets += 1;
+                        }
+                    }
+                });
+            }
+            NicOutput::Complete { at, cq, cqe } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let now = eng.now();
+                    hl_sim::trace!(
+                        w.tracer,
+                        now,
+                        "rnic",
+                        "{host} cqe cq{cq} qp{} wr{} {:?}",
+                        cqe.qpn,
+                        cqe.wr_id,
+                        cqe.status
+                    );
+                    let h = &mut w.hosts[host.0];
+                    let outs = h.nic.deliver_cqe(now, cq, cqe, &mut h.mem);
+                    route_nic(host, outs, w, eng);
+                });
+            }
+            NicOutput::DoLocal { at, qpn, wqe } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let now = eng.now();
+                    let h = &mut w.hosts[host.0];
+                    let outs = h.nic.finish_local(now, qpn, wqe, &mut h.mem);
+                    route_nic(host, outs, w, eng);
+                });
+            }
+            NicOutput::CqEvent { cq } => {
+                dispatch_cq_event(host, cq, w, eng);
+            }
+        }
+    }
+}
+
+fn dispatch_cq_event(host: HostId, cq: u32, w: &mut World, eng: &mut Engine<World>) {
+    let Some(sub) = w.cq_subs.remove(&(host.0, cq)) else {
+        return;
+    };
+    match sub {
+        CqSub::Interrupt { pid, cost } => {
+            // Interrupt delivery latency, then wake the process.
+            let delay = w.profile.cpu.interrupt;
+            let addr = ProcAddr { host, pid };
+            eng.schedule(delay, move |w: &mut World, eng| {
+                deliver(addr, ProcEvent::CqEvent { cq }, cost, w, eng);
+            });
+            w.cq_subs
+                .insert((host.0, cq), CqSub::Interrupt { pid, cost });
+            // The process must re-arm after draining (as with
+            // ibv_req_notify_cq); see Ctx::arm_cq.
+        }
+        CqSub::Callback(mut f) => {
+            // Zero-CPU driver: drain now, re-arm.
+            loop {
+                let cqes = w.hosts[host.0].nic.poll_cq(cq, 64);
+                if cqes.is_empty() {
+                    break;
+                }
+                for c in cqes {
+                    f(c, w, eng);
+                }
+            }
+            w.hosts[host.0].nic.arm_cq(cq);
+            w.cq_subs.insert((host.0, cq), CqSub::Callback(f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_rnic::{Access, Opcode};
+
+    #[test]
+    fn builder_creates_hosts() {
+        let (w, _eng) = ClusterBuilder::new(3).arena_size(1 << 16).build();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.hosts[0].mem.len(), 1 << 16);
+    }
+
+    /// Two processes on different hosts ping-pong; CPU costs and wire
+    /// latency both apply.
+    struct Pinger {
+        peer: Option<ProcAddr>,
+        remaining: u32,
+        initiator: bool,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(SimTime, u32)>>>,
+    }
+
+    impl Process for Pinger {
+        fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+            match ev {
+                ProcEvent::Started if self.initiator => {
+                    if let Some(peer) = self.peer {
+                        ctx.send_msg(peer, Box::new(1u32), 64, SimDuration::from_micros(2));
+                    }
+                }
+                ProcEvent::Message(m) => {
+                    let n = *m.downcast::<u32>().unwrap();
+                    self.log.borrow_mut().push((ctx.now(), n));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        if let Some(peer) = self.peer {
+                            ctx.send_msg(peer, Box::new(n + 1), 64, SimDuration::from_micros(2));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn processes_exchange_messages_with_cpu_costs() {
+        let (mut w, mut eng) = ClusterBuilder::new(2).arena_size(1 << 16).build();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let b = w.start_process(
+            HostId(1),
+            "ponger",
+            None,
+            Box::new(Pinger {
+                peer: None,
+                remaining: 0,
+                initiator: false,
+                log: log.clone(),
+            }),
+            SimDuration::from_micros(1),
+            &mut eng,
+        );
+        let a = w.start_process(
+            HostId(0),
+            "pinger",
+            None,
+            Box::new(Pinger {
+                peer: Some(b),
+                remaining: 3,
+                initiator: true,
+                log: log.clone(),
+            }),
+            SimDuration::from_micros(1),
+            &mut eng,
+        );
+        // Wire the echo side now that `a` exists.
+        w.replace_process(
+            b,
+            Box::new(Pinger {
+                peer: Some(a),
+                remaining: 100,
+                initiator: false,
+                log: log.clone(),
+            }),
+        );
+        eng.run(&mut w);
+        let log = log.borrow();
+        // a sent 1; b logs 1, replies 2; a logs 2, replies 3; ... a's
+        // remaining=3 limits the exchange.
+        let values: Vec<u32> = log.iter().map(|e| e.1).collect();
+        assert!(values.len() >= 6, "got {values:?}");
+        assert_eq!(&values[..4], &[1, 2, 3, 4]);
+        // Each hop includes wire + dispatch cost; time advanced well
+        // beyond the pure wire latency.
+        assert!(log.last().unwrap().0.as_nanos() > 20_000);
+    }
+
+    #[test]
+    fn cq_callback_fires_for_driver() {
+        let (mut w, mut eng) = ClusterBuilder::new(2).arena_size(1 << 18).build();
+        let scq0 = w.hosts[0].nic.create_cq();
+        let rcq0 = w.hosts[0].nic.create_cq();
+        let scq1 = w.hosts[1].nic.create_cq();
+        let rcq1 = w.hosts[1].nic.create_cq();
+        let qp0 = w.hosts[0].nic.create_qp(scq0, rcq0, 0x1000, 16);
+        let qp1 = w.hosts[1].nic.create_qp(scq1, rcq1, 0x1000, 16);
+        w.connect_qps(HostId(0), qp0, HostId(1), qp1);
+        let mr = w.hosts[1]
+            .nic
+            .register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+        w.hosts[0].mem.write(0x8000, b"callback").unwrap();
+
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        w.subscribe_cq_callback(HostId(0), scq0, move |cqe, _w, eng| {
+            seen2.borrow_mut().push((eng.now(), cqe.wr_id));
+        });
+
+        let wqe = Wqe {
+            opcode: Opcode::Write,
+            flags: hl_rnic::flags::SIGNALED,
+            len: 8,
+            laddr: 0x8000,
+            raddr: 0x8000,
+            rkey: mr.rkey,
+            wr_id: 31,
+            ..Default::default()
+        };
+        w.hosts[0].post_send(qp0, wqe, false).unwrap();
+        w.ring_doorbell(HostId(0), qp0, &mut eng);
+        eng.run(&mut w);
+
+        assert_eq!(w.hosts[1].mem.read(0x8000, 8).unwrap(), b"callback");
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(seen.borrow()[0].1, 31);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        fn run(seed: u64) -> (u64, SimTime) {
+            let (mut w, mut eng) = ClusterBuilder::new(2)
+                .arena_size(1 << 16)
+                .seed(seed)
+                .build();
+            let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let b = w.start_process(
+                HostId(1),
+                "b",
+                None,
+                Box::new(Pinger {
+                    peer: None,
+                    remaining: 0,
+                    initiator: false,
+                    log: log.clone(),
+                }),
+                SimDuration::from_micros(1),
+                &mut eng,
+            );
+            let a = w.start_process(
+                HostId(0),
+                "a",
+                None,
+                Box::new(Pinger {
+                    peer: Some(b),
+                    remaining: 5,
+                    initiator: true,
+                    log: log.clone(),
+                }),
+                SimDuration::from_micros(1),
+                &mut eng,
+            );
+            w.replace_process(
+                b,
+                Box::new(Pinger {
+                    peer: Some(a),
+                    remaining: 100,
+                    initiator: false,
+                    log: log.clone(),
+                }),
+            );
+            eng.run(&mut w);
+            (eng.events_executed(), eng.now())
+        }
+        let (e1, t1) = run(7);
+        let (e2, t2) = run(7);
+        assert_eq!(e1, e2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn hog_spawning_works_via_world() {
+        let (mut w, mut eng) = ClusterBuilder::new(1).arena_size(1 << 16).build();
+        w.spawn_hog(HostId(0), "stress", &mut eng);
+        eng.run_until(&mut w, SimTime::from_nanos(10_000_000));
+        let now = eng.now();
+        // The hog consumed a meaningful share of the host.
+        assert!(w.hosts[0].cpu.host_utilization(now) > 0.05);
+    }
+}

@@ -1,0 +1,14 @@
+//! # hl-cpu — multi-tenant host CPU model
+//!
+//! Models the CPUs of a storage server shared by hundreds of tenant
+//! processes — the environment in which the paper shows that replica
+//! CPUs on the critical path cause millisecond tails (Figure 2). The
+//! scheduler is a simplified CFS with time slices, sleeper fairness,
+//! wakeup preemption, context-switch costs and full accounting; see
+//! [`HostCpu`].
+
+#![warn(missing_docs)]
+
+mod scheduler;
+
+pub use scheduler::{CpuOutput, HostCpu, ProcId, WorkTag};

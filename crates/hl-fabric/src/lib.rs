@@ -1,0 +1,291 @@
+//! # hl-fabric — network fabric model
+//!
+//! A lossless (by default) data-center fabric connecting simulated hosts.
+//! The model is message-granular: each message occupies its sender's
+//! egress port for `size / bandwidth`, then arrives after a fixed
+//! per-path propagation delay. Because egress is FIFO and propagation is
+//! constant per path, delivery between any ordered pair of hosts is
+//! in-order — the property RDMA reliable-connection transport needs.
+//!
+//! Fault injection (message drops, host partitions, link-down) is
+//! explicit and off by default; benchmarks run lossless like the paper's
+//! RoCE testbed, while recovery tests flip faults on.
+
+#![warn(missing_docs)]
+
+use hl_sim::config::NetProfile;
+use hl_sim::{SimDuration, SimTime};
+
+/// Identifies a host (index into the cluster's host table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Per-host egress port state.
+#[derive(Debug, Clone, Default)]
+struct Port {
+    /// Time at which the egress link becomes free.
+    free_at: SimTime,
+    /// Bytes transmitted (for reporting).
+    bytes_tx: u64,
+    /// Messages transmitted.
+    msgs_tx: u64,
+}
+
+/// Result of offering a message to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Message will arrive at the destination at this instant.
+    At(SimTime),
+    /// Message was dropped by fault injection.
+    Dropped,
+}
+
+/// The fabric connecting all hosts.
+#[derive(Debug)]
+pub struct Fabric {
+    profile: NetProfile,
+    ports: Vec<Port>,
+    /// Propagation hops between host pairs, indexed `[src][dst]`;
+    /// 1 = same rack through one switch.
+    hops: Vec<Vec<u32>>,
+    /// Blocked ordered pairs (partition injection).
+    partitions: Vec<(HostId, HostId)>,
+    /// Hosts whose link is administratively down.
+    down: Vec<bool>,
+    /// Probability of dropping any message (fault injection); requires
+    /// the caller to pass a uniform draw to keep the fabric RNG-free.
+    drop_prob: f64,
+}
+
+impl Fabric {
+    /// A fabric over `n` hosts with uniform single-switch paths.
+    pub fn new(n: usize, profile: NetProfile) -> Self {
+        Fabric {
+            profile,
+            ports: vec![Port::default(); n],
+            hops: vec![vec![1; n]; n],
+            partitions: Vec::new(),
+            down: vec![false; n],
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// True if the fabric has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Set the hop count between two hosts (both directions).
+    pub fn set_hops(&mut self, a: HostId, b: HostId, hops: u32) {
+        self.hops[a.0][b.0] = hops;
+        self.hops[b.0][a.0] = hops;
+    }
+
+    /// Inject a one-directional partition: messages src→dst are dropped.
+    pub fn partition(&mut self, src: HostId, dst: HostId) {
+        if !self.partitions.contains(&(src, dst)) {
+            self.partitions.push((src, dst));
+        }
+    }
+
+    /// Heal a previously injected partition.
+    pub fn heal(&mut self, src: HostId, dst: HostId) {
+        self.partitions.retain(|&p| p != (src, dst));
+    }
+
+    /// Take a host's link down (drops everything to/from it).
+    pub fn set_link_down(&mut self, host: HostId, is_down: bool) {
+        self.down[host.0] = is_down;
+    }
+
+    /// Enable random drops with probability `p` (see [`Fabric::send`]).
+    pub fn set_drop_prob(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+    }
+
+    /// Offer a `size`-byte message from `src` to `dst` at time `now`.
+    ///
+    /// `uniform_draw` is a caller-supplied uniform sample in `[0,1)` used
+    /// for drop decisions (the fabric holds no RNG so that enabling fault
+    /// injection never perturbs other random streams). Pass `1.0` when
+    /// drops are disabled.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: HostId,
+        dst: HostId,
+        size: usize,
+        uniform_draw: f64,
+    ) -> Delivery {
+        if self.down[src.0] || self.down[dst.0] || self.partitions.contains(&(src, dst)) {
+            return Delivery::Dropped;
+        }
+        if self.drop_prob > 0.0 && uniform_draw < self.drop_prob {
+            return Delivery::Dropped;
+        }
+        if src == dst {
+            // Loopback never touches the wire; a nominal port-turnaround
+            // delay models the NIC-internal path.
+            return Delivery::At(now + SimDuration::from_nanos(100));
+        }
+        let port = &mut self.ports[src.0];
+        let start = port.free_at.max(now);
+        let tx = self.profile.transfer_time(size);
+        let done = start + tx;
+        port.free_at = done;
+        port.bytes_tx += size as u64;
+        port.msgs_tx += 1;
+        let prop = SimDuration::from_nanos(
+            self.profile.propagation.as_nanos() * self.hops[src.0][dst.0] as u64,
+        );
+        Delivery::At(done + prop)
+    }
+
+    /// Bytes transmitted by a host.
+    pub fn bytes_tx(&self, host: HostId) -> u64 {
+        self.ports[host.0].bytes_tx
+    }
+
+    /// Messages transmitted by a host.
+    pub fn msgs_tx(&self, host: HostId) -> u64 {
+        self.ports[host.0].msgs_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(n, NetProfile::default())
+    }
+
+    #[test]
+    fn delivery_includes_serialization_and_propagation() {
+        let mut f = fabric(2);
+        // 7000 bytes at 56 Gbps = 1000 ns; + 700 ns propagation.
+        match f.send(SimTime::ZERO, HostId(0), HostId(1), 7000, 1.0) {
+            Delivery::At(t) => assert_eq!(t.as_nanos(), 1700),
+            _ => panic!("dropped"),
+        }
+    }
+
+    #[test]
+    fn egress_is_fifo_and_serializes() {
+        let mut f = fabric(2);
+        let d1 = f.send(SimTime::ZERO, HostId(0), HostId(1), 7000, 1.0);
+        let d2 = f.send(SimTime::ZERO, HostId(0), HostId(1), 7000, 1.0);
+        let (Delivery::At(t1), Delivery::At(t2)) = (d1, d2) else {
+            panic!("dropped");
+        };
+        assert_eq!(t1.as_nanos(), 1700);
+        assert_eq!(t2.as_nanos(), 2700); // waits for the first to serialize
+        assert!(t2 > t1, "in-order");
+    }
+
+    #[test]
+    fn different_sources_do_not_contend() {
+        let mut f = fabric(3);
+        let Delivery::At(t1) = f.send(SimTime::ZERO, HostId(0), HostId(2), 7000, 1.0) else {
+            panic!()
+        };
+        let Delivery::At(t2) = f.send(SimTime::ZERO, HostId(1), HostId(2), 7000, 1.0) else {
+            panic!()
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn hops_scale_propagation() {
+        let mut f = fabric(2);
+        f.set_hops(HostId(0), HostId(1), 3);
+        let Delivery::At(t) = f.send(SimTime::ZERO, HostId(0), HostId(1), 0, 1.0) else {
+            panic!()
+        };
+        assert_eq!(t.as_nanos(), 2100); // 3 × 700 ns, zero serialization
+    }
+
+    #[test]
+    fn partition_drops_one_direction() {
+        let mut f = fabric(2);
+        f.partition(HostId(0), HostId(1));
+        assert_eq!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 1.0),
+            Delivery::Dropped
+        );
+        assert!(matches!(
+            f.send(SimTime::ZERO, HostId(1), HostId(0), 10, 1.0),
+            Delivery::At(_)
+        ));
+        f.heal(HostId(0), HostId(1));
+        assert!(matches!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 1.0),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn link_down_blocks_both_ways() {
+        let mut f = fabric(2);
+        f.set_link_down(HostId(1), true);
+        assert_eq!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 1.0),
+            Delivery::Dropped
+        );
+        assert_eq!(
+            f.send(SimTime::ZERO, HostId(1), HostId(0), 10, 1.0),
+            Delivery::Dropped
+        );
+        f.set_link_down(HostId(1), false);
+        assert!(matches!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 1.0),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn random_drops_use_caller_draw() {
+        let mut f = fabric(2);
+        f.set_drop_prob(0.5);
+        assert_eq!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 0.4),
+            Delivery::Dropped
+        );
+        assert!(matches!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 10, 0.6),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn loopback_is_fast_and_portless() {
+        let mut f = fabric(1);
+        let Delivery::At(t) = f.send(SimTime::ZERO, HostId(0), HostId(0), 1_000_000, 1.0) else {
+            panic!()
+        };
+        assert_eq!(t.as_nanos(), 100);
+        assert_eq!(f.bytes_tx(HostId(0)), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut f = fabric(2);
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 100, 1.0);
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 200, 1.0);
+        assert_eq!(f.bytes_tx(HostId(0)), 300);
+        assert_eq!(f.msgs_tx(HostId(0)), 2);
+        assert_eq!(f.bytes_tx(HostId(1)), 0);
+    }
+}

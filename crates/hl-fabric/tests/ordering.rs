@@ -1,0 +1,51 @@
+//! Property tests: the fabric's delivery guarantees.
+
+use hl_fabric::{Delivery, Fabric, HostId};
+use hl_sim::config::NetProfile;
+use hl_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Per ordered pair, arrival times are strictly monotonic in send
+    /// order (the in-order property RC transport needs), regardless of
+    /// message sizes and send times.
+    #[test]
+    fn per_pair_fifo(
+        msgs in proptest::collection::vec(
+            // (send_at_ns sorted later, size)
+            (0u64..10_000, 0usize..4096),
+            1..50,
+        )
+    ) {
+        let mut f = Fabric::new(2, NetProfile::default());
+        let mut msgs = msgs;
+        msgs.sort_by_key(|m| m.0);
+        let mut last = None;
+        for (at, size) in msgs {
+            let d = f.send(SimTime::from_nanos(at), HostId(0), HostId(1), size, 1.0);
+            let Delivery::At(t) = d else { panic!("lossless fabric dropped") };
+            if let Some(prev) = last {
+                prop_assert!(t >= prev, "reordered: {t} before {prev}");
+            }
+            // Arrival is never before send + propagation.
+            prop_assert!(t.as_nanos() >= at + 700);
+            last = Some(t);
+        }
+    }
+
+    /// Bandwidth conservation: k back-to-back messages of equal size
+    /// take at least k × serialization time end-to-end.
+    #[test]
+    fn bandwidth_is_not_exceeded(k in 1usize..40, size in 1usize..8192) {
+        let mut f = Fabric::new(2, NetProfile::default());
+        let mut final_t = SimTime::ZERO;
+        for _ in 0..k {
+            if let Delivery::At(t) = f.send(SimTime::ZERO, HostId(0), HostId(1), size, 1.0) {
+                final_t = t;
+            }
+        }
+        let min_serialization = NetProfile::default().transfer_time(size).as_nanos() * k as u64;
+        prop_assert!(final_t.as_nanos() >= min_serialization);
+        prop_assert_eq!(f.bytes_tx(HostId(0)), (k * size) as u64);
+    }
+}

@@ -1,0 +1,153 @@
+//! Region layout: a bump allocator over an arena.
+//!
+//! Storage servers carve their NVM into named regions — write-ahead log,
+//! database area, lock words, HyperLoop metadata staging, WQE rings. The
+//! allocator hands out aligned, non-overlapping `[addr, addr+len)`
+//! regions and remembers them by name so tests can assert that nothing
+//! overlaps and tools can pretty-print a memory map.
+
+/// A named allocated region of an arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name (unique within one allocator).
+    pub name: String,
+    /// Start address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+
+    /// Does `[addr, addr+len)` fall entirely inside this region?
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.addr && addr + len <= self.end()
+    }
+
+    /// Offset of `addr` from the region start. Panics when out of range.
+    pub fn offset_of(&self, addr: u64) -> u64 {
+        assert!(self.contains(addr, 0), "address outside region");
+        addr - self.addr
+    }
+
+    /// Absolute address of `offset` into the region. Panics past the end.
+    pub fn at(&self, offset: u64) -> u64 {
+        assert!(offset <= self.len, "offset outside region");
+        self.addr + offset
+    }
+}
+
+/// Bump allocator over `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    capacity: u64,
+    next: u64,
+    regions: Vec<Region>,
+}
+
+impl Layout {
+    /// Allocator over an arena of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Layout {
+            capacity,
+            next: 0,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Allocate `len` bytes aligned to `align` (a power of two) under
+    /// `name`. Panics on exhaustion or duplicate name — layouts are
+    /// static configuration, so failing fast is the right behaviour.
+    pub fn alloc(&mut self, name: &str, len: u64, align: u64) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            self.regions.iter().all(|r| r.name != name),
+            "duplicate region name {name:?}"
+        );
+        let addr = (self.next + align - 1) & !(align - 1);
+        assert!(
+            addr.checked_add(len).is_some_and(|e| e <= self.capacity),
+            "arena exhausted allocating {name:?}: need [{addr}, +{len}) of {}",
+            self.capacity
+        );
+        self.next = addr + len;
+        let region = Region {
+            name: name.to_string(),
+            addr,
+            len,
+        };
+        self.regions.push(region.clone());
+        region
+    }
+
+    /// Look up a region by name.
+    pub fn get(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Bytes remaining (ignoring alignment padding of future allocations).
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.next
+    }
+
+    /// All regions in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut l = Layout::new(4096);
+        let a = l.alloc("wal", 100, 64);
+        let b = l.alloc("db", 1000, 64);
+        let c = l.alloc("locks", 8, 8);
+        assert_eq!(a.addr % 64, 0);
+        assert_eq!(b.addr % 64, 0);
+        assert!(a.end() <= b.addr);
+        assert!(b.end() <= c.addr);
+        assert_eq!(l.regions().len(), 3);
+    }
+
+    #[test]
+    fn region_math() {
+        let mut l = Layout::new(1024);
+        let r = l.alloc("r", 128, 64);
+        assert!(r.contains(r.addr, 128));
+        assert!(!r.contains(r.addr, 129));
+        assert_eq!(r.offset_of(r.addr + 5), 5);
+        assert_eq!(r.at(5), r.addr + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut l = Layout::new(64);
+        l.alloc("big", 65, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut l = Layout::new(1024);
+        l.alloc("x", 8, 8);
+        l.alloc("x", 8, 8);
+    }
+
+    #[test]
+    fn lookup_and_remaining() {
+        let mut l = Layout::new(100);
+        l.alloc("a", 10, 1);
+        assert!(l.get("a").is_some());
+        assert!(l.get("b").is_none());
+        assert_eq!(l.remaining(), 90);
+    }
+}

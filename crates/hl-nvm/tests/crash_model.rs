@@ -1,0 +1,80 @@
+//! Property-based model check of NVM crash semantics: an arena under
+//! random write/flush/crash sequences must agree with a two-image
+//! shadow model.
+
+use hl_nvm::NvmArena;
+use proptest::prelude::*;
+
+const N: usize = 512;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { at: u16, byte: u8, len: u8 },
+    Flush { at: u16, len: u8 },
+    FlushAll,
+    Crash,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..N as u16, any::<u8>(), 1..64u8).prop_map(|(at, byte, len)| Op::Write { at, byte, len }),
+        2 => (0..N as u16, 1..64u8).prop_map(|(at, len)| Op::Flush { at, len }),
+        1 => Just(Op::FlushAll),
+        1 => Just(Op::Crash),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn arena_matches_two_image_model(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut arena = NvmArena::new(N);
+        let mut cur = vec![0u8; N];
+        let mut dur = vec![0u8; N];
+        let mut dirty = vec![false; N];
+
+        for op in ops {
+            match op {
+                Op::Write { at, byte, len } => {
+                    let at = at as usize;
+                    let len = (len as usize).min(N - at);
+                    if len == 0 { continue; }
+                    arena.write(at as u64, &vec![byte; len]).unwrap();
+                    for i in at..at + len {
+                        cur[i] = byte;
+                        dirty[i] = true;
+                    }
+                }
+                Op::Flush { at, len } => {
+                    let at = at as usize;
+                    let len = (len as usize).min(N - at);
+                    arena.flush(at as u64, len).unwrap();
+                    for i in at..at + len {
+                        if dirty[i] {
+                            dur[i] = cur[i];
+                            dirty[i] = false;
+                        }
+                    }
+                }
+                Op::FlushAll => {
+                    arena.flush_all();
+                    for i in 0..N {
+                        if dirty[i] {
+                            dur[i] = cur[i];
+                            dirty[i] = false;
+                        }
+                    }
+                }
+                Op::Crash => {
+                    arena.crash();
+                    cur = dur.clone();
+                    dirty = vec![false; N];
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(arena.read(0, N).unwrap(), &cur[..], "current image");
+            prop_assert_eq!(arena.read_durable(0, N).unwrap(), &dur[..], "durable image");
+            let model_dirty = dirty.iter().filter(|&&d| d).count() as u64;
+            prop_assert_eq!(arena.dirty_bytes(), model_dirty, "dirty accounting");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Completion queues.
+
+use std::collections::VecDeque;
+
+/// Completion status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeStatus {
+    /// Operation completed successfully.
+    Ok,
+    /// The responder refused the access (bad key, range, or permission).
+    RemoteAccess,
+    /// The responder had no RECV posted (receiver-not-ready).
+    ReceiverNotReady,
+}
+
+/// What kind of operation completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeKind {
+    /// A send-queue operation (send/write/read/cas/flush/nop) finished.
+    SendOp,
+    /// An inbound SEND consumed a RECV.
+    Recv,
+    /// An inbound WRITE_WITH_IMM consumed a RECV.
+    RecvImm,
+}
+
+/// A completion queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    /// QP the operation belonged to.
+    pub qpn: u32,
+    /// Caller cookie from the WQE.
+    pub wr_id: u64,
+    /// Completion kind.
+    pub kind: CqeKind,
+    /// Status.
+    pub status: CqeStatus,
+    /// Bytes transferred (payload length).
+    pub byte_len: u32,
+    /// Immediate data (valid for `RecvImm`).
+    pub imm: u32,
+}
+
+/// A completion queue.
+///
+/// Tracks a monotonic `produced` counter that WAIT WQEs compare against:
+/// a WAIT armed for `count` completions fires when `produced` advances
+/// `count` past the previous WAIT's consumption point — exactly the
+/// CORE-Direct semantics HyperLoop leans on.
+#[derive(Debug, Default)]
+pub struct Cq {
+    entries: VecDeque<Cqe>,
+    /// Total CQEs ever pushed.
+    produced: u64,
+    /// Completions consumed by WAIT triggers so far.
+    wait_consumed: u64,
+    /// One-shot event arm (ibv_req_notify_cq semantics).
+    armed: bool,
+}
+
+impl Cq {
+    /// Empty CQ.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a completion; returns `true` if the queue was armed (the
+    /// caller should deliver an event and the arm is cleared).
+    pub fn push(&mut self, cqe: Cqe) -> bool {
+        self.entries.push_back(cqe);
+        self.produced += 1;
+        std::mem::take(&mut self.armed)
+    }
+
+    /// Poll up to `max` completions (consumer side; does not affect WAIT
+    /// accounting, which is by production).
+    pub fn poll(&mut self, max: usize) -> Vec<Cqe> {
+        let n = max.min(self.entries.len());
+        self.entries.drain(..n).collect()
+    }
+
+    /// Arm the one-shot completion event.
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Completions produced over all time.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Would a WAIT for `count` more completions fire right now?
+    pub fn wait_satisfied(&self, count: u32) -> bool {
+        self.produced >= self.wait_consumed + count as u64
+    }
+
+    /// Consume `count` completions on behalf of a fired WAIT.
+    pub fn consume_for_wait(&mut self, count: u32) {
+        debug_assert!(self.wait_satisfied(count));
+        self.wait_consumed += count as u64;
+    }
+
+    /// Entries currently available to poll.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cqe(wr_id: u64) -> Cqe {
+        Cqe {
+            qpn: 1,
+            wr_id,
+            kind: CqeKind::SendOp,
+            status: CqeStatus::Ok,
+            byte_len: 0,
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn poll_drains_fifo() {
+        let mut cq = Cq::new();
+        cq.push(cqe(1));
+        cq.push(cqe(2));
+        cq.push(cqe(3));
+        let got = cq.poll(2);
+        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(cq.depth(), 1);
+        assert_eq!(cq.poll(10).len(), 1);
+        assert!(cq.poll(10).is_empty());
+    }
+
+    #[test]
+    fn arm_is_one_shot() {
+        let mut cq = Cq::new();
+        assert!(!cq.push(cqe(1)));
+        cq.arm();
+        assert!(cq.push(cqe(2)));
+        assert!(!cq.push(cqe(3)));
+    }
+
+    #[test]
+    fn wait_accounting() {
+        let mut cq = Cq::new();
+        assert!(!cq.wait_satisfied(1));
+        cq.push(cqe(1));
+        assert!(cq.wait_satisfied(1));
+        assert!(!cq.wait_satisfied(2));
+        cq.consume_for_wait(1);
+        assert!(!cq.wait_satisfied(1));
+        cq.push(cqe(2));
+        cq.push(cqe(3));
+        assert!(cq.wait_satisfied(2));
+        cq.consume_for_wait(2);
+        assert!(!cq.wait_satisfied(1));
+    }
+
+    #[test]
+    fn polling_does_not_affect_wait() {
+        let mut cq = Cq::new();
+        cq.push(cqe(1));
+        cq.poll(1);
+        // The completion was produced even though it was polled away.
+        assert!(cq.wait_satisfied(1));
+    }
+}

@@ -1,0 +1,240 @@
+//! Memory regions and access control.
+//!
+//! Every byte a NIC touches must fall inside a registered memory region
+//! whose access flags permit the operation — the paper's §7 security
+//! discussion relies on exactly these checks when replicas expose their
+//! WQE rings and metadata staging areas to remote writes.
+
+/// Access permission bits for a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access(pub u8);
+
+impl Access {
+    /// Local read/write by the owning NIC.
+    pub const LOCAL: Access = Access(1);
+    /// Remote RDMA WRITE permitted.
+    pub const REMOTE_WRITE: Access = Access(2);
+    /// Remote RDMA READ permitted.
+    pub const REMOTE_READ: Access = Access(4);
+    /// Remote atomics (CAS) permitted.
+    pub const REMOTE_ATOMIC: Access = Access(8);
+
+    /// Union of permissions.
+    pub fn union(self, other: Access) -> Access {
+        Access(self.0 | other.0)
+    }
+
+    /// Does this set include all bits of `req`?
+    pub fn allows(self, req: Access) -> bool {
+        self.0 & req.0 == req.0
+    }
+}
+
+impl std::ops::BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        self.union(rhs)
+    }
+}
+
+/// A registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// Local key (used by the owning NIC).
+    pub lkey: u32,
+    /// Remote key (quoted by peers).
+    pub rkey: u32,
+    /// Start address in the host arena.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Permitted operations.
+    pub access: Access,
+}
+
+impl MemoryRegion {
+    /// Does `[addr, addr+len)` fall inside this region?
+    pub fn covers(&self, addr: u64, len: u64) -> bool {
+        addr >= self.addr
+            && addr
+                .checked_add(len)
+                .is_some_and(|e| e <= self.addr + self.len)
+    }
+}
+
+/// Why an access was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrError {
+    /// No region with that key.
+    BadKey,
+    /// Range escapes the region.
+    OutOfRange,
+    /// Region lacks the required permission.
+    Permission,
+}
+
+/// Registration table for one NIC.
+#[derive(Debug, Default)]
+pub struct MrTable {
+    regions: Vec<MemoryRegion>,
+}
+
+impl MrTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `[addr, addr+len)` with the given permissions. Keys are
+    /// assigned by the NIC; lkey and rkey differ (as on real hardware).
+    pub fn register(&mut self, addr: u64, len: u64, access: Access) -> MemoryRegion {
+        let idx = self.regions.len() as u32;
+        let mr = MemoryRegion {
+            lkey: 0x1000 + idx * 2,
+            rkey: 0x1001 + idx * 2,
+            addr,
+            len,
+            access: access.union(Access::LOCAL),
+        };
+        self.regions.push(mr);
+        mr
+    }
+
+    /// Validate a remote access quoted with `rkey`.
+    pub fn check_remote(
+        &self,
+        rkey: u32,
+        addr: u64,
+        len: u64,
+        need: Access,
+    ) -> Result<(), MrError> {
+        let mr = self
+            .regions
+            .iter()
+            .find(|m| m.rkey == rkey)
+            .ok_or(MrError::BadKey)?;
+        if !mr.covers(addr, len) {
+            return Err(MrError::OutOfRange);
+        }
+        if !mr.access.allows(need) {
+            return Err(MrError::Permission);
+        }
+        Ok(())
+    }
+
+    /// Validate a local access quoted with `lkey`.
+    pub fn check_local(&self, lkey: u32, addr: u64, len: u64) -> Result<(), MrError> {
+        let mr = self
+            .regions
+            .iter()
+            .find(|m| m.lkey == lkey)
+            .ok_or(MrError::BadKey)?;
+        if !mr.covers(addr, len) {
+            return Err(MrError::OutOfRange);
+        }
+        Ok(())
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_check() {
+        let mut t = MrTable::new();
+        let mr = t.register(0x1000, 0x100, Access::REMOTE_WRITE);
+        assert!(t
+            .check_remote(mr.rkey, 0x1000, 0x100, Access::REMOTE_WRITE)
+            .is_ok());
+        assert!(t
+            .check_remote(mr.rkey, 0x1080, 0x80, Access::REMOTE_WRITE)
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let mut t = MrTable::new();
+        t.register(0, 16, Access::REMOTE_WRITE);
+        assert_eq!(
+            t.check_remote(0xdead, 0, 8, Access::REMOTE_WRITE),
+            Err(MrError::BadKey)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut t = MrTable::new();
+        let mr = t.register(0x1000, 0x100, Access::REMOTE_WRITE);
+        assert_eq!(
+            t.check_remote(mr.rkey, 0x10ff, 2, Access::REMOTE_WRITE),
+            Err(MrError::OutOfRange)
+        );
+        assert_eq!(
+            t.check_remote(mr.rkey, 0xfff, 1, Access::REMOTE_WRITE),
+            Err(MrError::OutOfRange)
+        );
+        // Overflowing range must not wrap.
+        assert_eq!(
+            t.check_remote(mr.rkey, u64::MAX, 2, Access::REMOTE_WRITE),
+            Err(MrError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn permission_enforced() {
+        let mut t = MrTable::new();
+        let ro = t.register(0, 64, Access::REMOTE_READ);
+        assert_eq!(
+            t.check_remote(ro.rkey, 0, 8, Access::REMOTE_WRITE),
+            Err(MrError::Permission)
+        );
+        assert!(t.check_remote(ro.rkey, 0, 8, Access::REMOTE_READ).is_ok());
+        assert_eq!(
+            t.check_remote(ro.rkey, 0, 8, Access::REMOTE_ATOMIC),
+            Err(MrError::Permission)
+        );
+    }
+
+    #[test]
+    fn local_check_uses_lkey() {
+        let mut t = MrTable::new();
+        let mr = t.register(0x100, 64, Access::REMOTE_READ);
+        assert!(t.check_local(mr.lkey, 0x100, 64).is_ok());
+        assert_eq!(t.check_local(mr.rkey, 0x100, 8), Err(MrError::BadKey));
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut t = MrTable::new();
+        let a = t.register(0, 16, Access::LOCAL);
+        let b = t.register(16, 16, Access::LOCAL);
+        let keys = [a.lkey, a.rkey, b.lkey, b.rkey];
+        for (i, x) in keys.iter().enumerate() {
+            for (j, y) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_set_operations() {
+        let rw = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(rw.allows(Access::REMOTE_READ));
+        assert!(rw.allows(Access::REMOTE_WRITE));
+        assert!(!rw.allows(Access::REMOTE_ATOMIC));
+        assert!(rw.allows(Access(0)));
+    }
+}

@@ -1,0 +1,952 @@
+//! The RDMA NIC state machine.
+//!
+//! One [`Nic`] per host. The NIC is a pure state machine: every entry
+//! point takes the current time and the host's [`NvmArena`], mutates NIC
+//! and memory state, and returns [`NicOutput`]s — packets to transmit,
+//! completions to deliver, and deferred local operations — each stamped
+//! with an absolute time. The cluster layer turns outputs into events.
+//!
+//! ## Send-queue semantics
+//!
+//! WQEs execute strictly in order per QP. The engine stops at:
+//!
+//! * a WQE whose ownership bit is software (not yet activated),
+//! * an unsatisfied WAIT (the QP is *parked* on the watched CQ and
+//!   resumes when enough completions are produced — CORE-Direct),
+//! * a fencing operation in flight (READ / FLUSH / CAS block the SQ
+//!   until their response, which is what makes an interleaved
+//!   gWRITE+gFLUSH propagate durably in order, paper §4.2).
+//!
+//! WQE bytes are (re-)read from host memory at execution time, so
+//! descriptors rewritten by a received metadata scatter are what
+//! actually executes — remote work request manipulation is genuine in
+//! this model, not emulated.
+
+use crate::cq::{Cq, Cqe, CqeKind, CqeStatus};
+use crate::mr::{Access, MemoryRegion, MrTable};
+use crate::packet::{NakReason, Packet, PacketKind};
+use crate::qp::{Qp, RecvWqe, SqRing};
+use crate::wqe::{flags, Opcode, Wqe, WQE_SIZE};
+use hl_nvm::NvmArena;
+use hl_sim::config::NicProfile;
+use hl_sim::{RngStream, SimDuration, SimTime};
+
+/// Things the cluster layer must do on the NIC's behalf.
+#[derive(Debug)]
+pub enum NicOutput {
+    /// Hand `packet` to the fabric at time `at`.
+    Transmit {
+        /// Absolute transmit time (after NIC processing delays).
+        at: SimTime,
+        /// Destination NIC (cluster host index).
+        dst_nic: u32,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Call [`Nic::deliver_cqe`] at time `at`.
+    Complete {
+        /// Absolute delivery time.
+        at: SimTime,
+        /// Target CQ.
+        cq: u32,
+        /// The completion.
+        cqe: Cqe,
+    },
+    /// Call [`Nic::finish_local`] at time `at` (loopback DMA / atomic).
+    DoLocal {
+        /// Absolute completion time of the local operation.
+        at: SimTime,
+        /// Loopback QP.
+        qpn: u32,
+        /// The WQE to execute locally.
+        wqe: Wqe,
+    },
+    /// A CQ with an armed completion event produced a CQE; wake whoever
+    /// is sleeping on it (event-mode baseline replicas).
+    CqEvent {
+        /// The CQ that fired.
+        cq: u32,
+    },
+}
+
+/// In-flight fencing operation state (at most one per QP).
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    wr_id: u64,
+    /// Local address for READ data / CAS result.
+    laddr: u64,
+    signaled: bool,
+}
+
+/// NIC counters for reporting.
+#[derive(Debug, Default, Clone)]
+pub struct NicCounters {
+    /// WQEs executed by the send engine.
+    pub wqes_executed: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// NAKs generated (access refusals, missing RECVs).
+    pub naks_sent: u64,
+    /// Error completions delivered.
+    pub error_cqes: u64,
+    /// Cache flushes performed for FLUSH requests.
+    pub flushes: u64,
+}
+
+/// One host's RDMA NIC.
+#[derive(Debug)]
+pub struct Nic {
+    /// This NIC's cluster-wide id (host index).
+    pub id: u32,
+    profile: NicProfile,
+    mrs: MrTable,
+    qps: Vec<Qp>,
+    cqs: Vec<Cq>,
+    srqs: Vec<std::collections::VecDeque<RecvWqe>>,
+    /// Per-CQ list of QPs parked on an unsatisfied WAIT.
+    waiters: Vec<Vec<u32>>,
+    inflight: Vec<Option<Inflight>>,
+    rng: RngStream,
+    counters: NicCounters,
+}
+
+impl Nic {
+    /// New NIC with the given timing profile and jitter stream.
+    pub fn new(id: u32, profile: NicProfile, rng: RngStream) -> Self {
+        Nic {
+            id,
+            profile,
+            mrs: MrTable::new(),
+            qps: Vec::new(),
+            cqs: Vec::new(),
+            srqs: Vec::new(),
+            waiters: Vec::new(),
+            inflight: Vec::new(),
+            rng,
+            counters: NicCounters::default(),
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> &NicCounters {
+        &self.counters
+    }
+
+    /// Jittered duration: multiplies by a log-normal factor with median
+    /// 1, plus a rare exponential memory-bus contention hit.
+    fn jit(&mut self, d: SimDuration) -> SimDuration {
+        if self.profile.jitter_sigma == 0.0 {
+            return d;
+        }
+        let f = self.rng.lognormal(1.0, self.profile.jitter_sigma);
+        let mut ns = d.as_nanos() as f64 * f;
+        if self.profile.contention_prob > 0.0 && self.rng.chance(self.profile.contention_prob) {
+            ns += self
+                .rng
+                .exponential(self.profile.contention_mean.as_nanos() as f64);
+        }
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    // ----- setup ---------------------------------------------------------
+
+    /// Register a memory region.
+    pub fn register_mr(&mut self, addr: u64, len: u64, access: Access) -> MemoryRegion {
+        self.mrs.register(addr, len, access)
+    }
+
+    /// Create a completion queue.
+    pub fn create_cq(&mut self) -> u32 {
+        self.cqs.push(Cq::new());
+        self.waiters.push(Vec::new());
+        (self.cqs.len() - 1) as u32
+    }
+
+    /// Create a QP whose send ring lives at `sq_base` with `sq_capacity`
+    /// slots. The ring memory itself must be registered separately if it
+    /// is to be remotely writable (HyperLoop replicas do this).
+    pub fn create_qp(&mut self, send_cq: u32, recv_cq: u32, sq_base: u64, sq_capacity: u32) -> u32 {
+        let qpn = self.qps.len() as u32;
+        self.qps.push(Qp::new(
+            qpn,
+            send_cq,
+            recv_cq,
+            SqRing::new(sq_base, sq_capacity),
+        ));
+        self.inflight.push(None);
+        qpn
+    }
+
+    /// Connect a QP to a remote peer (RC). Loopback QPs stay unconnected.
+    pub fn connect(&mut self, qpn: u32, remote_nic: u32, remote_qpn: u32) {
+        self.qps[qpn as usize].remote = Some((remote_nic, remote_qpn));
+    }
+
+    /// Create a shared receive queue (paper §5: multi-client support).
+    pub fn create_srq(&mut self) -> u32 {
+        self.srqs.push(std::collections::VecDeque::new());
+        (self.srqs.len() - 1) as u32
+    }
+
+    /// Attach a QP to an SRQ: its inbound two-sided operations consume
+    /// from the shared ring instead of the per-QP receive queue.
+    pub fn attach_srq(&mut self, qpn: u32, srq: u32) {
+        assert!((srq as usize) < self.srqs.len());
+        self.qps[qpn as usize].srq = Some(srq);
+    }
+
+    /// Post a receive to a shared receive queue.
+    pub fn post_srq_recv(&mut self, srq: u32, wqe: RecvWqe) {
+        self.srqs[srq as usize].push_back(wqe);
+    }
+
+    /// Outstanding receives on an SRQ.
+    pub fn srq_depth(&self, srq: u32) -> usize {
+        self.srqs[srq as usize].len()
+    }
+
+    /// Pop the next receive for a QP: from its SRQ when attached, else
+    /// its own RQ.
+    fn pop_recv(&mut self, qpn: u32) -> Option<RecvWqe> {
+        match self.qps[qpn as usize].srq {
+            Some(s) => self.srqs[s as usize].pop_front(),
+            None => self.qps[qpn as usize].rq.pop_front(),
+        }
+    }
+
+    /// Peer of a QP, if connected.
+    pub fn peer(&self, qpn: u32) -> Option<(u32, u32)> {
+        self.qps[qpn as usize].remote
+    }
+
+    // ----- driver-side verbs ---------------------------------------------
+
+    /// Post a WQE to the send queue, serializing it into host memory.
+    ///
+    /// `deferred = true` is the modified-driver path (paper §4.1): the
+    /// ownership bit stays with software so the descriptor can still be
+    /// rewritten (locally or by a remote scatter); a WAIT or an explicit
+    /// [`Nic::grant_ownership`] hands it to the NIC later.
+    pub fn post_send(
+        &mut self,
+        mem: &mut NvmArena,
+        qpn: u32,
+        mut wqe: Wqe,
+        deferred: bool,
+    ) -> Result<u64, RingFull> {
+        let qp = &mut self.qps[qpn as usize];
+        if !qp.sq.has_room() {
+            return Err(RingFull {
+                qpn,
+                capacity: qp.sq.capacity,
+            });
+        }
+        if deferred {
+            wqe.flags &= !flags::HW_OWNED;
+        } else {
+            wqe.flags |= flags::HW_OWNED;
+        }
+        let idx = qp.sq.tail;
+        let addr = qp.sq.slot_addr(idx);
+        mem.write(addr, &wqe.encode())
+            .expect("SQ ring out of arena");
+        qp.sq.tail += 1;
+        Ok(idx)
+    }
+
+    /// Grant NIC ownership of a previously deferred WQE (flips the flag
+    /// byte in host memory). The caller still needs a doorbell (or an
+    /// in-flight WAIT chain) for the NIC to notice.
+    pub fn grant_ownership(&mut self, mem: &mut NvmArena, qpn: u32, idx: u64) {
+        let addr = self.qps[qpn as usize].sq.slot_addr(idx);
+        let f = mem.read(addr + 1, 1).expect("ring addr")[0];
+        mem.write(addr + 1, &[f | flags::HW_OWNED]).unwrap();
+    }
+
+    /// Post a receive.
+    pub fn post_recv(&mut self, qpn: u32, wqe: RecvWqe) {
+        self.qps[qpn as usize].rq.push_back(wqe);
+    }
+
+    /// Number of posted receives on a QP.
+    pub fn rq_depth(&self, qpn: u32) -> usize {
+        self.qps[qpn as usize].rq.len()
+    }
+
+    /// Send-queue state `(head, tail, capacity)` for diagnostics and
+    /// replenishment decisions.
+    pub fn sq_state(&self, qpn: u32) -> (u64, u64, u32) {
+        let sq = &self.qps[qpn as usize].sq;
+        (sq.head, sq.tail, sq.capacity)
+    }
+
+    /// Host-memory address of the WQE slot holding ring index `idx`
+    /// (setup-time address math for scatter targets).
+    pub fn sq_slot_addr(&self, qpn: u32, idx: u64) -> u64 {
+        self.qps[qpn as usize].sq.slot_addr(idx)
+    }
+
+    /// Ring the doorbell: kick the send engine.
+    pub fn ring_doorbell(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        let t = now + self.profile.doorbell;
+        self.advance_sq(t, qpn, mem)
+    }
+
+    /// Poll completions (CPU verb; CPU cost is accounted by the caller).
+    pub fn poll_cq(&mut self, cq: u32, max: usize) -> Vec<Cqe> {
+        self.cqs[cq as usize].poll(max)
+    }
+
+    /// Arm the one-shot completion event on a CQ.
+    pub fn arm_cq(&mut self, cq: u32) {
+        self.cqs[cq as usize].arm();
+    }
+
+    /// Entries currently pollable on a CQ.
+    pub fn cq_depth(&self, cq: u32) -> usize {
+        self.cqs[cq as usize].depth()
+    }
+
+    // ----- send engine ----------------------------------------------------
+
+    /// Advance a QP's send queue as far as possible.
+    fn advance_sq(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        let mut out = Vec::new();
+        // The engine is serialized per QP.
+        let mut t = now.max(self.qps[qpn as usize].busy_until);
+        loop {
+            let qp = &self.qps[qpn as usize];
+            if qp.fenced || qp.sq.head >= qp.sq.tail {
+                break;
+            }
+            let slot = qp.sq.slot_addr(qp.sq.head);
+            let bytes = mem.read(slot, WQE_SIZE as usize).expect("SQ ring in arena");
+            let Some(wqe) = Wqe::decode(bytes) else {
+                // Corrupted descriptor (e.g. misdirected scatter): error
+                // completion and skip.
+                let send_cq = qp.send_cq;
+                self.qps[qpn as usize].sq.head += 1;
+                self.counters.error_cqes += 1;
+                out.push(NicOutput::Complete {
+                    at: t,
+                    cq: send_cq,
+                    cqe: Cqe {
+                        qpn,
+                        wr_id: 0,
+                        kind: CqeKind::SendOp,
+                        status: CqeStatus::RemoteAccess,
+                        byte_len: 0,
+                        imm: 0,
+                    },
+                });
+                continue;
+            };
+            if !wqe.hw_owned() {
+                break;
+            }
+
+            if wqe.opcode == Opcode::Wait {
+                let cq = wqe.wait_cq() as usize;
+                let count = wqe.wait_count().max(1);
+                let threshold_mode = wqe.flags & flags::WAIT_THRESHOLD != 0;
+                let satisfied = if threshold_mode {
+                    self.cqs[cq].produced() >= count as u64
+                } else {
+                    self.cqs[cq].wait_satisfied(count)
+                };
+                if satisfied {
+                    if !threshold_mode {
+                        self.cqs[cq].consume_for_wait(count);
+                    }
+                    // Activation: grant ownership of the next N WQEs by
+                    // writing their flag bytes in host memory.
+                    let (head, activate_n) = (qp.sq.head, wqe.activate_n);
+                    for i in 1..=activate_n as u64 {
+                        let a = self.qps[qpn as usize].sq.slot_addr(head + i);
+                        let f = mem.read(a + 1, 1).expect("ring addr")[0];
+                        mem.write(a + 1, &[f | flags::HW_OWNED]).unwrap();
+                    }
+                    self.qps[qpn as usize].sq.head += 1;
+                    self.counters.wqes_executed += 1;
+                    continue;
+                } else {
+                    // Park until the watched CQ produces enough.
+                    if !self.qps[qpn as usize].parked {
+                        self.qps[qpn as usize].parked = true;
+                        self.waiters[cq].push(qpn);
+                    }
+                    break;
+                }
+            }
+
+            // A real operation: consume the slot and execute.
+            self.qps[qpn as usize].sq.head += 1;
+            self.counters.wqes_executed += 1;
+            t += self.jit(self.profile.wqe_process);
+            out.extend(self.execute(t, qpn, wqe, mem));
+        }
+        self.qps[qpn as usize].busy_until = t;
+        out
+    }
+
+    /// Execute one non-WAIT WQE at time `t`.
+    fn execute(&mut self, t: SimTime, qpn: u32, wqe: Wqe, mem: &mut NvmArena) -> Vec<NicOutput> {
+        let qp = &self.qps[qpn as usize];
+        let send_cq = qp.send_cq;
+        let remote = qp.remote;
+        let mut out = Vec::new();
+        match wqe.opcode {
+            Opcode::Nop => {
+                // Always completes locally (the gCAS execute map relies
+                // on NOPs keeping WAIT counting alive).
+                out.push(NicOutput::Complete {
+                    at: t,
+                    cq: send_cq,
+                    cqe: Cqe {
+                        qpn,
+                        wr_id: wqe.wr_id,
+                        kind: CqeKind::SendOp,
+                        status: CqeStatus::Ok,
+                        byte_len: 0,
+                        imm: 0,
+                    },
+                });
+            }
+            Opcode::Send => {
+                let data = mem
+                    .read_vec(wqe.laddr, wqe.len as usize)
+                    .expect("send gather in arena");
+                let (dst, dst_qpn) = remote.expect("SEND on unconnected QP");
+                out.push(self.tx(
+                    t,
+                    dst,
+                    Packet {
+                        src_nic: self.id,
+                        src_qpn: qpn,
+                        dst_qpn,
+                        kind: PacketKind::Send {
+                            data,
+                            wr_id: wqe.wr_id,
+                            signaled: wqe.signaled(),
+                        },
+                    },
+                ));
+            }
+            Opcode::Write | Opcode::WriteImm => {
+                let data = mem
+                    .read_vec(wqe.laddr, wqe.len as usize)
+                    .expect("write gather in arena");
+                let (dst, dst_qpn) = remote.expect("WRITE on unconnected QP");
+                let kind = if wqe.opcode == Opcode::Write {
+                    PacketKind::Write {
+                        raddr: wqe.raddr,
+                        rkey: wqe.rkey,
+                        data,
+                        wr_id: wqe.wr_id,
+                        signaled: wqe.signaled(),
+                    }
+                } else {
+                    PacketKind::WriteImm {
+                        raddr: wqe.raddr,
+                        rkey: wqe.rkey,
+                        data,
+                        imm: wqe.imm,
+                        wr_id: wqe.wr_id,
+                        signaled: wqe.signaled(),
+                    }
+                };
+                out.push(self.tx(
+                    t,
+                    dst,
+                    Packet {
+                        src_nic: self.id,
+                        src_qpn: qpn,
+                        dst_qpn,
+                        kind,
+                    },
+                ));
+            }
+            Opcode::Read | Opcode::Flush | Opcode::Cas => {
+                let (dst, dst_qpn) = remote.expect("fencing op on unconnected QP");
+                self.qps[qpn as usize].fenced = true;
+                self.inflight[qpn as usize] = Some(Inflight {
+                    wr_id: wqe.wr_id,
+                    laddr: wqe.laddr,
+                    signaled: wqe.signaled(),
+                });
+                let kind = match wqe.opcode {
+                    Opcode::Read => PacketKind::Read {
+                        raddr: wqe.raddr,
+                        rkey: wqe.rkey,
+                        len: wqe.len,
+                        wr_id: wqe.wr_id,
+                    },
+                    Opcode::Flush => PacketKind::Flush {
+                        raddr: wqe.raddr,
+                        rkey: wqe.rkey,
+                        len: wqe.len,
+                        wr_id: wqe.wr_id,
+                    },
+                    _ => PacketKind::Cas {
+                        raddr: wqe.raddr,
+                        rkey: wqe.rkey,
+                        cmp: wqe.cmp,
+                        swp: wqe.swp,
+                        wr_id: wqe.wr_id,
+                    },
+                };
+                out.push(self.tx(
+                    t,
+                    dst,
+                    Packet {
+                        src_nic: self.id,
+                        src_qpn: qpn,
+                        dst_qpn,
+                        kind,
+                    },
+                ));
+            }
+            Opcode::LocalCopy => {
+                let at = t + self.jit(self.profile.dma_time(wqe.len as usize));
+                out.push(NicOutput::DoLocal { at, qpn, wqe });
+            }
+            Opcode::LocalCas => {
+                let at = t + self.jit(self.profile.wqe_process);
+                out.push(NicOutput::DoLocal { at, qpn, wqe });
+            }
+            Opcode::LocalFlush => {
+                let at = t + self.jit(self.profile.cache_flush);
+                out.push(NicOutput::DoLocal { at, qpn, wqe });
+            }
+            Opcode::Wait => unreachable!("WAIT handled by the engine loop"),
+        }
+        out
+    }
+
+    fn tx(&mut self, at: SimTime, dst_nic: u32, packet: Packet) -> NicOutput {
+        self.counters.tx_packets += 1;
+        NicOutput::Transmit {
+            at,
+            dst_nic,
+            packet,
+        }
+    }
+
+    /// Finish a loopback operation scheduled via [`NicOutput::DoLocal`].
+    pub fn finish_local(
+        &mut self,
+        now: SimTime,
+        qpn: u32,
+        wqe: Wqe,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        match wqe.opcode {
+            Opcode::LocalCopy => {
+                let data = mem
+                    .read_vec(wqe.laddr, wqe.len as usize)
+                    .expect("local copy source in arena");
+                mem.write(wqe.raddr, &data)
+                    .expect("local copy dest in arena");
+            }
+            Opcode::LocalCas => {
+                let orig = mem
+                    .compare_and_swap_u64(wqe.raddr, wqe.cmp, wqe.swp)
+                    .expect("local CAS target in arena");
+                mem.write_u64(wqe.laddr, orig)
+                    .expect("local CAS result in arena");
+            }
+            Opcode::LocalFlush => {
+                mem.flush(wqe.raddr, wqe.len as usize)
+                    .expect("local flush range in arena");
+                self.counters.flushes += 1;
+            }
+            _ => unreachable!("not a local op"),
+        }
+        if wqe.signaled() {
+            let cq = self.qps[qpn as usize].send_cq;
+            self.deliver_cqe(
+                now,
+                cq,
+                Cqe {
+                    qpn,
+                    wr_id: wqe.wr_id,
+                    kind: CqeKind::SendOp,
+                    status: CqeStatus::Ok,
+                    byte_len: wqe.len,
+                    imm: 0,
+                },
+                mem,
+            )
+        } else {
+            Vec::new()
+        }
+    }
+
+    // ----- completion delivery -------------------------------------------
+
+    /// Push a CQE into a CQ; fires armed events and resumes any QPs
+    /// parked on the CQ via WAIT.
+    pub fn deliver_cqe(
+        &mut self,
+        now: SimTime,
+        cq: u32,
+        cqe: Cqe,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        let mut out = Vec::new();
+        if cqe.status != CqeStatus::Ok {
+            self.counters.error_cqes += 1;
+        }
+        if self.cqs[cq as usize].push(cqe) {
+            out.push(NicOutput::CqEvent { cq });
+        }
+        // Resume parked QPs; advance re-parks them if still unsatisfied.
+        let parked = std::mem::take(&mut self.waiters[cq as usize]);
+        for qpn in parked {
+            self.qps[qpn as usize].parked = false;
+            out.extend(self.advance_sq(now, qpn, mem));
+        }
+        out
+    }
+
+    // ----- receive path ----------------------------------------------------
+
+    /// Handle an inbound packet.
+    pub fn on_packet(&mut self, now: SimTime, pkt: Packet, mem: &mut NvmArena) -> Vec<NicOutput> {
+        self.counters.rx_packets += 1;
+        let t = now + self.jit(self.profile.rx_process);
+        let qpn = pkt.dst_qpn;
+        let qp = &self.qps[qpn as usize];
+        // Connection safety check (paper §7): only the connected peer may
+        // talk to this QP.
+        if qp.remote != Some((pkt.src_nic, pkt.src_qpn)) {
+            return self.refuse(t, &pkt, NakReason::NotConnected);
+        }
+        match pkt.kind.clone() {
+            PacketKind::Write {
+                raddr,
+                rkey,
+                data,
+                wr_id,
+                signaled,
+            } => {
+                if self
+                    .mrs
+                    .check_remote(rkey, raddr, data.len() as u64, Access::REMOTE_WRITE)
+                    .is_err()
+                {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                mem.write(raddr, &data).expect("MR range within arena");
+                self.ack(t, &pkt, wr_id, signaled, data.len() as u32)
+            }
+            PacketKind::WriteImm {
+                raddr,
+                rkey,
+                data,
+                imm,
+                wr_id,
+                signaled,
+            } => {
+                if self
+                    .mrs
+                    .check_remote(rkey, raddr, data.len() as u64, Access::REMOTE_WRITE)
+                    .is_err()
+                {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                let Some(recv) = self.pop_recv(qpn) else {
+                    return self.refuse(t, &pkt, NakReason::ReceiverNotReady);
+                };
+                mem.write(raddr, &data).expect("MR range within arena");
+                let recv_cq = self.qps[qpn as usize].recv_cq;
+                let mut out = self.deliver_cqe(
+                    t,
+                    recv_cq,
+                    Cqe {
+                        qpn,
+                        wr_id: recv.wr_id,
+                        kind: CqeKind::RecvImm,
+                        status: CqeStatus::Ok,
+                        byte_len: data.len() as u32,
+                        imm,
+                    },
+                    mem,
+                );
+                out.extend(self.ack(t, &pkt, wr_id, signaled, data.len() as u32));
+                out
+            }
+            PacketKind::Send {
+                data,
+                wr_id,
+                signaled,
+            } => {
+                let Some(recv) = self.pop_recv(qpn) else {
+                    return self.refuse(t, &pkt, NakReason::ReceiverNotReady);
+                };
+                // Scatter the payload, possibly into pre-posted WQE
+                // descriptor fields — the heart of remote WQE
+                // manipulation.
+                for e in &recv.scatter {
+                    let off = e.msg_off as usize;
+                    if off >= data.len() {
+                        continue;
+                    }
+                    let n = e.len.min((data.len() - off) as u32) as usize;
+                    mem.write(e.addr, &data[off..off + n])
+                        .expect("scatter target within arena");
+                }
+                let recv_cq = self.qps[qpn as usize].recv_cq;
+                let mut out = self.deliver_cqe(
+                    t,
+                    recv_cq,
+                    Cqe {
+                        qpn,
+                        wr_id: recv.wr_id,
+                        kind: CqeKind::Recv,
+                        status: CqeStatus::Ok,
+                        byte_len: data.len() as u32,
+                        imm: 0,
+                    },
+                    mem,
+                );
+                out.extend(self.ack(t, &pkt, wr_id, signaled, data.len() as u32));
+                out
+            }
+            PacketKind::Read {
+                raddr,
+                rkey,
+                len,
+                wr_id,
+            } => {
+                if self
+                    .mrs
+                    .check_remote(rkey, raddr, len as u64, Access::REMOTE_READ)
+                    .is_err()
+                {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                let data = mem.read_vec(raddr, len as usize).expect("MR in arena");
+                vec![self.respond(t, &pkt, PacketKind::ReadResp { data, wr_id })]
+            }
+            PacketKind::Flush {
+                raddr,
+                rkey,
+                len,
+                wr_id,
+            } => {
+                if self
+                    .mrs
+                    .check_remote(rkey, raddr, len as u64, Access::REMOTE_READ)
+                    .is_err()
+                {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                // Drain the NIC cache for the range into the durable
+                // medium (the firmware feature of paper §4.2).
+                mem.flush(raddr, len as usize).expect("MR in arena");
+                self.counters.flushes += 1;
+                let t = t + self.profile.cache_flush;
+                vec![self.respond(t, &pkt, PacketKind::FlushResp { wr_id })]
+            }
+            PacketKind::Cas {
+                raddr,
+                rkey,
+                cmp,
+                swp,
+                wr_id,
+            } => {
+                if self
+                    .mrs
+                    .check_remote(rkey, raddr, 8, Access::REMOTE_ATOMIC)
+                    .is_err()
+                {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                let orig = mem
+                    .compare_and_swap_u64(raddr, cmp, swp)
+                    .expect("MR in arena");
+                vec![self.respond(t, &pkt, PacketKind::CasResp { orig, wr_id })]
+            }
+            PacketKind::ReadResp { data, wr_id } => {
+                let fl = self.take_inflight(qpn, wr_id);
+                mem.write(fl.laddr, &data).expect("read landing in arena");
+                self.complete_fenced(t, qpn, fl, data.len() as u32, mem)
+            }
+            PacketKind::FlushResp { wr_id } => {
+                let fl = self.take_inflight(qpn, wr_id);
+                self.complete_fenced(t, qpn, fl, 0, mem)
+            }
+            PacketKind::CasResp { orig, wr_id } => {
+                let fl = self.take_inflight(qpn, wr_id);
+                mem.write_u64(fl.laddr, orig).expect("CAS result in arena");
+                self.complete_fenced(t, qpn, fl, 8, mem)
+            }
+            PacketKind::Ack {
+                wr_id,
+                signaled,
+                byte_len,
+            } => {
+                if signaled {
+                    let cq = self.qps[qpn as usize].send_cq;
+                    self.deliver_cqe(
+                        t,
+                        cq,
+                        Cqe {
+                            qpn,
+                            wr_id,
+                            kind: CqeKind::SendOp,
+                            status: CqeStatus::Ok,
+                            byte_len,
+                            imm: 0,
+                        },
+                        mem,
+                    )
+                } else {
+                    Vec::new()
+                }
+            }
+            PacketKind::Nak { wr_id, reason } => {
+                // Error completion; clear the fence only if the refused
+                // operation *is* the fencing one (a NAK for an earlier
+                // SEND must not unblock an in-flight READ/FLUSH/CAS).
+                let status = match reason {
+                    NakReason::ReceiverNotReady => CqeStatus::ReceiverNotReady,
+                    _ => CqeStatus::RemoteAccess,
+                };
+                let fencing_refused = self.qps[qpn as usize].fenced
+                    && self.inflight[qpn as usize].is_some_and(|fl| fl.wr_id == wr_id);
+                if fencing_refused {
+                    self.qps[qpn as usize].fenced = false;
+                    self.inflight[qpn as usize] = None;
+                }
+                let cq = self.qps[qpn as usize].send_cq;
+                let mut out = self.deliver_cqe(
+                    t,
+                    cq,
+                    Cqe {
+                        qpn,
+                        wr_id,
+                        kind: CqeKind::SendOp,
+                        status,
+                        byte_len: 0,
+                        imm: 0,
+                    },
+                    mem,
+                );
+                out.extend(self.advance_sq(t, qpn, mem));
+                out
+            }
+        }
+    }
+
+    fn take_inflight(&mut self, qpn: u32, wr_id: u64) -> Inflight {
+        let fl = self.inflight[qpn as usize]
+            .take()
+            .expect("response without in-flight fencing op");
+        debug_assert_eq!(fl.wr_id, wr_id, "response cookie mismatch");
+        fl
+    }
+
+    /// Clear the fence, deliver the completion, resume the SQ.
+    fn complete_fenced(
+        &mut self,
+        t: SimTime,
+        qpn: u32,
+        fl: Inflight,
+        byte_len: u32,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        self.qps[qpn as usize].fenced = false;
+        let mut out = Vec::new();
+        if fl.signaled {
+            let cq = self.qps[qpn as usize].send_cq;
+            out.extend(self.deliver_cqe(
+                t,
+                cq,
+                Cqe {
+                    qpn,
+                    wr_id: fl.wr_id,
+                    kind: CqeKind::SendOp,
+                    status: CqeStatus::Ok,
+                    byte_len,
+                    imm: 0,
+                },
+                mem,
+            ));
+        }
+        out.extend(self.advance_sq(t, qpn, mem));
+        out
+    }
+
+    fn ack(
+        &mut self,
+        t: SimTime,
+        pkt: &Packet,
+        wr_id: u64,
+        signaled: bool,
+        byte_len: u32,
+    ) -> Vec<NicOutput> {
+        vec![self.respond(
+            t,
+            pkt,
+            PacketKind::Ack {
+                wr_id,
+                signaled,
+                byte_len,
+            },
+        )]
+    }
+
+    fn refuse(&mut self, t: SimTime, pkt: &Packet, reason: NakReason) -> Vec<NicOutput> {
+        self.counters.naks_sent += 1;
+        let wr_id = match &pkt.kind {
+            PacketKind::Write { wr_id, .. }
+            | PacketKind::WriteImm { wr_id, .. }
+            | PacketKind::Send { wr_id, .. }
+            | PacketKind::Read { wr_id, .. }
+            | PacketKind::Flush { wr_id, .. }
+            | PacketKind::Cas { wr_id, .. } => *wr_id,
+            // Never NAK a response/ack: drop it instead.
+            _ => return Vec::new(),
+        };
+        vec![self.respond(t, pkt, PacketKind::Nak { wr_id, reason })]
+    }
+
+    fn respond(&mut self, t: SimTime, req: &Packet, kind: PacketKind) -> NicOutput {
+        self.tx(
+            t,
+            req.src_nic,
+            Packet {
+                src_nic: self.id,
+                src_qpn: req.dst_qpn,
+                dst_qpn: req.src_qpn,
+                kind,
+            },
+        )
+    }
+}
+
+/// Send ring exhausted: the caller must back off and retry after
+/// completions free slots (HyperLoop clients track credits instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull {
+    /// The full QP.
+    pub qpn: u32,
+    /// Its capacity.
+    pub capacity: u32,
+}
+
+impl std::fmt::Display for RingFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "send ring full on qp{} (capacity {})",
+            self.qpn, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RingFull {}

@@ -1,0 +1,155 @@
+//! Queue pairs: send-queue rings in host memory plus NIC-side receive
+//! queues.
+
+use crate::wqe::WQE_SIZE;
+use std::collections::VecDeque;
+
+/// A send-queue ring living in host memory.
+///
+/// `head` and `tail` are monotonically increasing indices; the slot of
+/// index `i` is at `base + (i % capacity) * 64`. The NIC consumes at
+/// `head`, the driver produces at `tail`.
+#[derive(Debug, Clone)]
+pub struct SqRing {
+    /// Arena address of slot 0.
+    pub base: u64,
+    /// Number of slots.
+    pub capacity: u32,
+    /// Next WQE the NIC will look at.
+    pub head: u64,
+    /// One past the last posted WQE.
+    pub tail: u64,
+}
+
+impl SqRing {
+    /// New ring over `[base, base + capacity*64)`.
+    pub fn new(base: u64, capacity: u32) -> Self {
+        assert!(capacity > 0);
+        SqRing {
+            base,
+            capacity,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Arena address of the slot holding index `idx`.
+    pub fn slot_addr(&self, idx: u64) -> u64 {
+        self.base + (idx % self.capacity as u64) * WQE_SIZE
+    }
+
+    /// Posted-but-unconsumed WQEs.
+    pub fn depth(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Is there room to post another WQE?
+    pub fn has_room(&self) -> bool {
+        self.depth() < self.capacity as u64
+    }
+
+    /// Total bytes of arena the ring occupies.
+    pub fn byte_len(&self) -> u64 {
+        self.capacity as u64 * WQE_SIZE
+    }
+}
+
+/// One scatter target of a posted RECV.
+///
+/// `msg_off` selects which slice of the incoming message lands at
+/// `addr` — this is the hook HyperLoop uses to point received metadata
+/// *into the descriptor fields of pre-posted WQEs* (see DESIGN.md §7 for
+/// the liberty taken vs. strictly sequential verbs SGE consumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterEntry {
+    /// Offset within the incoming message.
+    pub msg_off: u32,
+    /// Bytes to scatter.
+    pub len: u32,
+    /// Arena destination address.
+    pub addr: u64,
+}
+
+/// A posted receive work request (kept NIC-side; only send queues live
+/// in host memory because only they are remotely manipulated).
+#[derive(Debug, Clone)]
+pub struct RecvWqe {
+    /// Caller cookie echoed in the completion.
+    pub wr_id: u64,
+    /// Scatter list applied to the incoming payload.
+    pub scatter: Vec<ScatterEntry>,
+}
+
+/// A queue pair.
+#[derive(Debug)]
+pub struct Qp {
+    /// QP number (index in the NIC's table).
+    pub qpn: u32,
+    /// CQ for send-side completions.
+    pub send_cq: u32,
+    /// CQ for receive-side completions.
+    pub recv_cq: u32,
+    /// Send ring (in host memory).
+    pub sq: SqRing,
+    /// Posted receives.
+    pub rq: VecDeque<RecvWqe>,
+    /// Shared receive queue, if attached: inbound SEND/WRITE_IMM
+    /// consume from the SRQ instead of `rq`, so many QPs (e.g. one per
+    /// client) drain one pre-posted ring in arrival order — the paper's
+    /// §5 multi-client mechanism.
+    pub srq: Option<u32>,
+    /// Connected peer `(nic, qpn)`; `None` = loopback QP for NIC-local
+    /// operations (gMEMCPY / gCAS local legs).
+    pub remote: Option<(u32, u32)>,
+    /// An outstanding fencing op (READ/FLUSH/CAS) blocks the SQ.
+    pub fenced: bool,
+    /// Is this QP parked in a CQ's waiter list (head is an unsatisfied
+    /// WAIT)? Prevents duplicate registration.
+    pub parked: bool,
+    /// Earliest time the send engine is free (serializes WQE processing).
+    pub busy_until: hl_sim::SimTime,
+}
+
+impl Qp {
+    /// New, unconnected QP.
+    pub fn new(qpn: u32, send_cq: u32, recv_cq: u32, sq: SqRing) -> Self {
+        Qp {
+            qpn,
+            send_cq,
+            recv_cq,
+            sq,
+            rq: VecDeque::new(),
+            srq: None,
+            remote: None,
+            fenced: false,
+            parked: false,
+            busy_until: hl_sim::SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_addressing_wraps() {
+        let r = SqRing::new(0x1000, 4);
+        assert_eq!(r.slot_addr(0), 0x1000);
+        assert_eq!(r.slot_addr(3), 0x1000 + 3 * 64);
+        assert_eq!(r.slot_addr(4), 0x1000);
+        assert_eq!(r.slot_addr(7), 0x1000 + 3 * 64);
+    }
+
+    #[test]
+    fn ring_room_accounting() {
+        let mut r = SqRing::new(0, 2);
+        assert!(r.has_room());
+        r.tail = 2;
+        assert!(!r.has_room());
+        assert_eq!(r.depth(), 2);
+        r.head = 1;
+        assert!(r.has_room());
+        assert_eq!(r.byte_len(), 128);
+    }
+}

@@ -1,0 +1,363 @@
+//! Work queue entries (WQEs) and their in-memory wire format.
+//!
+//! Send-queue WQEs are serialized into **64-byte records in host
+//! memory** — this is not an implementation convenience but the core of
+//! HyperLoop's *remote work request manipulation*: a replica registers
+//! its send-queue rings as RDMA-writable memory, and the client's
+//! metadata SEND is scattered directly into the descriptor fields of
+//! pre-posted WQEs. The NIC re-reads the record at execution time, so
+//! whatever bytes arrived over the wire are the descriptors executed.
+//!
+//! The modified driver (paper §4.1) posts WQEs *without* the hardware
+//! ownership bit; a triggered WAIT grants ownership by flipping the flag
+//! byte in memory for the following WQEs.
+
+/// Size of one serialized WQE.
+pub const WQE_SIZE: u64 = 64;
+
+/// WQE opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation; still produces a completion (used by gCAS's execute
+    /// map to skip replicas while keeping WAIT counting intact).
+    Nop = 0,
+    /// Two-sided send; consumes a RECV at the responder.
+    Send = 1,
+    /// One-sided RDMA write.
+    Write = 2,
+    /// One-sided RDMA read (fences the send queue until the response).
+    Read = 3,
+    /// Remote compare-and-swap on a u64.
+    Cas = 4,
+    /// RDMA write with immediate; consumes a RECV at the responder.
+    WriteImm = 5,
+    /// Wait for completions on another CQ, then activate following WQEs.
+    Wait = 6,
+    /// NIC-local DMA copy (loopback QP; used by gMEMCPY).
+    LocalCopy = 7,
+    /// NIC-local compare-and-swap (loopback QP; used by gCAS).
+    LocalCas = 8,
+    /// Durability flush: 0-byte READ semantics — the responder drains
+    /// its NIC cache for the addressed range into NVM (used by gFLUSH).
+    Flush = 9,
+    /// NIC-local durability flush of the own arena range `[raddr, +len)`
+    /// (loopback QP; interleaves with gMEMCPY whose copy is local).
+    LocalFlush = 10,
+}
+
+impl Opcode {
+    /// Decode from the wire byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0 => Opcode::Nop,
+            1 => Opcode::Send,
+            2 => Opcode::Write,
+            3 => Opcode::Read,
+            4 => Opcode::Cas,
+            5 => Opcode::WriteImm,
+            6 => Opcode::Wait,
+            7 => Opcode::LocalCopy,
+            8 => Opcode::LocalCas,
+            9 => Opcode::Flush,
+            10 => Opcode::LocalFlush,
+            _ => return None,
+        })
+    }
+}
+
+/// WQE flag bits.
+pub mod flags {
+    /// The NIC owns this WQE and may execute it. Cleared by the modified
+    /// driver's deferred posting; set by WAIT activation (or normal
+    /// posting).
+    pub const HW_OWNED: u8 = 1 << 0;
+    /// Generate a completion when the operation finishes.
+    pub const SIGNALED: u8 = 1 << 1;
+    /// WAIT only: fire when the watched CQ's total production reaches
+    /// the absolute threshold in the count field, without consuming.
+    /// Lets many WAITs (on different QPs) trigger off the same CQ —
+    /// the fan-out extension's parallel dispatch and ack aggregation.
+    pub const WAIT_THRESHOLD: u8 = 1 << 2;
+}
+
+/// A decoded work queue entry. Field meaning varies by opcode:
+///
+/// | opcode      | `laddr`              | `raddr`                 | `len`        |
+/// |-------------|----------------------|-------------------------|--------------|
+/// | `Send`      | local source         | —                       | bytes        |
+/// | `Write`/`WriteImm` | local source  | remote destination      | bytes        |
+/// | `Read`      | local destination    | remote source           | bytes        |
+/// | `Cas`       | local result (8 B)   | remote target (8 B)     | 8            |
+/// | `Flush`     | —                    | remote range start      | range length |
+/// | `Wait`      | —                    | low 32: CQ id, high 32: count | —      |
+/// | `LocalCopy` | local source         | local destination       | bytes        |
+/// | `LocalCas`  | local result (8 B)   | local target (8 B)      | 8            |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wqe {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Flag bits (`flags::*`).
+    pub flags: u8,
+    /// Transfer length.
+    pub len: u32,
+    /// Local address (see table).
+    pub laddr: u64,
+    /// Remote address or WAIT target (see table).
+    pub raddr: u64,
+    /// Local memory key.
+    pub lkey: u32,
+    /// Remote memory key.
+    pub rkey: u32,
+    /// CAS compare value.
+    pub cmp: u64,
+    /// CAS swap value.
+    pub swp: u64,
+    /// Immediate data (`WriteImm`).
+    pub imm: u32,
+    /// WAIT: how many following WQEs to grant to the NIC on trigger.
+    pub activate_n: u16,
+    /// Caller cookie, echoed in completions.
+    pub wr_id: u64,
+}
+
+impl Default for Wqe {
+    fn default() -> Self {
+        Wqe {
+            opcode: Opcode::Nop,
+            flags: 0,
+            len: 0,
+            laddr: 0,
+            raddr: 0,
+            lkey: 0,
+            rkey: 0,
+            cmp: 0,
+            swp: 0,
+            imm: 0,
+            activate_n: 0,
+            wr_id: 0,
+        }
+    }
+}
+
+impl Wqe {
+    /// Serialize to the 64-byte in-memory record.
+    pub fn encode(&self) -> [u8; WQE_SIZE as usize] {
+        let mut b = [0u8; WQE_SIZE as usize];
+        b[0] = self.opcode as u8;
+        b[1] = self.flags;
+        b[4..8].copy_from_slice(&self.len.to_le_bytes());
+        b[8..16].copy_from_slice(&self.laddr.to_le_bytes());
+        b[16..24].copy_from_slice(&self.raddr.to_le_bytes());
+        b[24..28].copy_from_slice(&self.lkey.to_le_bytes());
+        b[28..32].copy_from_slice(&self.rkey.to_le_bytes());
+        b[32..40].copy_from_slice(&self.cmp.to_le_bytes());
+        b[40..48].copy_from_slice(&self.swp.to_le_bytes());
+        b[48..52].copy_from_slice(&self.imm.to_le_bytes());
+        b[52..54].copy_from_slice(&self.activate_n.to_le_bytes());
+        b[56..64].copy_from_slice(&self.wr_id.to_le_bytes());
+        b
+    }
+
+    /// Decode from a 64-byte in-memory record. `None` if the opcode byte
+    /// is invalid (e.g. scribbled by a misdirected scatter).
+    pub fn decode(b: &[u8]) -> Option<Wqe> {
+        assert_eq!(b.len(), WQE_SIZE as usize, "WQE records are 64 bytes");
+        Some(Wqe {
+            opcode: Opcode::from_u8(b[0])?,
+            flags: b[1],
+            len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            laddr: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            raddr: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            lkey: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+            rkey: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            cmp: u64::from_le_bytes(b[32..40].try_into().unwrap()),
+            swp: u64::from_le_bytes(b[40..48].try_into().unwrap()),
+            imm: u32::from_le_bytes(b[48..52].try_into().unwrap()),
+            activate_n: u16::from_le_bytes(b[52..54].try_into().unwrap()),
+            wr_id: u64::from_le_bytes(b[56..64].try_into().unwrap()),
+        })
+    }
+
+    /// Is the hardware ownership bit set?
+    pub fn hw_owned(&self) -> bool {
+        self.flags & flags::HW_OWNED != 0
+    }
+
+    /// Is the completion-requested bit set?
+    pub fn signaled(&self) -> bool {
+        self.flags & flags::SIGNALED != 0
+    }
+
+    /// For `Wait`: the watched CQ id.
+    pub fn wait_cq(&self) -> u32 {
+        (self.raddr & 0xffff_ffff) as u32
+    }
+
+    /// For `Wait`: how many completions to wait for.
+    pub fn wait_count(&self) -> u32 {
+        (self.raddr >> 32) as u32
+    }
+
+    /// Pack WAIT parameters into `raddr`.
+    pub fn wait_params(cq: u32, count: u32) -> u64 {
+        (count as u64) << 32 | cq as u64
+    }
+}
+
+/// Byte offsets of descriptor fields within a serialized WQE. These are
+/// what the client's metadata scatter targets when it rewrites pre-posted
+/// WQEs on replicas (remote work request manipulation).
+pub mod field_offset {
+    /// Opcode byte (rewritten by gCAS's execute map: CAS → NOP).
+    pub const OPCODE: u64 = 0;
+    /// Flags byte (ownership grants write here).
+    pub const FLAGS: u64 = 1;
+    /// Transfer length.
+    pub const LEN: u64 = 4;
+    /// Local address.
+    pub const LADDR: u64 = 8;
+    /// Remote address.
+    pub const RADDR: u64 = 16;
+    /// CAS compare value.
+    pub const CMP: u64 = 32;
+    /// CAS swap value.
+    pub const SWP: u64 = 40;
+    /// Immediate data.
+    pub const IMM: u64 = 48;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let w = Wqe {
+            opcode: Opcode::Write,
+            flags: flags::HW_OWNED | flags::SIGNALED,
+            len: 4096,
+            laddr: 0x1000,
+            raddr: 0x2000,
+            lkey: 7,
+            rkey: 9,
+            cmp: 1,
+            swp: 2,
+            imm: 0xabcd,
+            activate_n: 3,
+            wr_id: 0xdead_beef,
+        };
+        let enc = w.encode();
+        assert_eq!(Wqe::decode(&enc), Some(w));
+    }
+
+    #[test]
+    fn invalid_opcode_decodes_to_none() {
+        let mut b = [0u8; 64];
+        b[0] = 200;
+        assert_eq!(Wqe::decode(&b), None);
+    }
+
+    #[test]
+    fn wait_param_packing() {
+        let packed = Wqe::wait_params(17, 3);
+        let w = Wqe {
+            opcode: Opcode::Wait,
+            raddr: packed,
+            ..Default::default()
+        };
+        assert_eq!(w.wait_cq(), 17);
+        assert_eq!(w.wait_count(), 3);
+    }
+
+    #[test]
+    fn field_offsets_match_encoding() {
+        let w = Wqe {
+            opcode: Opcode::Cas,
+            flags: flags::SIGNALED,
+            len: 8,
+            laddr: 0x1111_2222_3333_4444,
+            raddr: 0x5555_6666_7777_8888,
+            cmp: 0xaaaa,
+            swp: 0xbbbb,
+            imm: 0xcccc_dddd,
+            ..Default::default()
+        };
+        let b = w.encode();
+        assert_eq!(b[field_offset::OPCODE as usize], Opcode::Cas as u8);
+        assert_eq!(b[field_offset::FLAGS as usize], flags::SIGNALED);
+        let off = field_offset::LADDR as usize;
+        assert_eq!(
+            u64::from_le_bytes(b[off..off + 8].try_into().unwrap()),
+            w.laddr
+        );
+        let off = field_offset::RADDR as usize;
+        assert_eq!(
+            u64::from_le_bytes(b[off..off + 8].try_into().unwrap()),
+            w.raddr
+        );
+        let off = field_offset::CMP as usize;
+        assert_eq!(
+            u64::from_le_bytes(b[off..off + 8].try_into().unwrap()),
+            w.cmp
+        );
+        let off = field_offset::IMM as usize;
+        assert_eq!(
+            u32::from_le_bytes(b[off..off + 4].try_into().unwrap()),
+            w.imm
+        );
+    }
+
+    /// Rewriting descriptor fields in the serialized form then decoding
+    /// must be equivalent to mutating the struct — this is the property
+    /// remote WQE manipulation relies on.
+    #[test]
+    fn in_place_field_rewrite() {
+        let w = Wqe {
+            opcode: Opcode::Write,
+            flags: 0,
+            len: 100,
+            laddr: 0x100,
+            raddr: 0x200,
+            ..Default::default()
+        };
+        let mut b = w.encode();
+        // Scatter: new laddr/raddr/len + ownership grant.
+        b[field_offset::LEN as usize..field_offset::LEN as usize + 4]
+            .copy_from_slice(&777u32.to_le_bytes());
+        b[field_offset::LADDR as usize..field_offset::LADDR as usize + 8]
+            .copy_from_slice(&0x9999u64.to_le_bytes());
+        b[field_offset::FLAGS as usize] = flags::HW_OWNED;
+        let got = Wqe::decode(&b).unwrap();
+        assert_eq!(got.len, 777);
+        assert_eq!(got.laddr, 0x9999);
+        assert!(got.hw_owned());
+        assert_eq!(got.raddr, 0x200); // untouched field preserved
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(
+            op in 0u8..=10,
+            flags in any::<u8>(),
+            len in any::<u32>(),
+            laddr in any::<u64>(),
+            raddr in any::<u64>(),
+            lkey in any::<u32>(),
+            rkey in any::<u32>(),
+            cmp in any::<u64>(),
+            swp in any::<u64>(),
+            imm in any::<u32>(),
+            activate_n in any::<u16>(),
+            wr_id in any::<u64>(),
+        ) {
+            let w = Wqe {
+                opcode: Opcode::from_u8(op).unwrap(),
+                flags, len, laddr, raddr, lkey, rkey, cmp, swp, imm,
+                activate_n, wr_id,
+            };
+            prop_assert_eq!(Wqe::decode(&w.encode()), Some(w));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The discrete-event engine.
+//!
+//! A single-threaded, deterministic event loop. Events are boxed
+//! `FnOnce(&mut C, &mut Engine<C>)` closures ordered by `(time, seq)`,
+//! where `seq` is a monotonically increasing tiebreaker so that events
+//! scheduled for the same instant fire in scheduling order. Determinism
+//! therefore depends only on the order of `schedule` calls and the RNG
+//! seed — never on hash iteration order or wall-clock time.
+//!
+//! The context type `C` is the simulated world (hosts, network, …). The
+//! engine is passed alongside the context to every handler so handlers
+//! can schedule follow-up events.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Event handler signature: mutate the world, schedule more events.
+pub type Handler<C> = Box<dyn FnOnce(&mut C, &mut Engine<C>)>;
+
+struct Scheduled<C> {
+    at: SimTime,
+    seq: u64,
+    run: Handler<C>,
+}
+
+impl<C> PartialEq for Scheduled<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<C> Eq for Scheduled<C> {}
+impl<C> PartialOrd for Scheduled<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Scheduled<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event loop over a world of type `C`.
+///
+/// ```
+/// use hl_sim::{Engine, SimDuration};
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// let mut world = Vec::new();
+/// engine.schedule(SimDuration::from_micros(5), |w: &mut Vec<u64>, eng| {
+///     w.push(eng.now().as_nanos());
+/// });
+/// engine.run(&mut world);
+/// assert_eq!(world, vec![5_000]);
+/// ```
+pub struct Engine<C> {
+    queue: BinaryHeap<Scheduled<C>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    /// Hard cap on executed events, a runaway-loop backstop.
+    event_limit: u64,
+}
+
+impl<C> Default for Engine<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Engine<C> {
+    /// A fresh engine at t = 0.
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Limit the total number of events executed (safety net for tests).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut C, &mut Engine<C>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at an absolute instant. Events in the past are clamped
+    /// to `now` (they still run after already-queued events at `now`,
+    /// because of the `seq` tiebreaker).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut C, &mut Engine<C>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Run a single event if one is pending. Returns `false` when idle.
+    pub fn step(&mut self, ctx: &mut C) -> bool {
+        if self.executed >= self.event_limit {
+            panic!(
+                "engine event limit ({}) exceeded at t={} — runaway event loop?",
+                self.event_limit, self.now
+            );
+        }
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.run)(ctx, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue is empty.
+    pub fn run(&mut self, ctx: &mut C) {
+        while self.step(ctx) {}
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`.
+    /// Events scheduled after the deadline remain queued; the clock is
+    /// left at the last executed event (≤ deadline).
+    pub fn run_until(&mut self, ctx: &mut C, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step(ctx);
+        }
+    }
+
+    /// Run until `pred(ctx)` is true, checking after every event, or until
+    /// the queue drains. Returns whether the predicate was satisfied.
+    pub fn run_while<F>(&mut self, ctx: &mut C, mut pred: F) -> bool
+    where
+        F: FnMut(&C) -> bool,
+    {
+        loop {
+            if !pred(ctx) {
+                return true;
+            }
+            if !self.step(ctx) {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        eng.schedule(SimDuration::from_nanos(30), |w: &mut World, _| {
+            w.log.push((30, "c"))
+        });
+        eng.schedule(SimDuration::from_nanos(10), |w: &mut World, _| {
+            w.log.push((10, "a"))
+        });
+        eng.schedule(SimDuration::from_nanos(20), |w: &mut World, _| {
+            w.log.push((20, "b"))
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(eng.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_instant_fires_in_schedule_order() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for name in ["first", "second", "third"] {
+            eng.schedule(SimDuration::from_nanos(5), move |w: &mut World, _| {
+                w.log.push((5, name))
+            });
+        }
+        eng.run(&mut w);
+        assert_eq!(
+            w.log.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_chains() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        fn tick(w: &mut World, eng: &mut Engine<World>) {
+            let n = w.log.len() as u64;
+            w.log.push((eng.now().as_nanos(), "tick"));
+            if n < 4 {
+                eng.schedule(SimDuration::from_nanos(7), tick);
+            }
+        }
+        eng.schedule(SimDuration::ZERO, tick);
+        eng.run(&mut w);
+        assert_eq!(w.log.len(), 5);
+        assert_eq!(eng.now().as_nanos(), 28);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for ns in [5u64, 15, 25] {
+            eng.schedule(SimDuration::from_nanos(ns), move |w: &mut World, _| {
+                w.log.push((ns, "x"))
+            });
+        }
+        eng.run_until(&mut w, SimTime::from_nanos(16));
+        assert_eq!(w.log.len(), 2);
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w.log.len(), 3);
+    }
+
+    #[test]
+    fn run_while_checks_predicate() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        for ns in 1..=10u64 {
+            eng.schedule(SimDuration::from_nanos(ns), move |w: &mut World, _| {
+                w.log.push((ns, "x"))
+            });
+        }
+        let satisfied = eng.run_while(&mut w, |w| w.log.len() < 4);
+        assert!(satisfied);
+        assert_eq!(w.log.len(), 4);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s2 = seen.clone();
+        eng.schedule(SimDuration::from_nanos(100), move |_: &mut World, eng| {
+            let s3 = s2.clone();
+            // Attempt to schedule in the past; must clamp to now (=100).
+            eng.schedule_at(SimTime::from_nanos(1), move |_, eng| {
+                s3.borrow_mut().push(eng.now().as_nanos());
+            });
+        });
+        eng.run(&mut w);
+        assert_eq!(*seen.borrow(), vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaways() {
+        let mut eng: Engine<World> = Engine::new().with_event_limit(50);
+        let mut w = World::default();
+        fn forever(_: &mut World, eng: &mut Engine<World>) {
+            eng.schedule(SimDuration::from_nanos(1), forever);
+        }
+        eng.schedule(SimDuration::ZERO, forever);
+        eng.run(&mut w);
+    }
+}

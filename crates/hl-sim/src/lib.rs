@@ -1,0 +1,26 @@
+//! # hl-sim — deterministic discrete-event simulation core
+//!
+//! The foundation of the HyperLoop reproduction testbed: a deterministic
+//! event loop ([`Engine`]), simulated time ([`SimTime`], [`SimDuration`]),
+//! named reproducible random streams ([`RngFactory`]), HDR-style latency
+//! histograms ([`Histogram`]), calibrated hardware profiles
+//! ([`config::HwProfile`]) and a trace ring buffer ([`Tracer`]).
+//!
+//! Everything above this crate (NVM, NIC, CPU, fabric models) is written
+//! as pure state machines advanced by events scheduled here; given the
+//! same seed, every experiment in the repository replays bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod config;
+mod engine;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use engine::{Engine, Handler};
+pub use rng::{RngFactory, RngStream};
+pub use stats::{Counters, Histogram, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, Tracer};

@@ -1,0 +1,176 @@
+//! Lightweight event tracing.
+//!
+//! A ring buffer of `(time, subsystem, message)` records that tests and
+//! debugging sessions can enable per-world. Disabled by default and
+//! costs one branch per trace point when off.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Subsystem tag, e.g. `"rnic"`, `"sched"`, `"hyperloop"`.
+    pub sys: &'static str,
+    /// Rendered message.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.at, self.sys, self.msg)
+    }
+}
+
+/// Bounded trace buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    dropped: u64,
+    /// Optional subsystem filter; empty = all.
+    filter: Vec<&'static str>,
+    /// Echo entries to stderr as they are recorded.
+    echo: bool,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 65_536,
+            entries: Vec::new(),
+            dropped: 0,
+            filter: Vec::new(),
+            echo: false,
+        }
+    }
+}
+
+impl Tracer {
+    /// Enable tracing (optionally restricted to some subsystems).
+    pub fn enable(&mut self, subsystems: &[&'static str]) {
+        self.enabled = true;
+        self.filter = subsystems.to_vec();
+    }
+
+    /// Also print each record to stderr as it is recorded.
+    pub fn echo(&mut self, on: bool) {
+        self.echo = on;
+    }
+
+    /// Is tracing on for `sys`? Callers should guard expensive message
+    /// formatting with this.
+    #[inline]
+    pub fn wants(&self, sys: &'static str) -> bool {
+        self.enabled && (self.filter.is_empty() || self.filter.contains(&sys))
+    }
+
+    /// Record a message (drops oldest-first beyond capacity).
+    pub fn record(&mut self, at: SimTime, sys: &'static str, msg: String) {
+        if !self.wants(sys) {
+            return;
+        }
+        if self.echo {
+            eprintln!("[{at} {sys}] {msg}");
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push(TraceEntry { at, sys, msg });
+    }
+
+    /// All retained entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose message contains `needle`.
+    pub fn grep(&self, needle: &str) -> Vec<&TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.msg.contains(needle))
+            .collect()
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Record a trace message with lazy formatting.
+///
+/// ```ignore
+/// trace!(world.tracer, now, "rnic", "qp{} doorbell", qpn);
+/// ```
+#[macro_export]
+macro_rules! trace {
+    ($tracer:expr, $at:expr, $sys:expr, $($arg:tt)*) => {
+        if $tracer.wants($sys) {
+            $tracer.record($at, $sys, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Tracer::default();
+        t.record(SimTime::ZERO, "rnic", "hello".into());
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn filter_by_subsystem() {
+        let mut t = Tracer::default();
+        t.enable(&["rnic"]);
+        t.record(SimTime::ZERO, "rnic", "keep".into());
+        t.record(SimTime::ZERO, "sched", "drop".into());
+        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.entries()[0].msg, "keep");
+    }
+
+    #[test]
+    fn grep_finds_matches() {
+        let mut t = Tracer::default();
+        t.enable(&[]);
+        t.record(SimTime::ZERO, "a", "alpha beta".into());
+        t.record(SimTime::ZERO, "b", "gamma".into());
+        assert_eq!(t.grep("beta").len(), 1);
+        assert_eq!(t.grep("zeta").len(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Tracer {
+            capacity: 2,
+            ..Default::default()
+        };
+        t.enable(&[]);
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), "x", format!("m{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.entries()[0].msg, "m3");
+    }
+
+    #[test]
+    fn trace_macro_formats_lazily() {
+        let mut t = Tracer::default();
+        t.enable(&["sys"]);
+        let x = 42;
+        trace!(t, SimTime::ZERO, "sys", "value {}", x);
+        trace!(t, SimTime::ZERO, "other", "skipped {}", x);
+        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.entries()[0].msg, "value 42");
+    }
+}

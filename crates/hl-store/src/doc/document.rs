@@ -1,0 +1,181 @@
+//! Documents: doclite's unit of storage.
+//!
+//! A document is an id plus named fields (YCSB uses ten ~100-byte
+//! fields). Documents serialize into fixed-size slots of the database
+//! area so replicas can apply updates with a single gMEMCPY.
+
+/// A document: id + fields.
+///
+/// ```
+/// use hl_store::doc::Document;
+/// let mut d = Document::new(7);
+/// d.set("city", b"budapest");
+/// let slot = d.encode_slot(256);
+/// let back = Document::decode_slot(&slot).unwrap();
+/// assert_eq!(back.get("city"), Some(b"budapest".as_slice()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Document id (YCSB key).
+    pub id: u64,
+    /// Named fields.
+    pub fields: Vec<(String, Vec<u8>)>,
+}
+
+impl Document {
+    /// New empty document.
+    pub fn new(id: u64) -> Self {
+        Document {
+            id,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Set (insert or replace) a field.
+    pub fn set(&mut self, name: &str, value: &[u8]) {
+        if let Some(f) = self.fields.iter_mut().find(|f| f.0 == name) {
+            f.1 = value.to_vec();
+        } else {
+            self.fields.push((name.to_string(), value.to_vec()));
+        }
+    }
+
+    /// Get a field.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.fields
+            .iter()
+            .find(|f| f.0 == name)
+            .map(|f| f.1.as_slice())
+    }
+
+    /// Serialized size.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 8 + 2; // id + field count
+        for (name, v) in &self.fields {
+            n += 2 + name.len() + 4 + v.len();
+        }
+        n
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for (name, v) in &self.fields {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed bytes.
+    pub fn decode(b: &[u8]) -> Option<Document> {
+        let id = u64::from_le_bytes(b.get(..8)?.try_into().ok()?);
+        let nf = u16::from_le_bytes(b.get(8..10)?.try_into().ok()?) as usize;
+        let mut at = 10usize;
+        let mut doc = Document::new(id);
+        for _ in 0..nf {
+            let nlen = u16::from_le_bytes(b.get(at..at + 2)?.try_into().ok()?) as usize;
+            at += 2;
+            let name = std::str::from_utf8(b.get(at..at + nlen)?).ok()?.to_string();
+            at += nlen;
+            let vlen = u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            let v = b.get(at..at + vlen)?.to_vec();
+            at += vlen;
+            doc.fields.push((name, v));
+        }
+        Some(doc)
+    }
+
+    /// Serialize into a fixed slot: `[u32 len][bytes...]`, zero-padded.
+    /// Panics if the document does not fit.
+    pub fn encode_slot(&self, slot_size: usize) -> Vec<u8> {
+        let body = self.encode();
+        assert!(
+            body.len() + 4 <= slot_size,
+            "document ({}B) exceeds slot ({}B)",
+            body.len() + 4,
+            slot_size
+        );
+        let mut out = vec![0u8; slot_size];
+        out[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        out[4..4 + body.len()].copy_from_slice(&body);
+        out
+    }
+
+    /// Deserialize from a slot; `None` for an empty or corrupt slot.
+    pub fn decode_slot(slot: &[u8]) -> Option<Document> {
+        let len = u32::from_le_bytes(slot.get(..4)?.try_into().ok()?) as usize;
+        if len == 0 || len + 4 > slot.len() {
+            return None;
+        }
+        Document::decode(&slot[4..4 + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ycsb_doc(id: u64) -> Document {
+        let mut d = Document::new(id);
+        for f in 0..10 {
+            d.set(&format!("field{f}"), &[f as u8; 100]);
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = ycsb_doc(42);
+        assert_eq!(Document::decode(&d.encode()), Some(d.clone()));
+        assert_eq!(d.encode().len(), d.encoded_len());
+    }
+
+    #[test]
+    fn slot_roundtrip_and_empty() {
+        let d = ycsb_doc(7);
+        let slot = d.encode_slot(1536);
+        assert_eq!(slot.len(), 1536);
+        assert_eq!(Document::decode_slot(&slot), Some(d));
+        assert_eq!(Document::decode_slot(&[0u8; 64]), None);
+    }
+
+    #[test]
+    fn field_update_replaces() {
+        let mut d = Document::new(1);
+        d.set("a", b"one");
+        d.set("a", b"two");
+        assert_eq!(d.get("a"), Some(b"two".as_slice()));
+        assert_eq!(d.fields.len(), 1);
+        assert!(d.get("b").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot")]
+    fn oversized_slot_panics() {
+        ycsb_doc(1).encode_slot(64);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_docs_roundtrip(
+            id in any::<u64>(),
+            fields in proptest::collection::vec(
+                ("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..50)),
+                0..8
+            )
+        ) {
+            let mut d = Document::new(id);
+            for (name, v) in &fields {
+                d.set(name, v);
+            }
+            prop_assert_eq!(Document::decode(&d.encode()), Some(d));
+        }
+    }
+}

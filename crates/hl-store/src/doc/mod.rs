@@ -1,0 +1,8 @@
+//! doclite — the MongoDB-like replicated document store (paper §5.2).
+
+mod document;
+pub mod native;
+mod store;
+
+pub use document::Document;
+pub use store::{DocLayout, DocStore};

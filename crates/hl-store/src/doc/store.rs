@@ -1,0 +1,244 @@
+//! doclite front-end over HyperLoop (paper §5.2).
+//!
+//! The MongoDB-like path: the front-end (integrated with the client)
+//! appends the operation to the replicated journal, then executes it on
+//! all replicas with `ExecuteAndAdvance` under a group write lock —
+//! "completely offloads both critical and off-the-critical path
+//! operations for write transactions to the NIC while providing strong
+//! consistency across the replicas".
+//!
+//! Reads are served from the client's copy of the database area (the
+//! chain head), or — consistently — from any replica under `rdLock`.
+
+use super::document::Document;
+use hl_cluster::World;
+use hl_sim::{Engine, SimDuration};
+use hyperloop::api::{
+    GroupClient, GroupLock, LockOutcome, LogLayout, LogRecord, RedoEntry, ReplicatedLog,
+};
+use hyperloop::{Backpressure, OnDone};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Layout of a doclite database within the replicated region.
+#[derive(Debug, Clone)]
+pub struct DocLayout {
+    /// Journal (write-ahead log) layout. `db_off` is the slot area.
+    pub log: LogLayout,
+    /// Bytes per document slot.
+    pub slot_size: u64,
+    /// Number of slots.
+    pub n_slots: u64,
+    /// Offset of the group write-lock word.
+    pub lock_off: u64,
+}
+
+impl Default for DocLayout {
+    fn default() -> Self {
+        DocLayout {
+            log: LogLayout {
+                log_off: 64,
+                log_cap: 256 << 10,
+                db_off: 512 << 10,
+            },
+            slot_size: 1536,
+            n_slots: 512,
+            lock_off: 0,
+        }
+    }
+}
+
+struct DocInner<C: GroupClient> {
+    client: Rc<C>,
+    log: ReplicatedLog<C>,
+    lock: GroupLock<C>,
+    layout: DocLayout,
+    use_locks: bool,
+    /// Committed operations (reporting).
+    committed: u64,
+}
+
+/// Cheap cloneable handle to a doclite database.
+pub struct DocStore<C: GroupClient> {
+    inner: Rc<RefCell<DocInner<C>>>,
+}
+
+impl<C: GroupClient> Clone for DocStore<C> {
+    fn clone(&self) -> Self {
+        DocStore {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<C: GroupClient + 'static> DocStore<C> {
+    /// Open a database (binds layout; lock word starts free).
+    pub fn open(client: Rc<C>, layout: DocLayout, owner: u32, use_locks: bool) -> Self {
+        let log = ReplicatedLog::new(client.clone(), layout.log.clone());
+        let lock = GroupLock::new(client.clone(), layout.lock_off, owner);
+        DocStore {
+            inner: Rc::new(RefCell::new(DocInner {
+                client,
+                log,
+                lock,
+                layout,
+                use_locks,
+                committed: 0,
+            })),
+        }
+    }
+
+    /// Slot offset (within the db area) for a document id.
+    fn slot_off(layout: &DocLayout, id: u64) -> u64 {
+        (id % layout.n_slots) * layout.slot_size
+    }
+
+    /// Upsert a document: journal append → `wrLock` → execute on all
+    /// replicas → `wrUnlock` → done. Fully NIC-offloaded on replicas.
+    pub fn upsert(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        doc: &Document,
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let (rec, use_locks) = {
+            let inner = self.inner.borrow();
+            let slot = doc.encode_slot(inner.layout.slot_size as usize);
+            (
+                LogRecord {
+                    entries: vec![RedoEntry {
+                        db_offset: Self::slot_off(&inner.layout, doc.id),
+                        data: slot,
+                    }],
+                },
+                inner.use_locks,
+            )
+        };
+        let handle = self.clone();
+        // Phase 1: durable journal append.
+        self.inner.borrow_mut().log.append(
+            w,
+            eng,
+            &rec,
+            Box::new(move |w, eng, _r| {
+                if use_locks {
+                    handle.lock_execute_unlock(w, eng, done);
+                } else {
+                    let h2 = handle.clone();
+                    handle.execute_then(
+                        w,
+                        eng,
+                        Box::new(move |w, eng, r| {
+                            h2.inner.borrow_mut().committed += 1;
+                            done(w, eng, r);
+                        }),
+                    );
+                }
+            }),
+        )
+    }
+
+    /// Phase 2 with locking: wrLock (retrying on contention) → execute →
+    /// wrUnlock.
+    fn lock_execute_unlock(&self, w: &mut World, eng: &mut Engine<World>, done: OnDone) {
+        let handle = self.clone();
+        // The callback consumes `done` only on the acquired path; the
+        // contended/backpressure paths re-enter with it.
+        let done_cell = Rc::new(RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let res = self.inner.borrow().lock.wr_lock(
+            w,
+            eng,
+            Box::new(move |w, eng, outcome| {
+                let done = dc.borrow_mut().take().expect("single use");
+                match outcome {
+                    LockOutcome::Acquired => {
+                        let h2 = handle.clone();
+                        handle.execute_then(
+                            w,
+                            eng,
+                            Box::new(move |w, eng, r| {
+                                let h3 = h2.clone();
+                                let _ = h2.inner.borrow().lock.wr_unlock(
+                                    w,
+                                    eng,
+                                    Box::new(move |w, eng, _| {
+                                        h3.inner.borrow_mut().committed += 1;
+                                        done(w, eng, r);
+                                    }),
+                                );
+                            }),
+                        );
+                    }
+                    LockOutcome::Contended => {
+                        // Another transaction holds the group lock; back
+                        // off and retry.
+                        let h2 = handle.clone();
+                        eng.schedule(SimDuration::from_micros(20), move |w, eng| {
+                            h2.lock_execute_unlock(w, eng, done);
+                        });
+                    }
+                }
+            }),
+        );
+        if res.is_err() {
+            // gCAS ring backpressure: retry shortly (the wr_lock callback
+            // was never registered, so `done` is still in the cell).
+            let h2 = self.clone();
+            eng.schedule(SimDuration::from_micros(50), move |w, eng| {
+                if let Some(done) = done_cell.borrow_mut().take() {
+                    h2.lock_execute_unlock(w, eng, done);
+                }
+            });
+        }
+    }
+
+    fn execute_then(&self, w: &mut World, eng: &mut Engine<World>, done: OnDone) {
+        let handle = self.clone();
+        let res = self
+            .inner
+            .borrow_mut()
+            .log
+            .execute_and_advance(w, eng, done);
+        if let Err(_bp) = res {
+            // Ring backpressure: retry shortly. `done` was consumed only
+            // on success, so re-issue with a fresh empty execute.
+            let _ = handle;
+            unreachable!("execute_and_advance only backpressures when gmemcpy rings are full; sized to prevent this");
+        }
+    }
+
+    /// Read a document from a member's database area (0 = client).
+    pub fn read_at(&self, w: &mut World, member: usize, id: u64) -> Option<Document> {
+        let inner = self.inner.borrow();
+        let off = inner.layout.log.db_off + Self::slot_off(&inner.layout, id);
+        let addr = inner.client.member_addr(member, off);
+        let host = inner.client.member_host(member);
+        let bytes = w.hosts[host.0]
+            .mem
+            .read_vec(addr, inner.layout.slot_size as usize)
+            .ok()?;
+        Document::decode_slot(&bytes)
+    }
+
+    /// Read from the client copy (strong consistency at the head).
+    pub fn read(&self, w: &mut World, id: u64) -> Option<Document> {
+        self.read_at(w, 0, id)
+    }
+
+    /// Scan `n` consecutive slots starting at `id` from the client copy.
+    pub fn scan(&self, w: &mut World, id: u64, n: usize) -> Vec<Document> {
+        (0..n as u64).filter_map(|k| self.read(w, id + k)).collect()
+    }
+
+    /// Committed (journaled + executed + unlocked) operations.
+    pub fn committed(&self) -> u64 {
+        self.inner.borrow().committed
+    }
+
+    /// The group lock handle (for replica-side readers).
+    pub fn with_lock<R>(&self, f: impl FnOnce(&GroupLock<C>) -> R) -> R {
+        f(&self.inner.borrow().lock)
+    }
+}

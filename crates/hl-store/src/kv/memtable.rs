@@ -1,0 +1,154 @@
+//! The in-memory table: an ordered map from keys to values.
+//!
+//! kvlite, like RocksDB, serves reads from an in-memory structure and
+//! uses the (replicated) write-ahead log for persistence. The memtable
+//! is deliberately simple — a `BTreeMap` — because the paper's interest
+//! is the replication path, not the LSM internals; ordered iteration is
+//! still needed for scans.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Ordered in-memory key-value table.
+///
+/// ```
+/// use hl_store::kv::Memtable;
+/// let mut m = Memtable::new();
+/// m.put(b"b", b"2");
+/// m.put(b"a", b"1");
+/// assert_eq!(m.get(b"a"), Some(b"1".as_slice()));
+/// let keys: Vec<&[u8]> = m.scan(b"a", 10).into_iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![b"a".as_slice(), b"b".as_slice()]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    bytes: u64,
+}
+
+impl Memtable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite; returns the previous value.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
+        let prev = self.map.insert(key.to_vec(), value.to_vec());
+        self.bytes += (key.len() + value.len()) as u64;
+        if let Some(p) = &prev {
+            self.bytes -= (key.len() + p.len()) as u64;
+        }
+        prev
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    /// Delete; returns the removed value.
+    pub fn delete(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let prev = self.map.remove(key);
+        if let Some(p) = &prev {
+            self.bytes -= (key.len() + p.len()) as u64;
+        }
+        prev
+    }
+
+    /// Ordered range scan: up to `limit` pairs starting at `from`
+    /// (inclusive).
+    pub fn scan(&self, from: &[u8], limit: usize) -> Vec<(&[u8], &[u8])> {
+        self.map
+            .range::<[u8], _>((Bound::Included(from), Bound::Unbounded))
+            .take(limit)
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate resident bytes (keys + values).
+    pub fn approx_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Iterate everything in order (checkpointing).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Memtable::new();
+        assert!(m.put(b"k1", b"v1").is_none());
+        assert_eq!(m.get(b"k1"), Some(b"v1".as_slice()));
+        assert_eq!(m.put(b"k1", b"v2"), Some(b"v1".to_vec()));
+        assert_eq!(m.get(b"k1"), Some(b"v2".as_slice()));
+        assert_eq!(m.delete(b"k1"), Some(b"v2".to_vec()));
+        assert!(m.get(b"k1").is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut m = Memtable::new();
+        for k in [3u8, 1, 4, 1, 5, 9, 2, 6] {
+            m.put(&[k], &[k * 2]);
+        }
+        let got = m.scan(&[2], 3);
+        let keys: Vec<u8> = got.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![2, 3, 4]);
+        assert_eq!(m.scan(&[9], 10).len(), 1);
+        assert!(m.scan(&[10], 10).is_empty());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut m = Memtable::new();
+        m.put(b"abc", b"defg"); // 7
+        assert_eq!(m.approx_bytes(), 7);
+        m.put(b"abc", b"x"); // 4
+        assert_eq!(m.approx_bytes(), 4);
+        m.delete(b"abc");
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    proptest! {
+        /// The memtable agrees with a model BTreeMap under arbitrary
+        /// operation sequences.
+        #[test]
+        fn matches_model(ops in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(), any::<u8>()), 0..100)) {
+            let mut m = Memtable::new();
+            let mut model = std::collections::BTreeMap::new();
+            for (put, k, v) in ops {
+                if put {
+                    m.put(&[k], &[v]);
+                    model.insert(vec![k], vec![v]);
+                } else {
+                    m.delete(&[k]);
+                    model.remove(&vec![k]);
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(m.get(k), Some(v.as_slice()));
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! kvlite — the RocksDB-like replicated key-value store (paper §5.1).
+
+mod db;
+mod memtable;
+mod syncer;
+
+pub use db::{decode_kv_op, decode_snapshot, encode_kv_op, KvConfig, KvDb, OP_DELETE, OP_PUT};
+pub use memtable::Memtable;
+pub use syncer::{KvShared, KvSyncer};

@@ -1,0 +1,160 @@
+//! Replica-side log replay (kvlite).
+//!
+//! Each replica runs one syncer process that wakes periodically — *off*
+//! the write critical path — reads the tail pointer the NICs have been
+//! maintaining in its own NVM, decodes any new WAL records from its own
+//! log copy, and applies them to its in-memory table. This is the
+//! paper's "replicas need to wake up periodically off the critical path
+//! to bring the in-memory snapshot in sync with NVM".
+
+use super::db::decode_kv_op;
+use super::memtable::Memtable;
+use hl_cluster::{Ctx, ProcEvent, Process};
+use hl_sim::SimDuration;
+use hyperloop::api::{LogLayout, LogRecord, PAD_MARKER};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// State shared between the client handle and the replica syncers:
+/// per-replica applied cursors (for truncation) and the synced tables
+/// (for eventually-consistent replica reads and tests).
+#[derive(Debug)]
+pub struct KvShared {
+    /// Absolute log cursor each replica has applied through.
+    pub applied: Vec<u64>,
+    /// Each replica's synced memtable.
+    pub tables: Vec<Memtable>,
+}
+
+impl KvShared {
+    /// For `n` replicas.
+    pub fn new(n: usize) -> Self {
+        KvShared {
+            applied: vec![0; n],
+            tables: (0..n).map(|_| Memtable::new()).collect(),
+        }
+    }
+}
+
+const TAG_SYNC: u64 = 11;
+const TAG_APPLY: u64 = 12;
+
+/// CPU cost to decode + apply one log byte (~memtable insert amortized).
+const APPLY_NS_PER_BYTE: u64 = 1;
+/// Fixed CPU cost per sync round.
+const SYNC_FIXED: SimDuration = SimDuration::from_nanos(800);
+
+/// The per-replica syncer process.
+pub struct KvSyncer {
+    shared: Rc<RefCell<KvShared>>,
+    idx: usize,
+    /// Base address of this replica's replicated region in its arena.
+    rep_base: u64,
+    layout: LogLayout,
+    period: SimDuration,
+    /// Local applied cursor (mirrors `shared.applied[idx]`).
+    applied: u64,
+}
+
+impl KvSyncer {
+    /// Create a syncer for replica `idx`.
+    pub fn new(
+        shared: Rc<RefCell<KvShared>>,
+        idx: usize,
+        rep_base: u64,
+        layout: LogLayout,
+        period: SimDuration,
+    ) -> Self {
+        KvSyncer {
+            shared,
+            idx,
+            rep_base,
+            layout,
+            period,
+            applied: 0,
+        }
+    }
+
+    /// Read the tail control word from this replica's own NVM.
+    fn read_tail(&self, ctx: &mut Ctx<'_>) -> u64 {
+        let host = ctx.me.host;
+        ctx.world.hosts[host.0]
+            .mem
+            .read_u64(self.rep_base + self.layout.log_off + 8)
+            .unwrap_or(0)
+    }
+
+    /// Decode and apply records in `[applied, tail)`.
+    fn apply_new(&mut self, ctx: &mut Ctx<'_>) {
+        let tail = self.read_tail(ctx);
+        let host = ctx.me.host;
+        let rec_area = self.rep_base + self.layout.log_off + 64;
+        while self.applied < tail {
+            let at = self.applied % self.layout.log_cap;
+            let room = self.layout.log_cap - at;
+            // Wrap-point padding: marker or not enough room for a header.
+            if room < 4 {
+                self.applied += room;
+                continue;
+            }
+            let hdr = ctx.world.hosts[host.0]
+                .mem
+                .read_u32(rec_area + at)
+                .unwrap_or(0);
+            if hdr == PAD_MARKER {
+                self.applied += room;
+                continue;
+            }
+            // Read the remaining lap and decode one record.
+            let avail = room.min(tail - self.applied) as usize;
+            let bytes = ctx.world.hosts[host.0]
+                .mem
+                .read_vec(rec_area + at, avail)
+                .unwrap();
+            let Some(rec) = LogRecord::decode(&bytes) else {
+                // Torn/foreign bytes should be impossible below tail.
+                debug_assert!(false, "undecodable record below tail");
+                break;
+            };
+            let len = rec.encoded_len();
+            if let Some((put, key, value)) = decode_kv_op(&rec) {
+                let mut sh = self.shared.borrow_mut();
+                if put {
+                    sh.tables[self.idx].put(&key, &value);
+                } else {
+                    sh.tables[self.idx].delete(&key);
+                }
+            }
+            self.applied += len;
+        }
+        self.shared.borrow_mut().applied[self.idx] = self.applied;
+    }
+}
+
+impl Process for KvSyncer {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            ProcEvent::Started => {
+                ctx.set_timer(self.period, TAG_SYNC, SimDuration::from_nanos(500));
+            }
+            ProcEvent::Timer { tag: TAG_SYNC } => {
+                let tail = self.read_tail(ctx);
+                if tail > self.applied {
+                    // Charge CPU proportional to the backlog, then apply.
+                    let backlog = tail - self.applied;
+                    ctx.submit_work(
+                        SYNC_FIXED + SimDuration::from_nanos(backlog * APPLY_NS_PER_BYTE),
+                        TAG_APPLY,
+                    );
+                } else {
+                    ctx.set_timer(self.period, TAG_SYNC, SimDuration::from_nanos(500));
+                }
+            }
+            ProcEvent::WorkDone { tag: TAG_APPLY } => {
+                self.apply_new(ctx);
+                ctx.set_timer(self.period, TAG_SYNC, SimDuration::from_nanos(500));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! kvlite checkpoint tests: memtable snapshots replicated to the
+//! checkpoint area, log truncation, and snapshot-based recovery.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::Engine;
+use hl_store::kv::{decode_snapshot, KvConfig, KvDb};
+use hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup() -> (World, Engine<World>, Rc<HyperLoopClient>) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(8 << 20).seed(61).build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 2 << 20,
+        ring_slots: 64,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = Rc::new(HyperLoopClient::new(group, &mut w));
+    (w, eng, client)
+}
+
+fn drain(eng: &mut Engine<World>, w: &mut World, flag: &Rc<RefCell<u32>>, want: u32) {
+    let f = flag.clone();
+    eng.run_while(w, move |_| *f.borrow() < want);
+}
+
+#[test]
+fn checkpoint_replicates_snapshot_and_truncates() {
+    let (mut w, mut eng, client) = setup();
+    let mut db = KvDb::open(client.clone(), KvConfig::default(), &mut w, &mut eng);
+    let acks = Rc::new(RefCell::new(0u32));
+    for k in 0..30u32 {
+        let a = acks.clone();
+        db.put(
+            &mut w,
+            &mut eng,
+            format!("ck{k:04}").as_bytes(),
+            &[k as u8; 64],
+            Box::new(move |_w, _e, _r| *a.borrow_mut() += 1),
+        )
+        .unwrap();
+        drain(&mut eng, &mut w, &acks, k + 1);
+    }
+    let (_, tail_before) = db.log_cursors();
+    assert!(tail_before > 0);
+
+    // Checkpoint.
+    let done = Rc::new(RefCell::new(0u32));
+    let d = done.clone();
+    db.checkpoint(
+        &mut w,
+        &mut eng,
+        Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+    )
+    .unwrap();
+    drain(&mut eng, &mut w, &done, 1);
+
+    // The log was truncated (head caught up to tail).
+    let (head, tail) = db.log_cursors();
+    assert_eq!(head, tail);
+
+    // Every member holds the identical durable snapshot.
+    for m in 0..3 {
+        let snap = db.read_checkpoint(&w, m).expect("checkpoint on member");
+        assert_eq!(snap.len(), 30, "member {m}");
+        assert_eq!(snap.get(b"ck0011"), Some([11u8; 64].as_slice()));
+    }
+
+    // Crash every replica: the snapshot survives and fully rebuilds the
+    // table (snapshot + empty log = recovery).
+    for h in 1..3usize {
+        w.hosts[h].mem.crash();
+    }
+    for m in 1..3 {
+        let base = {
+            use hyperloop::api::GroupClient;
+            client.member_addr(m, KvConfig::default().layout.db_off)
+        };
+        let len = w.hosts[m].mem.read_u32(base).unwrap() as usize;
+        let bytes = w.hosts[m].mem.read_vec(base + 4, len).unwrap();
+        let recovered = decode_snapshot(&bytes).expect("durable snapshot decodes");
+        assert_eq!(recovered.len(), 30);
+        assert_eq!(recovered.get(b"ck0029"), Some([29u8; 64].as_slice()));
+    }
+}
+
+#[test]
+fn checkpoint_then_more_writes_keeps_log_small() {
+    let (mut w, mut eng, client) = setup();
+    let mut db = KvDb::open(client.clone(), KvConfig::default(), &mut w, &mut eng);
+    let acks = Rc::new(RefCell::new(0u32));
+    for k in 0..10u32 {
+        let a = acks.clone();
+        db.put(
+            &mut w,
+            &mut eng,
+            format!("a{k}").as_bytes(),
+            b"1",
+            Box::new(move |_w, _e, _r| *a.borrow_mut() += 1),
+        )
+        .unwrap();
+        drain(&mut eng, &mut w, &acks, k + 1);
+    }
+    let done = Rc::new(RefCell::new(0u32));
+    let d = done.clone();
+    db.checkpoint(
+        &mut w,
+        &mut eng,
+        Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+    )
+    .unwrap();
+    drain(&mut eng, &mut w, &done, 1);
+    let (head1, _) = db.log_cursors();
+
+    // Ten more writes append after the truncation point.
+    for k in 10..20u32 {
+        let a = acks.clone();
+        db.put(
+            &mut w,
+            &mut eng,
+            format!("a{k}").as_bytes(),
+            b"2",
+            Box::new(move |_w, _e, _r| *a.borrow_mut() += 1),
+        )
+        .unwrap();
+        drain(&mut eng, &mut w, &acks, k + 1);
+    }
+    let (head2, tail2) = db.log_cursors();
+    assert!(head2 >= head1);
+    assert!(tail2 > head2, "new records live past the checkpoint");
+    // All 20 keys readable.
+    for k in 0..20u32 {
+        assert!(db.get(format!("a{k}").as_bytes()).is_some(), "a{k}");
+    }
+}

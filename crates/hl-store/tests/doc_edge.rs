@@ -1,0 +1,166 @@
+//! doclite edge cases: lock contention between pipelined transactions,
+//! lock-free mode, and document/slot boundaries.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimTime};
+use hl_store::doc::{DocLayout, DocStore, Document};
+use hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup() -> (World, Engine<World>, Rc<HyperLoopClient>) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(8 << 20).seed(71).build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 2 << 20,
+        ring_slots: 64,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = Rc::new(HyperLoopClient::new(group, &mut w));
+    (w, eng, client)
+}
+
+fn doc(id: u64, marker: &str) -> Document {
+    let mut d = Document::new(id);
+    d.set("m", marker.as_bytes());
+    d
+}
+
+/// Two upserts issued back-to-back: the second's wrLock finds the lock
+/// held, backs off, retries, and both commit with the later value
+/// winning the shared slot.
+#[test]
+fn pipelined_upserts_serialize_via_group_lock() {
+    let (mut w, mut eng, client) = setup();
+    let store = DocStore::open(client.clone(), DocLayout::default(), 1, true);
+    let done = Rc::new(RefCell::new(0u32));
+    for marker in ["first", "second"] {
+        let d = done.clone();
+        store
+            .upsert(
+                &mut w,
+                &mut eng,
+                &doc(5, marker),
+                Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+            )
+            .unwrap();
+    }
+    let probe = done.clone();
+    eng.run_while(&mut w, move |_| *probe.borrow() < 2);
+    assert_eq!(store.committed(), 2);
+    // Journal appends are FIFO on the gWRITE ring, so "second" executed
+    // last and owns the slot.
+    let got = store.read(&mut w, 5).unwrap();
+    assert_eq!(got.get("m"), Some(b"second".as_slice()));
+    // The lock is free on every member.
+    for m in 0..3 {
+        use hyperloop::api::GroupClient;
+        let host = client.member_host(m);
+        let v = w.hosts[host.0]
+            .mem
+            .read_u64(client.member_addr(m, DocLayout::default().lock_off))
+            .unwrap();
+        assert_eq!(v, 0, "member {m} lock free");
+    }
+}
+
+/// Lock-free mode (weaker isolation, as §7's non-ACID variants): same
+/// data path minus the gCAS pair.
+#[test]
+fn lock_free_mode_commits_without_touching_lock_word() {
+    let (mut w, mut eng, client) = setup();
+    let store = DocStore::open(client.clone(), DocLayout::default(), 1, false);
+    let done = Rc::new(RefCell::new(0u32));
+    for id in 0..5u64 {
+        let d = done.clone();
+        store
+            .upsert(
+                &mut w,
+                &mut eng,
+                &doc(id, "nolock"),
+                Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+            )
+            .unwrap();
+        let probe = done.clone();
+        let want = id as u32 + 1;
+        eng.run_while(&mut w, move |_| *probe.borrow() < want);
+    }
+    assert_eq!(store.committed(), 5);
+    for id in 0..5 {
+        assert!(store.read(&mut w, id).is_some());
+        assert!(store.read_at(&mut w, 2, id).is_some());
+    }
+    // No gCAS ever ran: the lock word was never written.
+    use hyperloop::api::GroupClient;
+    let v = w.hosts[1]
+        .mem
+        .read_u64(client.member_addr(1, DocLayout::default().lock_off))
+        .unwrap();
+    assert_eq!(v, 0);
+}
+
+/// Documents hash onto slots; two ids that collide (id % n_slots) are
+/// last-writer-wins in the slot — the store's documented semantics.
+#[test]
+fn slot_collisions_are_last_writer_wins() {
+    let (mut w, mut eng, client) = setup();
+    let layout = DocLayout {
+        n_slots: 16,
+        ..Default::default()
+    };
+    let store = DocStore::open(client, layout, 1, true);
+    let done = Rc::new(RefCell::new(0u32));
+    for id in [3u64, 19] {
+        // 19 % 16 == 3: same slot.
+        let d = done.clone();
+        store
+            .upsert(
+                &mut w,
+                &mut eng,
+                &doc(id, "v"),
+                Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+            )
+            .unwrap();
+        let probe = done.clone();
+        eng.run_while(&mut w, move |_| *probe.borrow() < 1);
+    }
+    let probe = done.clone();
+    eng.run_while(&mut w, move |_| *probe.borrow() < 2);
+    // The slot now holds id 19; a read of 3 sees the collision.
+    let got = store.read(&mut w, 3).unwrap();
+    assert_eq!(got.id, 19);
+}
+
+/// A maximal document that exactly fits its slot round-trips; the slot
+/// header length is validated everywhere.
+#[test]
+fn max_size_document_fits_slot_exactly() {
+    let (mut w, mut eng, client) = setup();
+    let layout = DocLayout::default();
+    let slot = layout.slot_size as usize;
+    let store = DocStore::open(client, layout, 1, true);
+    // Build a document whose encoding is exactly slot - 4.
+    let mut d = Document::new(1);
+    let overhead = d.encoded_len() + 2 + 1 + 4; // one field named "x"
+    d.set("x", &vec![9u8; slot - 4 - overhead]);
+    assert_eq!(d.encoded_len() + 4, slot);
+    let done = Rc::new(RefCell::new(0u32));
+    let dn = done.clone();
+    store
+        .upsert(
+            &mut w,
+            &mut eng,
+            &d,
+            Box::new(move |_w, _e, _r| *dn.borrow_mut() += 1),
+        )
+        .unwrap();
+    let probe = done.clone();
+    eng.run_while(&mut w, move |_| *probe.borrow() < 1);
+    let got = store.read(&mut w, 1).unwrap();
+    assert_eq!(got.get("x").unwrap().len(), slot - 4 - overhead);
+    let _ = eng.now() < SimTime::MAX;
+}

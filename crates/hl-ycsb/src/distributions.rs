@@ -1,0 +1,213 @@
+//! YCSB key-chooser distributions.
+//!
+//! Implements the three generators the YCSB core workloads use:
+//! uniform, (scrambled) zipfian, and latest — following the rejection
+//! method of Gray et al. used by the reference YCSB implementation.
+
+use hl_sim::RngStream;
+
+/// Zipfian generator over `[0, n)` with the YCSB default constant 0.99.
+///
+/// Uses the closed-form approximation from "Quickly Generating
+/// Billion-Record Synthetic Databases" (Gray et al., SIGMOD '94), the
+/// same algorithm as YCSB's `ZipfianGenerator`.
+///
+/// ```
+/// use hl_ycsb::Zipfian;
+/// use hl_sim::RngFactory;
+/// let z = Zipfian::ycsb(1_000);
+/// let mut rng = RngFactory::new(1).stream("keys");
+/// let hot = (0..1000).filter(|_| z.next_rank(&mut rng) == 0).count();
+/// assert!(hot > 50, "rank 0 is hot: {hot}/1000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Generator over `items` items with skew `theta` (0.99 = YCSB).
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0);
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            items,
+            theta,
+            zetan,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+
+    /// YCSB-default skew.
+    pub fn ycsb(items: u64) -> Self {
+        Self::new(items, 0.99)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; sampled approximation for large n keeps
+        // construction O(1)-ish without visible skew error.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // Integral approximation of the tail.
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
+        }
+    }
+
+    /// Draw a rank in `[0, items)`; rank 0 is the hottest.
+    pub fn next_rank(&self, rng: &mut RngStream) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.items as f64) as u64;
+        v.min(self.items - 1)
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Keep the precomputed constants but re-target a new item count
+    /// (cheap enough to rebuild; used when inserts grow the keyspace).
+    pub fn grow(&mut self, items: u64) {
+        if items != self.items {
+            *self = Zipfian::new(items, self.theta);
+        }
+        let _ = self.zeta2;
+    }
+}
+
+/// FNV-based scramble so hot zipfian ranks spread over the keyspace
+/// (YCSB's `ScrambledZipfianGenerator`).
+pub fn scramble(rank: u64, items: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in rank.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h % items
+}
+
+/// Key chooser kinds used by the YCSB core workloads.
+#[derive(Debug, Clone)]
+pub enum KeyChooser {
+    /// Uniform over the current keyspace.
+    Uniform,
+    /// Scrambled zipfian (workloads A, B, E, F).
+    ScrambledZipfian(Zipfian),
+    /// Skewed toward the most recent inserts (workload D).
+    Latest(Zipfian),
+}
+
+impl KeyChooser {
+    /// Draw a key id given the current record count.
+    pub fn next(&mut self, rng: &mut RngStream, records: u64) -> u64 {
+        match self {
+            KeyChooser::Uniform => rng.range_u64(0, records),
+            KeyChooser::ScrambledZipfian(z) => {
+                z.grow(records.max(1));
+                scramble(z.next_rank(rng), records)
+            }
+            KeyChooser::Latest(z) => {
+                z.grow(records.max(1));
+                let r = z.next_rank(rng);
+                // Rank 0 = newest record.
+                records - 1 - r.min(records - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sim::RngFactory;
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::ycsb(1000);
+        let mut rng = RngFactory::new(1).stream("z");
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            let r = z.next_rank(&mut rng);
+            assert!(r < 1000);
+            counts[r as usize] += 1;
+        }
+        // Rank 0 should get ~ 1/zeta(1000) ≈ 13% of draws; definitely
+        // far more than uniform (0.1%).
+        assert!(counts[0] > 5_000, "rank0 {}", counts[0]);
+        // And the head dominates the tail.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(head > 20 * tail.max(1), "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn scramble_spreads_hot_keys() {
+        let a = scramble(0, 1000);
+        let b = scramble(1, 1000);
+        let c = scramble(2, 1000);
+        assert!(a < 1000 && b < 1000 && c < 1000);
+        assert!(a != b && b != c, "adjacent ranks land apart");
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut ch = KeyChooser::Latest(Zipfian::ycsb(1000));
+        let mut rng = RngFactory::new(2).stream("l");
+        let recent = (0..10_000)
+            .filter(|_| ch.next(&mut rng, 1000) >= 900)
+            .count();
+        assert!(recent > 5_000, "recent fraction {recent}/10000");
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut ch = KeyChooser::Uniform;
+        let mut rng = RngFactory::new(3).stream("u");
+        let mut seen = [false; 100];
+        for _ in 0..5_000 {
+            seen[ch.next(&mut rng, 100) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipfian_grow_tracks_keyspace() {
+        let mut z = Zipfian::ycsb(10);
+        z.grow(20);
+        assert_eq!(z.items(), 20);
+        let mut rng = RngFactory::new(4).stream("g");
+        for _ in 0..100 {
+            assert!(z.next_rank(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn large_keyspace_zeta_approximation() {
+        // Construction stays fast and sane for big tables.
+        let z = Zipfian::ycsb(10_000_000);
+        let mut rng = RngFactory::new(5).stream("big");
+        for _ in 0..1000 {
+            assert!(z.next_rank(&mut rng) < 10_000_000);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! YCSB client drivers: closed-loop processes that run a workload
+//! against a store and record per-operation latency histograms.
+//!
+//! Two drivers exist, matching the paper's two measurement targets:
+//!
+//! * [`HlDriver`] — runs ops against a [`DocStore`] front-end embedded
+//!   in the client (the paper's HyperLoop-modified MongoDB, also usable
+//!   with the Naïve-RDMA backend);
+//! * [`NativeDriver`] — sends [`ClientOp`] requests to a native replica
+//!   set's primary (the conventional MongoDB path).
+//!
+//! Latency is measured from the moment the op is drawn (before the
+//! client software-stack cost) to its completion, like YCSB does.
+
+use crate::workload::{Op, OpGenerator, OpKind, Workload};
+use hl_cluster::{deliver, Ctx, ProcAddr, ProcEvent, Process, World};
+use hl_sim::{Engine, Histogram, RngStream, SimDuration, SimTime};
+use hl_store::doc::native::{client_op_wire_size, ClientOp, ClientReply, DocOp};
+use hl_store::doc::{DocStore, Document};
+use hyperloop::api::GroupClient;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Latency statistics shared by all drivers of one experiment.
+#[derive(Debug)]
+pub struct YcsbStats {
+    per_kind: [Histogram; 5],
+    /// All operations.
+    pub all: Histogram,
+    /// Writes only (the paper reports insert/update latency).
+    pub writes: Histogram,
+    /// Completed operations.
+    pub completed: u64,
+    /// Drivers that have finished their quota.
+    pub drivers_done: usize,
+}
+
+fn kind_idx(k: OpKind) -> usize {
+    match k {
+        OpKind::Read => 0,
+        OpKind::Update => 1,
+        OpKind::Insert => 2,
+        OpKind::Modify => 3,
+        OpKind::Scan => 4,
+    }
+}
+
+impl Default for YcsbStats {
+    fn default() -> Self {
+        YcsbStats {
+            per_kind: std::array::from_fn(|_| Histogram::new()),
+            all: Histogram::new(),
+            writes: Histogram::new(),
+            completed: 0,
+            drivers_done: 0,
+        }
+    }
+}
+
+impl YcsbStats {
+    /// Shared empty stats.
+    pub fn shared() -> Rc<RefCell<YcsbStats>> {
+        Rc::new(RefCell::new(YcsbStats::default()))
+    }
+
+    /// Record one completed op.
+    pub fn record(&mut self, kind: OpKind, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        self.per_kind[kind_idx(kind)].record(ns);
+        self.all.record(ns);
+        if kind.is_write() {
+            self.writes.record(ns);
+        }
+        self.completed += 1;
+    }
+
+    /// Histogram for one op kind.
+    pub fn kind(&self, k: OpKind) -> &Histogram {
+        &self.per_kind[kind_idx(k)]
+    }
+}
+
+/// Client software-stack CPU costs (query construction, parsing,
+/// validation, result decoding — MongoDB's "high overhead inherent to
+/// the software stack in the client", paper §6.2).
+#[derive(Debug, Clone)]
+pub struct FrontEndCosts {
+    /// Per-write op.
+    pub write: SimDuration,
+    /// Per-read op.
+    pub read: SimDuration,
+    /// Per scanned document.
+    pub scan_per_doc: SimDuration,
+}
+
+impl Default for FrontEndCosts {
+    fn default() -> Self {
+        FrontEndCosts {
+            write: SimDuration::from_micros(150),
+            read: SimDuration::from_micros(60),
+            scan_per_doc: SimDuration::from_micros(4),
+        }
+    }
+}
+
+/// Build the YCSB document for a key (10 × ~100 B fields ≈ 1 KB values,
+/// the paper's record shape).
+pub fn ycsb_document(key: u64, field_bytes: usize) -> Document {
+    let mut d = Document::new(key);
+    for f in 0..10 {
+        d.set(&format!("field{f}"), &vec![(key % 251) as u8; field_bytes]);
+    }
+    d
+}
+
+/// Untimed preload of a [`DocStore`]'s slot area on every member.
+pub fn preload_docstore<C: GroupClient + 'static>(
+    w: &mut World,
+    client: &C,
+    layout: &hl_store::doc::DocLayout,
+    records: u64,
+    field_bytes: usize,
+) {
+    for id in 0..records {
+        let doc = ycsb_document(id, field_bytes);
+        let blob = doc.encode_slot(layout.slot_size as usize);
+        let off = layout.log.db_off + (id % layout.n_slots) * layout.slot_size;
+        for m in 0..client.group_size() {
+            let host = client.member_host(m);
+            let addr = client.member_addr(m, off);
+            w.hosts[host.0].mem.write(addr, &blob).unwrap();
+        }
+    }
+    for m in 0..client.group_size() {
+        let host = client.member_host(m);
+        w.hosts[host.0].mem.flush_all();
+    }
+}
+
+const TAG_FE: u64 = 31;
+
+enum Phase {
+    Idle,
+    AwaitWrite { op: Op, started: SimTime },
+}
+
+/// Closed-loop driver for a [`DocStore`] front-end.
+pub struct HlDriver<C: GroupClient> {
+    store: DocStore<C>,
+    gen: OpGenerator,
+    rng: RngStream,
+    stats: Rc<RefCell<YcsbStats>>,
+    ops_left: u64,
+    warmup: u64,
+    costs: FrontEndCosts,
+    field_bytes: usize,
+    cur: Option<(Op, SimTime)>,
+    phase: Phase,
+}
+
+impl<C: GroupClient + 'static> HlDriver<C> {
+    /// A driver that will run `ops` operations (after `warmup` unrecorded
+    /// ones).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: DocStore<C>,
+        workload: Workload,
+        records: u64,
+        ops: u64,
+        warmup: u64,
+        rng: RngStream,
+        stats: Rc<RefCell<YcsbStats>>,
+        costs: FrontEndCosts,
+    ) -> Self {
+        HlDriver {
+            store,
+            gen: OpGenerator::new(workload, records),
+            rng,
+            stats,
+            ops_left: ops + warmup,
+            warmup,
+            costs,
+            field_bytes: 100,
+            cur: None,
+            phase: Phase::Idle,
+        }
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.ops_left == 0 {
+            self.stats.borrow_mut().drivers_done += 1;
+            return;
+        }
+        self.ops_left -= 1;
+        let op = self.gen.next_op(&mut self.rng);
+        let cost = match op.kind {
+            OpKind::Read => self.costs.read,
+            OpKind::Scan => self.costs.read + self.costs.scan_per_doc * op.scan_len as u64,
+            OpKind::Modify => self.costs.read + self.costs.write,
+            _ => self.costs.write,
+        };
+        self.cur = Some((op, ctx.now()));
+        ctx.submit_work(cost, TAG_FE);
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>, op: Op, started: SimTime) {
+        if self.warmup > 0 {
+            self.warmup -= 1;
+        } else {
+            let lat = ctx.now().duration_since(started);
+            self.stats.borrow_mut().record(op.kind, lat);
+        }
+        self.start_next(ctx);
+    }
+
+    fn issue_write(&mut self, ctx: &mut Ctx<'_>, op: Op, started: SimTime) {
+        let doc = ycsb_document(op.key, self.field_bytes);
+        let me = ctx.me;
+        let res = self.store.upsert(
+            ctx.world,
+            ctx.eng,
+            &doc,
+            Box::new(move |w, eng, _r| {
+                // Completion interrupt back to the driver (negligible
+                // cost: the measurement client is not the bottleneck).
+                deliver(
+                    me,
+                    ProcEvent::Message(Box::new(WriteDone)),
+                    SimDuration::from_micros(2),
+                    w,
+                    eng,
+                );
+            }),
+        );
+        match res {
+            Ok(()) => self.phase = Phase::AwaitWrite { op, started },
+            Err(_) => {
+                // Ring backpressure: retry shortly.
+                let me = ctx.me;
+                ctx.eng
+                    .schedule(SimDuration::from_micros(50), move |w, eng| {
+                        deliver(
+                            me,
+                            ProcEvent::Message(Box::new(RetryWrite { op, started })),
+                            SimDuration::from_micros(1),
+                            w,
+                            eng,
+                        );
+                    });
+            }
+        }
+    }
+}
+
+struct WriteDone;
+struct RetryWrite {
+    op: Op,
+    started: SimTime,
+}
+
+impl<C: GroupClient + 'static> Process for HlDriver<C> {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            ProcEvent::Started => self.start_next(ctx),
+            ProcEvent::WorkDone { tag: TAG_FE } => {
+                let (op, started) = self.cur.take().expect("op in flight");
+                match op.kind {
+                    OpKind::Read => {
+                        let _ = self.store.read(ctx.world, op.key);
+                        self.finish(ctx, op, started);
+                    }
+                    OpKind::Scan => {
+                        let _ = self.store.scan(ctx.world, op.key, op.scan_len);
+                        self.finish(ctx, op, started);
+                    }
+                    OpKind::Modify => {
+                        let _ = self.store.read(ctx.world, op.key);
+                        self.issue_write(ctx, op, started);
+                    }
+                    OpKind::Update | OpKind::Insert => {
+                        self.issue_write(ctx, op, started);
+                    }
+                }
+            }
+            ProcEvent::Message(m) => {
+                if m.downcast_ref::<WriteDone>().is_some() {
+                    if let Phase::AwaitWrite { op, started } =
+                        std::mem::replace(&mut self.phase, Phase::Idle)
+                    {
+                        self.finish(ctx, op, started);
+                    }
+                } else if let Ok(r) = m.downcast::<RetryWrite>() {
+                    self.issue_write(ctx, r.op, r.started);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Closed-loop driver for a native replica set.
+pub struct NativeDriver {
+    primary: ProcAddr,
+    write_recv_cost: SimDuration,
+    read_recv_cost: SimDuration,
+    gen: OpGenerator,
+    rng: RngStream,
+    stats: Rc<RefCell<YcsbStats>>,
+    ops_left: u64,
+    warmup: u64,
+    costs: FrontEndCosts,
+    field_bytes: usize,
+    cur: Option<(Op, SimTime)>,
+    next_op_id: u64,
+}
+
+impl NativeDriver {
+    /// A driver bound to a native set's primary.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        primary: ProcAddr,
+        write_recv_cost: SimDuration,
+        read_recv_cost: SimDuration,
+        workload: Workload,
+        records: u64,
+        ops: u64,
+        warmup: u64,
+        rng: RngStream,
+        stats: Rc<RefCell<YcsbStats>>,
+        costs: FrontEndCosts,
+    ) -> Self {
+        let mut rng = rng;
+        // Op ids must be unique across every driver sharing a primary.
+        let next_op_id = rng.u64() << 20;
+        NativeDriver {
+            primary,
+            write_recv_cost,
+            read_recv_cost,
+            gen: OpGenerator::new(workload, records),
+            rng,
+            stats,
+            ops_left: ops + warmup,
+            warmup,
+            costs,
+            field_bytes: 100,
+            cur: None,
+            next_op_id,
+        }
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.ops_left == 0 {
+            self.stats.borrow_mut().drivers_done += 1;
+            return;
+        }
+        self.ops_left -= 1;
+        let op = self.gen.next_op(&mut self.rng);
+        let cost = match op.kind {
+            OpKind::Read => self.costs.read,
+            OpKind::Scan => self.costs.read + self.costs.scan_per_doc * op.scan_len as u64,
+            OpKind::Modify => self.costs.read + self.costs.write,
+            _ => self.costs.write,
+        };
+        self.cur = Some((op, ctx.now()));
+        ctx.submit_work(cost, TAG_FE);
+    }
+
+    fn send_op(&mut self, ctx: &mut Ctx<'_>, op: Op) {
+        let doc_op = match op.kind {
+            OpKind::Read => DocOp::Read { id: op.key },
+            OpKind::Scan => DocOp::Scan {
+                id: op.key,
+                n: op.scan_len,
+            },
+            // Modify = read (free ride on the reply) + upsert; model the
+            // write part, the read happened in the FE phase.
+            _ => DocOp::Upsert(ycsb_document(op.key, self.field_bytes)),
+        };
+        let recv_cost = match op.kind {
+            OpKind::Read | OpKind::Scan => self.read_recv_cost,
+            _ => self.write_recv_cost,
+        };
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        let size = client_op_wire_size(&doc_op);
+        ctx.send_msg(
+            self.primary,
+            Box::new(ClientOp {
+                op_id,
+                reply_to: ctx.me,
+                op: doc_op,
+            }),
+            size,
+            recv_cost,
+        );
+    }
+}
+
+impl Process for NativeDriver {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            ProcEvent::Started => self.start_next(ctx),
+            ProcEvent::WorkDone { tag: TAG_FE } => {
+                let (op, _started) = *self.cur.as_ref().expect("op in flight");
+                self.send_op(ctx, op);
+            }
+            ProcEvent::Message(m) if m.downcast_ref::<ClientReply>().is_some() => {
+                let (op, started) = self.cur.take().expect("op in flight");
+                if self.warmup > 0 {
+                    self.warmup -= 1;
+                } else {
+                    let lat = ctx.now().duration_since(started);
+                    self.stats.borrow_mut().record(op.kind, lat);
+                }
+                self.start_next(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run the engine until `n` drivers report done (or `deadline` passes).
+pub fn run_until_done(
+    w: &mut World,
+    eng: &mut Engine<World>,
+    stats: &Rc<RefCell<YcsbStats>>,
+    n: usize,
+    deadline: SimTime,
+) {
+    let s = stats.clone();
+    while s.borrow().drivers_done < n && eng.now() < deadline {
+        if !eng.step(w) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # hl-ycsb — Yahoo! Cloud Serving Benchmark workload generator
+//!
+//! The paper evaluates with YCSB core workloads A/B/D/E/F (its Table 3).
+//! This crate provides the key-chooser distributions (uniform, scrambled
+//! zipfian, latest), the workload mixes, and closed-loop client driver
+//! processes for both the HyperLoop-offloaded document store and the
+//! native (CPU) replica sets — recording HDR latency histograms per
+//! operation type.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod driver;
+pub mod workload;
+
+pub use distributions::{KeyChooser, Zipfian};
+pub use driver::{
+    preload_docstore, run_until_done, ycsb_document, FrontEndCosts, HlDriver, NativeDriver,
+    YcsbStats,
+};
+pub use workload::{Op, OpGenerator, OpKind, Workload};

@@ -1,0 +1,237 @@
+//! YCSB core workload definitions (paper Table 3).
+//!
+//! | Workload | Read | Update | Insert | Modify (RMW) | Scan |
+//! |----------|------|--------|--------|--------------|------|
+//! | A        | 50   | 50     | –      | –            | –    |
+//! | B        | 95   | 5      | –      | –            | –    |
+//! | D        | 95   | –      | 5      | –            | –    |
+//! | E        | –    | –      | 5      | –            | 95   |
+//! | F        | 50   | –      | –      | 50           | –    |
+
+use crate::distributions::{KeyChooser, Zipfian};
+use hl_sim::RngStream;
+
+/// Operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Read,
+    /// Overwrite an existing record.
+    Update,
+    /// Insert a new record (grows the keyspace).
+    Insert,
+    /// Read-modify-write.
+    Modify,
+    /// Range scan.
+    Scan,
+}
+
+impl OpKind {
+    /// Is this a write for latency-accounting purposes (the paper's
+    /// "insert/update operations")?
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Update | OpKind::Insert | OpKind::Modify)
+    }
+}
+
+/// A concrete operation to execute.
+#[derive(Debug, Clone, Copy)]
+pub struct Op {
+    /// Kind.
+    pub kind: OpKind,
+    /// Target key id.
+    pub key: u64,
+    /// Scan width (valid for `Scan`).
+    pub scan_len: usize,
+}
+
+/// The YCSB core workloads used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 50/50 read/update.
+    A,
+    /// 95/5 read/update.
+    B,
+    /// 95/5 read/insert, latest distribution.
+    D,
+    /// 95/5 scan/insert.
+    E,
+    /// 50/50 read/read-modify-write.
+    F,
+}
+
+impl Workload {
+    /// All five, in paper order.
+    pub const ALL: [Workload; 5] = [
+        Workload::A,
+        Workload::B,
+        Workload::D,
+        Workload::E,
+        Workload::F,
+    ];
+
+    /// Display letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::D => "D",
+            Workload::E => "E",
+            Workload::F => "F",
+        }
+    }
+
+    /// `(read, update, insert, modify, scan)` percentages (Table 3).
+    pub fn mix(self) -> (u32, u32, u32, u32, u32) {
+        match self {
+            Workload::A => (50, 50, 0, 0, 0),
+            Workload::B => (95, 5, 0, 0, 0),
+            Workload::D => (95, 0, 5, 0, 0),
+            Workload::E => (0, 0, 5, 0, 95),
+            Workload::F => (50, 0, 0, 50, 0),
+        }
+    }
+}
+
+/// Stateful op generator for one client thread.
+#[derive(Debug)]
+pub struct OpGenerator {
+    workload: Workload,
+    chooser: KeyChooser,
+    records: u64,
+    max_scan: usize,
+}
+
+impl OpGenerator {
+    /// Generator over an initial keyspace of `records` records.
+    pub fn new(workload: Workload, records: u64) -> Self {
+        let chooser = match workload {
+            Workload::D => KeyChooser::Latest(Zipfian::ycsb(records.max(1))),
+            _ => KeyChooser::ScrambledZipfian(Zipfian::ycsb(records.max(1))),
+        };
+        OpGenerator {
+            workload,
+            chooser,
+            records,
+            max_scan: 100,
+        }
+    }
+
+    /// Current record count (inserts grow it).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Draw the next operation.
+    pub fn next_op(&mut self, rng: &mut RngStream) -> Op {
+        let (read, update, insert, modify, _scan) = self.workload.mix();
+        let roll = rng.range_u64(0, 100) as u32;
+        let kind = if roll < read {
+            OpKind::Read
+        } else if roll < read + update {
+            OpKind::Update
+        } else if roll < read + update + insert {
+            OpKind::Insert
+        } else if roll < read + update + insert + modify {
+            OpKind::Modify
+        } else {
+            OpKind::Scan
+        };
+        match kind {
+            OpKind::Insert => {
+                let key = self.records;
+                self.records += 1;
+                Op {
+                    kind,
+                    key,
+                    scan_len: 0,
+                }
+            }
+            OpKind::Scan => Op {
+                kind,
+                key: self.chooser.next(rng, self.records),
+                scan_len: 1 + rng.index(self.max_scan),
+            },
+            _ => Op {
+                kind,
+                key: self.chooser.next(rng, self.records),
+                scan_len: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sim::RngFactory;
+    use std::collections::HashMap;
+
+    fn mix_of(w: Workload) -> HashMap<OpKind, u32> {
+        let mut g = OpGenerator::new(w, 1000);
+        let mut rng = RngFactory::new(9).stream("mix");
+        let mut counts = HashMap::new();
+        for _ in 0..20_000 {
+            let op = g.next_op(&mut rng);
+            *counts.entry(op.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    fn frac(counts: &HashMap<OpKind, u32>, k: OpKind) -> f64 {
+        *counts.get(&k).unwrap_or(&0) as f64 / 20_000.0
+    }
+
+    /// Table 3: the generated mixes match the paper's percentages.
+    #[test]
+    fn table3_mixes() {
+        let a = mix_of(Workload::A);
+        assert!((frac(&a, OpKind::Read) - 0.50).abs() < 0.02);
+        assert!((frac(&a, OpKind::Update) - 0.50).abs() < 0.02);
+
+        let b = mix_of(Workload::B);
+        assert!((frac(&b, OpKind::Read) - 0.95).abs() < 0.01);
+        assert!((frac(&b, OpKind::Update) - 0.05).abs() < 0.01);
+
+        let d = mix_of(Workload::D);
+        assert!((frac(&d, OpKind::Read) - 0.95).abs() < 0.01);
+        assert!((frac(&d, OpKind::Insert) - 0.05).abs() < 0.01);
+
+        let e = mix_of(Workload::E);
+        assert!((frac(&e, OpKind::Scan) - 0.95).abs() < 0.01);
+        assert!((frac(&e, OpKind::Insert) - 0.05).abs() < 0.01);
+
+        let f = mix_of(Workload::F);
+        assert!((frac(&f, OpKind::Read) - 0.50).abs() < 0.02);
+        assert!((frac(&f, OpKind::Modify) - 0.50).abs() < 0.02);
+    }
+
+    #[test]
+    fn inserts_grow_keyspace_monotonically() {
+        let mut g = OpGenerator::new(Workload::D, 100);
+        let mut rng = RngFactory::new(10).stream("ins");
+        let mut next_expected = 100;
+        for _ in 0..2000 {
+            let op = g.next_op(&mut rng);
+            if op.kind == OpKind::Insert {
+                assert_eq!(op.key, next_expected);
+                next_expected += 1;
+            } else {
+                assert!(op.key < g.records());
+            }
+        }
+        assert!(g.records() > 100);
+    }
+
+    #[test]
+    fn scans_have_bounded_width() {
+        let mut g = OpGenerator::new(Workload::E, 1000);
+        let mut rng = RngFactory::new(11).stream("scan");
+        for _ in 0..1000 {
+            let op = g.next_op(&mut rng);
+            if op.kind == OpKind::Scan {
+                assert!(op.scan_len >= 1 && op.scan_len <= 100);
+            }
+        }
+    }
+}

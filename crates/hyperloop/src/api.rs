@@ -1,0 +1,745 @@
+//! Storage-facing replication API (paper §5).
+//!
+//! The building blocks the modified RocksDB/MongoDB use:
+//!
+//! * [`GroupClient`] — one trait over the HyperLoop client and the
+//!   Naïve-RDMA baseline so storage engines switch backends with a type
+//!   parameter (the paper's apples-to-apples comparison).
+//! * [`ReplicatedLog`] — `Initialize` / `Append` / `ExecuteAndAdvance`:
+//!   a replicated write-ahead log whose records are lists of
+//!   `(db_offset, bytes)` redo entries (ARIES-style, paper §5 "each log
+//!   record is a redo-log ... list of modifications").
+//! * [`GroupLock`] — `wrLock`/`wrUnlock` (group-wide, via gCAS with
+//!   undo on partial acquisition) and `rdLock`/`rdUnlock` (per-member
+//!   reader counting, letting every replica serve consistent reads).
+
+use crate::group::{Backpressure, OnDone, OpResult};
+use crate::{naive::NaiveClient, HyperLoopClient};
+use hl_cluster::World;
+use hl_sim::Engine;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Uniform surface over [`HyperLoopClient`] and
+/// [`crate::naive::NaiveClient`].
+pub trait GroupClient {
+    /// Replicate `data` at `offset`; optionally durable before ACK.
+    fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure>;
+    /// Copy within the replicated region on every member.
+    #[allow(clippy::too_many_arguments)]
+    fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure>;
+    /// Group compare-and-swap with execute map.
+    #[allow(clippy::too_many_arguments)]
+    fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure>;
+    /// Standalone durability flush.
+    fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure>;
+    /// Group size (members incl. client).
+    fn group_size(&self) -> usize;
+    /// Absolute arena address of `offset` on member `m` (0 = client).
+    fn member_addr(&self, m: usize, offset: u64) -> u64;
+    /// Host of member `m`.
+    fn member_host(&self, m: usize) -> hl_fabric::HostId;
+}
+
+impl GroupClient for HyperLoopClient {
+    fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        HyperLoopClient::gwrite(self, w, eng, offset, data, flush, done)
+    }
+    fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        HyperLoopClient::gmemcpy(self, w, eng, src_off, dst_off, len, flush, done)
+    }
+    fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        HyperLoopClient::gcas(self, w, eng, offset, cmp, swp, exec_map, done)
+    }
+    fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        HyperLoopClient::gflush(self, w, eng, offset, len, done)
+    }
+    fn group_size(&self) -> usize {
+        self.group().borrow().g
+    }
+    fn member_addr(&self, m: usize, offset: u64) -> u64 {
+        self.group().borrow().member_addr(m, offset)
+    }
+    fn member_host(&self, m: usize) -> hl_fabric::HostId {
+        let g = self.group().borrow();
+        if m == 0 {
+            g.cfg.client
+        } else {
+            g.cfg.replicas[m - 1]
+        }
+    }
+}
+
+impl GroupClient for NaiveClient {
+    fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        NaiveClient::gwrite(self, w, eng, offset, data, flush, done)
+    }
+    fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        NaiveClient::gmemcpy(self, w, eng, src_off, dst_off, len, flush, done)
+    }
+    fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        NaiveClient::gcas(self, w, eng, offset, cmp, swp, exec_map, done)
+    }
+    fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        NaiveClient::gflush(self, w, eng, offset, len, done)
+    }
+    fn group_size(&self) -> usize {
+        self.group().borrow().replica_rep.len() + 1
+    }
+    fn member_addr(&self, m: usize, offset: u64) -> u64 {
+        self.group().borrow().member_addr(m, offset)
+    }
+    fn member_host(&self, m: usize) -> hl_fabric::HostId {
+        let g = self.group().borrow();
+        if m == 0 {
+            g.cfg.client
+        } else {
+            g.cfg.replicas[m - 1]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated write-ahead log
+// ---------------------------------------------------------------------------
+
+/// One redo entry: copy `data` to `db_offset` within the database area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoEntry {
+    /// Destination offset within the database area.
+    pub db_offset: u64,
+    /// Bytes to apply.
+    pub data: Vec<u8>,
+}
+
+/// A log record: a list of redo entries applied atomically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The entries.
+    pub entries: Vec<RedoEntry>,
+}
+
+impl LogRecord {
+    /// Serialized size: u32 count + per entry (u64 off, u32 len, data).
+    pub fn encoded_len(&self) -> u64 {
+        4 + self
+            .entries
+            .iter()
+            .map(|e| 12 + e.data.len() as u64)
+            .sum::<u64>()
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.db_offset.to_le_bytes());
+            out.extend_from_slice(&(e.data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&e.data);
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<LogRecord> {
+        let mut rec = LogRecord::default();
+        let n = u32::from_le_bytes(b.get(..4)?.try_into().ok()?) as usize;
+        let mut at = 4usize;
+        for _ in 0..n {
+            let off = u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?);
+            let len = u32::from_le_bytes(b.get(at + 8..at + 12)?.try_into().ok()?) as usize;
+            let data = b.get(at + 12..at + 12 + len)?.to_vec();
+            rec.entries.push(RedoEntry {
+                db_offset: off,
+                data,
+            });
+            at += 12 + len;
+        }
+        Some(rec)
+    }
+}
+
+/// Layout of the log within the replicated region:
+///
+/// ```text
+/// log_off:      [ head u64 | tail u64 ]   (control words)
+/// log_off+64:   [ record area, ring of log_cap bytes ]
+/// db_off:       [ database area ]
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogLayout {
+    /// Offset of the control words.
+    pub log_off: u64,
+    /// Capacity of the record area.
+    pub log_cap: u64,
+    /// Offset of the database area.
+    pub db_off: u64,
+}
+
+/// Marker written at the wrap-point padding so log readers (replica
+/// syncers) know to jump to the next ring lap.
+pub const PAD_MARKER: u32 = 0xffff_ffff;
+
+/// Client-side handle to the replicated write-ahead log.
+pub struct ReplicatedLog<C: GroupClient> {
+    client: Rc<C>,
+    layout: LogLayout,
+    /// Oldest unapplied record (byte cursor into the record ring).
+    head: u64,
+    /// One past the newest record.
+    tail: u64,
+    /// Byte cursors of records appended but not yet executed.
+    unapplied: Rc<RefCell<Vec<(u64, LogRecord)>>>,
+    /// Track appended records for `execute_and_advance` (on by default;
+    /// kvlite applies at replicas instead and truncates explicitly).
+    track_unapplied: bool,
+}
+
+impl<C: GroupClient + 'static> ReplicatedLog<C> {
+    /// `Initialize` (paper §5): bind the log layout. The region is
+    /// already zeroed NVM, so head = tail = 0 is a valid empty log.
+    pub fn new(client: Rc<C>, layout: LogLayout) -> Self {
+        ReplicatedLog {
+            client,
+            layout,
+            head: 0,
+            tail: 0,
+            unapplied: Rc::new(RefCell::new(Vec::new())),
+            track_unapplied: true,
+        }
+    }
+
+    /// Disable unapplied-record tracking (for engines that apply at
+    /// replicas and truncate with [`ReplicatedLog::truncate_to`]).
+    pub fn set_tracking(&mut self, on: bool) {
+        self.track_unapplied = on;
+    }
+
+    /// The log layout.
+    pub fn layout(&self) -> &LogLayout {
+        &self.layout
+    }
+
+    /// Advance and persist the head (truncation) to absolute byte
+    /// cursor `to` (≤ tail). Used by engines that confirm application
+    /// out of band (kvlite replica syncers).
+    pub fn truncate_to(
+        &mut self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        to: u64,
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        assert!(to >= self.head && to <= self.tail);
+        self.head = to;
+        let head_bytes = to.to_le_bytes();
+        self.client
+            .gwrite(w, eng, self.layout.log_off, &head_bytes, true, done)?;
+        Ok(())
+    }
+
+    fn rec_area(&self) -> u64 {
+        self.layout.log_off + 64
+    }
+
+    /// Bytes of log space in use.
+    pub fn used(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Current (head, tail) cursors.
+    pub fn cursors(&self) -> (u64, u64) {
+        (self.head, self.tail)
+    }
+
+    /// `Append`: replicate a log record durably to all members (gWRITE +
+    /// interleaved gFLUSH), then advance and persist the tail pointer.
+    /// The completion fires when the *tail update* is ACKed, i.e. the
+    /// record is durable group-wide.
+    pub fn append(
+        &mut self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        rec: &LogRecord,
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let bytes = rec.encode();
+        let len = bytes.len() as u64;
+        assert!(len <= self.layout.log_cap, "record larger than the log");
+        if self.used() + len > self.layout.log_cap {
+            return Err(Backpressure); // log full: caller must execute+truncate
+        }
+        // Ring placement; records never straddle the wrap point.
+        let mut at = self.tail % self.layout.log_cap;
+        if at + len > self.layout.log_cap {
+            // Pad to the wrap (accounted as used space) and replicate a
+            // marker so log readers skip the dead bytes.
+            let pad = self.layout.log_cap - at;
+            if self.used() + pad + len > self.layout.log_cap {
+                return Err(Backpressure);
+            }
+            if pad >= 4 {
+                let marker_off = self.rec_area() + at;
+                self.client.gwrite(
+                    w,
+                    eng,
+                    marker_off,
+                    &PAD_MARKER.to_le_bytes(),
+                    true,
+                    Box::new(|_, _, _| {}),
+                )?;
+            }
+            self.tail += pad;
+            at = 0;
+        }
+        let rec_off = self.rec_area() + at;
+        self.client
+            .gwrite(w, eng, rec_off, &bytes, true, Box::new(|_, _, _| {}))?;
+        self.tail += len;
+        if self.track_unapplied {
+            self.unapplied.borrow_mut().push((rec_off, rec.clone()));
+        }
+        // Persist the tail control word; its ACK means the whole append
+        // is durable everywhere (per-ring FIFO guarantees order).
+        let tail_bytes = self.tail.to_le_bytes();
+        self.client
+            .gwrite(w, eng, self.layout.log_off + 8, &tail_bytes, true, done)?;
+        Ok(())
+    }
+
+    /// `ExecuteAndAdvance`: apply every unapplied record to the database
+    /// area on all members (one gMEMCPY + flush per redo entry, executed
+    /// by the replicas' NICs from their own log copies), then advance
+    /// and persist the head pointer (truncation).
+    pub fn execute_and_advance(
+        &mut self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let records: Vec<(u64, LogRecord)> = self.unapplied.borrow_mut().drain(..).collect();
+        if records.is_empty() {
+            // Nothing to do; still advance head to tail for symmetry.
+            let head_bytes = self.tail.to_le_bytes();
+            self.head = self.tail;
+            self.client
+                .gwrite(w, eng, self.layout.log_off, &head_bytes, true, done)?;
+            return Ok(());
+        }
+        // Fan-in: the last copy's completion issues the head update,
+        // whose own completion fires the caller's `done`.
+        let total: usize = records.iter().map(|(_, r)| r.entries.len()).sum();
+        let remaining = Rc::new(RefCell::new(total));
+        let final_done: Rc<RefCell<Option<OnDone>>> = Rc::new(RefCell::new(Some(done)));
+        let client = self.client.clone();
+        let log_off = self.layout.log_off;
+        self.head = self.tail;
+        let new_head = self.tail;
+
+        for (rec_off, rec) in &records {
+            // Per-entry source offset: skip the record header (4) and
+            // prior entries' (12 + len) prefixes.
+            let mut src = rec_off + 4;
+            for e in &rec.entries {
+                src += 12; // entry header
+                let dst = self.layout.db_off + e.db_offset;
+                let cb: OnDone = {
+                    let remaining = remaining.clone();
+                    let final_done = final_done.clone();
+                    let client = client.clone();
+                    Box::new(move |w, eng, _r| {
+                        let mut left = remaining.borrow_mut();
+                        *left -= 1;
+                        if *left == 0 {
+                            drop(left);
+                            // All copies applied: advance + persist head.
+                            let head_bytes = new_head.to_le_bytes();
+                            let done = final_done
+                                .borrow_mut()
+                                .take()
+                                .unwrap_or_else(|| Box::new(|_, _, _| {}));
+                            let _ = client.gwrite(w, eng, log_off, &head_bytes, true, done);
+                        }
+                    })
+                };
+                client.gmemcpy(w, eng, src, dst, e.data.len() as u32, true, cb)?;
+                src += e.data.len() as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group locks
+// ---------------------------------------------------------------------------
+
+/// Lock word encodings.
+pub mod lockword {
+    /// Free.
+    pub const FREE: u64 = 0;
+    /// Writer-held: `WRITER | owner`.
+    pub const WRITER: u64 = 1 << 63;
+    /// Reader-held: `READER | count`.
+    pub const READER: u64 = 1 << 62;
+
+    /// Encode a writer.
+    pub fn writer(owner: u32) -> u64 {
+        WRITER | owner as u64
+    }
+    /// Encode `count` readers.
+    pub fn readers(count: u32) -> u64 {
+        READER | count as u64
+    }
+}
+
+/// Outcome of a lock attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held by the caller.
+    Acquired,
+    /// Another owner holds it; the operation was rolled back.
+    Contended,
+}
+
+/// Completion callback for lock operations.
+pub type OnLock = Box<dyn FnOnce(&mut World, &mut Engine<World>, LockOutcome)>;
+
+/// Group-wide single-writer / per-member multi-reader locks over lock
+/// words stored in the replicated region.
+pub struct GroupLock<C: GroupClient> {
+    client: Rc<C>,
+    /// Offset of the lock word.
+    pub lock_off: u64,
+    /// This client's owner id.
+    pub owner: u32,
+}
+
+impl<C: GroupClient + 'static> GroupLock<C> {
+    /// Bind a lock word at `lock_off`.
+    pub fn new(client: Rc<C>, lock_off: u64, owner: u32) -> Self {
+        GroupLock {
+            client,
+            lock_off,
+            owner,
+        }
+    }
+
+    /// `wrLock`: acquire the write lock on every member via one gCAS.
+    /// On partial success (some member held), a second gCAS with the
+    /// execute map of the members that *did* swap rolls back (paper
+    /// §4.2's undo flow), and the outcome is [`LockOutcome::Contended`].
+    pub fn wr_lock(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        let g = self.client.group_size();
+        let all: u32 = (1 << g) - 1;
+        let want = lockword::writer(self.owner);
+        let client = self.client.clone();
+        let lock_off = self.lock_off;
+        self.client.gcas(
+            w,
+            eng,
+            self.lock_off,
+            lockword::FREE,
+            want,
+            all,
+            Box::new(move |w, eng, r: OpResult| {
+                let succeeded: u32 = r
+                    .results
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &orig)| orig == lockword::FREE)
+                    .map(|(m, _)| 1u32 << m)
+                    .sum();
+                if succeeded == all {
+                    done(w, eng, LockOutcome::Acquired);
+                } else if succeeded == 0 {
+                    done(w, eng, LockOutcome::Contended);
+                } else {
+                    // Undo on the members that swapped.
+                    let _ = client.gcas(
+                        w,
+                        eng,
+                        lock_off,
+                        want,
+                        lockword::FREE,
+                        succeeded,
+                        Box::new(move |w, eng, _| done(w, eng, LockOutcome::Contended)),
+                    );
+                }
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// `wrUnlock`: release on every member.
+    pub fn wr_unlock(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        let g = self.client.group_size();
+        let all: u32 = (1 << g) - 1;
+        self.client.gcas(
+            w,
+            eng,
+            self.lock_off,
+            lockword::writer(self.owner),
+            lockword::FREE,
+            all,
+            Box::new(move |w, eng, _r: OpResult| {
+                done(w, eng, LockOutcome::Acquired);
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// `rdLock`: take a read share on member `m` only (readers scale
+    /// across replicas). Retries the reader-count CAS up to `retries`
+    /// times on races; fails as contended when a writer holds the word.
+    pub fn rd_lock(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        member: usize,
+        retries: u32,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        self.rd_lock_step(
+            w,
+            eng,
+            member,
+            lockword::FREE,
+            lockword::readers(1),
+            retries,
+            done,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rd_lock_step(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        member: usize,
+        cmp: u64,
+        swp: u64,
+        retries: u32,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        let client = self.client.clone();
+        let lock_off = self.lock_off;
+        let owner = self.owner;
+        let exec = 1u32 << member;
+        self.client.gcas(
+            w,
+            eng,
+            self.lock_off,
+            cmp,
+            swp,
+            exec,
+            Box::new(move |w, eng, r: OpResult| {
+                let orig = r.results[member];
+                if orig == cmp {
+                    done(w, eng, LockOutcome::Acquired);
+                    return;
+                }
+                if orig & lockword::WRITER != 0 || retries == 0 {
+                    done(w, eng, LockOutcome::Contended);
+                    return;
+                }
+                // Reader race: bump the observed count.
+                let count = (orig & !lockword::READER) as u32;
+                let lock = GroupLock {
+                    client,
+                    lock_off,
+                    owner,
+                };
+                let _ = lock.rd_lock_step(
+                    w,
+                    eng,
+                    member,
+                    orig,
+                    lockword::readers(count + 1),
+                    retries - 1,
+                    done,
+                );
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// `rdUnlock`: drop a read share on member `m` (retry loop like
+    /// [`GroupLock::rd_lock`]).
+    pub fn rd_unlock(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        member: usize,
+        retries: u32,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        self.rd_unlock_step(
+            w,
+            eng,
+            member,
+            lockword::readers(1),
+            lockword::FREE,
+            retries,
+            done,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rd_unlock_step(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        member: usize,
+        cmp: u64,
+        swp: u64,
+        retries: u32,
+        done: OnLock,
+    ) -> Result<(), Backpressure> {
+        let client = self.client.clone();
+        let lock_off = self.lock_off;
+        let owner = self.owner;
+        self.client.gcas(
+            w,
+            eng,
+            self.lock_off,
+            cmp,
+            swp,
+            1u32 << member,
+            Box::new(move |w, eng, r: OpResult| {
+                let orig = r.results[member];
+                if orig == cmp {
+                    done(w, eng, LockOutcome::Acquired);
+                    return;
+                }
+                if retries == 0 || orig & lockword::READER == 0 {
+                    done(w, eng, LockOutcome::Contended);
+                    return;
+                }
+                let count = (orig & !lockword::READER) as u32;
+                let next = if count <= 1 {
+                    lockword::FREE
+                } else {
+                    lockword::readers(count - 1)
+                };
+                let lock = GroupLock {
+                    client,
+                    lock_off,
+                    owner,
+                };
+                let _ = lock.rd_unlock_step(w, eng, member, orig, next, retries - 1, done);
+            }),
+        )?;
+        Ok(())
+    }
+}

@@ -1,0 +1,415 @@
+//! The HyperLoop client: issues group operations and dispatches ACKs.
+//!
+//! The client is the chain head (the paper's transaction coordinator).
+//! Issuing a group operation is three steps and involves no replica CPU:
+//!
+//! 1. apply the operation to the client's *own* copy of the replicated
+//!    region (the client is a group member too);
+//! 2. build the metadata message ([`crate::metadata::MetaMsg`]) whose
+//!    per-replica records are the descriptors every downstream NIC will
+//!    execute;
+//! 3. post `WRITE [FLUSH] SEND` (gWRITE) or just `SEND` (gMEMCPY/gCAS)
+//!    on the ring's outbound QP.
+//!
+//! The tail replica's NIC WRITE_IMMs the accumulated result map into the
+//! client's ACK buffer; a zero-CPU CQ callback correlates the immediate
+//! (sequence number) with the pending table and fires the caller's
+//! completion closure.
+
+use crate::group::{Backpressure, GroupRef, OnDone, OpResult};
+use crate::metadata::{self, MetaMsg, Primitive};
+use hl_cluster::World;
+use hl_rnic::{CqeKind, CqeStatus, Opcode, RecvWqe, Wqe};
+use hl_sim::{Engine, SimTime};
+
+/// Handle used by applications and benchmarks to issue group operations.
+#[derive(Clone)]
+pub struct HyperLoopClient {
+    group: GroupRef,
+}
+
+impl HyperLoopClient {
+    /// Wrap a built group and subscribe the ACK dispatchers.
+    pub fn new(group: GroupRef, w: &mut World) -> Self {
+        let ch = group.borrow().cfg.client;
+        for prim in Primitive::ALL {
+            let rc = group.clone();
+            let ack_rcq = group.borrow().client_rings[prim.idx()].ack_rcq;
+            w.subscribe_cq_callback(ch, ack_rcq, move |cqe, w, eng| {
+                dispatch_ack(&rc, cqe, w, eng);
+            });
+        }
+        HyperLoopClient { group }
+    }
+
+    /// The underlying group (stats, layout, recovery hooks).
+    pub fn group(&self) -> &GroupRef {
+        &self.group
+    }
+
+    /// Group size (members incl. the client).
+    pub fn group_size(&self) -> usize {
+        self.group.borrow().g
+    }
+
+    /// gWRITE: replicate `data` at `offset` of the replicated region on
+    /// every member. With `flush`, the write is durable on every member
+    /// before the ACK (interleaved gFLUSH).
+    pub fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let mut inner = self.group.borrow_mut();
+        inner.take_credit(Primitive::GWrite)?;
+        let seq = inner.alloc_seq();
+        let slot = inner.alloc_slot(Primitive::GWrite);
+        let g = inner.g;
+        let n = inner.n_replicas();
+        let ch = inner.cfg.client;
+        let slots = inner.cfg.ring_slots as u64;
+        let msg_len = inner.msg_len;
+
+        // 1. Local apply (the client is the head member).
+        let local = inner.client_rep.at(offset);
+        w.host(ch)
+            .mem
+            .write(local, data)
+            .expect("offset in rep region");
+        if flush {
+            w.host(ch).mem.flush(local, data.len()).unwrap();
+        }
+
+        // 2. Metadata.
+        let mut msg = MetaMsg::new(g, seq);
+        for i in 0..n.saturating_sub(1) {
+            let src = inner.replica_rep[i].at(offset);
+            let dst = inner.replica_rep[i + 1].at(offset);
+            let fop = if flush { Opcode::Flush } else { Opcode::Nop };
+            msg.set_wrec(i, data.len() as u32, src, dst, fop, dst, data.len() as u32);
+        }
+        let staging = inner.client_rings[Primitive::GWrite.idx()]
+            .staging
+            .at((slot % slots) * msg_len);
+        w.host(ch).mem.write(staging, msg.bytes()).unwrap();
+
+        // 3. Post WRITE [FLUSH] SEND toward replica 0.
+        let qp_out = inner.client_rings[Primitive::GWrite.idx()].qp_out;
+        let r0 = inner.replica_rep[0].at(offset);
+        let rkey0 = inner.rep_rkeys[0];
+        let host = &mut w.hosts[ch.0];
+        host.post_send(
+            qp_out,
+            Wqe {
+                opcode: Opcode::Write,
+                len: data.len() as u32,
+                laddr: local,
+                raddr: r0,
+                rkey: rkey0,
+                wr_id: seq as u64,
+                ..Default::default()
+            },
+            false,
+        )
+        .expect("client SQ sized for inflight ops");
+        if flush {
+            host.post_send(
+                qp_out,
+                Wqe {
+                    opcode: Opcode::Flush,
+                    len: data.len() as u32,
+                    raddr: r0,
+                    rkey: rkey0,
+                    wr_id: seq as u64,
+                    ..Default::default()
+                },
+                false,
+            )
+            .unwrap();
+        }
+        self.finish_issue(
+            &mut inner,
+            w,
+            eng,
+            Primitive::GWrite,
+            seq,
+            slot,
+            staging,
+            done,
+        )
+    }
+
+    /// Standalone gFLUSH: make `[offset, offset+len)` durable on every
+    /// member (a gWRITE-ring operation carrying no data).
+    pub fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let mut inner = self.group.borrow_mut();
+        inner.take_credit(Primitive::GWrite)?;
+        let seq = inner.alloc_seq();
+        let slot = inner.alloc_slot(Primitive::GWrite);
+        let g = inner.g;
+        let n = inner.n_replicas();
+        let ch = inner.cfg.client;
+        let slots = inner.cfg.ring_slots as u64;
+        let msg_len = inner.msg_len;
+
+        let local = inner.client_rep.at(offset);
+        w.host(ch).mem.flush(local, len as usize).unwrap();
+
+        let mut msg = MetaMsg::new(g, seq);
+        for i in 0..n.saturating_sub(1) {
+            let src = inner.replica_rep[i].at(offset);
+            let dst = inner.replica_rep[i + 1].at(offset);
+            // Zero-byte write + real flush of the downstream range.
+            msg.set_wrec(i, 0, src, dst, Opcode::Flush, dst, len);
+        }
+        let staging = inner.client_rings[Primitive::GWrite.idx()]
+            .staging
+            .at((slot % slots) * msg_len);
+        w.host(ch).mem.write(staging, msg.bytes()).unwrap();
+
+        let qp_out = inner.client_rings[Primitive::GWrite.idx()].qp_out;
+        let r0 = inner.replica_rep[0].at(offset);
+        let rkey0 = inner.rep_rkeys[0];
+        w.hosts[ch.0]
+            .post_send(
+                qp_out,
+                Wqe {
+                    opcode: Opcode::Flush,
+                    len,
+                    raddr: r0,
+                    rkey: rkey0,
+                    wr_id: seq as u64,
+                    ..Default::default()
+                },
+                false,
+            )
+            .expect("client SQ sized");
+        self.finish_issue(
+            &mut inner,
+            w,
+            eng,
+            Primitive::GWrite,
+            seq,
+            slot,
+            staging,
+            done,
+        )
+    }
+
+    /// gMEMCPY: every member's NIC copies `len` bytes from `src_off` to
+    /// `dst_off` within its replicated region (log → database apply).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let mut inner = self.group.borrow_mut();
+        inner.take_credit(Primitive::GMemcpy)?;
+        let seq = inner.alloc_seq();
+        let slot = inner.alloc_slot(Primitive::GMemcpy);
+        let g = inner.g;
+        let n = inner.n_replicas();
+        let ch = inner.cfg.client;
+        let slots = inner.cfg.ring_slots as u64;
+        let msg_len = inner.msg_len;
+
+        // Local apply on the client's copy.
+        let src = inner.client_rep.at(src_off);
+        let dst = inner.client_rep.at(dst_off);
+        let bytes = w.host(ch).mem.read_vec(src, len as usize).unwrap();
+        w.host(ch).mem.write(dst, &bytes).unwrap();
+        if flush {
+            w.host(ch).mem.flush(dst, len as usize).unwrap();
+        }
+
+        let mut msg = MetaMsg::new(g, seq);
+        for i in 0..n {
+            let src = inner.replica_rep[i].at(src_off);
+            let dst = inner.replica_rep[i].at(dst_off);
+            let fop = if flush {
+                Opcode::LocalFlush
+            } else {
+                Opcode::Nop
+            };
+            msg.set_wrec(i, len, src, dst, fop, dst, len);
+        }
+        let staging = inner.client_rings[Primitive::GMemcpy.idx()]
+            .staging
+            .at((slot % slots) * msg_len);
+        w.host(ch).mem.write(staging, msg.bytes()).unwrap();
+        self.finish_issue(
+            &mut inner,
+            w,
+            eng,
+            Primitive::GMemcpy,
+            seq,
+            slot,
+            staging,
+            done,
+        )
+    }
+
+    /// gCAS: compare-and-swap the u64 at `offset` on the members whose
+    /// bit is set in `exec_map` (bit 0 = client). The completion carries
+    /// the per-member result map (original values).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let mut inner = self.group.borrow_mut();
+        inner.take_credit(Primitive::GCas)?;
+        let seq = inner.alloc_seq();
+        let slot = inner.alloc_slot(Primitive::GCas);
+        let g = inner.g;
+        let n = inner.n_replicas();
+        let ch = inner.cfg.client;
+        let slots = inner.cfg.ring_slots as u64;
+        let msg_len = inner.msg_len;
+
+        let mut msg = MetaMsg::new(g, seq);
+        // Client-local CAS (member 0).
+        if exec_map & 1 != 0 {
+            let addr = inner.client_rep.at(offset);
+            let orig = w.host(ch).mem.compare_and_swap_u64(addr, cmp, swp).unwrap();
+            msg.set_result(0, orig);
+        }
+        for i in 0..n {
+            let member = i + 1;
+            let execute = exec_map & (1 << member) != 0;
+            let target = inner.replica_rep[i].at(offset);
+            // The replica CASes its original value into its own slot of
+            // the staged message so the forwarded copy accumulates the
+            // result map.
+            let result = inner.rep_rings[i][Primitive::GCas.idx()]
+                .staging
+                .at((slot % slots) * msg_len)
+                + metadata::results_off()
+                + member as u64 * 8;
+            msg.set_crec(i, execute, target, cmp, swp, result);
+        }
+        let staging = inner.client_rings[Primitive::GCas.idx()]
+            .staging
+            .at((slot % slots) * msg_len);
+        w.host(ch).mem.write(staging, msg.bytes()).unwrap();
+        self.finish_issue(
+            &mut inner,
+            w,
+            eng,
+            Primitive::GCas,
+            seq,
+            slot,
+            staging,
+            done,
+        )
+    }
+
+    /// Common tail of every issue path: record the pending op, post the
+    /// metadata SEND and ring the doorbell.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_issue(
+        &self,
+        inner: &mut std::cell::RefMut<'_, crate::group::GroupInner>,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        prim: Primitive,
+        seq: u32,
+        slot: u64,
+        staging: u64,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let ch = inner.cfg.client;
+        let qp_out = inner.client_rings[prim.idx()].qp_out;
+        let msg_len = inner.msg_len;
+        w.hosts[ch.0]
+            .post_send(
+                qp_out,
+                Wqe {
+                    opcode: Opcode::Send,
+                    len: msg_len as u32,
+                    laddr: staging,
+                    wr_id: seq as u64,
+                    ..Default::default()
+                },
+                false,
+            )
+            .expect("client SQ sized");
+        inner.register_pending(seq, prim, slot, eng.now(), done);
+        w.ring_doorbell(ch, qp_out, eng);
+        Ok(seq)
+    }
+}
+
+fn dispatch_ack(group: &GroupRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut Engine<World>) {
+    if cqe.kind != CqeKind::RecvImm || cqe.status != CqeStatus::Ok {
+        return;
+    }
+    let mut inner = group.borrow_mut();
+    let Some(p) = inner.complete_pending(cqe.imm) else {
+        return;
+    };
+    let g = inner.g;
+    let ch = inner.cfg.client;
+    let slots = inner.cfg.ring_slots as u64;
+    let ring = &inner.client_rings[p.prim.idx()];
+    let ack_addr = ring.ack_buf.at((p.slot % slots) * 8 * g as u64);
+    let ack_qp = ring.ack_qp;
+    let bytes = w.host(ch).mem.read_vec(ack_addr, 8 * g).unwrap();
+    let results = metadata::parse_results(&bytes, g);
+    // gCAS: merge the client's locally computed result (member 0) from
+    // the staged message header (the ACK carries it too, since the tail
+    // forwards the staged copy, so nothing to do).
+    // Repost the consumed ACK receive.
+    w.host(ch).post_recv(
+        ack_qp,
+        RecvWqe {
+            wr_id: p.slot + slots,
+            scatter: vec![],
+        },
+    );
+    let latency = eng.now().duration_since(p.issued_at);
+    drop(inner);
+    if let Some(done) = p.done {
+        done(
+            w,
+            eng,
+            OpResult {
+                seq: cqe.imm,
+                results,
+                latency,
+            },
+        );
+    }
+}
+
+/// Crate-internal pending-table handles (kept on `GroupInner` so the
+/// dispatcher and issue paths share them).
+pub(crate) struct CompletedPending {
+    pub prim: Primitive,
+    pub issued_at: SimTime,
+    pub slot: u64,
+    pub done: Option<OnDone>,
+}

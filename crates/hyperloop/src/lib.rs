@@ -1,0 +1,46 @@
+//! # hyperloop — group-based NIC-offloading for replicated transactions
+//!
+//! A faithful reproduction of **HyperLoop** (SIGCOMM 2018) on the
+//! simulated testbed of `hl-cluster`: group memory primitives executed
+//! entirely by chains of RDMA NICs, with replica CPUs off the critical
+//! path.
+//!
+//! * [`GroupBuilder`] wires the chain (per-primitive QPs, loopback QPs,
+//!   in-memory WQE rings) and pre-posts every slot.
+//! * [`HyperLoopClient`] issues [`HyperLoopClient::gwrite`],
+//!   [`HyperLoopClient::gmemcpy`], [`HyperLoopClient::gcas`] and
+//!   [`HyperLoopClient::gflush`]; completions arrive as callbacks with
+//!   latency and gCAS result maps.
+//! * [`replica::Replenisher`] re-posts consumed slots off the critical
+//!   path.
+//! * [`naive`] is the paper's Naïve-RDMA baseline (event-driven and
+//!   polling replicas) behind the same client surface.
+//! * [`api`] provides the storage-facing layer from paper §5:
+//!   replicated write-ahead log (`Append`, `ExecuteAndAdvance`) and
+//!   group locks (`wrLock`/`wrUnlock`/`rdLock`/`rdUnlock`).
+//! * [`recovery`] implements heartbeat failure detection and chain
+//!   rebuild with catch-up copy.
+//! * [`fanout`] is the §7 extension: FaRM-style primary/backup
+//!   replication with the coordination offloaded to the primary's NIC
+//!   (parallel WAIT-triggered transfers, ack aggregation by WAIT count).
+//! * [`multi`] is the §5 future-work feature: several clients share one
+//!   chain through a shared receive queue on the first replica, their
+//!   writes serialized by the NICs in arrival order.
+
+#![warn(missing_docs)]
+
+pub mod api;
+mod client;
+pub mod fanout;
+mod group;
+pub mod metadata;
+pub mod multi;
+pub mod naive;
+pub mod recovery;
+pub mod replica;
+
+pub use client::HyperLoopClient;
+pub use group::{
+    Backpressure, GroupBuilder, GroupConfig, GroupInner, GroupRef, GroupStats, OnDone, OpResult,
+};
+pub use metadata::Primitive;

@@ -1,0 +1,902 @@
+//! The Naïve-RDMA baseline (paper §6, "Naïve-RDMA").
+//!
+//! Performs the same group operations as HyperLoop over the same chain
+//! topology and the same verbs, but **replica CPUs sit on the critical
+//! path**: each hop's NIC delivers the operation to a replica process
+//! that must be scheduled to receive, parse, apply (flush / memcpy /
+//! CAS) and re-post the forwarding work requests — exactly the
+//! traditional design the paper measures against. Two replica modes:
+//!
+//! * [`Mode::Event`] — completion interrupts wake the replica process
+//!   (cheap when idle, slow under scheduler contention);
+//! * [`Mode::Polling`] — the replica burns a core busy-polling its CQ
+//!   (the paper's "best case" for microbenchmarks, and its surprising
+//!   multi-tenant loser in Figure 11).
+
+use crate::group::{Backpressure, OnDone, OpResult};
+use hl_cluster::{Ctx, ProcAddr, ProcEvent, Process, World};
+use hl_fabric::HostId;
+use hl_nvm::Region;
+use hl_rnic::{Access, CqeKind, CqeStatus, Opcode, RecvWqe, ScatterEntry, Wqe, WQE_SIZE};
+use hl_sim::{Engine, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Replica scheduling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Interrupt-driven: sleep until a completion event.
+    Event,
+    /// Busy-polling: burn a core checking the CQ.
+    Polling,
+}
+
+/// CPU cost knobs for the baseline replica datapath.
+#[derive(Debug, Clone)]
+pub struct NaiveCosts {
+    /// Receive-event dispatch (poll CQ + read descriptor).
+    pub dispatch: SimDuration,
+    /// Parse one descriptor.
+    pub parse: SimDuration,
+    /// Persist (CLWB + fence) per operation.
+    pub persist: SimDuration,
+    /// Build + post + doorbell for the forwarding WQEs.
+    pub post: SimDuration,
+    /// Memcpy throughput for gMEMCPY apply (bytes/sec).
+    pub memcpy_bps: u64,
+    /// Poll quantum for [`Mode::Polling`].
+    pub poll_quantum: SimDuration,
+}
+
+impl Default for NaiveCosts {
+    fn default() -> Self {
+        NaiveCosts {
+            dispatch: SimDuration::from_nanos(1_500),
+            parse: SimDuration::from_nanos(600),
+            persist: SimDuration::from_nanos(400),
+            post: SimDuration::from_nanos(900),
+            memcpy_bps: 10_000_000_000,
+            poll_quantum: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// Naïve group configuration.
+#[derive(Debug, Clone)]
+pub struct NaiveConfig {
+    /// Chain head (client).
+    pub client: HostId,
+    /// Replicas in chain order.
+    pub replicas: Vec<HostId>,
+    /// Replicated region size.
+    pub rep_bytes: u64,
+    /// Receive-ring depth.
+    pub ring_slots: u32,
+    /// Replica scheduling mode.
+    pub mode: Mode,
+    /// CPU cost knobs.
+    pub costs: NaiveCosts,
+    /// Pin each replica process to a core (dedicated-core best case).
+    pub pin_replicas: bool,
+}
+
+impl Default for NaiveConfig {
+    fn default() -> Self {
+        NaiveConfig {
+            client: HostId(0),
+            replicas: Vec::new(),
+            rep_bytes: 1 << 20,
+            ring_slots: 128,
+            mode: Mode::Event,
+            costs: NaiveCosts::default(),
+            pin_replicas: false,
+        }
+    }
+}
+
+// Descriptor layout (fixed header + result map), parsed by replica CPUs.
+const D_PRIM: u64 = 0;
+const D_FLUSH: u64 = 1;
+const D_SEQ: u64 = 4;
+const D_OFFSET: u64 = 8;
+const D_AUX: u64 = 16; // memcpy src / CAS cmp
+const D_SWP: u64 = 24;
+const D_LEN: u64 = 32;
+const D_EXEC: u64 = 36;
+const D_RESULTS: u64 = 40;
+
+fn desc_len(g: usize) -> u64 {
+    D_RESULTS + 8 * g as u64
+}
+
+struct RepSide {
+    host: HostId,
+    qp_prev: u32,
+    prev_rcq: u32,
+    qp_next: u32,
+    /// Inbound descriptor buffer (`slots × desc_len`).
+    rxbuf: Region,
+    /// Outbound staging for the forwarded descriptor.
+    txbuf: Region,
+    next_rkey: u32,
+    recvs_posted: u64,
+}
+
+struct PendingOp {
+    issued_at: SimTime,
+    done: Option<OnDone>,
+}
+
+/// Shared state of a naïve group.
+pub struct NaiveInner {
+    /// Configuration.
+    pub cfg: NaiveConfig,
+    g: usize,
+    dlen: u64,
+    /// Client's copy of the replicated region.
+    pub client_rep: Region,
+    /// Replica copies.
+    pub replica_rep: Vec<Region>,
+    rep_rkeys: Vec<u32>,
+    qp_out: u32,
+    ack_qp: u32,
+    ack_rcq: u32,
+    tx_staging: Region,
+    ack_buf: Region,
+    reps: Vec<RepSide>,
+    pending: HashMap<u32, PendingOp>,
+    next_seq: u32,
+    inflight: u32,
+    max_inflight: u32,
+    /// Issue/ack counters.
+    pub stats: crate::group::GroupStats,
+}
+
+/// Shared handle.
+pub type NaiveRef = Rc<RefCell<NaiveInner>>;
+
+impl NaiveInner {
+    /// Member address (0 = client).
+    pub fn member_addr(&self, m: usize, offset: u64) -> u64 {
+        if m == 0 {
+            self.client_rep.at(offset)
+        } else {
+            self.replica_rep[m - 1].at(offset)
+        }
+    }
+}
+
+/// Builds the naïve chain and starts replica processes.
+pub struct NaiveBuilder {
+    cfg: NaiveConfig,
+    gid: u32,
+}
+
+fn next_gid() -> u32 {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static GID: AtomicU32 = AtomicU32::new(0);
+    GID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl NaiveBuilder {
+    /// Start from a config.
+    pub fn new(cfg: NaiveConfig) -> Self {
+        assert!(!cfg.replicas.is_empty());
+        NaiveBuilder {
+            cfg,
+            gid: next_gid(),
+        }
+    }
+
+    /// Allocate, wire, pre-post, and start the replica processes.
+    pub fn build(self, w: &mut World, eng: &mut Engine<World>) -> NaiveClient {
+        let cfg = self.cfg;
+        let gid = self.gid;
+        let n = cfg.replicas.len();
+        let g = n + 1;
+        let dlen = desc_len(g);
+        let slots = cfg.ring_slots;
+        let ch = cfg.client;
+
+        let client_rep = w
+            .host(ch)
+            .layout
+            .alloc(&format!("nv{gid}.rep"), cfg.rep_bytes, 64);
+        w.host(ch)
+            .nic
+            .register_mr(client_rep.addr, client_rep.len, Access::REMOTE_READ);
+
+        let mut replica_rep = Vec::new();
+        let mut rep_rkeys = Vec::new();
+        for &rh in &cfg.replicas {
+            let r = w
+                .host(rh)
+                .layout
+                .alloc(&format!("nv{gid}.rep"), cfg.rep_bytes, 64);
+            let mr = w.host(rh).nic.register_mr(
+                r.addr,
+                r.len,
+                Access::REMOTE_WRITE | Access::REMOTE_READ | Access::REMOTE_ATOMIC,
+            );
+            replica_rep.push(r);
+            rep_rkeys.push(mr.rkey);
+        }
+
+        // Client side.
+        let out_sq =
+            w.host(ch)
+                .layout
+                .alloc(&format!("nv{gid}.out_sq"), 4 * slots as u64 * WQE_SIZE, 64);
+        let tx_staging = w
+            .host(ch)
+            .layout
+            .alloc(&format!("nv{gid}.tx"), slots as u64 * dlen, 64);
+        let ack_buf =
+            w.host(ch)
+                .layout
+                .alloc(&format!("nv{gid}.ack"), slots as u64 * 8 * g as u64, 64);
+        let ack_mr = w
+            .host(ch)
+            .nic
+            .register_mr(ack_buf.addr, ack_buf.len, Access::REMOTE_WRITE);
+        let out_scq = w.host(ch).nic.create_cq();
+        let out_rcq = w.host(ch).nic.create_cq();
+        let qp_out = w
+            .host(ch)
+            .nic
+            .create_qp(out_scq, out_rcq, out_sq.addr, 4 * slots);
+        let ack_sq = w
+            .host(ch)
+            .layout
+            .alloc(&format!("nv{gid}.ack_sq"), 4 * WQE_SIZE, 64);
+        let ack_scq = w.host(ch).nic.create_cq();
+        let ack_rcq = w.host(ch).nic.create_cq();
+        let ack_qp = w.host(ch).nic.create_qp(ack_scq, ack_rcq, ack_sq.addr, 4);
+        for k in 0..slots as u64 {
+            w.host(ch).post_recv(
+                ack_qp,
+                RecvWqe {
+                    wr_id: k,
+                    scatter: vec![],
+                },
+            );
+        }
+
+        // Replicas.
+        let mut reps = Vec::new();
+        let mut prev_qp = qp_out;
+        let mut prev_host = ch;
+        for (i, &rh) in cfg.replicas.iter().enumerate() {
+            let is_tail = i == n - 1;
+            let prev_sq = w
+                .host(rh)
+                .layout
+                .alloc(&format!("nv{gid}.prev_sq"), 4 * WQE_SIZE, 64);
+            let next_sq = w.host(rh).layout.alloc(
+                &format!("nv{gid}.next_sq"),
+                4 * slots as u64 * WQE_SIZE,
+                64,
+            );
+            let rxbuf = w
+                .host(rh)
+                .layout
+                .alloc(&format!("nv{gid}.rx"), slots as u64 * dlen, 64);
+            let txbuf = w
+                .host(rh)
+                .layout
+                .alloc(&format!("nv{gid}.txf"), slots as u64 * dlen, 64);
+            let prev_scq = w.host(rh).nic.create_cq();
+            let prev_rcq = w.host(rh).nic.create_cq();
+            let qp_prev = w
+                .host(rh)
+                .nic
+                .create_qp(prev_scq, prev_rcq, prev_sq.addr, 4);
+            let next_scq = w.host(rh).nic.create_cq();
+            let next_rcq = w.host(rh).nic.create_cq();
+            let qp_next = w
+                .host(rh)
+                .nic
+                .create_qp(next_scq, next_rcq, next_sq.addr, 4 * slots);
+            w.connect_qps(prev_host, prev_qp, rh, qp_prev);
+            // Pre-post receives into the rx buffer.
+            for k in 0..slots as u64 {
+                let addr = rxbuf.at((k % slots as u64) * dlen);
+                w.host(rh).post_recv(
+                    qp_prev,
+                    RecvWqe {
+                        wr_id: k,
+                        scatter: vec![ScatterEntry {
+                            msg_off: 0,
+                            len: dlen as u32,
+                            addr,
+                        }],
+                    },
+                );
+            }
+            reps.push(RepSide {
+                host: rh,
+                qp_prev,
+                prev_rcq,
+                qp_next,
+                rxbuf,
+                txbuf,
+                next_rkey: if is_tail {
+                    ack_mr.rkey
+                } else {
+                    rep_rkeys[i + 1]
+                },
+                recvs_posted: slots as u64,
+            });
+            prev_qp = qp_next;
+            prev_host = rh;
+        }
+        w.connect_qps(prev_host, prev_qp, ch, ack_qp);
+
+        let inner: NaiveRef = Rc::new(RefCell::new(NaiveInner {
+            g,
+            dlen,
+            client_rep,
+            replica_rep,
+            rep_rkeys,
+            qp_out,
+            ack_qp,
+            ack_rcq,
+            tx_staging,
+            ack_buf,
+            reps,
+            pending: HashMap::new(),
+            next_seq: 0,
+            inflight: 0,
+            max_inflight: slots / 2,
+            stats: Default::default(),
+            cfg,
+        }));
+
+        // Start replica processes.
+        let mode = inner.borrow().cfg.mode;
+        let pin = inner.borrow().cfg.pin_replicas;
+        let replicas = inner.borrow().cfg.replicas.clone();
+        for (i, &rh) in replicas.iter().enumerate() {
+            if pin {
+                // Dedicated core: reserve core 0 for the replica.
+                w.hosts[rh.0].cpu.set_exclusive(0, true);
+            }
+            let proc_addr = w.start_process(
+                rh,
+                &format!("naive-replica-{i}"),
+                if pin { Some(0) } else { None },
+                Box::new(NaiveReplica {
+                    inner: inner.clone(),
+                    idx: i,
+                    queue: VecDeque::new(),
+                    me: None,
+                }),
+                SimDuration::from_micros(2),
+                eng,
+            );
+            if mode == Mode::Event {
+                let rcq = inner.borrow().reps[i].prev_rcq;
+                let cost = inner.borrow().cfg.costs.dispatch;
+                w.subscribe_cq_interrupt(rh, rcq, proc_addr.pid, cost);
+            }
+        }
+
+        // Client ACK dispatcher (zero-CPU driver, as with HyperLoop — the
+        // client machine is dedicated in the paper's microbenchmarks).
+        let rc = inner.clone();
+        let ack_rcq_c = inner.borrow().ack_rcq;
+        w.subscribe_cq_callback(ch, ack_rcq_c, move |cqe, w, eng| {
+            ack_dispatch(&rc, cqe, w, eng);
+        });
+
+        NaiveClient { inner }
+    }
+}
+
+fn ack_dispatch(rc: &NaiveRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut Engine<World>) {
+    if cqe.kind != CqeKind::RecvImm || cqe.status != CqeStatus::Ok {
+        return;
+    }
+    let mut inner = rc.borrow_mut();
+    let Some(p) = inner.pending.remove(&cqe.imm) else {
+        return;
+    };
+    inner.inflight -= 1;
+    inner.stats.acked += 1;
+    let g = inner.g;
+    let ch = inner.cfg.client;
+    let slots = inner.cfg.ring_slots as u64;
+    let ack_addr = inner.ack_buf.at((cqe.imm as u64 % slots) * 8 * g as u64);
+    let ack_qp = inner.ack_qp;
+    let bytes = w.host(ch).mem.read_vec(ack_addr, 8 * g).unwrap();
+    let results = crate::metadata::parse_results(&bytes, g);
+    w.host(ch).post_recv(
+        ack_qp,
+        RecvWqe {
+            wr_id: cqe.imm as u64,
+            scatter: vec![],
+        },
+    );
+    let latency = eng.now().duration_since(p.issued_at);
+    drop(inner);
+    if let Some(done) = p.done {
+        done(
+            w,
+            eng,
+            OpResult {
+                seq: cqe.imm,
+                results,
+                latency,
+            },
+        );
+    }
+}
+
+/// The baseline client: same surface as [`crate::HyperLoopClient`].
+#[derive(Clone)]
+pub struct NaiveClient {
+    inner: NaiveRef,
+}
+
+impl NaiveClient {
+    /// The shared group state.
+    pub fn group(&self) -> &NaiveRef {
+        &self.inner
+    }
+
+    fn issue(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        desc: Vec<u8>,
+        data: Option<(u64, u32)>, // (offset, len): client WRITE of rep data
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.inflight >= inner.max_inflight {
+            inner.stats.backpressured += 1;
+            return Err(Backpressure);
+        }
+        inner.inflight += 1;
+        inner.stats.issued += 1;
+        let seq = inner.next_seq;
+        inner.next_seq = inner.next_seq.wrapping_add(1);
+        let ch = inner.cfg.client;
+        let slots = inner.cfg.ring_slots as u64;
+        let dlen = inner.dlen;
+        let staging = inner.tx_staging.at((seq as u64 % slots) * dlen);
+
+        let mut desc = desc;
+        desc[D_SEQ as usize..D_SEQ as usize + 4].copy_from_slice(&seq.to_le_bytes());
+        w.host(ch).mem.write(staging, &desc).unwrap();
+
+        let qp_out = inner.qp_out;
+        if let Some((offset, len)) = data {
+            let laddr = inner.client_rep.at(offset);
+            let raddr = inner.replica_rep[0].at(offset);
+            let rkey = inner.rep_rkeys[0];
+            w.hosts[ch.0]
+                .post_send(
+                    qp_out,
+                    Wqe {
+                        opcode: Opcode::Write,
+                        len,
+                        laddr,
+                        raddr,
+                        rkey,
+                        wr_id: seq as u64,
+                        ..Default::default()
+                    },
+                    false,
+                )
+                .expect("client SQ sized");
+        }
+        w.hosts[ch.0]
+            .post_send(
+                qp_out,
+                Wqe {
+                    opcode: Opcode::Send,
+                    len: dlen as u32,
+                    laddr: staging,
+                    wr_id: seq as u64,
+                    ..Default::default()
+                },
+                false,
+            )
+            .expect("client SQ sized");
+        inner.pending.insert(
+            seq,
+            PendingOp {
+                issued_at: eng.now(),
+                done: Some(done),
+            },
+        );
+        drop(inner);
+        w.ring_doorbell(ch, qp_out, eng);
+        Ok(seq)
+    }
+
+    /// gWRITE equivalent.
+    pub fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        {
+            let inner = self.inner.borrow();
+            let local = inner.client_rep.at(offset);
+            let ch = inner.cfg.client;
+            drop(inner);
+            w.host(ch).mem.write(local, data).unwrap();
+            if flush {
+                w.host(ch).mem.flush(local, data.len()).unwrap();
+            }
+        }
+        let g = self.inner.borrow().g;
+        let mut d = vec![0u8; desc_len(g) as usize];
+        d[D_PRIM as usize] = 0;
+        d[D_FLUSH as usize] = flush as u8;
+        d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&offset.to_le_bytes());
+        d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        self.issue(w, eng, d, Some((offset, data.len() as u32)), done)
+    }
+
+    /// gMEMCPY equivalent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        {
+            let inner = self.inner.borrow();
+            let ch = inner.cfg.client;
+            let src = inner.client_rep.at(src_off);
+            let dst = inner.client_rep.at(dst_off);
+            drop(inner);
+            let bytes = w.host(ch).mem.read_vec(src, len as usize).unwrap();
+            w.host(ch).mem.write(dst, &bytes).unwrap();
+            if flush {
+                w.host(ch).mem.flush(dst, len as usize).unwrap();
+            }
+        }
+        let g = self.inner.borrow().g;
+        let mut d = vec![0u8; desc_len(g) as usize];
+        d[D_PRIM as usize] = 1;
+        d[D_FLUSH as usize] = flush as u8;
+        d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&dst_off.to_le_bytes());
+        d[D_AUX as usize..D_AUX as usize + 8].copy_from_slice(&src_off.to_le_bytes());
+        d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&len.to_le_bytes());
+        self.issue(w, eng, d, None, done)
+    }
+
+    /// gCAS equivalent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        let g = self.inner.borrow().g;
+        let mut d = vec![0u8; desc_len(g) as usize];
+        if exec_map & 1 != 0 {
+            let inner = self.inner.borrow();
+            let ch = inner.cfg.client;
+            let addr = inner.client_rep.at(offset);
+            drop(inner);
+            let orig = w.host(ch).mem.compare_and_swap_u64(addr, cmp, swp).unwrap();
+            d[D_RESULTS as usize..D_RESULTS as usize + 8].copy_from_slice(&orig.to_le_bytes());
+        }
+        d[D_PRIM as usize] = 2;
+        d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&offset.to_le_bytes());
+        d[D_AUX as usize..D_AUX as usize + 8].copy_from_slice(&cmp.to_le_bytes());
+        d[D_SWP as usize..D_SWP as usize + 8].copy_from_slice(&swp.to_le_bytes());
+        d[D_EXEC as usize..D_EXEC as usize + 4].copy_from_slice(&exec_map.to_le_bytes());
+        self.issue(w, eng, d, None, done)
+    }
+
+    /// Standalone gFLUSH equivalent (flush-only descriptor).
+    pub fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        {
+            let inner = self.inner.borrow();
+            let ch = inner.cfg.client;
+            let local = inner.client_rep.at(offset);
+            drop(inner);
+            w.host(ch).mem.flush(local, len as usize).unwrap();
+        }
+        let g = self.inner.borrow().g;
+        let mut d = vec![0u8; desc_len(g) as usize];
+        d[D_PRIM as usize] = 0;
+        d[D_FLUSH as usize] = 1;
+        d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&offset.to_le_bytes());
+        d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&len.to_le_bytes());
+        self.issue(w, eng, d, None, done)
+    }
+}
+
+const TAG_POLL: u64 = 100;
+const TAG_HANDLE: u64 = 101;
+
+/// The replica process: receive, parse, apply, forward — all on CPU.
+struct NaiveReplica {
+    inner: NaiveRef,
+    idx: usize,
+    /// Descriptor slots polled but not yet handled.
+    queue: VecDeque<u64>,
+    me: Option<ProcAddr>,
+}
+
+impl NaiveReplica {
+    /// Poll the recv CQ, queueing message slots and charging handle work.
+    fn drain_cq(&mut self, ctx: &mut Ctx<'_>) {
+        let (rcq, costs) = {
+            let inner = self.inner.borrow();
+            (inner.reps[self.idx].prev_rcq, inner.cfg.costs.clone())
+        };
+        let cqes = ctx.poll_cq(rcq, 64);
+        for cqe in cqes {
+            if cqe.kind != CqeKind::Recv || cqe.status != CqeStatus::Ok {
+                continue;
+            }
+            self.queue.push_back(cqe.wr_id);
+            // Charge a realistic amount of work, memcpy-sized for gMEMCPY.
+            let cost = {
+                let inner = self.inner.borrow();
+                let rep = &inner.reps[self.idx];
+                let slots = inner.cfg.ring_slots as u64;
+                let addr = rep.rxbuf.at((cqe.wr_id % slots) * inner.dlen);
+                let mem = &ctx.world.hosts[rep.host.0].mem;
+                let prim = mem.read(addr, 1).unwrap()[0];
+                let len = mem.read_u32(addr + D_LEN).unwrap();
+                let mut c = costs.parse + costs.persist + costs.post;
+                if prim == 1 {
+                    c += SimDuration::from_nanos(
+                        (len as u128 * 1_000_000_000 / costs.memcpy_bps as u128) as u64,
+                    );
+                }
+                c
+            };
+            ctx.submit_work(cost, TAG_HANDLE);
+        }
+    }
+
+    /// Apply + forward one queued descriptor (CPU already charged).
+    fn handle_one(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(slot) = self.queue.pop_front() else {
+            return;
+        };
+        let mut inner = self.inner.borrow_mut();
+        let i = self.idx;
+        let g = inner.g;
+        let dlen = inner.dlen;
+        let slots = inner.cfg.ring_slots as u64;
+        let is_tail = i == inner.reps.len() - 1;
+        let rh = inner.reps[i].host;
+        let rx_addr = inner.reps[i].rxbuf.at((slot % slots) * dlen);
+        let mem = &mut ctx.world.hosts[rh.0].mem;
+        let desc = mem.read_vec(rx_addr, dlen as usize).unwrap();
+        let prim = desc[D_PRIM as usize];
+        let flush = desc[D_FLUSH as usize] != 0;
+        let seq = u32::from_le_bytes(desc[D_SEQ as usize..D_SEQ as usize + 4].try_into().unwrap());
+        let offset = u64::from_le_bytes(
+            desc[D_OFFSET as usize..D_OFFSET as usize + 8]
+                .try_into()
+                .unwrap(),
+        );
+        let aux = u64::from_le_bytes(desc[D_AUX as usize..D_AUX as usize + 8].try_into().unwrap());
+        let swp = u64::from_le_bytes(desc[D_SWP as usize..D_SWP as usize + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(desc[D_LEN as usize..D_LEN as usize + 4].try_into().unwrap());
+        let exec = u32::from_le_bytes(
+            desc[D_EXEC as usize..D_EXEC as usize + 4]
+                .try_into()
+                .unwrap(),
+        );
+
+        let my_rep = inner.replica_rep[i].clone();
+        let mut desc_out = desc.clone();
+        match prim {
+            0
+                // gWRITE: data already landed via the upstream one-sided
+                // WRITE; persist it if requested.
+                if flush => {
+                    mem.flush(my_rep.at(offset), (len as usize).max(1)).unwrap();
+                }
+            1 => {
+                // gMEMCPY: CPU memcpy + persist.
+                let bytes = mem.read_vec(my_rep.at(aux), len as usize).unwrap();
+                mem.write(my_rep.at(offset), &bytes).unwrap();
+                if flush {
+                    mem.flush(my_rep.at(offset), len as usize).unwrap();
+                }
+            }
+            2 => {
+                // gCAS.
+                let member = i + 1;
+                if exec & (1 << member) != 0 {
+                    let orig = mem
+                        .compare_and_swap_u64(my_rep.at(offset), aux, swp)
+                        .unwrap();
+                    let roff = (D_RESULTS + member as u64 * 8) as usize;
+                    desc_out[roff..roff + 8].copy_from_slice(&orig.to_le_bytes());
+                }
+            }
+            _ => {}
+        }
+
+        // Forward (or ACK if tail).
+        let tx_addr = inner.reps[i].txbuf.at((slot % slots) * dlen);
+        mem.write(tx_addr, &desc_out).unwrap();
+        let qp_next = inner.reps[i].qp_next;
+        let next_rkey = inner.reps[i].next_rkey;
+        let qp_prev = inner.reps[i].qp_prev;
+        let rxbuf = inner.reps[i].rxbuf.clone();
+        if is_tail {
+            let ack_slot = inner.ack_buf.at((seq as u64 % slots) * 8 * g as u64);
+            ctx.world.hosts[rh.0]
+                .post_send(
+                    qp_next,
+                    Wqe {
+                        opcode: Opcode::WriteImm,
+                        len: 8 * g as u32,
+                        laddr: tx_addr + D_RESULTS,
+                        raddr: ack_slot,
+                        rkey: next_rkey,
+                        imm: seq,
+                        wr_id: seq as u64,
+                        ..Default::default()
+                    },
+                    false,
+                )
+                .expect("tail SQ sized");
+        } else {
+            if prim == 0 && len > 0 {
+                let next_rep = inner.replica_rep[i + 1].clone();
+                ctx.world.hosts[rh.0]
+                    .post_send(
+                        qp_next,
+                        Wqe {
+                            opcode: Opcode::Write,
+                            len,
+                            laddr: my_rep.at(offset),
+                            raddr: next_rep.at(offset),
+                            rkey: next_rkey,
+                            wr_id: seq as u64,
+                            ..Default::default()
+                        },
+                        false,
+                    )
+                    .expect("SQ sized");
+            }
+            ctx.world.hosts[rh.0]
+                .post_send(
+                    qp_next,
+                    Wqe {
+                        opcode: Opcode::Send,
+                        len: dlen as u32,
+                        laddr: tx_addr,
+                        wr_id: seq as u64,
+                        ..Default::default()
+                    },
+                    false,
+                )
+                .expect("SQ sized");
+        }
+        // Re-post the consumed RECV.
+        let new_slot = inner.reps[i].recvs_posted;
+        inner.reps[i].recvs_posted += 1;
+        ctx.world.hosts[rh.0].post_recv(
+            qp_prev,
+            RecvWqe {
+                wr_id: new_slot,
+                scatter: vec![ScatterEntry {
+                    msg_off: 0,
+                    len: dlen as u32,
+                    addr: rxbuf.at((new_slot % slots) * dlen),
+                }],
+            },
+        );
+        drop(inner);
+        ctx.ring_doorbell(qp_next);
+    }
+}
+
+impl Process for NaiveReplica {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        let mode = self.inner.borrow().cfg.mode;
+        if self.me.is_none() {
+            self.me = Some(ctx.me);
+        }
+        match ev {
+            ProcEvent::Started if mode == Mode::Polling => {
+                let q = self.inner.borrow().cfg.costs.poll_quantum;
+                ctx.submit_work(q, TAG_POLL);
+            }
+            ProcEvent::CqEvent { .. } => {
+                // Event mode: drain, handle, re-arm.
+                self.drain_cq(ctx);
+                let rcq = self.inner.borrow().reps[self.idx].prev_rcq;
+                ctx.arm_cq(rcq);
+            }
+            ProcEvent::WorkDone { tag: TAG_POLL } => {
+                self.drain_cq(ctx);
+                let q = self.inner.borrow().cfg.costs.poll_quantum;
+                ctx.submit_work(q, TAG_POLL);
+            }
+            ProcEvent::WorkDone { tag: TAG_HANDLE } => {
+                self.handle_one(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CPU-parsed descriptor layout round-trips every field.
+    #[test]
+    fn descriptor_layout_roundtrips() {
+        let g = 4;
+        let mut d = vec![0u8; desc_len(g) as usize];
+        d[D_PRIM as usize] = 2;
+        d[D_FLUSH as usize] = 1;
+        d[D_SEQ as usize..D_SEQ as usize + 4].copy_from_slice(&0xab12u32.to_le_bytes());
+        d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&0x4000u64.to_le_bytes());
+        d[D_AUX as usize..D_AUX as usize + 8].copy_from_slice(&7u64.to_le_bytes());
+        d[D_SWP as usize..D_SWP as usize + 8].copy_from_slice(&9u64.to_le_bytes());
+        d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&1024u32.to_le_bytes());
+        d[D_EXEC as usize..D_EXEC as usize + 4].copy_from_slice(&0b101u32.to_le_bytes());
+
+        assert_eq!(d[D_PRIM as usize], 2);
+        assert_eq!(d[D_FLUSH as usize], 1);
+        assert_eq!(
+            u32::from_le_bytes(d[D_SEQ as usize..D_SEQ as usize + 4].try_into().unwrap()),
+            0xab12
+        );
+        assert_eq!(
+            u64::from_le_bytes(
+                d[D_OFFSET as usize..D_OFFSET as usize + 8]
+                    .try_into()
+                    .unwrap()
+            ),
+            0x4000
+        );
+        assert_eq!(
+            u32::from_le_bytes(d[D_EXEC as usize..D_EXEC as usize + 4].try_into().unwrap()),
+            0b101
+        );
+        // The result map section holds one u64 per member.
+        assert_eq!(desc_len(g), D_RESULTS + 8 * g as u64);
+    }
+
+    #[test]
+    fn default_costs_are_sane() {
+        let c = NaiveCosts::default();
+        assert!(c.parse < SimDuration::from_millis(1));
+        assert!(c.poll_quantum >= SimDuration::from_micros(1));
+        assert!(c.memcpy_bps > 1_000_000_000);
+    }
+}

@@ -1,0 +1,407 @@
+//! Failure detection and chain recovery (paper §5, "RocksDB Recovery" /
+//! "MongoDB Recovery").
+//!
+//! HyperLoop accelerates only the data path; the control path stays
+//! conventional. A configurable number of consecutive missed heartbeats
+//! is a data-path failure [paper citing Aguilera et al.]; on detection
+//! the coordinator pauses writes, rebuilds the chain from the survivors
+//! (fresh QPs and pre-posted rings), catches a new or stale member up by
+//! copying the replicated region with chunked RDMA READs, and resumes.
+
+use crate::group::{GroupBuilder, GroupConfig, GroupRef};
+use crate::HyperLoopClient;
+use hl_cluster::{deliver, Ctx, ProcAddr, ProcEvent, Process, World};
+use hl_fabric::HostId;
+use hl_rnic::{Access, Opcode, Wqe, WQE_SIZE};
+use hl_sim::{Engine, SimDuration};
+
+/// One-shot continuation used by the recovery helpers.
+pub type OnRecovered = Box<dyn FnOnce(&mut World, &mut Engine<World>)>;
+/// Continuation receiving the rebuilt chain's client.
+pub type OnRebuilt = Box<dyn FnOnce(&mut World, &mut Engine<World>, HyperLoopClient)>;
+
+/// Heartbeat parameters.
+#[derive(Debug, Clone)]
+pub struct HeartbeatConfig {
+    /// Ping period.
+    pub period: SimDuration,
+    /// Consecutive missed pongs before declaring failure.
+    pub miss_threshold: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: SimDuration::from_millis(10),
+            miss_threshold: 3,
+        }
+    }
+}
+
+/// Heartbeat ping (client → replica agent).
+pub struct Ping {
+    /// Sequence number.
+    pub seq: u64,
+    /// Where to send the pong.
+    pub reply_to: ProcAddr,
+    /// Which replica is being probed.
+    pub idx: usize,
+}
+
+/// Heartbeat pong (replica agent → detector).
+pub struct Pong {
+    /// Echoed sequence.
+    pub seq: u64,
+    /// Responding replica index.
+    pub idx: usize,
+}
+
+/// A tiny process on each replica that answers heartbeats. Its CPU cost
+/// is a few microseconds every period — control path only.
+pub struct ReplicaAgent;
+
+impl Process for ReplicaAgent {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        if let ProcEvent::Message(m) = ev {
+            if let Ok(ping) = m.downcast::<Ping>() {
+                ctx.send_msg(
+                    ping.reply_to,
+                    Box::new(Pong {
+                        seq: ping.seq,
+                        idx: ping.idx,
+                    }),
+                    64,
+                    SimDuration::from_micros(1),
+                );
+            }
+        }
+    }
+}
+
+/// Invoked (once per replica) when a replica is declared failed.
+pub type OnFailure = Box<dyn FnMut(&mut World, &mut Engine<World>, usize)>;
+
+/// The client-side failure detector.
+pub struct FailureDetector {
+    agents: Vec<ProcAddr>,
+    cfg: HeartbeatConfig,
+    seq: u64,
+    pong_seen: Vec<bool>,
+    misses: Vec<u32>,
+    failed: Vec<bool>,
+    on_failure: OnFailure,
+}
+
+impl FailureDetector {
+    /// Monitor the given replica agents.
+    pub fn new(agents: Vec<ProcAddr>, cfg: HeartbeatConfig, on_failure: OnFailure) -> Self {
+        let n = agents.len();
+        FailureDetector {
+            agents,
+            cfg,
+            seq: 0,
+            pong_seen: vec![true; n],
+            misses: vec![0; n],
+            failed: vec![false; n],
+            on_failure,
+        }
+    }
+}
+
+const TAG_HB: u64 = 7;
+
+impl Process for FailureDetector {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            ProcEvent::Started => {
+                ctx.set_timer(self.cfg.period, TAG_HB, SimDuration::from_micros(1));
+            }
+            ProcEvent::Timer { tag: TAG_HB } => {
+                // Evaluate the previous round.
+                for i in 0..self.agents.len() {
+                    if self.failed[i] {
+                        continue;
+                    }
+                    if self.pong_seen[i] {
+                        self.misses[i] = 0;
+                    } else {
+                        self.misses[i] += 1;
+                        if self.misses[i] >= self.cfg.miss_threshold {
+                            self.failed[i] = true;
+                            (self.on_failure)(ctx.world, ctx.eng, i);
+                        }
+                    }
+                    self.pong_seen[i] = false;
+                }
+                // Next round.
+                self.seq += 1;
+                let me = ctx.me;
+                for (i, &agent) in self.agents.clone().iter().enumerate() {
+                    if self.failed[i] {
+                        continue;
+                    }
+                    ctx.send_msg(
+                        agent,
+                        Box::new(Ping {
+                            seq: self.seq,
+                            reply_to: me,
+                            idx: i,
+                        }),
+                        64,
+                        SimDuration::from_micros(1),
+                    );
+                }
+                ctx.set_timer(self.cfg.period, TAG_HB, SimDuration::from_micros(1));
+            }
+            ProcEvent::Message(m) => {
+                if let Ok(pong) = m.downcast::<Pong>() {
+                    if pong.idx < self.pong_seen.len() {
+                        self.pong_seen[pong.idx] = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Start heartbeat agents on every replica plus the detector on the
+/// client. Returns the detector's address.
+pub fn start_heartbeats(
+    group: &GroupRef,
+    cfg: HeartbeatConfig,
+    on_failure: OnFailure,
+    w: &mut World,
+    eng: &mut Engine<World>,
+) -> ProcAddr {
+    let (client, replicas) = {
+        let g = group.borrow();
+        (g.cfg.client, g.cfg.replicas.clone())
+    };
+    let agents: Vec<ProcAddr> = replicas
+        .iter()
+        .enumerate()
+        .map(|(i, &rh)| {
+            w.start_process(
+                rh,
+                &format!("hb-agent-{i}"),
+                None,
+                Box::new(ReplicaAgent),
+                SimDuration::from_micros(1),
+                eng,
+            )
+        })
+        .collect();
+    w.start_process(
+        client,
+        "hb-detector",
+        None,
+        Box::new(FailureDetector::new(agents, cfg, on_failure)),
+        SimDuration::from_micros(1),
+        eng,
+    )
+}
+
+/// Copy `[src_addr, +len)` on `src` into `[dst_addr, +len)` on `dst`
+/// with chunked RDMA READs issued from `dst` — the catch-up phase a new
+/// chain member runs before joining. Calls `done` when the copy is
+/// complete. The source range must be covered by an MR with
+/// `REMOTE_READ` whose rkey is `src_rkey`.
+#[allow(clippy::too_many_arguments)]
+pub fn catch_up(
+    w: &mut World,
+    eng: &mut Engine<World>,
+    src: HostId,
+    src_rkey: u32,
+    src_addr: u64,
+    dst: HostId,
+    dst_addr: u64,
+    len: u64,
+    chunk: u32,
+    done: OnRecovered,
+) {
+    // A throwaway QP pair for the copy.
+    static CUP: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let uid = CUP.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let sq_d = w
+        .host(dst)
+        .layout
+        .alloc(&format!("catchup{uid}.sq"), 8 * WQE_SIZE, 64);
+    let sq_s = w
+        .host(src)
+        .layout
+        .alloc(&format!("catchup{uid}.sq"), 8 * WQE_SIZE, 64);
+    let scq_d = w.host(dst).nic.create_cq();
+    let rcq_d = w.host(dst).nic.create_cq();
+    let qp_d = w.host(dst).nic.create_qp(scq_d, rcq_d, sq_d.addr, 8);
+    let scq_s = w.host(src).nic.create_cq();
+    let rcq_s = w.host(src).nic.create_cq();
+    let qp_s = w.host(src).nic.create_qp(scq_s, rcq_s, sq_s.addr, 8);
+    w.connect_qps(dst, qp_d, src, qp_s);
+
+    struct CopyState {
+        offset: u64,
+        len: u64,
+        chunk: u32,
+        src_rkey: u32,
+        src_addr: u64,
+        dst_addr: u64,
+        dst: HostId,
+        qp_d: u32,
+        done: Option<OnRecovered>,
+    }
+
+    let state = std::rc::Rc::new(std::cell::RefCell::new(CopyState {
+        offset: 0,
+        len,
+        chunk,
+        src_rkey,
+        src_addr,
+        dst_addr,
+        dst,
+        qp_d,
+        done: Some(done),
+    }));
+
+    fn issue_next(
+        state: &std::rc::Rc<std::cell::RefCell<CopyState>>,
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) {
+        let mut s = state.borrow_mut();
+        if s.offset >= s.len {
+            let done = s.done.take();
+            let dst = s.dst;
+            drop(s);
+            let _ = dst;
+            if let Some(done) = done {
+                done(w, eng);
+            }
+            return;
+        }
+        let n = s.chunk.min((s.len - s.offset) as u32);
+        let wqe = Wqe {
+            opcode: Opcode::Read,
+            flags: hl_rnic::flags::SIGNALED,
+            len: n,
+            laddr: s.dst_addr + s.offset,
+            raddr: s.src_addr + s.offset,
+            rkey: s.src_rkey,
+            wr_id: s.offset,
+            ..Default::default()
+        };
+        s.offset += n as u64;
+        let dst = s.dst;
+        let qp = s.qp_d;
+        drop(s);
+        w.host(dst).post_send(qp, wqe, false).expect("catchup SQ");
+        w.ring_doorbell(dst, qp, eng);
+    }
+
+    let st = state.clone();
+    w.subscribe_cq_callback(dst, scq_d, move |cqe, w, eng| {
+        if cqe.status == hl_rnic::CqeStatus::Ok {
+            issue_next(&st, w, eng);
+        }
+    });
+    issue_next(&state, w, eng);
+}
+
+/// Rebuild a chain after a failure: pause the old group, construct a
+/// fresh group over `survivors` (+ optionally a `new_member` that is
+/// caught up from the client's copy first), and hand back the new
+/// client. The old group's rings are simply abandoned, as the paper's
+/// recovery hands control back to the application's protocol.
+#[allow(clippy::too_many_arguments)]
+pub fn rebuild_chain(
+    w: &mut World,
+    eng: &mut Engine<World>,
+    old: &GroupRef,
+    survivors: Vec<HostId>,
+    new_member: Option<HostId>,
+    ring_slots: u32,
+    done: OnRebuilt,
+) {
+    old.borrow_mut().paused = true;
+    let (client_host, rep_bytes, client_rep) = {
+        let g = old.borrow();
+        (g.cfg.client, g.cfg.rep_bytes, g.client_rep.clone())
+    };
+    let mut replicas = survivors;
+    if let Some(nm) = new_member {
+        replicas.push(nm);
+    }
+    let cfg = GroupConfig {
+        client: client_host,
+        replicas: replicas.clone(),
+        rep_bytes,
+        ring_slots,
+        ..Default::default()
+    };
+    let new_group = GroupBuilder::new(cfg).build(w);
+
+    // Bring every member of the new group to the client's state. The
+    // client's copy is authoritative (it holds everything it ever
+    // ACKed). Survivors copy locally; a brand-new member copies over
+    // the fabric.
+    let targets: Vec<(HostId, u64)> = {
+        let g = new_group.borrow();
+        (0..g.n_replicas())
+            .map(|i| (g.cfg.replicas[i], g.replica_rep[i].addr))
+            .collect()
+    };
+    // Register the client's rep region for remote reads.
+    let src_mr = {
+        let h = w.host(client_host);
+        h.nic
+            .register_mr(client_rep.addr, client_rep.len, Access::REMOTE_READ)
+    };
+
+    let total = targets.len();
+    let finished = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+    let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+    let ng = new_group.clone();
+    for (th, taddr) in targets {
+        let finished = finished.clone();
+        let done_cell = done_cell.clone();
+        let ng = ng.clone();
+        catch_up(
+            w,
+            eng,
+            client_host,
+            src_mr.rkey,
+            client_rep.addr,
+            th,
+            taddr,
+            rep_bytes,
+            64 * 1024,
+            Box::new(move |w, eng| {
+                *finished.borrow_mut() += 1;
+                if *finished.borrow() == total {
+                    crate::replica::start_replenishers(&ng, w, eng);
+                    let client = HyperLoopClient::new(ng.clone(), w);
+                    if let Some(done) = done_cell.borrow_mut().take() {
+                        done(w, eng, client);
+                    }
+                }
+            }),
+        );
+    }
+}
+
+/// Re-deliver a message to a process directly (test helper for control
+/// messages originating outside any process).
+pub fn inject_message(
+    to: ProcAddr,
+    msg: Box<dyn std::any::Any>,
+    w: &mut World,
+    eng: &mut Engine<World>,
+) {
+    deliver(
+        to,
+        ProcEvent::Message(msg),
+        SimDuration::from_micros(1),
+        w,
+        eng,
+    );
+}

@@ -1,0 +1,143 @@
+//! Replica-side housekeeping: the slot replenisher.
+//!
+//! The only thing a replica CPU does for HyperLoop after group setup is
+//! re-post consumed slots — strictly *off* the critical path (paper §3.1:
+//! "replica server CPUs should only spend very few cycles that
+//! initialize the HyperLoop groups"). The replenisher wakes periodically,
+//! counts consumed slots per ring by reading send-queue heads, charges
+//! itself the (small) CPU cost, and re-posts WQE bundles and RECVs.
+//!
+//! If a client outruns the rings (deep bursts + long replenish period),
+//! it hits [`crate::group::Backpressure`] instead of corrupting the
+//! chain — the ablation benchmark measures exactly this onset.
+
+use crate::group::{post_slot, GroupRef};
+use crate::metadata::Primitive;
+use hl_cluster::{Ctx, ProcEvent, Process};
+use hl_sim::SimDuration;
+
+const TAG_TICK: u64 = 1;
+const TAG_REPOST: u64 = 2;
+
+/// Per-slot CPU cost of re-posting (write a few WQEs + a RECV).
+const REPOST_COST_PER_SLOT: SimDuration = SimDuration::from_nanos(80);
+/// Fixed overhead per replenish batch.
+const REPOST_COST_FIXED: SimDuration = SimDuration::from_nanos(1_000);
+
+/// The replenisher process for one replica of one group.
+pub struct Replenisher {
+    group: GroupRef,
+    /// Which replica (chain index) this process serves.
+    pub replica_idx: usize,
+}
+
+impl Replenisher {
+    /// Create a replenisher for replica `replica_idx` of `group`.
+    pub fn new(group: GroupRef, replica_idx: usize) -> Self {
+        Replenisher { group, replica_idx }
+    }
+
+    /// Slots fully consumed by the NIC (both legs) but not yet
+    /// re-posted, per primitive. Reading send-queue heads is safe: a
+    /// slot's WQE memory may be reused only once every WQE of the slot
+    /// has been executed on both its queues.
+    fn deficits(&self, w: &hl_cluster::World) -> [u64; 3] {
+        let inner = self.group.borrow();
+        let rh = inner.cfg.replicas[self.replica_idx];
+        let cap = inner.cfg.ring_slots as u64;
+        let nic = &w.hosts[rh.0].nic;
+        let mut out = [0; 3];
+        for prim in Primitive::ALL {
+            let ring = &inner.rep_rings[self.replica_idx][prim.idx()];
+            let (next_head, _, _) = nic.sq_state(ring.qp_next);
+            let mut consumed = next_head / ring.next_per_slot;
+            if let Some(ql) = ring.qp_local {
+                let (local_head, _, _) = nic.sq_state(ql);
+                consumed = consumed.min(local_head / ring.local_per_slot);
+            }
+            out[prim.idx()] = (consumed + cap).saturating_sub(ring.slots_posted);
+        }
+        out
+    }
+}
+
+impl Process for Replenisher {
+    fn on_event(&mut self, ev: ProcEvent, ctx: &mut Ctx<'_>) {
+        let period = self.group.borrow().cfg.replenish_period;
+        match ev {
+            ProcEvent::Started => {
+                ctx.set_timer(period, TAG_TICK, SimDuration::from_nanos(500));
+            }
+            ProcEvent::Timer { tag: TAG_TICK } => {
+                let total: u64 = self.deficits(ctx.world).iter().sum();
+                if total > 0 {
+                    // Charge the CPU before doing the posting work.
+                    ctx.submit_work(REPOST_COST_FIXED + REPOST_COST_PER_SLOT * total, TAG_REPOST);
+                } else {
+                    ctx.set_timer(period, TAG_TICK, SimDuration::from_nanos(500));
+                }
+            }
+            ProcEvent::WorkDone { tag: TAG_REPOST } => {
+                let deficits = self.deficits(ctx.world);
+                let i = self.replica_idx;
+                for prim in Primitive::ALL {
+                    let d = deficits[prim.idx()];
+                    if d == 0 {
+                        continue;
+                    }
+                    {
+                        let mut inner = self.group.borrow_mut();
+                        for _ in 0..d {
+                            post_slot(&mut inner, ctx.world, i, prim);
+                        }
+                        inner.stats.reposted += d;
+                    }
+                    // Kick the queues so fresh WAITs park.
+                    let (qn, ql, posted) = {
+                        let inner = self.group.borrow();
+                        let ring = &inner.rep_rings[i][prim.idx()];
+                        (ring.qp_next, ring.qp_local, ring.slots_posted)
+                    };
+                    ctx.ring_doorbell(qn);
+                    if let Some(ql) = ql {
+                        ctx.ring_doorbell(ql);
+                    }
+                    // Report the new credit to the client. A tiny control
+                    // datagram in reality; modelled as a fabric-latency
+                    // delayed update of the client's credit table.
+                    let group = self.group.clone();
+                    let idx = i;
+                    ctx.eng
+                        .schedule(SimDuration::from_micros(2), move |_w, _eng| {
+                            group.borrow_mut().posted_seen[idx][prim.idx()] = posted;
+                        });
+                }
+                ctx.set_timer(period, TAG_TICK, SimDuration::from_nanos(500));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Start one replenisher process per replica. Returns their addresses.
+pub fn start_replenishers(
+    group: &GroupRef,
+    w: &mut hl_cluster::World,
+    eng: &mut hl_sim::Engine<hl_cluster::World>,
+) -> Vec<hl_cluster::ProcAddr> {
+    let replicas = group.borrow().cfg.replicas.clone();
+    replicas
+        .iter()
+        .enumerate()
+        .map(|(i, &rh)| {
+            w.start_process(
+                rh,
+                &format!("hl-replenish-r{i}"),
+                None,
+                Box::new(Replenisher::new(group.clone(), i)),
+                SimDuration::from_micros(1),
+                eng,
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,190 @@
+//! Tests for the Naïve-RDMA baseline: functional parity with HyperLoop
+//! plus the CPU-on-critical-path behaviour the paper measures.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimTime};
+use hyperloop::naive::{Mode, NaiveBuilder, NaiveConfig};
+use hyperloop::OpResult;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(
+    mode: Mode,
+    hogs_per_replica: usize,
+) -> (World, Engine<World>, hyperloop::naive::NaiveClient) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(4 << 20).seed(11).build();
+    for h in 1..3 {
+        for k in 0..hogs_per_replica {
+            w.spawn_hog(HostId(h), &format!("stress-{h}-{k}"), &mut eng);
+        }
+    }
+    let cfg = NaiveConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        mode,
+        ring_slots: 64,
+        ..Default::default()
+    };
+    let client = NaiveBuilder::new(cfg).build(&mut w, &mut eng);
+    (w, eng, client)
+}
+
+fn sink(log: &Rc<RefCell<Vec<OpResult>>>) -> hyperloop::OnDone {
+    let log = log.clone();
+    Box::new(move |_w, _eng, r| log.borrow_mut().push(r))
+}
+
+#[test]
+fn naive_gwrite_replicates_and_acks() {
+    let (mut w, mut eng, client) = setup(Mode::Event, 0);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    client
+        .gwrite(&mut w, &mut eng, 0x100, b"naive-data", true, sink(&log))
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(50_000_000));
+    assert_eq!(log.borrow().len(), 1);
+    for m in 0..3 {
+        let addr = client.group().borrow().member_addr(m, 0x100);
+        let host = if m == 0 { 0 } else { m };
+        assert_eq!(w.hosts[host].mem.read(addr, 10).unwrap(), b"naive-data");
+        assert!(w.hosts[host].mem.is_durable(addr, 10), "member {m}");
+    }
+    // Event-mode latency includes interrupts + scheduling: slower than
+    // the pure NIC path but still fast on an idle machine.
+    let lat = log.borrow()[0].latency;
+    assert!(lat.as_nanos() > 10_000, "{lat}");
+}
+
+#[test]
+fn naive_polling_mode_works_and_burns_cpu() {
+    let (mut w, mut eng, client) = setup(Mode::Polling, 0);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    client
+        .gwrite(&mut w, &mut eng, 0x100, b"polled", true, sink(&log))
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(50_000_000));
+    assert_eq!(log.borrow().len(), 1);
+    // The polling replicas burned CPU the whole run.
+    let now = eng.now();
+    for h in 1..3 {
+        let util = w.hosts[h].cpu.host_utilization(now);
+        assert!(util > 0.04, "poller on host {h} should burn a core: {util}");
+    }
+}
+
+#[test]
+fn naive_gmemcpy_and_gcas() {
+    let (mut w, mut eng, client) = setup(Mode::Event, 0);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    client
+        .gwrite(&mut w, &mut eng, 0, b"source-bytes", true, sink(&log))
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(50_000_000));
+    client
+        .gmemcpy(&mut w, &mut eng, 0, 0x4000, 12, true, sink(&log))
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(100_000_000));
+    assert_eq!(log.borrow().len(), 2);
+    for m in 0..3 {
+        let addr = client.group().borrow().member_addr(m, 0x4000);
+        let host = if m == 0 { 0 } else { m };
+        assert_eq!(w.hosts[host].mem.read(addr, 12).unwrap(), b"source-bytes");
+    }
+
+    client
+        .gcas(&mut w, &mut eng, 0x5000, 0, 77, 0b111, sink(&log))
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(150_000_000));
+    assert_eq!(log.borrow().len(), 3);
+    assert_eq!(log.borrow()[2].results, vec![0, 0, 0]);
+    for m in 0..3 {
+        let addr = client.group().borrow().member_addr(m, 0x5000);
+        let host = if m == 0 { 0 } else { m };
+        assert_eq!(w.hosts[host].mem.read_u64(addr).unwrap(), 77);
+    }
+}
+
+/// The paper's core comparison: under multi-tenant CPU contention the
+/// baseline's latency explodes while HyperLoop's stays flat.
+#[test]
+fn contention_hurts_naive_but_not_hyperloop() {
+    // --- Naïve under contention -----------------------------------------
+    let (mut w, mut eng, nclient) = setup(Mode::Event, 24);
+    let nlog = Rc::new(RefCell::new(Vec::new()));
+    for k in 0..30u64 {
+        let l = nlog.clone();
+        let _ = nclient.gwrite(
+            &mut w,
+            &mut eng,
+            k * 256,
+            &[1u8; 128],
+            true,
+            Box::new(move |_w, _e, r| l.borrow_mut().push(r)),
+        );
+        let want = k as usize + 1;
+        let l2 = nlog.clone();
+        eng.run_while(&mut w, move |_| l2.borrow().len() < want);
+    }
+    let naive_mean = nlog
+        .borrow()
+        .iter()
+        .map(|r| r.latency.as_nanos())
+        .sum::<u64>() as f64
+        / nlog.borrow().len() as f64;
+
+    // --- HyperLoop under identical contention ----------------------------
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(4 << 20).seed(11).build();
+    for h in 1..3 {
+        for k in 0..24 {
+            w.spawn_hog(HostId(h), &format!("stress-{h}-{k}"), &mut eng);
+        }
+    }
+    let cfg = hyperloop::GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        ring_slots: 64,
+        ..Default::default()
+    };
+    let group = hyperloop::GroupBuilder::new(cfg).build(&mut w);
+    hyperloop::replica::start_replenishers(&group, &mut w, &mut eng);
+    let hclient = hyperloop::HyperLoopClient::new(group, &mut w);
+    let hlog = Rc::new(RefCell::new(Vec::new()));
+    for k in 0..30u64 {
+        let l = hlog.clone();
+        hclient
+            .gwrite(
+                &mut w,
+                &mut eng,
+                k * 256,
+                &[1u8; 128],
+                true,
+                Box::new(move |_w, _e, r| l.borrow_mut().push(r)),
+            )
+            .unwrap();
+        let want = k as usize + 1;
+        let l2 = hlog.clone();
+        eng.run_while(&mut w, move |_| l2.borrow().len() < want);
+    }
+    let hl_mean = hlog
+        .borrow()
+        .iter()
+        .map(|r| r.latency.as_nanos())
+        .sum::<u64>() as f64
+        / hlog.borrow().len() as f64;
+
+    assert_eq!(nlog.borrow().len(), 30);
+    assert_eq!(hlog.borrow().len(), 30);
+    assert!(
+        naive_mean > 8.0 * hl_mean,
+        "expected a large gap: naive {naive_mean:.0} ns vs hyperloop {hl_mean:.0} ns"
+    );
+    assert!(
+        naive_mean > 100_000.0,
+        "contended naive should be >100us on average: {naive_mean:.0} ns"
+    );
+    assert!(
+        hl_mean < 50_000.0,
+        "hyperloop stays microsecond-scale: {hl_mean:.0} ns"
+    );
+}

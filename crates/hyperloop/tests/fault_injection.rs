@@ -1,0 +1,180 @@
+//! Failure-injection tests: lossy fabric, one-way partitions, and the
+//! detector's robustness against transient loss.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimDuration, SimTime};
+use hyperloop::recovery::{self, HeartbeatConfig};
+use hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(seed: u64) -> (World, Engine<World>, HyperLoopClient, hyperloop::GroupRef) {
+    let (mut w, mut eng) = ClusterBuilder::new(3)
+        .arena_size(2 << 20)
+        .seed(seed)
+        .build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 256 << 10,
+        ring_slots: 32,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group.clone(), &mut w);
+    (w, eng, client, group)
+}
+
+/// Transient heartbeat loss below the miss threshold must not trigger a
+/// false failure detection.
+#[test]
+fn detector_tolerates_transient_loss() {
+    let (mut w, mut eng, _client, group) = setup(51);
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    let f2 = failures.clone();
+    recovery::start_heartbeats(
+        &group,
+        HeartbeatConfig {
+            period: SimDuration::from_millis(5),
+            miss_threshold: 4,
+        },
+        Box::new(move |_w, _e, idx| f2.borrow_mut().push(idx)),
+        &mut w,
+        &mut eng,
+    );
+    // 10% random loss: P(4 consecutive losses of ping or pong) is tiny.
+    w.fabric.set_drop_prob(0.10);
+    eng.run_until(&mut w, SimTime::from_nanos(500_000_000));
+    assert!(
+        failures.borrow().is_empty(),
+        "false positives under 10% loss: {:?}",
+        failures.borrow()
+    );
+}
+
+/// A sustained one-way partition (replica can receive but not send)
+/// still gets detected: its pongs never come back.
+#[test]
+fn one_way_partition_is_detected() {
+    let (mut w, mut eng, _client, group) = setup(52);
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    let f2 = failures.clone();
+    recovery::start_heartbeats(
+        &group,
+        HeartbeatConfig {
+            period: SimDuration::from_millis(5),
+            miss_threshold: 3,
+        },
+        Box::new(move |_w, _e, idx| f2.borrow_mut().push(idx)),
+        &mut w,
+        &mut eng,
+    );
+    eng.run_until(&mut w, SimTime::from_nanos(30_000_000));
+    assert!(failures.borrow().is_empty());
+    // Host 1 can receive but everything it sends is dropped.
+    w.fabric.partition(HostId(1), HostId(0));
+    eng.run_until(&mut w, SimTime::from_nanos(120_000_000));
+    assert_eq!(*failures.borrow(), vec![0], "replica index 0 detected");
+}
+
+/// A chain op whose forwarding packet is eaten by a partition never
+/// ACKs (no phantom completions), and the op after healing succeeds on
+/// a rebuilt chain.
+#[test]
+fn partition_stalls_op_without_phantom_ack() {
+    let (mut w, mut eng, client, group) = setup(53);
+    // Break replica0 -> replica1 (mid-chain forwarding).
+    w.fabric.partition(HostId(1), HostId(2));
+    let acked = Rc::new(RefCell::new(0u32));
+    let a = acked.clone();
+    client
+        .gwrite(
+            &mut w,
+            &mut eng,
+            0,
+            b"stalled",
+            true,
+            Box::new(move |_w, _e, _r| *a.borrow_mut() += 1),
+        )
+        .unwrap();
+    eng.run_until(&mut w, SimTime::from_nanos(50_000_000));
+    assert_eq!(*acked.borrow(), 0, "no phantom group ACK");
+    // Data did reach replica 0 (one-sided write landed before the cut
+    // point), but never replica 1.
+    {
+        let g = group.borrow();
+        let r0 = g.replica_rep[0].at(0);
+        let r1 = g.replica_rep[1].at(0);
+        assert_eq!(w.hosts[1].mem.read(r0, 7).unwrap(), b"stalled");
+        assert_eq!(w.hosts[2].mem.read(r1, 7).unwrap(), &[0u8; 7]);
+    }
+    // Heal and rebuild (the in-flight chain state is gone; recovery
+    // constructs a fresh one, as the paper's control path would).
+    w.fabric.heal(HostId(1), HostId(2));
+    let rebuilt: Rc<RefCell<Option<HyperLoopClient>>> = Rc::new(RefCell::new(None));
+    let rb = rebuilt.clone();
+    recovery::rebuild_chain(
+        &mut w,
+        &mut eng,
+        &group,
+        vec![HostId(1), HostId(2)],
+        None,
+        32,
+        Box::new(move |_w, _e, c| *rb.borrow_mut() = Some(c)),
+    );
+    let probe = rebuilt.clone();
+    eng.run_while(&mut w, move |_| probe.borrow().is_none());
+    let client2 = rebuilt.borrow().clone().unwrap();
+    let a2 = acked.clone();
+    client2
+        .gwrite(
+            &mut w,
+            &mut eng,
+            64,
+            b"post-heal",
+            true,
+            Box::new(move |_w, _e, _r| *a2.borrow_mut() += 10),
+        )
+        .unwrap();
+    let probe2 = acked.clone();
+    eng.run_while(&mut w, move |_| *probe2.borrow() < 10);
+    assert_eq!(*acked.borrow(), 10);
+}
+
+/// Catch-up over a lossy fabric: chunked READs fence and complete (a
+/// dropped READ would stall that QP; the drill runs lossless here, and
+/// the lossy variant asserts the *detector* result instead — REad
+/// retransmission is out of scope per DESIGN.md §7).
+#[test]
+fn catch_up_handles_large_regions() {
+    let (mut w, mut eng) = ClusterBuilder::new(2).arena_size(8 << 20).seed(54).build();
+    let src = w.host(HostId(0)).layout.alloc("src", 2 << 20, 64);
+    let dst = w.host(HostId(1)).layout.alloc("dst", 2 << 20, 64);
+    let pattern: Vec<u8> = (0..(2 << 20)).map(|i| (i * 31 % 251) as u8).collect();
+    w.hosts[0].mem.write(src.addr, &pattern).unwrap();
+    let mr = w.hosts[0]
+        .nic
+        .register_mr(src.addr, src.len, hl_rnic::Access::REMOTE_READ);
+    let done = Rc::new(RefCell::new(false));
+    let d = done.clone();
+    recovery::catch_up(
+        &mut w,
+        &mut eng,
+        HostId(0),
+        mr.rkey,
+        src.addr,
+        HostId(1),
+        dst.addr,
+        2 << 20,
+        256 << 10,
+        Box::new(move |_w, _e| *d.borrow_mut() = true),
+    );
+    let probe = done.clone();
+    eng.run_while(&mut w, move |_| !*probe.borrow());
+    assert_eq!(w.hosts[1].mem.read_vec(dst.addr, 2 << 20).unwrap(), pattern);
+    // 2 MiB at 56 Gbps ≈ 300 µs + per-chunk RTTs: sanity-check timing.
+    assert!(eng.now().as_nanos() > 280_000);
+    assert!(eng.now() < SimTime::from_nanos(10_000_000));
+}

@@ -1,0 +1,357 @@
+//! End-to-end tests of the HyperLoop group primitives on the simulated
+//! testbed: full chains, real WQE rings, zero replica-CPU datapaths.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimDuration, SimTime};
+use hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient, OpResult};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Test {
+    w: World,
+    eng: Engine<World>,
+    client: HyperLoopClient,
+}
+
+fn setup(n_replicas: usize, ring_slots: u32) -> Test {
+    let (mut w, mut eng) = ClusterBuilder::new(n_replicas + 1)
+        .arena_size(4 << 20)
+        .seed(7)
+        .build();
+    let cfg = GroupConfig {
+        client: HostId(0),
+        replicas: (1..=n_replicas).map(HostId).collect(),
+        rep_bytes: 1 << 20,
+        ring_slots,
+        ..Default::default()
+    };
+    let group = GroupBuilder::new(cfg).build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group, &mut w);
+    Test { w, eng, client }
+}
+
+/// Collects completions.
+fn sink(log: &Rc<RefCell<Vec<OpResult>>>) -> hyperloop::OnDone {
+    let log = log.clone();
+    Box::new(move |_w, _eng, r| log.borrow_mut().push(r))
+}
+
+/// Read `len` bytes at `offset` of member `m`'s rep region.
+fn member_read(t: &mut Test, m: usize, offset: u64, len: usize) -> Vec<u8> {
+    let g = t.client.group().borrow();
+    let addr = g.member_addr(m, offset);
+    let host = if m == 0 { 0 } else { g.cfg.replicas[m - 1].0 };
+    drop(g);
+    t.w.hosts[host].mem.read_vec(addr, len).unwrap()
+}
+
+fn member_durable(t: &mut Test, m: usize, offset: u64, len: usize) -> bool {
+    let g = t.client.group().borrow();
+    let addr = g.member_addr(m, offset);
+    let host = if m == 0 { 0 } else { g.cfg.replicas[m - 1].0 };
+    drop(g);
+    t.w.hosts[host].mem.is_durable(addr, len)
+}
+
+#[test]
+fn gwrite_replicates_to_all_members_durably() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    t.client
+        .gwrite(
+            &mut t.w,
+            &mut t.eng,
+            0x100,
+            b"replicated-txn-log",
+            true,
+            sink(&log),
+        )
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+
+    assert_eq!(log.borrow().len(), 1, "group ACK must arrive");
+    for m in 0..3 {
+        assert_eq!(
+            member_read(&mut t, m, 0x100, 18),
+            b"replicated-txn-log",
+            "member {m}"
+        );
+        assert!(member_durable(&mut t, m, 0x100, 18), "member {m} durable");
+    }
+    // Latency is microsecond-scale (NIC datapath, no CPU hops).
+    let lat = log.borrow()[0].latency;
+    assert!(lat.as_nanos() > 2_000, "{lat}");
+    assert!(lat.as_nanos() < 60_000, "{lat}");
+}
+
+#[test]
+fn gwrite_without_flush_is_visible_but_volatile() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    t.client
+        .gwrite(&mut t.w, &mut t.eng, 0x200, b"volatile", false, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+    assert_eq!(log.borrow().len(), 1);
+    for m in 1..3 {
+        assert_eq!(member_read(&mut t, m, 0x200, 8), b"volatile");
+        assert!(
+            !member_durable(&mut t, m, 0x200, 8),
+            "member {m} must still be in NIC cache"
+        );
+    }
+}
+
+#[test]
+fn standalone_gflush_makes_prior_write_durable() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    t.client
+        .gwrite(&mut t.w, &mut t.eng, 0x300, b"flush-me", false, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+    assert!(!member_durable(&mut t, 1, 0x300, 8));
+
+    t.client
+        .gflush(&mut t.w, &mut t.eng, 0x300, 8, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(2_000_000));
+    assert_eq!(log.borrow().len(), 2);
+    for m in 0..3 {
+        assert!(member_durable(&mut t, m, 0x300, 8), "member {m}");
+    }
+    // Crash every replica: the data survives.
+    for h in 1..3 {
+        t.w.hosts[h].mem.crash();
+    }
+    assert_eq!(member_read(&mut t, 1, 0x300, 8), b"flush-me");
+    assert_eq!(member_read(&mut t, 2, 0x300, 8), b"flush-me");
+}
+
+#[test]
+fn gmemcpy_applies_log_to_db_on_all_members() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    // Stage a log record at offset 0 on all members.
+    t.client
+        .gwrite(
+            &mut t.w,
+            &mut t.eng,
+            0,
+            b"log-record-bytes",
+            true,
+            sink(&log),
+        )
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+    // Execute: copy it to the "database" at offset 0x8000.
+    t.client
+        .gmemcpy(&mut t.w, &mut t.eng, 0, 0x8000, 16, true, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(2_000_000));
+
+    assert_eq!(log.borrow().len(), 2);
+    for m in 0..3 {
+        assert_eq!(member_read(&mut t, m, 0x8000, 16), b"log-record-bytes");
+        assert!(member_durable(&mut t, m, 0x8000, 16), "member {m}");
+    }
+}
+
+#[test]
+fn gcas_acquires_group_lock_and_reports_results() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let all = 0b111; // client + both replicas
+                     // Acquire: 0 -> 42 everywhere.
+    t.client
+        .gcas(&mut t.w, &mut t.eng, 0x400, 0, 42, all, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+    {
+        let l = log.borrow();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].results, vec![0, 0, 0], "all originals were 0");
+    }
+    for m in 0..3 {
+        let b = member_read(&mut t, m, 0x400, 8);
+        assert_eq!(u64::from_le_bytes(b.try_into().unwrap()), 42, "member {m}");
+    }
+
+    // Second acquire fails everywhere and reports the holder (42).
+    t.client
+        .gcas(&mut t.w, &mut t.eng, 0x400, 0, 43, all, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(2_000_000));
+    {
+        let l = log.borrow();
+        assert_eq!(l[1].results, vec![42, 42, 42]);
+    }
+    for m in 0..3 {
+        let b = member_read(&mut t, m, 0x400, 8);
+        assert_eq!(
+            u64::from_le_bytes(b.try_into().unwrap()),
+            42,
+            "member {m} unchanged"
+        );
+    }
+}
+
+#[test]
+fn gcas_execute_map_skips_members() {
+    let mut t = setup(2, 16);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    // Only replica 1 (member bit 1) executes; client and replica 2 skip.
+    t.client
+        .gcas(&mut t.w, &mut t.eng, 0x500, 0, 9, 0b010, sink(&log))
+        .unwrap();
+    t.eng.run_until(&mut t.w, SimTime::from_nanos(1_000_000));
+    assert_eq!(log.borrow().len(), 1);
+    let vals: Vec<u64> = (0..3)
+        .map(|m| u64::from_le_bytes(member_read(&mut t, m, 0x500, 8).try_into().unwrap()))
+        .collect();
+    assert_eq!(vals, vec![0, 9, 0], "only member 1 swapped");
+}
+
+#[test]
+fn pipelined_gwrites_exceeding_ring_depth_all_complete() {
+    let mut t = setup(2, 8); // tiny ring to force replenishment
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let total = 64u64;
+    // Issue in waves respecting backpressure.
+    fn pump(
+        client: HyperLoopClient,
+        log: Rc<RefCell<Vec<OpResult>>>,
+        issued: u64,
+        total: u64,
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) {
+        let mut issued = issued;
+        while issued < total {
+            let data = [(issued & 0xff) as u8; 32];
+            let offset = 0x1000 + issued * 64;
+            let l = log.clone();
+            match client.gwrite(
+                w,
+                eng,
+                offset,
+                &data,
+                true,
+                Box::new(move |_w, _e, r| l.borrow_mut().push(r)),
+            ) {
+                Ok(_) => issued += 1,
+                Err(_) => {
+                    // Backpressured: retry shortly.
+                    let c = client.clone();
+                    let lg = log.clone();
+                    eng.schedule(SimDuration::from_micros(50), move |w, eng| {
+                        pump(c, lg, issued, total, w, eng);
+                    });
+                    return;
+                }
+            }
+        }
+    }
+    let c = t.client.clone();
+    let lg = log.clone();
+    t.eng.schedule(SimDuration::ZERO, move |w, eng| {
+        pump(c, lg, 0, total, w, eng)
+    });
+    t.eng
+        .run_until(&mut t.w, SimTime::from_nanos(1_000_000_000));
+
+    assert_eq!(log.borrow().len(), total as usize, "every op ACKed");
+    // Spot-check replica contents.
+    for k in [0u64, 31, 63] {
+        let want = [(k & 0xff) as u8; 32];
+        for m in 1..3 {
+            assert_eq!(
+                member_read(&mut t, m, 0x1000 + k * 64, 32),
+                want,
+                "op {k} member {m}"
+            );
+        }
+    }
+    // Replenishers actually ran.
+    assert!(t.client.group().borrow().stats.reposted > 0);
+}
+
+#[test]
+fn backpressure_without_draining() {
+    let mut t = setup(1, 8); // max_inflight = 4
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut ok = 0;
+    let mut blocked = 0;
+    for k in 0..10u64 {
+        match t
+            .client
+            .gwrite(&mut t.w, &mut t.eng, k * 64, b"x", false, sink(&log))
+        {
+            Ok(_) => ok += 1,
+            Err(_) => blocked += 1,
+        }
+    }
+    assert_eq!(ok, 4);
+    assert_eq!(blocked, 6);
+    assert_eq!(t.client.group().borrow().stats.backpressured, 6);
+}
+
+#[test]
+fn larger_groups_work_and_stay_flat() {
+    for n in [2usize, 4, 6] {
+        let mut t = setup(n, 16);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        t.client
+            .gwrite(&mut t.w, &mut t.eng, 0, b"scale-test", true, sink(&log))
+            .unwrap();
+        t.eng.run_until(&mut t.w, SimTime::from_nanos(5_000_000));
+        assert_eq!(log.borrow().len(), 1, "group of {} acked", n + 1);
+        for m in 0..=n {
+            assert_eq!(member_read(&mut t, m, 0, 10), b"scale-test");
+        }
+    }
+}
+
+#[test]
+fn replica_cpus_stay_off_the_critical_path() {
+    let mut t = setup(2, 64);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    // Run 100 flushed writes.
+    for k in 0..100u64 {
+        // Issue sequentially: wait for each ack via run_while.
+        t.client
+            .gwrite(&mut t.w, &mut t.eng, k * 128, &[7u8; 64], true, sink(&log))
+            .unwrap();
+        let want = k as usize + 1;
+        let l = log.clone();
+        t.eng.run_while(&mut t.w, move |_| l.borrow().len() < want);
+    }
+    assert_eq!(log.borrow().len(), 100);
+    let now = t.eng.now();
+    // Replica CPU time must be negligible: only the replenisher ran.
+    for h in 1..3 {
+        let util = t.w.hosts[h].cpu.host_utilization(now);
+        assert!(
+            util < 0.02,
+            "replica {h} CPU utilization {util} should be ~0"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    fn run() -> (u64, u64) {
+        let mut t = setup(2, 16);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for k in 0..10u64 {
+            let _ = t
+                .client
+                .gwrite(&mut t.w, &mut t.eng, k * 64, b"det", true, sink(&log));
+        }
+        t.eng.run_until(&mut t.w, SimTime::from_nanos(10_000_000));
+        (t.eng.events_executed(), t.eng.now().as_nanos())
+    }
+    assert_eq!(run(), run());
+}

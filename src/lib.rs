@@ -1,0 +1,24 @@
+//! # hyperloop-repro — umbrella crate
+//!
+//! Re-exports the full reproduction stack so examples and downstream
+//! users can depend on one crate:
+//!
+//! * [`sim`] — deterministic discrete-event core
+//! * [`nvm`] — non-volatile memory model
+//! * [`fabric`] — network fabric
+//! * [`cpu`] — multi-tenant CPU scheduler
+//! * [`rnic`] — RDMA NIC (verbs, WAIT, in-memory WQE rings)
+//! * [`cluster`] — the composed testbed
+//! * [`hyperloop`] — the paper's group primitives, API, baselines
+//! * [`store`] — kvlite & doclite storage engines
+//! * [`ycsb`] — workload generator & drivers
+
+pub use hl_cluster as cluster;
+pub use hl_cpu as cpu;
+pub use hl_fabric as fabric;
+pub use hl_nvm as nvm;
+pub use hl_rnic as rnic;
+pub use hl_sim as sim;
+pub use hl_store as store;
+pub use hl_ycsb as ycsb;
+pub use hyperloop;

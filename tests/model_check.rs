@@ -1,0 +1,323 @@
+//! Property-based model checking of the full stack: random operation
+//! sequences against a HyperLoop group must leave every member's
+//! replicated region byte-identical to a simple shadow model.
+
+use hyperloop_repro::cluster::{ClusterBuilder, World};
+use hyperloop_repro::fabric::HostId;
+use hyperloop_repro::hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use hyperloop_repro::sim::{Engine, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const REP_BYTES: u64 = 64 << 10;
+const SLOT: u64 = 256;
+const N_SLOTS: u64 = 32;
+
+/// A model operation.
+#[derive(Debug, Clone)]
+enum MOp {
+    Write {
+        slot: u64,
+        byte: u8,
+        len: u16,
+        flush: bool,
+    },
+    Memcpy {
+        src: u64,
+        dst: u64,
+        len: u16,
+    },
+    Cas {
+        slot: u64,
+        cmp_cur: bool,
+        swp: u64,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        (0..N_SLOTS, any::<u8>(), 1..200u16, any::<bool>()).prop_map(|(slot, byte, len, flush)| {
+            MOp::Write {
+                slot,
+                byte,
+                len,
+                flush,
+            }
+        }),
+        (0..N_SLOTS, 0..N_SLOTS, 1..200u16).prop_map(|(src, dst, len)| MOp::Memcpy {
+            src,
+            dst,
+            len
+        }),
+        (0..N_SLOTS, any::<bool>(), 1..1000u64).prop_map(|(slot, cmp_cur, swp)| MOp::Cas {
+            slot,
+            cmp_cur,
+            swp
+        }),
+    ]
+}
+
+fn run_ops(ops: &[MOp]) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(1 << 20).seed(99).build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: REP_BYTES,
+        ring_slots: 32,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = Rc::new(HyperLoopClient::new(group, &mut w));
+
+    // Shadow model: a flat byte image.
+    let mut model = vec![0u8; REP_BYTES as usize];
+    let completed = Rc::new(RefCell::new(0usize));
+
+    for (i, op) in ops.iter().enumerate() {
+        let c = completed.clone();
+        let done: hyperloop::OnDone =
+            Box::new(move |_w: &mut World, _e: &mut Engine<World>, _r| {
+                *c.borrow_mut() += 1;
+            });
+        match op {
+            MOp::Write {
+                slot,
+                byte,
+                len,
+                flush,
+            } => {
+                let off = slot * SLOT;
+                let data = vec![*byte; *len as usize];
+                model[off as usize..off as usize + *len as usize].copy_from_slice(&data);
+                client
+                    .gwrite(&mut w, &mut eng, off, &data, *flush, done)
+                    .unwrap();
+            }
+            MOp::Memcpy { src, dst, len } => {
+                let (s, d) = (src * SLOT, dst * SLOT);
+                let bytes: Vec<u8> = model[s as usize..s as usize + *len as usize].to_vec();
+                model[d as usize..d as usize + *len as usize].copy_from_slice(&bytes);
+                client
+                    .gmemcpy(&mut w, &mut eng, s, d, *len as u32, true, done)
+                    .unwrap();
+            }
+            MOp::Cas { slot, cmp_cur, swp } => {
+                let off = (slot * SLOT + N_SLOTS * SLOT) & !7; // CAS area, aligned
+                let cur =
+                    u64::from_le_bytes(model[off as usize..off as usize + 8].try_into().unwrap());
+                let cmp = if *cmp_cur { cur } else { cur.wrapping_add(1) };
+                if cur == cmp {
+                    model[off as usize..off as usize + 8].copy_from_slice(&swp.to_le_bytes());
+                }
+                client
+                    .gcas(&mut w, &mut eng, off, cmp, *swp, 0b111, done)
+                    .unwrap();
+            }
+        }
+        // Drain each op before the next: the model is sequential; the
+        // implementation may pipeline but here we check final-state
+        // equivalence op-by-op (strongest form).
+        let c2 = completed.clone();
+        let want = i + 1;
+        eng.run_while(&mut w, move |_| *c2.borrow() < want);
+    }
+    eng.run_until(
+        &mut w,
+        SimTime::from_nanos(eng.now().as_nanos() + 1_000_000),
+    );
+
+    // Every member's region equals the model.
+    use hyperloop_repro::hyperloop::api::GroupClient;
+    for m in 0..3 {
+        let host = if m == 0 { 0 } else { m };
+        let base = client.member_addr(m, 0);
+        let image = w.hosts[host]
+            .mem
+            .read_vec(base, REP_BYTES as usize)
+            .unwrap();
+        assert_eq!(image, model, "member {m} diverged from the model");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #[test]
+    fn group_ops_match_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        run_ops(&ops);
+    }
+}
+
+/// Pipelined variant: ops are issued in batches without draining between
+/// individual operations, so several slots of the chain are in flight at
+/// once. Operations of the *same* primitive share one pre-posted QP chain
+/// (WAIT-linked WQEs), so the group must serialize them in issue order and
+/// the final state has to match the sequential shadow model — even for
+/// overlapping writes.
+///
+/// Note: *cross*-primitive ordering is deliberately NOT asserted here.
+/// gWRITE, gMEMCPY and gCAS ride separate per-primitive chains (as in the
+/// paper), so a pipelined gMEMCPY and an overlapping gWRITE are unordered;
+/// applications serialize such dependencies with completion waits or group
+/// locks (see `GroupLock`). The sequential checker above covers the mixed
+/// case.
+fn run_ops_pipelined(ops: &[MOp], batch: usize) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(1 << 20).seed(7).build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: REP_BYTES,
+        ring_slots: 32,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = Rc::new(HyperLoopClient::new(group, &mut w));
+
+    let mut model = vec![0u8; REP_BYTES as usize];
+    let completed = Rc::new(RefCell::new(0usize));
+    let mut issued = 0usize;
+
+    for chunk in ops.chunks(batch) {
+        for op in chunk {
+            let c = completed.clone();
+            let done: hyperloop::OnDone =
+                Box::new(move |_w: &mut World, _e: &mut Engine<World>, _r| {
+                    *c.borrow_mut() += 1;
+                });
+            match op {
+                MOp::Write {
+                    slot,
+                    byte,
+                    len,
+                    flush,
+                } => {
+                    let off = slot * SLOT;
+                    let data = vec![*byte; *len as usize];
+                    model[off as usize..off as usize + *len as usize].copy_from_slice(&data);
+                    client
+                        .gwrite(&mut w, &mut eng, off, &data, *flush, done)
+                        .unwrap();
+                }
+                MOp::Memcpy { src, dst, len } => {
+                    let (s, d) = (src * SLOT, dst * SLOT);
+                    let bytes: Vec<u8> = model[s as usize..s as usize + *len as usize].to_vec();
+                    model[d as usize..d as usize + *len as usize].copy_from_slice(&bytes);
+                    client
+                        .gmemcpy(&mut w, &mut eng, s, d, *len as u32, true, done)
+                        .unwrap();
+                }
+                MOp::Cas { slot, cmp_cur, swp } => {
+                    let off = (slot * SLOT + N_SLOTS * SLOT) & !7;
+                    let cur = u64::from_le_bytes(
+                        model[off as usize..off as usize + 8].try_into().unwrap(),
+                    );
+                    let cmp = if *cmp_cur { cur } else { cur.wrapping_add(1) };
+                    if cur == cmp {
+                        model[off as usize..off as usize + 8].copy_from_slice(&swp.to_le_bytes());
+                    }
+                    client
+                        .gcas(&mut w, &mut eng, off, cmp, *swp, 0b111, done)
+                        .unwrap();
+                }
+            }
+            issued += 1;
+        }
+        // Drain the whole batch, not each op.
+        let c2 = completed.clone();
+        let want = issued;
+        eng.run_while(&mut w, move |_| *c2.borrow() < want);
+    }
+    eng.run_until(
+        &mut w,
+        SimTime::from_nanos(eng.now().as_nanos() + 1_000_000),
+    );
+
+    use hyperloop_repro::hyperloop::api::GroupClient;
+    for m in 0..3 {
+        let host = if m == 0 { 0 } else { m };
+        let base = client.member_addr(m, 0);
+        let image = w.hosts[host]
+            .mem
+            .read_vec(base, REP_BYTES as usize)
+            .unwrap();
+        assert_eq!(image, model, "member {m} diverged from the model");
+    }
+}
+
+fn write_op_strategy() -> impl Strategy<Value = MOp> {
+    (0..N_SLOTS, any::<u8>(), 1..200u16, any::<bool>()).prop_map(|(slot, byte, len, flush)| {
+        MOp::Write {
+            slot,
+            byte,
+            len,
+            flush,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #[test]
+    fn pipelined_writes_match_shadow_model(
+        ops in proptest::collection::vec(write_op_strategy(), 4..32)
+    ) {
+        run_ops_pipelined(&ops, 4);
+    }
+}
+
+/// Pipelined gMEMCPYs (single primitive, shared chain) over a region
+/// preloaded with distinct patterns: copies that overlap earlier copies'
+/// destinations must still apply in issue order.
+#[test]
+fn pipelined_memcpys_match_shadow_model() {
+    // Preload slots 0..8 with distinct bytes via drained writes, then
+    // pipeline a chain of overlapping copies.
+    let mut ops: Vec<MOp> = (0..8)
+        .map(|i| MOp::Write {
+            slot: i,
+            byte: 0x10 + i as u8,
+            len: SLOT as u16,
+            flush: false,
+        })
+        .collect();
+    run_ops(&ops); // sanity: the preload itself is model-consistent
+
+    ops.extend((0..16).map(|i| MOp::Memcpy {
+        src: i % 8,
+        dst: 8 + (i % 5),
+        len: 128,
+    }));
+    // Batch of 1 for the 8 preload writes would re-drain; instead issue the
+    // whole thing pipelined — writes are one chain, memcpys another, and
+    // the two phases are separated by the batch drain below.
+    run_ops_pipelined(&ops[..8], 8);
+    run_ops_pipelined(&ops, 8);
+}
+
+/// A fixed long mixed sequence as a plain test (fast path in CI).
+#[test]
+fn fixed_mixed_sequence_matches_model() {
+    let ops: Vec<MOp> = (0..40)
+        .map(|i| match i % 3 {
+            0 => MOp::Write {
+                slot: i % N_SLOTS,
+                byte: i as u8,
+                len: 64 + (i as u16 % 100),
+                flush: i % 2 == 0,
+            },
+            1 => MOp::Memcpy {
+                src: i % N_SLOTS,
+                dst: (i + 3) % N_SLOTS,
+                len: 32,
+            },
+            _ => MOp::Cas {
+                slot: i % N_SLOTS,
+                cmp_cur: i % 4 != 3,
+                swp: i,
+            },
+        })
+        .collect();
+    run_ops(&ops);
+}
