@@ -1,18 +1,32 @@
-//! Criterion micro-benchmarks over the hot datapaths of every layer:
-//! WQE codec, histogram recording, memtable ops, document codec,
-//! zipfian draws, the DES engine, and small end-to-end group operations
-//! on the simulated testbed. `cargo bench` keeps these fast; the
+//! Micro-benchmarks over the hot datapaths of every layer: WQE codec,
+//! histogram recording, memtable ops, document codec, zipfian draws, the
+//! DES engine, and small end-to-end group operations on the simulated
+//! testbed. Self-timed (the build environment has no registry access, so
+//! criterion is unavailable); `cargo bench` keeps these fast and the
 //! paper-figure harnesses live in `src/bin/fig*.rs`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
 use hl_sim::{Histogram, RngFactory};
 use hl_store::doc::Document;
 use hl_store::kv::Memtable;
 use hl_ycsb::Zipfian;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_wqe_codec(c: &mut Criterion) {
+/// Time `iters` runs of `f` after a small warmup; print ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:32} {per:>12.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_wqe_codec() {
     let wqe = hl_rnic::Wqe {
         opcode: hl_rnic::Opcode::Write,
         flags: hl_rnic::flags::SIGNALED,
@@ -23,132 +37,115 @@ fn bench_wqe_codec(c: &mut Criterion) {
         rkey: 9,
         ..Default::default()
     };
-    c.bench_function("wqe_encode_decode", |b| {
-        b.iter(|| {
-            let enc = black_box(&wqe).encode();
-            black_box(hl_rnic::Wqe::decode(&enc))
-        })
+    bench("wqe_encode_decode", 1_000_000, || {
+        let enc = black_box(&wqe).encode();
+        black_box(hl_rnic::Wqe::decode(&enc));
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record", |b| {
-        let mut h = Histogram::new();
-        let mut x = 1u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(black_box(x >> 40));
-        })
+fn bench_histogram() {
+    let mut h = Histogram::new();
+    let mut x = 1u64;
+    bench("histogram_record", 1_000_000, || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(black_box(x >> 40));
     });
-    c.bench_function("histogram_p99", |b| {
-        let mut h = Histogram::new();
-        for v in 0..100_000u64 {
-            h.record(v % 10_000);
-        }
-        b.iter(|| black_box(h.p99()))
+    let mut h = Histogram::new();
+    for v in 0..100_000u64 {
+        h.record(v % 10_000);
+    }
+    bench("histogram_p99", 100_000, || {
+        black_box(h.p99());
     });
 }
 
-fn bench_memtable(c: &mut Criterion) {
-    c.bench_function("memtable_put_get", |b| {
-        let mut m = Memtable::new();
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 1) % 10_000;
-            let key = k.to_le_bytes();
-            m.put(&key, &[1u8; 64]);
-            black_box(m.get(&key));
-        })
+fn bench_memtable() {
+    let mut m = Memtable::new();
+    let mut k = 0u64;
+    bench("memtable_put_get", 500_000, || {
+        k = (k + 1) % 10_000;
+        let key = k.to_le_bytes();
+        m.put(&key, &[1u8; 64]);
+        black_box(m.get(&key));
     });
 }
 
-fn bench_document(c: &mut Criterion) {
+fn bench_document() {
     let doc = hl_ycsb::ycsb_document(42, 100);
-    c.bench_function("document_slot_roundtrip", |b| {
-        b.iter(|| {
-            let slot = black_box(&doc).encode_slot(1536);
-            black_box(Document::decode_slot(&slot))
-        })
+    bench("document_slot_roundtrip", 200_000, || {
+        let slot = black_box(&doc).encode_slot(1536);
+        black_box(Document::decode_slot(&slot));
     });
 }
 
-fn bench_zipfian(c: &mut Criterion) {
+fn bench_zipfian() {
     let z = Zipfian::ycsb(1_000_000);
     let mut rng = RngFactory::new(1).stream("bench");
-    c.bench_function("zipfian_next", |b| {
-        b.iter(|| black_box(z.next_rank(&mut rng)))
+    bench("zipfian_next", 1_000_000, || {
+        black_box(z.next_rank(&mut rng));
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("des_engine_1k_events", |b| {
-        b.iter(|| {
-            let mut eng: hl_sim::Engine<u64> = hl_sim::Engine::new();
-            let mut ctx = 0u64;
-            for i in 0..1000u64 {
-                eng.schedule(hl_sim::SimDuration::from_nanos(i), |c: &mut u64, _| *c += 1);
-            }
-            eng.run(&mut ctx);
-            black_box(ctx)
-        })
+fn bench_engine() {
+    bench("des_engine_1k_events", 2_000, || {
+        let mut eng: hl_sim::Engine<u64> = hl_sim::Engine::new();
+        let mut ctx = 0u64;
+        for i in 0..1000u64 {
+            eng.schedule(hl_sim::SimDuration::from_nanos(i), |c: &mut u64, _| *c += 1);
+        }
+        eng.run(&mut ctx);
+        black_box(ctx);
     });
 }
 
 /// End-to-end group operations on a full simulated 3-node chain. One
-/// criterion iteration = a fresh world + 64 operations.
-fn bench_group_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+/// iteration = a fresh world + 64 operations.
+fn bench_group_ops() {
     for (name, op) in [
         (
-            "gwrite_1k",
+            "end_to_end/gwrite_1k",
             MicroOp::GWrite {
                 size: 1024,
                 flush: false,
             },
         ),
         (
-            "gwrite_1k_flush",
+            "end_to_end/gwrite_1k_flush",
             MicroOp::GWrite {
                 size: 1024,
                 flush: true,
             },
         ),
         (
-            "gmemcpy_1k",
+            "end_to_end/gmemcpy_1k",
             MicroOp::GMemcpy {
                 size: 1024,
                 flush: false,
             },
         ),
-        ("gcas", MicroOp::GCas),
+        ("end_to_end/gcas", MicroOp::GCas),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let r = run_micro(&MicroCfg {
-                    backend: Backend::HyperLoop,
-                    op,
-                    ops: 64,
-                    warmup: 8,
-                    stress_per_host: 0,
-                    ring_slots: 64,
-                    ..Default::default()
-                });
-                black_box(r.latency.mean_ns)
-            })
+        bench(name, 10, || {
+            let r = run_micro(&MicroCfg {
+                backend: Backend::HyperLoop,
+                op,
+                ops: 64,
+                warmup: 8,
+                stress_per_host: 0,
+                ring_slots: 64,
+                ..Default::default()
+            });
+            black_box(r.latency.mean_ns);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wqe_codec,
-    bench_histogram,
-    bench_memtable,
-    bench_document,
-    bench_zipfian,
-    bench_engine,
-    bench_group_ops
-);
-criterion_main!(benches);
+fn main() {
+    bench_wqe_codec();
+    bench_histogram();
+    bench_memtable();
+    bench_document();
+    bench_zipfian();
+    bench_engine();
+    bench_group_ops();
+}

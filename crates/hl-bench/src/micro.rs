@@ -203,6 +203,7 @@ pub fn run_micro(cfg: &MicroCfg) -> MicroResult {
                 rep_bytes,
                 ring_slots: cfg.ring_slots,
                 replenish_period: SimDuration::from_micros(50),
+                transport_timeout: None,
             })
             .build(&mut w);
             replica::start_replenishers(&group, &mut w, &mut eng);

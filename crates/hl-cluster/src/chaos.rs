@@ -1,0 +1,272 @@
+//! Seeded chaos-fault schedules.
+//!
+//! A [`FaultSchedule`] is a deterministic list of fault injections —
+//! packet-loss windows, one-way partitions, link failures, NIC stalls,
+//! WAIT-engine stalls, CPU hogs, and host crashes — generated from a
+//! seed and applied to a [`World`] as engine events. The same seed
+//! always produces the same schedule, and (because the whole simulator
+//! is deterministic) the same trace, so a failing chaos campaign is
+//! reproduced by re-running its seed.
+
+use crate::World;
+use hl_fabric::HostId;
+use hl_sim::{Engine, RngFactory, SimDuration, SimTime};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Uniform packet loss on the whole fabric.
+    DropWindow {
+        /// Per-packet drop probability.
+        prob: f64,
+    },
+    /// Packets from `src` to `dst` are dropped (receive still works).
+    OneWayPartition {
+        /// Sender whose packets vanish.
+        src: HostId,
+        /// Unreachable destination.
+        dst: HostId,
+    },
+    /// The host's link drops everything in and out.
+    LinkDown {
+        /// Affected host.
+        host: HostId,
+    },
+    /// The host's NIC hangs: inbound eaten, send engines halted.
+    NicStall {
+        /// Affected host.
+        host: HostId,
+    },
+    /// The host's CORE-Direct WAIT engine hangs: packets still move,
+    /// parked WQE chains never fire.
+    WaitStall {
+        /// Affected host.
+        host: HostId,
+    },
+    /// A CPU hog lands on the host (the multi-tenant noisy neighbor).
+    SlowReplica {
+        /// Affected host.
+        host: HostId,
+    },
+    /// Power loss: NVM drops unflushed data, link and NIC die.
+    HostCrash {
+        /// Affected host.
+        host: HostId,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::DropWindow { prob } => write!(f, "drop-window p={prob:.3}"),
+            FaultKind::OneWayPartition { src, dst } => write!(f, "partition {src}->{dst}"),
+            FaultKind::LinkDown { host } => write!(f, "link-down {host}"),
+            FaultKind::NicStall { host } => write!(f, "nic-stall {host}"),
+            FaultKind::WaitStall { host } => write!(f, "wait-stall {host}"),
+            FaultKind::SlowReplica { host } => write!(f, "slow-replica {host}"),
+            FaultKind::HostCrash { host } => write!(f, "host-crash {host}"),
+        }
+    }
+}
+
+/// A scheduled fault: injected at `at`, healed `duration` later
+/// (`None` = permanent).
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Injection time.
+    pub at: SimTime,
+    /// Time until the automatic heal, if any.
+    pub duration: Option<SimDuration>,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    /// Seed it was generated from.
+    pub seed: u64,
+    /// Events in generation order (not necessarily time order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Generate a schedule from `seed`.
+    ///
+    /// `victims` are the hosts faults may target (typically the chain
+    /// replicas — not the client, which must stay alive to judge
+    /// invariants, and not standbys needed for rebuilds). `peer` is the
+    /// far end used for one-way partitions (typically the client).
+    /// Transient faults are injected inside `[start, end)` and heal
+    /// before `end`; with probability ~1/2 one *permanent* crash of a
+    /// victim is added, which the cluster must recover from by
+    /// reconfiguration.
+    pub fn generate(
+        seed: u64,
+        victims: &[HostId],
+        peer: HostId,
+        start: SimTime,
+        end: SimTime,
+    ) -> FaultSchedule {
+        assert!(!victims.is_empty() && start < end);
+        let mut rng = RngFactory::new(seed).stream("chaos-schedule");
+        let span = end.as_nanos() - start.as_nanos();
+        let mut events = Vec::new();
+
+        let n_transient = rng.range_u64(2, 6);
+        for _ in 0..n_transient {
+            let at = SimTime::from_nanos(start.as_nanos() + rng.range_u64(0, span * 3 / 4));
+            let dur = SimDuration::from_nanos(rng.range_u64(span / 20, span / 4));
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            let kind = match rng.range_u64(0, 6) {
+                0 => FaultKind::DropWindow {
+                    prob: 0.01 + rng.f64() * 0.14,
+                },
+                1 => FaultKind::OneWayPartition {
+                    src: victim,
+                    dst: peer,
+                },
+                2 => FaultKind::OneWayPartition {
+                    src: peer,
+                    dst: victim,
+                },
+                3 => FaultKind::LinkDown { host: victim },
+                4 => FaultKind::NicStall { host: victim },
+                _ => FaultKind::WaitStall { host: victim },
+            };
+            events.push(FaultEvent {
+                at,
+                duration: Some(dur),
+                kind,
+            });
+        }
+        // A permanent noisy neighbor on one victim, sometimes.
+        if rng.f64() < 0.4 {
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            events.push(FaultEvent {
+                at: SimTime::from_nanos(start.as_nanos() + rng.range_u64(0, span / 2)),
+                duration: None,
+                kind: FaultKind::SlowReplica { host: victim },
+            });
+        }
+        // A permanent crash of one victim, sometimes.
+        if rng.f64() < 0.5 {
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            events.push(FaultEvent {
+                at: SimTime::from_nanos(start.as_nanos() + rng.range_u64(span / 4, span * 3 / 4)),
+                duration: None,
+                kind: FaultKind::HostCrash { host: victim },
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
+    /// Hosts permanently crashed by this schedule.
+    pub fn crashed_hosts(&self) -> Vec<HostId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::HostCrash { host } => Some(host),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Schedule every injection (and heal) on the engine.
+    pub fn apply(&self, eng: &mut Engine<World>) {
+        for ev in &self.events {
+            let kind = ev.kind;
+            eng.schedule_at(ev.at, move |w: &mut World, eng| {
+                inject(kind, w, eng);
+            });
+            if let Some(dur) = ev.duration {
+                let at = SimTime::from_nanos(ev.at.as_nanos() + dur.as_nanos());
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    heal(kind, w, eng);
+                });
+            }
+        }
+    }
+}
+
+fn inject(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
+    hl_sim::trace!(w.tracer, eng.now(), "chaos", "inject {kind}");
+    match kind {
+        FaultKind::DropWindow { prob } => w.fabric.set_drop_prob(prob),
+        FaultKind::OneWayPartition { src, dst } => w.fabric.partition(src, dst),
+        FaultKind::LinkDown { host } => w.fabric.set_link_down(host, true),
+        FaultKind::NicStall { host } => w.set_nic_stalled(host, true, eng),
+        FaultKind::WaitStall { host } => w.set_nic_wait_stalled(host, true, eng),
+        FaultKind::SlowReplica { host } => w.spawn_hog(host, "chaos-hog", eng),
+        FaultKind::HostCrash { host } => {
+            w.hosts[host.0].mem.crash();
+            w.fabric.set_link_down(host, true);
+            w.set_nic_stalled(host, true, eng);
+        }
+    }
+}
+
+fn heal(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
+    hl_sim::trace!(w.tracer, eng.now(), "chaos", "heal {kind}");
+    match kind {
+        FaultKind::DropWindow { .. } => w.fabric.set_drop_prob(0.0),
+        FaultKind::OneWayPartition { src, dst } => w.fabric.heal(src, dst),
+        FaultKind::LinkDown { host } => w.fabric.set_link_down(host, false),
+        FaultKind::NicStall { host } => w.set_nic_stalled(host, false, eng),
+        FaultKind::WaitStall { host } => w.set_nic_wait_stalled(host, false, eng),
+        // Permanent kinds never get heal events scheduled.
+        FaultKind::SlowReplica { .. } | FaultKind::HostCrash { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let v = [HostId(1), HostId(2)];
+        let a = FaultSchedule::generate(
+            9,
+            &v,
+            HostId(0),
+            SimTime::from_nanos(1_000_000),
+            SimTime::from_nanos(100_000_000),
+        );
+        let b = FaultSchedule::generate(
+            9,
+            &v,
+            HostId(0),
+            SimTime::from_nanos(1_000_000),
+            SimTime::from_nanos(100_000_000),
+        );
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.duration, y.duration);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let v = [HostId(1), HostId(2)];
+        let mk = |s| {
+            FaultSchedule::generate(
+                s,
+                &v,
+                HostId(0),
+                SimTime::ZERO,
+                SimTime::from_nanos(50_000_000),
+            )
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let same = a.events.len() == b.events.len()
+            && a.events
+                .iter()
+                .zip(&b.events)
+                .all(|(x, y)| x.at == y.at && x.kind == y.kind);
+        assert!(!same, "seeds 1 and 2 produced identical schedules");
+    }
+}

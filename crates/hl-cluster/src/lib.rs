@@ -19,6 +19,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use hl_cpu::{CpuOutput, HostCpu, ProcId};
 use hl_fabric::{Delivery, Fabric, HostId};
 use hl_nvm::{Layout, NvmArena};
@@ -339,6 +341,38 @@ impl World {
         self.hosts[a.0].nic.connect(qp_a, b.0 as u32, qp_b);
         self.hosts[b.0].nic.connect(qp_b, a.0 as u32, qp_a);
     }
+
+    /// Stall or un-stall a host's NIC (fault injection: hung adapter).
+    /// Routes the kick-outputs produced when the stall clears.
+    pub fn set_nic_stalled(&mut self, host: HostId, on: bool, eng: &mut Engine<World>) {
+        let now = eng.now();
+        hl_sim::trace!(
+            self.tracer,
+            now,
+            "fault",
+            "{host} nic {}",
+            if on { "STALL" } else { "unstall" }
+        );
+        let h = &mut self.hosts[host.0];
+        let outs = h.nic.set_stalled(now, on, &mut h.mem);
+        route_nic(host, outs, self, eng);
+    }
+
+    /// Break or repair WAIT triggering on a host's NIC (fault injection:
+    /// CORE-Direct offload malfunction; CPU-posted work still runs).
+    pub fn set_nic_wait_stalled(&mut self, host: HostId, on: bool, eng: &mut Engine<World>) {
+        let now = eng.now();
+        hl_sim::trace!(
+            self.tracer,
+            now,
+            "fault",
+            "{host} wait-engine {}",
+            if on { "STALL" } else { "unstall" }
+        );
+        let h = &mut self.hosts[host.0];
+        let outs = h.nic.set_wait_stalled(now, on, &mut h.mem);
+        route_nic(host, outs, self, eng);
+    }
 }
 
 /// Builder for a [`World`].
@@ -542,6 +576,14 @@ pub fn route_nic(host: HostId, outs: Vec<NicOutput>, w: &mut World, eng: &mut En
             }
             NicOutput::CqEvent { cq } => {
                 dispatch_cq_event(host, cq, w, eng);
+            }
+            NicOutput::ArmTimer { at, qpn, gen } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let now = eng.now();
+                    let h = &mut w.hosts[host.0];
+                    let outs = h.nic.on_timer(now, qpn, gen, &mut h.mem);
+                    route_nic(host, outs, w, eng);
+                });
             }
         }
     }

@@ -29,7 +29,7 @@ fn route(out: Vec<CpuOutput>, sim: &mut Sim, eng: &mut Engine<Sim>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Work conservation: every finite submitted work item completes,
     /// each process's busy time equals the sum of its submissions, and

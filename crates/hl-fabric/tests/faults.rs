@@ -1,0 +1,139 @@
+//! Fault-injection behavior of the fabric itself: probabilistic drops,
+//! one-way partitions, link-down, and their heals.
+
+use hl_fabric::{Delivery, Fabric, HostId};
+use hl_sim::config::NetProfile;
+use hl_sim::{RngFactory, SimTime};
+
+fn fabric(n: usize) -> Fabric {
+    Fabric::new(n, NetProfile::default())
+}
+
+#[test]
+fn drop_prob_drops_the_expected_fraction_seeded() {
+    let mut f = fabric(2);
+    f.set_drop_prob(0.25);
+    let mut rng = RngFactory::new(17).stream("fabric-drops");
+    let n = 4000;
+    let mut dropped = 0;
+    for _ in 0..n {
+        match f.send(SimTime::ZERO, HostId(0), HostId(1), 64, rng.f64()) {
+            Delivery::Dropped => dropped += 1,
+            Delivery::At(_) => {}
+        }
+    }
+    let rate = dropped as f64 / n as f64;
+    assert!(
+        (0.22..=0.28).contains(&rate),
+        "drop rate {rate} far from configured 0.25"
+    );
+    // Same seed, same draws, same decisions.
+    let mut f2 = fabric(2);
+    f2.set_drop_prob(0.25);
+    let mut rng2 = RngFactory::new(17).stream("fabric-drops");
+    let mut dropped2 = 0;
+    for _ in 0..n {
+        if f2.send(SimTime::ZERO, HostId(0), HostId(1), 64, rng2.f64()) == Delivery::Dropped {
+            dropped2 += 1;
+        }
+    }
+    assert_eq!(dropped, dropped2);
+}
+
+#[test]
+fn zero_drop_prob_never_drops() {
+    let mut f = fabric(2);
+    let mut rng = RngFactory::new(3).stream("fabric-drops");
+    for _ in 0..500 {
+        assert!(matches!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 64, rng.f64()),
+            Delivery::At(_)
+        ));
+    }
+}
+
+#[test]
+fn partition_is_one_way_and_heals() {
+    let mut f = fabric(3);
+    f.partition(HostId(0), HostId(1));
+    // The partitioned direction drops...
+    assert_eq!(
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0),
+        Delivery::Dropped
+    );
+    // ...the reverse direction and unrelated pairs still deliver.
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(1), HostId(0), 64, 1.0),
+        Delivery::At(_)
+    ));
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(0), HostId(2), 64, 1.0),
+        Delivery::At(_)
+    ));
+    f.heal(HostId(0), HostId(1));
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0),
+        Delivery::At(_)
+    ));
+}
+
+#[test]
+fn duplicate_partition_heals_with_one_call() {
+    let mut f = fabric(2);
+    f.partition(HostId(0), HostId(1));
+    f.partition(HostId(0), HostId(1));
+    f.heal(HostId(0), HostId(1));
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0),
+        Delivery::At(_)
+    ));
+}
+
+#[test]
+fn link_down_blocks_both_directions_and_recovers() {
+    let mut f = fabric(3);
+    f.set_link_down(HostId(1), true);
+    assert_eq!(
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0),
+        Delivery::Dropped
+    );
+    assert_eq!(
+        f.send(SimTime::ZERO, HostId(1), HostId(2), 64, 1.0),
+        Delivery::Dropped
+    );
+    // Third parties are unaffected.
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(0), HostId(2), 64, 1.0),
+        Delivery::At(_)
+    ));
+    f.set_link_down(HostId(1), false);
+    assert!(matches!(
+        f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0),
+        Delivery::At(_)
+    ));
+}
+
+#[test]
+fn dropped_messages_do_not_consume_port_time_or_counters() {
+    let mut f = fabric(2);
+    f.partition(HostId(0), HostId(1));
+    for _ in 0..10 {
+        assert_eq!(
+            f.send(SimTime::ZERO, HostId(0), HostId(1), 1 << 20, 1.0),
+            Delivery::Dropped
+        );
+    }
+    assert_eq!(f.bytes_tx(HostId(0)), 0);
+    assert_eq!(f.msgs_tx(HostId(0)), 0);
+    f.heal(HostId(0), HostId(1));
+    // The port was never busied by the dropped sends: a fresh send
+    // starts from `now`, not from a backlog.
+    let Delivery::At(t1) = f.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0) else {
+        panic!("healed send dropped");
+    };
+    let mut g = fabric(2);
+    let Delivery::At(t2) = g.send(SimTime::ZERO, HostId(0), HostId(1), 64, 1.0) else {
+        panic!("fresh send dropped");
+    };
+    assert_eq!(t1, t2);
+}

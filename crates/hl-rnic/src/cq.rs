@@ -11,6 +11,13 @@ pub enum CqeStatus {
     RemoteAccess,
     /// The responder had no RECV posted (receiver-not-ready).
     ReceiverNotReady,
+    /// The transport retry budget was exhausted (peer dead, partitioned,
+    /// or stalled past `retry_cnt` timeouts). The QP is in
+    /// [`QpState::Error`](crate::QpState::Error).
+    RetryExceeded,
+    /// The WQE was flushed without executing because the QP entered the
+    /// Error state (ibv `IBV_WC_WR_FLUSH_ERR`).
+    FlushedInError,
 }
 
 /// What kind of operation completed.

@@ -31,5 +31,5 @@ pub use cq::{Cq, Cqe, CqeKind, CqeStatus};
 pub use mr::{Access, MemoryRegion, MrError, MrTable};
 pub use nic::{Nic, NicCounters, NicOutput, RingFull};
 pub use packet::{NakReason, Packet, PacketKind, HEADER_BYTES};
-pub use qp::{Qp, RecvWqe, ScatterEntry, SqRing};
+pub use qp::{PendingTx, Qp, QpState, QpTimeout, RecvWqe, ScatterEntry, SqRing};
 pub use wqe::{field_offset, flags, Opcode, Wqe, WQE_SIZE};

@@ -21,11 +21,36 @@
 //! descriptors rewritten by a received metadata scatter are what
 //! actually executes — remote work request manipulation is genuine in
 //! this model, not emulated.
+//!
+//! ## Transport reliability
+//!
+//! By default QPs use the historical fire-and-forget model: the fabric's
+//! FIFO egress guarantees ordering, and loss (fault injection) simply
+//! loses the operation. [`Nic::set_qp_timeout`] upgrades one QP to real
+//! RC loss recovery: requests carry PSNs, the requester keeps them on an
+//! unacked list guarded by an ack-timeout timer
+//! ([`NicOutput::ArmTimer`] / [`Nic::on_timer`]), timeouts trigger
+//! go-back-N retransmission, and `retry_cnt` consecutive timeouts move
+//! the QP to [`QpState::Error`], flushing all outstanding and posted
+//! work with error completions ([`CqeStatus::RetryExceeded`] for the
+//! head-of-line request, [`CqeStatus::FlushedInError`] for the rest).
+//! The responder enforces expected-PSN ordering: duplicates are re-acked
+//! without re-execution (fencing responses replay from a one-deep
+//! cache, keeping CAS exactly-once), gaps are dropped for the sender's
+//! timer to repair.
+//!
+//! ## Fault hooks
+//!
+//! [`Nic::set_stalled`] freezes the whole NIC (inbound packets are
+//! dropped, the send engine halts) — a crashed/hung adapter.
+//! [`Nic::set_wait_stalled`] breaks only WAIT triggering, modelling a
+//! CORE-Direct offload malfunction: plain CPU-posted WQEs still execute,
+//! so a chain can degrade to CPU-driven (Naïve) forwarding.
 
 use crate::cq::{Cq, Cqe, CqeKind, CqeStatus};
 use crate::mr::{Access, MemoryRegion, MrTable};
 use crate::packet::{NakReason, Packet, PacketKind};
-use crate::qp::{Qp, RecvWqe, SqRing};
+use crate::qp::{PendingTx, Qp, QpState, QpTimeout, RecvWqe, SqRing};
 use crate::wqe::{flags, Opcode, Wqe, WQE_SIZE};
 use hl_nvm::NvmArena;
 use hl_sim::config::NicProfile;
@@ -67,6 +92,16 @@ pub enum NicOutput {
         /// The CQ that fired.
         cq: u32,
     },
+    /// Call [`Nic::on_timer`] at time `at` (retransmit timer for a
+    /// reliable QP). `gen` lets the NIC ignore superseded timers.
+    ArmTimer {
+        /// Absolute expiry time.
+        at: SimTime,
+        /// The QP whose ack timer this is.
+        qpn: u32,
+        /// Timer generation at arm time.
+        gen: u64,
+    },
 }
 
 /// In-flight fencing operation state (at most one per QP).
@@ -93,6 +128,13 @@ pub struct NicCounters {
     pub error_cqes: u64,
     /// Cache flushes performed for FLUSH requests.
     pub flushes: u64,
+    /// Go-back-N retransmissions (reliable QPs).
+    pub retransmits: u64,
+    /// Ack-timeout expirations on reliable QPs.
+    pub timeouts: u64,
+    /// Inbound packets discarded: NIC stalled, QP in Error, stale
+    /// duplicates, or PSN gaps awaiting retransmission.
+    pub rx_dropped: u64,
 }
 
 /// One host's RDMA NIC.
@@ -110,6 +152,11 @@ pub struct Nic {
     inflight: Vec<Option<Inflight>>,
     rng: RngStream,
     counters: NicCounters,
+    /// Whole-NIC fault: inbound packets dropped, send engine halted.
+    stalled: bool,
+    /// CORE-Direct fault: WAIT WQEs never trigger (QPs park on them);
+    /// everything else keeps working.
+    wait_stalled: bool,
 }
 
 impl Nic {
@@ -126,6 +173,8 @@ impl Nic {
             inflight: Vec::new(),
             rng,
             counters: NicCounters::default(),
+            stalled: false,
+            wait_stalled: false,
         }
     }
 
@@ -221,6 +270,96 @@ impl Nic {
         self.qps[qpn as usize].remote
     }
 
+    // ----- transport reliability & fault hooks ---------------------------
+
+    /// Enable the retransmit protocol on a QP: requests time out after
+    /// `timeout` without a response and are retransmitted go-back-N;
+    /// after `retry_cnt` consecutive timeouts the QP enters
+    /// [`QpState::Error`] and flushes all outstanding work with error
+    /// completions. Call before the first operation on the QP.
+    pub fn set_qp_timeout(&mut self, qpn: u32, timeout: SimDuration, retry_cnt: u8) {
+        assert!(timeout > SimDuration::ZERO, "zero ack timeout");
+        self.qps[qpn as usize].timeout = Some(QpTimeout { timeout, retry_cnt });
+    }
+
+    /// Operational state of a QP.
+    pub fn qp_state(&self, qpn: u32) -> QpState {
+        self.qps[qpn as usize].state
+    }
+
+    /// Acknowledge a send-queue error ([`QpState::Sqe`]) and resume the
+    /// QP. No-op in other states: [`QpState::Error`] is unrecoverable
+    /// (tear down and reconnect, as with real RC).
+    pub fn recover_qp(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        if self.qps[qpn as usize].state != QpState::Sqe {
+            return Vec::new();
+        }
+        self.qps[qpn as usize].state = QpState::Rts;
+        self.advance_sq(now, qpn, mem)
+    }
+
+    /// Stall or un-stall the whole NIC (fault injection: hung adapter).
+    /// While stalled, inbound packets are dropped on the floor and the
+    /// send engine does not run; reliable peers keep retransmitting into
+    /// the void and eventually error out. Un-stalling kicks every send
+    /// queue and immediately retransmits any unacked reliable requests.
+    pub fn set_stalled(&mut self, now: SimTime, on: bool, mem: &mut NvmArena) -> Vec<NicOutput> {
+        if self.stalled == on {
+            return Vec::new();
+        }
+        self.stalled = on;
+        if on {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for qpn in 0..self.qps.len() as u32 {
+            out.extend(self.advance_sq(now, qpn, mem));
+            if !self.qps[qpn as usize].unacked.is_empty() {
+                out.extend(self.retransmit_all(now, qpn));
+            }
+        }
+        out
+    }
+
+    /// Is the NIC currently stalled?
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Break or repair WAIT triggering (fault injection: CORE-Direct
+    /// offload malfunction). While set, every WAIT parks its QP
+    /// regardless of CQ state — pre-posted forwarding chains freeze —
+    /// but CPU-posted plain WQEs still execute, so software can degrade
+    /// to CPU-driven forwarding. Clearing re-evaluates all parked QPs.
+    pub fn set_wait_stalled(
+        &mut self,
+        now: SimTime,
+        on: bool,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        if self.wait_stalled == on {
+            return Vec::new();
+        }
+        self.wait_stalled = on;
+        if on {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for cq in 0..self.waiters.len() {
+            let parked = std::mem::take(&mut self.waiters[cq]);
+            for qpn in parked {
+                self.qps[qpn as usize].parked = false;
+                out.extend(self.advance_sq(now, qpn, mem));
+            }
+        }
+        out
+    }
+
+    /// Is WAIT triggering currently broken?
+    pub fn is_wait_stalled(&self) -> bool {
+        self.wait_stalled
+    }
+
     // ----- driver-side verbs ---------------------------------------------
 
     /// Post a WQE to the send queue, serializing it into host memory.
@@ -313,6 +452,16 @@ impl Nic {
 
     /// Advance a QP's send queue as far as possible.
     fn advance_sq(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        if self.stalled {
+            return Vec::new();
+        }
+        match self.qps[qpn as usize].state {
+            QpState::Rts => {}
+            // SQE: halted until software calls recover_qp.
+            QpState::Sqe => return Vec::new(),
+            // Error: everything posted flushes without executing.
+            QpState::Error => return self.flush_sq_in_error(now, qpn, mem),
+        }
         let mut out = Vec::new();
         // The engine is serialized per QP.
         let mut t = now.max(self.qps[qpn as usize].busy_until);
@@ -351,7 +500,10 @@ impl Nic {
                 let cq = wqe.wait_cq() as usize;
                 let count = wqe.wait_count().max(1);
                 let threshold_mode = wqe.flags & flags::WAIT_THRESHOLD != 0;
-                let satisfied = if threshold_mode {
+                let satisfied = if self.wait_stalled {
+                    // Broken CORE-Direct engine: the trigger never fires.
+                    false
+                } else if threshold_mode {
                     self.cqs[cq].produced() >= count as u64
                 } else {
                     self.cqs[cq].wait_satisfied(count)
@@ -419,19 +571,20 @@ impl Nic {
                     .read_vec(wqe.laddr, wqe.len as usize)
                     .expect("send gather in arena");
                 let (dst, dst_qpn) = remote.expect("SEND on unconnected QP");
-                out.push(self.tx(
+                let kind = PacketKind::Send {
+                    data,
+                    wr_id: wqe.wr_id,
+                    signaled: wqe.signaled(),
+                };
+                out.extend(self.tx_request(
                     t,
+                    qpn,
                     dst,
-                    Packet {
-                        src_nic: self.id,
-                        src_qpn: qpn,
-                        dst_qpn,
-                        kind: PacketKind::Send {
-                            data,
-                            wr_id: wqe.wr_id,
-                            signaled: wqe.signaled(),
-                        },
-                    },
+                    dst_qpn,
+                    kind,
+                    wqe.wr_id,
+                    wqe.signaled(),
+                    wqe.len,
                 ));
             }
             Opcode::Write | Opcode::WriteImm => {
@@ -457,15 +610,15 @@ impl Nic {
                         signaled: wqe.signaled(),
                     }
                 };
-                out.push(self.tx(
+                out.extend(self.tx_request(
                     t,
+                    qpn,
                     dst,
-                    Packet {
-                        src_nic: self.id,
-                        src_qpn: qpn,
-                        dst_qpn,
-                        kind,
-                    },
+                    dst_qpn,
+                    kind,
+                    wqe.wr_id,
+                    wqe.signaled(),
+                    wqe.len,
                 ));
             }
             Opcode::Read | Opcode::Flush | Opcode::Cas => {
@@ -497,15 +650,15 @@ impl Nic {
                         wr_id: wqe.wr_id,
                     },
                 };
-                out.push(self.tx(
+                out.extend(self.tx_request(
                     t,
+                    qpn,
                     dst,
-                    Packet {
-                        src_nic: self.id,
-                        src_qpn: qpn,
-                        dst_qpn,
-                        kind,
-                    },
+                    dst_qpn,
+                    kind,
+                    wqe.wr_id,
+                    wqe.signaled(),
+                    0,
                 ));
             }
             Opcode::LocalCopy => {
@@ -532,6 +685,196 @@ impl Nic {
             dst_nic,
             packet,
         }
+    }
+
+    /// Transmit a request packet, stamping a PSN and recording it on the
+    /// unacked list when the QP runs the retransmit protocol. Arms the
+    /// ack timer on an empty-to-nonempty transition.
+    #[allow(clippy::too_many_arguments)]
+    fn tx_request(
+        &mut self,
+        t: SimTime,
+        qpn: u32,
+        dst_nic: u32,
+        dst_qpn: u32,
+        kind: PacketKind,
+        wr_id: u64,
+        signaled: bool,
+        byte_len: u32,
+    ) -> Vec<NicOutput> {
+        let id = self.id;
+        let qp = &mut self.qps[qpn as usize];
+        let Some(cfg) = qp.timeout else {
+            let packet = Packet {
+                src_nic: id,
+                src_qpn: qpn,
+                dst_qpn,
+                psn: 0,
+                reliable: false,
+                kind,
+            };
+            return vec![self.tx(t, dst_nic, packet)];
+        };
+        let psn = qp.next_psn;
+        qp.next_psn += 1;
+        let packet = Packet {
+            src_nic: id,
+            src_qpn: qpn,
+            dst_qpn,
+            psn,
+            reliable: true,
+            kind,
+        };
+        let mut out = Vec::new();
+        let was_empty = qp.unacked.is_empty();
+        qp.unacked.push_back(PendingTx {
+            psn,
+            dst_nic,
+            packet: packet.clone(),
+            wr_id,
+            signaled,
+            byte_len,
+        });
+        if was_empty {
+            qp.timer_gen += 1;
+            out.push(NicOutput::ArmTimer {
+                at: t + cfg.timeout,
+                qpn,
+                gen: qp.timer_gen,
+            });
+        }
+        out.push(self.tx(t, dst_nic, packet));
+        out
+    }
+
+    /// Go-back-N: retransmit every unacked request in order and re-arm
+    /// the ack timer.
+    fn retransmit_all(&mut self, now: SimTime, qpn: u32) -> Vec<NicOutput> {
+        let pending: Vec<(u32, Packet)> = self.qps[qpn as usize]
+            .unacked
+            .iter()
+            .map(|p| (p.dst_nic, p.packet.clone()))
+            .collect();
+        let mut out = Vec::new();
+        let mut t = now;
+        for (dst, pkt) in pending {
+            t += self.jit(self.profile.wqe_process);
+            self.counters.retransmits += 1;
+            out.push(self.tx(t, dst, pkt));
+        }
+        let qp = &mut self.qps[qpn as usize];
+        if let Some(cfg) = qp.timeout {
+            qp.timer_gen += 1;
+            out.push(NicOutput::ArmTimer {
+                at: t + cfg.timeout,
+                qpn,
+                gen: qp.timer_gen,
+            });
+        }
+        out
+    }
+
+    /// Ack-timeout expiry for a reliable QP. Stale generations (the
+    /// timer was superseded by an arm after progress) are ignored.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        qpn: u32,
+        gen: u64,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        if self.stalled {
+            // A stalled NIC does not time out its own requests; un-stall
+            // retransmits anything still pending.
+            return Vec::new();
+        }
+        let qp = &self.qps[qpn as usize];
+        if qp.timer_gen != gen || qp.unacked.is_empty() || qp.state == QpState::Error {
+            return Vec::new();
+        }
+        let Some(cfg) = qp.timeout else {
+            return Vec::new();
+        };
+        self.counters.timeouts += 1;
+        self.qps[qpn as usize].retries += 1;
+        if self.qps[qpn as usize].retries > cfg.retry_cnt {
+            return self.fatal_qp_error(now, qpn, mem);
+        }
+        self.retransmit_all(now, qpn)
+    }
+
+    /// Retry budget exhausted: move the QP to Error and flush everything
+    /// — the head-of-line request completes `RetryExceeded`, the rest of
+    /// the unacked list and every posted-but-unexecuted WQE complete
+    /// `FlushedInError`. Error completions are delivered regardless of
+    /// the signaled flag (as on real hardware).
+    fn fatal_qp_error(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        let qp = &mut self.qps[qpn as usize];
+        qp.state = QpState::Error;
+        qp.timer_gen += 1;
+        qp.retries = 0;
+        qp.fenced = false;
+        let send_cq = qp.send_cq;
+        let pending = std::mem::take(&mut qp.unacked);
+        self.inflight[qpn as usize] = None;
+        let mut out = Vec::new();
+        for (i, p) in pending.iter().enumerate() {
+            let status = if i == 0 {
+                CqeStatus::RetryExceeded
+            } else {
+                CqeStatus::FlushedInError
+            };
+            out.extend(self.deliver_cqe(
+                now,
+                send_cq,
+                Cqe {
+                    qpn,
+                    wr_id: p.wr_id,
+                    kind: CqeKind::SendOp,
+                    status,
+                    byte_len: 0,
+                    imm: 0,
+                },
+                mem,
+            ));
+        }
+        out.extend(self.flush_sq_in_error(now, qpn, mem));
+        out
+    }
+
+    /// Flush every posted-but-unexecuted WQE of an Error-state QP with
+    /// `FlushedInError` completions (also used for posts made after the
+    /// transition, matching ibverbs flush semantics).
+    fn flush_sq_in_error(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        let mut out = Vec::new();
+        loop {
+            let qp = &self.qps[qpn as usize];
+            if qp.sq.head >= qp.sq.tail {
+                break;
+            }
+            let slot = qp.sq.slot_addr(qp.sq.head);
+            let send_cq = qp.send_cq;
+            let wr_id = mem
+                .read(slot, WQE_SIZE as usize)
+                .ok()
+                .and_then(Wqe::decode)
+                .map_or(0, |w| w.wr_id);
+            self.qps[qpn as usize].sq.head += 1;
+            out.extend(self.deliver_cqe(
+                now,
+                send_cq,
+                Cqe {
+                    qpn,
+                    wr_id,
+                    kind: CqeKind::SendOp,
+                    status: CqeStatus::FlushedInError,
+                    byte_len: 0,
+                    imm: 0,
+                },
+                mem,
+            ));
+        }
+        out
     }
 
     /// Finish a loopback operation scheduled via [`NicOutput::DoLocal`].
@@ -615,16 +958,52 @@ impl Nic {
 
     /// Handle an inbound packet.
     pub fn on_packet(&mut self, now: SimTime, pkt: Packet, mem: &mut NvmArena) -> Vec<NicOutput> {
+        if self.stalled {
+            // A hung adapter eats everything silently.
+            self.counters.rx_dropped += 1;
+            return Vec::new();
+        }
         self.counters.rx_packets += 1;
         let t = now + self.jit(self.profile.rx_process);
         let qpn = pkt.dst_qpn;
         let qp = &self.qps[qpn as usize];
+        if qp.state == QpState::Error {
+            self.counters.rx_dropped += 1;
+            return Vec::new();
+        }
         // Connection safety check (paper §7): only the connected peer may
         // talk to this QP.
         if qp.remote != Some((pkt.src_nic, pkt.src_qpn)) {
             return self.refuse(t, &pkt, NakReason::NotConnected);
         }
-        match pkt.kind.clone() {
+        // Requester side: on a reliable QP every response acks
+        // cumulatively — entries older than its PSN had their own
+        // responses lost, so synthesize their success completions; a
+        // response matching nothing pending is a stale duplicate.
+        let mut pre = Vec::new();
+        if qp.timeout.is_some() && Self::is_response(&pkt.kind) {
+            let (proceed, outs) = self.process_cum_ack(t, qpn, pkt.psn, mem);
+            if !proceed {
+                return outs;
+            }
+            pre = outs;
+        }
+        // Responder side: expected-PSN enforcement for reliable requests.
+        if pkt.reliable && !Self::is_response(&pkt.kind) {
+            let epsn = self.qps[qpn as usize].epsn;
+            if pkt.psn > epsn {
+                // Gap: an earlier request was lost; drop and let the
+                // requester's timer go-back-N.
+                self.counters.rx_dropped += 1;
+                return Vec::new();
+            }
+            if pkt.psn < epsn {
+                // Duplicate of something already executed.
+                return self.replay_duplicate(t, &pkt);
+            }
+            self.qps[qpn as usize].epsn += 1;
+        }
+        let main = match pkt.kind.clone() {
             PacketKind::Write {
                 raddr,
                 rkey,
@@ -729,7 +1108,11 @@ impl Nic {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 }
                 let data = mem.read_vec(raddr, len as usize).expect("MR in arena");
-                vec![self.respond(t, &pkt, PacketKind::ReadResp { data, wr_id })]
+                let kind = PacketKind::ReadResp { data, wr_id };
+                if pkt.reliable {
+                    self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
+                }
+                vec![self.respond(t, &pkt, kind)]
             }
             PacketKind::Flush {
                 raddr,
@@ -749,7 +1132,11 @@ impl Nic {
                 mem.flush(raddr, len as usize).expect("MR in arena");
                 self.counters.flushes += 1;
                 let t = t + self.profile.cache_flush;
-                vec![self.respond(t, &pkt, PacketKind::FlushResp { wr_id })]
+                let kind = PacketKind::FlushResp { wr_id };
+                if pkt.reliable {
+                    self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
+                }
+                vec![self.respond(t, &pkt, kind)]
             }
             PacketKind::Cas {
                 raddr,
@@ -768,7 +1155,11 @@ impl Nic {
                 let orig = mem
                     .compare_and_swap_u64(raddr, cmp, swp)
                     .expect("MR in arena");
-                vec![self.respond(t, &pkt, PacketKind::CasResp { orig, wr_id })]
+                let kind = PacketKind::CasResp { orig, wr_id };
+                if pkt.reliable {
+                    self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
+                }
+                vec![self.respond(t, &pkt, kind)]
             }
             PacketKind::ReadResp { data, wr_id } => {
                 let fl = self.take_inflight(qpn, wr_id);
@@ -822,6 +1213,12 @@ impl Nic {
                     self.qps[qpn as usize].fenced = false;
                     self.inflight[qpn as usize] = None;
                 }
+                // On the reliable transport a work-request error halts
+                // the send queue until software intervenes (RTS → SQE);
+                // legacy QPs keep the historical keep-going behaviour.
+                if self.qps[qpn as usize].timeout.is_some() {
+                    self.qps[qpn as usize].state = QpState::Sqe;
+                }
                 let cq = self.qps[qpn as usize].send_cq;
                 let mut out = self.deliver_cqe(
                     t,
@@ -838,6 +1235,126 @@ impl Nic {
                 );
                 out.extend(self.advance_sq(t, qpn, mem));
                 out
+            }
+        };
+        pre.extend(main);
+        pre
+    }
+
+    /// Is this packet kind a response (requester-bound)?
+    fn is_response(kind: &PacketKind) -> bool {
+        matches!(
+            kind,
+            PacketKind::ReadResp { .. }
+                | PacketKind::FlushResp { .. }
+                | PacketKind::CasResp { .. }
+                | PacketKind::Ack { .. }
+                | PacketKind::Nak { .. }
+        )
+    }
+
+    /// Requester-side cumulative ack: a response with PSN `psn` proves
+    /// delivery of every older pending request (their acks were lost) —
+    /// pop them with synthesized success completions, then pop the
+    /// matching entry itself for the caller's normal response handling.
+    /// Returns `(false, ..)` for a stale duplicate that matches nothing.
+    fn process_cum_ack(
+        &mut self,
+        t: SimTime,
+        qpn: u32,
+        psn: u64,
+        mem: &mut NvmArena,
+    ) -> (bool, Vec<NicOutput>) {
+        let mut out = Vec::new();
+        let mut progressed = false;
+        while let Some(front) = self.qps[qpn as usize].unacked.front() {
+            if front.psn >= psn {
+                break;
+            }
+            let p = self.qps[qpn as usize].unacked.pop_front().unwrap();
+            progressed = true;
+            if p.signaled {
+                let cq = self.qps[qpn as usize].send_cq;
+                out.extend(self.deliver_cqe(
+                    t,
+                    cq,
+                    Cqe {
+                        qpn,
+                        wr_id: p.wr_id,
+                        kind: CqeKind::SendOp,
+                        status: CqeStatus::Ok,
+                        byte_len: p.byte_len,
+                        imm: 0,
+                    },
+                    mem,
+                ));
+            }
+        }
+        let matched = self.qps[qpn as usize]
+            .unacked
+            .front()
+            .is_some_and(|p| p.psn == psn);
+        if matched {
+            self.qps[qpn as usize].unacked.pop_front();
+            progressed = true;
+        }
+        if progressed {
+            // Forward progress: reset the retry budget and re-arm (or
+            // cancel) the ack timer for whatever is still pending.
+            let qp = &mut self.qps[qpn as usize];
+            qp.retries = 0;
+            qp.timer_gen += 1;
+            if !qp.unacked.is_empty() {
+                if let Some(cfg) = qp.timeout {
+                    let gen = qp.timer_gen;
+                    out.push(NicOutput::ArmTimer {
+                        at: t + cfg.timeout,
+                        qpn,
+                        gen,
+                    });
+                }
+            }
+        }
+        if !matched {
+            self.counters.rx_dropped += 1;
+        }
+        (matched, out)
+    }
+
+    /// Responder-side handling of a duplicate reliable request
+    /// (PSN below the expected one): it already executed, so re-ack /
+    /// replay the cached response without re-executing. This is what
+    /// keeps RECV consumption and CAS exactly-once under retransmission.
+    fn replay_duplicate(&mut self, t: SimTime, pkt: &Packet) -> Vec<NicOutput> {
+        let qpn = pkt.dst_qpn as usize;
+        if let Some((psn, kind)) = self.qps[qpn].resp_cache.clone() {
+            if psn == pkt.psn {
+                return vec![self.respond(t, pkt, kind)];
+            }
+        }
+        match &pkt.kind {
+            PacketKind::Write {
+                wr_id,
+                data,
+                signaled,
+                ..
+            }
+            | PacketKind::WriteImm {
+                wr_id,
+                data,
+                signaled,
+                ..
+            }
+            | PacketKind::Send {
+                data,
+                wr_id,
+                signaled,
+            } => self.ack(t, pkt, *wr_id, *signaled, data.len() as u32),
+            _ => {
+                // A fencing duplicate older than the replay cache: the
+                // requester has already consumed its response.
+                self.counters.rx_dropped += 1;
+                Vec::new()
             }
         }
     }
@@ -923,6 +1440,11 @@ impl Nic {
                 src_nic: self.id,
                 src_qpn: req.dst_qpn,
                 dst_qpn: req.src_qpn,
+                // Echo the request's PSN so a reliable requester can
+                // match it against its unacked list; responses are not
+                // themselves retransmitted (the requester re-requests).
+                psn: req.psn,
+                reliable: false,
                 kind,
             },
         )

@@ -4,6 +4,14 @@
 //! explicit acknowledgement, mirroring RC semantics without MTU
 //! segmentation (DESIGN.md §7). Per-connection ordering is guaranteed by
 //! the fabric's FIFO egress model.
+//!
+//! QPs configured with [`Nic::set_qp_timeout`](crate::Nic::set_qp_timeout)
+//! additionally stamp request packets with a packet sequence number and
+//! the `reliable` flag; the responder then enforces expected-PSN ordering
+//! (duplicate suppression, gap drop) and the requester runs an
+//! ack/retransmit timer — real RC loss recovery. Packets from QPs without
+//! a timeout carry `psn = 0, reliable = false` and behave exactly as
+//! before.
 
 /// Fixed per-packet header overhead (Ethernet + IP + UDP + BTH ≈ RoCEv2).
 pub const HEADER_BYTES: usize = 48;
@@ -17,6 +25,14 @@ pub struct Packet {
     pub src_qpn: u32,
     /// Destination QP number on the receiving NIC.
     pub dst_qpn: u32,
+    /// Packet sequence number. Meaningful only when `reliable` is set on
+    /// a request; responses echo the request's PSN so the requester can
+    /// ack cumulatively.
+    pub psn: u64,
+    /// Request is covered by the sender's retransmit protocol: the
+    /// responder must apply expected-PSN ordering (execute at `epsn`,
+    /// re-ack duplicates below it, drop gaps above it).
+    pub reliable: bool,
     /// Operation payload.
     pub kind: PacketKind,
 }
@@ -173,6 +189,8 @@ mod tests {
             src_nic: 0,
             src_qpn: 1,
             dst_qpn: 2,
+            psn: 0,
+            reliable: false,
             kind: PacketKind::Write {
                 raddr: 0,
                 rkey: 0,
@@ -186,6 +204,8 @@ mod tests {
             src_nic: 0,
             src_qpn: 1,
             dst_qpn: 2,
+            psn: 0,
+            reliable: false,
             kind: PacketKind::Ack {
                 wr_id: 0,
                 signaled: true,
@@ -197,6 +217,8 @@ mod tests {
             src_nic: 0,
             src_qpn: 1,
             dst_qpn: 2,
+            psn: 0,
+            reliable: false,
             kind: PacketKind::Cas {
                 raddr: 0,
                 rkey: 0,

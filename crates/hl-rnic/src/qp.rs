@@ -80,6 +80,56 @@ pub struct RecvWqe {
     pub scatter: Vec<ScatterEntry>,
 }
 
+/// Queue-pair operational state (the subset of the ibverbs state
+/// machine the model needs: `RTS → SQE/Error`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QpState {
+    /// Ready to send: the normal operating state.
+    #[default]
+    Rts,
+    /// Send-queue error: a work request completed in error (NAK). The
+    /// send queue halts until software acknowledges the error via
+    /// [`Nic::recover_qp`](crate::Nic::recover_qp); receive processing
+    /// continues. Only QPs with a transport timeout enter this state —
+    /// legacy QPs keep the historical keep-going behaviour.
+    Sqe,
+    /// Fatal: the transport retry budget was exhausted. All outstanding
+    /// and subsequently posted work completes with
+    /// [`CqeStatus::FlushedInError`](crate::CqeStatus::FlushedInError).
+    /// Unrecoverable in this model (as with real RC, the QP must be torn
+    /// down and reconnected — see `hyperloop::recovery::rebuild_chain`).
+    Error,
+}
+
+/// Transport-reliability knobs for one QP (set via
+/// [`Nic::set_qp_timeout`](crate::Nic::set_qp_timeout)).
+#[derive(Debug, Clone, Copy)]
+pub struct QpTimeout {
+    /// Ack timeout: how long a transmitted request may stay unacked
+    /// before a go-back-N retransmission.
+    pub timeout: hl_sim::SimDuration,
+    /// Consecutive timeouts tolerated before the QP enters
+    /// [`QpState::Error`].
+    pub retry_cnt: u8,
+}
+
+/// One transmitted-but-unacked reliable request (requester side).
+#[derive(Debug, Clone)]
+pub struct PendingTx {
+    /// Sequence number stamped on the packet.
+    pub psn: u64,
+    /// Destination NIC (for retransmission).
+    pub dst_nic: u32,
+    /// The packet as sent (retransmitted verbatim).
+    pub packet: crate::packet::Packet,
+    /// Requester cookie (for synthesized completions).
+    pub wr_id: u64,
+    /// Whether the requester asked for a completion.
+    pub signaled: bool,
+    /// Payload bytes (for synthesized completions).
+    pub byte_len: u32,
+}
+
 /// A queue pair.
 #[derive(Debug)]
 pub struct Qp {
@@ -108,6 +158,27 @@ pub struct Qp {
     pub parked: bool,
     /// Earliest time the send engine is free (serializes WQE processing).
     pub busy_until: hl_sim::SimTime,
+    /// Operational state.
+    pub state: QpState,
+    /// Retransmit protocol configuration; `None` = legacy fire-and-forget
+    /// transport (the fabric-FIFO model), which is the default.
+    pub timeout: Option<QpTimeout>,
+    /// Next PSN to stamp on an outgoing reliable request.
+    pub next_psn: u64,
+    /// Expected PSN of the next inbound reliable request (responder).
+    pub epsn: u64,
+    /// Transmitted reliable requests awaiting a response, oldest first.
+    pub unacked: VecDeque<PendingTx>,
+    /// Consecutive ack-timeout expirations without forward progress.
+    pub retries: u8,
+    /// Generation counter for the retransmit timer: arming bumps it and
+    /// stale timer events (older generation) are ignored.
+    pub timer_gen: u64,
+    /// Responder-side replay cache: the last response sent for a fencing
+    /// op `(psn, response kind)`. A retransmitted duplicate of that PSN
+    /// replays the cached response instead of re-executing — this is what
+    /// keeps CAS exactly-once under a lost response.
+    pub resp_cache: Option<(u64, crate::packet::PacketKind)>,
 }
 
 impl Qp {
@@ -124,6 +195,14 @@ impl Qp {
             fenced: false,
             parked: false,
             busy_until: hl_sim::SimTime::ZERO,
+            state: QpState::default(),
+            timeout: None,
+            next_psn: 0,
+            epsn: 0,
+            unacked: VecDeque::new(),
+            retries: 0,
+            timer_gen: 0,
+            resp_cache: None,
         }
     }
 }

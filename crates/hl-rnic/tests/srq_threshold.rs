@@ -57,6 +57,12 @@ fn route(nic: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
                 });
             }
             NicOutput::CqEvent { .. } => {}
+            NicOutput::ArmTimer { at, qpn, gen } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let outs = w.nics[nic].on_timer(eng.now(), qpn, gen, &mut w.mems[nic]);
+                    route(nic, outs, eng);
+                });
+            }
         }
     }
 }

@@ -1,0 +1,418 @@
+//! Transport-reliability tests: PSN/ack/retransmit behaviour of QPs
+//! configured with `set_qp_timeout`, QP error-state flushing, and the
+//! NIC-level fault hooks (full stall, WAIT-engine stall).
+//!
+//! The harness is a miniature two/three-NIC world with fixed link
+//! latency and a per-NIC "drop the next N inbound packets" knob that
+//! models transient fabric loss at precise points in the exchange.
+
+use hl_nvm::NvmArena;
+use hl_rnic::{flags, Access, CqeStatus, Nic, NicOutput, Opcode, QpState, RecvWqe, Wqe};
+use hl_sim::config::NicProfile;
+use hl_sim::{Engine, RngFactory, SimDuration, SimTime};
+
+const LINK: SimDuration = SimDuration::from_nanos(500);
+const TIMEOUT: SimDuration = SimDuration::from_micros(20);
+
+struct World {
+    nics: Vec<Nic>,
+    mems: Vec<NvmArena>,
+    /// Drop the next N packets *arriving* at nic i (transient loss).
+    rx_drop: Vec<u32>,
+}
+
+fn world(n: usize) -> World {
+    let fac = RngFactory::new(11);
+    let profile = NicProfile {
+        jitter_sigma: 0.0, // determinism-friendly for assertions
+        ..NicProfile::default()
+    };
+    World {
+        nics: (0..n)
+            .map(|i| Nic::new(i as u32, profile.clone(), fac.stream_idx("nic", i as u64)))
+            .collect(),
+        mems: (0..n).map(|_| NvmArena::new(1 << 20)).collect(),
+        rx_drop: vec![0; n],
+    }
+}
+
+fn route(nic: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
+    for o in outs {
+        match o {
+            NicOutput::Transmit {
+                at,
+                dst_nic,
+                packet,
+            } => {
+                eng.schedule_at(at + LINK, move |w: &mut World, eng| {
+                    let d = dst_nic as usize;
+                    if w.rx_drop[d] > 0 {
+                        w.rx_drop[d] -= 1;
+                        return; // lost on the wire
+                    }
+                    let outs = w.nics[d].on_packet(eng.now(), packet, &mut w.mems[d]);
+                    route(d, outs, eng);
+                });
+            }
+            NicOutput::Complete { at, cq, cqe } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let outs = w.nics[nic].deliver_cqe(eng.now(), cq, cqe, &mut w.mems[nic]);
+                    route(nic, outs, eng);
+                });
+            }
+            NicOutput::DoLocal { at, qpn, wqe } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let outs = w.nics[nic].finish_local(eng.now(), qpn, wqe, &mut w.mems[nic]);
+                    route(nic, outs, eng);
+                });
+            }
+            NicOutput::CqEvent { .. } => {}
+            NicOutput::ArmTimer { at, qpn, gen } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let outs = w.nics[nic].on_timer(eng.now(), qpn, gen, &mut w.mems[nic]);
+                    route(nic, outs, eng);
+                });
+            }
+        }
+    }
+}
+
+/// A connected reliable QP pair between nic 0 and nic 1. Returns
+/// (qp0, qp1, send_cq0, recv_cq1).
+fn reliable_pair(w: &mut World, retry_cnt: u8) -> (u32, u32, u32, u32) {
+    let scq0 = w.nics[0].create_cq();
+    let rcq0 = w.nics[0].create_cq();
+    let scq1 = w.nics[1].create_cq();
+    let rcq1 = w.nics[1].create_cq();
+    let qp0 = w.nics[0].create_qp(scq0, rcq0, 0x1000, 16);
+    let qp1 = w.nics[1].create_qp(scq1, rcq1, 0x1000, 16);
+    w.nics[0].connect(qp0, 1, qp1);
+    w.nics[1].connect(qp1, 0, qp0);
+    w.nics[0].set_qp_timeout(qp0, TIMEOUT, retry_cnt);
+    (qp0, qp1, scq0, rcq1)
+}
+
+fn post_write(w: &mut World, qp0: u32, rkey: u32, data: &[u8], laddr: u64, raddr: u64, wr_id: u64) {
+    w.mems[0].write(laddr, data).unwrap();
+    let wqe = Wqe {
+        opcode: Opcode::Write,
+        flags: flags::SIGNALED,
+        len: data.len() as u32,
+        laddr,
+        raddr,
+        rkey,
+        wr_id,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp0, wqe, false)
+        .unwrap();
+}
+
+/// Drain a CQ into (wr_id, status) pairs, oldest first.
+fn statuses(w: &mut World, nic: usize, cq: u32) -> Vec<(u64, CqeStatus)> {
+    w.nics[nic]
+        .poll_cq(cq, 64)
+        .into_iter()
+        .map(|c| (c.wr_id, c.status))
+        .collect()
+}
+
+/// A lost request packet is repaired by the ack-timeout: go-back-N
+/// retransmission delivers it and the requester still gets its Ok CQE.
+#[test]
+fn lost_write_is_retransmitted() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, _qp1, scq0, _rcq1) = reliable_pair(&mut w, 7);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+
+    w.rx_drop[1] = 1; // eat the write itself
+    post_write(&mut w, qp0, mr.rkey, b"retransmit me", 0x8000, 0x8000, 7);
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    assert_eq!(w.mems[1].read(0x8000, 13).unwrap(), b"retransmit me");
+    assert_eq!(statuses(&mut w, 0, scq0), vec![(7, CqeStatus::Ok)]);
+    assert!(w.nics[0].counters().retransmits >= 1);
+    assert_eq!(w.nics[0].qp_state(qp0), QpState::Rts);
+}
+
+/// A lost *ack* triggers a retransmission whose duplicate is suppressed
+/// at the responder: the posted RECV is consumed exactly once and the
+/// requester sees exactly one completion.
+#[test]
+fn lost_ack_does_not_double_deliver() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, qp1, scq0, rcq1) = reliable_pair(&mut w, 7);
+    // Two RECVs posted: a re-executed duplicate would eat the second.
+    w.nics[1].post_recv(
+        qp1,
+        RecvWqe {
+            wr_id: 100,
+            scatter: vec![],
+        },
+    );
+    w.nics[1].post_recv(
+        qp1,
+        RecvWqe {
+            wr_id: 101,
+            scatter: vec![],
+        },
+    );
+
+    w.rx_drop[0] = 1; // eat the ack on its way back
+    w.mems[0].write(0x8000, b"once").unwrap();
+    let wqe = Wqe {
+        opcode: Opcode::Send,
+        flags: flags::SIGNALED,
+        len: 4,
+        laddr: 0x8000,
+        wr_id: 9,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp0, wqe, false)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    // Exactly one Recv completion (wr 100); wr 101's RECV still posted.
+    let recv_wrs: Vec<u64> = w.nics[1].poll_cq(rcq1, 8).iter().map(|c| c.wr_id).collect();
+    assert_eq!(recv_wrs, vec![100]);
+    assert_eq!(w.nics[1].rq_depth(qp1), 1);
+    // Exactly one send-side completion despite the duplicate ack path.
+    assert_eq!(statuses(&mut w, 0, scq0), vec![(9, CqeStatus::Ok)]);
+}
+
+/// A lost CAS response is replayed from the responder's cache: the swap
+/// applies exactly once and the requester observes the pre-swap value.
+#[test]
+fn cas_is_exactly_once_under_lost_response() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, _qp1, scq0, _rcq1) = reliable_pair(&mut w, 7);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_ATOMIC);
+    w.mems[1].write_u64(0x8000, 5).unwrap();
+
+    w.rx_drop[0] = 1; // eat the CasResp
+    let wqe = Wqe {
+        opcode: Opcode::Cas,
+        flags: flags::SIGNALED,
+        laddr: 0x100, // result landing
+        raddr: 0x8000,
+        rkey: mr.rkey,
+        cmp: 5,
+        swp: 6,
+        wr_id: 3,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp0, wqe, false)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    // Swapped exactly once: a re-executed CAS(5→6) would have failed the
+    // compare and returned 6; the replayed response returns 5.
+    assert_eq!(w.mems[1].read_u64(0x8000).unwrap(), 6);
+    assert_eq!(w.mems[0].read_u64(0x100).unwrap(), 5);
+    assert_eq!(statuses(&mut w, 0, scq0), vec![(3, CqeStatus::Ok)]);
+    assert_eq!(w.nics[0].qp_state(qp0), QpState::Rts);
+}
+
+/// Retry exhaustion against a dead peer: the QP transitions to Error,
+/// the head-of-line request completes RetryExceeded, everything behind
+/// it flushes, and later posts flush too — nothing hangs silently.
+#[test]
+fn retry_exhaustion_flushes_the_qp() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, _qp1, scq0, _rcq1) = reliable_pair(&mut w, 2);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+
+    w.rx_drop[1] = u32::MAX; // peer is gone for good
+    post_write(&mut w, qp0, mr.rkey, b"aa", 0x8000, 0x8000, 1);
+    post_write(&mut w, qp0, mr.rkey, b"bb", 0x8010, 0x8010, 2);
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    assert_eq!(w.nics[0].qp_state(qp0), QpState::Error);
+    assert_eq!(
+        statuses(&mut w, 0, scq0),
+        vec![
+            (1, CqeStatus::RetryExceeded),
+            (2, CqeStatus::FlushedInError)
+        ]
+    );
+    // ~ (retry_cnt + 1) timeouts elapsed before giving up.
+    assert!(eng.now() >= SimTime::from_nanos(3 * TIMEOUT.as_nanos()));
+
+    // Posting after the transition: flushed on the next doorbell.
+    post_write(&mut w, qp0, mr.rkey, b"cc", 0x8020, 0x8020, 3);
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+    assert_eq!(
+        statuses(&mut w, 0, scq0),
+        vec![(3, CqeStatus::FlushedInError)]
+    );
+}
+
+/// A stall window shorter than the retry budget: the request issued
+/// mid-stall is delivered by retransmission after the NIC recovers.
+#[test]
+fn stall_window_recovers_without_error() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, _qp1, scq0, _rcq1) = reliable_pair(&mut w, 7);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+
+    // Stall the responder NIC now; un-stall after 3 timeout periods.
+    let outs = w.nics[1].set_stalled(eng.now(), true, &mut w.mems[1]);
+    route(1, outs, &mut eng);
+    eng.schedule_at(
+        SimTime::from_nanos(3 * TIMEOUT.as_nanos()),
+        |w: &mut World, eng| {
+            let outs = w.nics[1].set_stalled(eng.now(), false, &mut w.mems[1]);
+            route(1, outs, eng);
+        },
+    );
+
+    post_write(&mut w, qp0, mr.rkey, b"survives", 0x8000, 0x8000, 4);
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    assert_eq!(w.mems[1].read(0x8000, 8).unwrap(), b"survives");
+    assert_eq!(statuses(&mut w, 0, scq0), vec![(4, CqeStatus::Ok)]);
+    assert_eq!(w.nics[0].qp_state(qp0), QpState::Rts);
+    assert!(w.nics[1].counters().rx_dropped >= 1);
+}
+
+/// The stalled NIC's own pending requests are neither timed out while
+/// stalled nor lost: un-stalling retransmits them.
+#[test]
+fn stalled_sender_resumes_on_unstall() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    let (qp0, _qp1, scq0, _rcq1) = reliable_pair(&mut w, 1);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+
+    // The request goes out, then the *sender* stalls so the ack is
+    // eaten; with retry_cnt=1 an un-suppressed timer would error out.
+    post_write(&mut w, qp0, mr.rkey, b"parked", 0x8000, 0x8000, 5);
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp0, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.schedule_at(SimTime::from_nanos(200), |w: &mut World, eng| {
+        let outs = w.nics[0].set_stalled(eng.now(), true, &mut w.mems[0]);
+        route(0, outs, eng);
+    });
+    eng.schedule_at(
+        SimTime::from_nanos(10 * TIMEOUT.as_nanos()),
+        |w: &mut World, eng| {
+            let outs = w.nics[0].set_stalled(eng.now(), false, &mut w.mems[0]);
+            route(0, outs, eng);
+        },
+    );
+    eng.run(&mut w);
+
+    assert_eq!(statuses(&mut w, 0, scq0), vec![(5, CqeStatus::Ok)]);
+    assert_eq!(w.nics[0].qp_state(qp0), QpState::Rts);
+}
+
+/// WAIT-engine stall: a WAIT chain freezes even when its trigger CQ
+/// produces, while plain CPU-posted WQEs keep executing — the hook that
+/// lets HyperLoop degrade to CPU-driven forwarding. Clearing the stall
+/// releases the parked chain.
+#[test]
+fn wait_stall_freezes_chains_but_not_plain_wqes() {
+    let mut w = world(2);
+    let mut eng = Engine::new();
+    // QP A: a WAIT watching cq_t, then a deferred write it would activate.
+    // QP B: plain writes (the CPU-driven path), send_cq = cq_t so its
+    // completions are what the WAIT watches.
+    let cq_t = w.nics[0].create_cq();
+    let rcq = w.nics[0].create_cq();
+    let scq_a = w.nics[0].create_cq();
+    let qp_a = w.nics[0].create_qp(scq_a, rcq, 0x1000, 8);
+    let qp_b = w.nics[0].create_qp(cq_t, rcq, 0x2000, 8);
+    let scq1 = w.nics[1].create_cq();
+    let rcq1 = w.nics[1].create_cq();
+    let qp1a = w.nics[1].create_qp(scq1, rcq1, 0x1000, 8);
+    let qp1b = w.nics[1].create_qp(scq1, rcq1, 0x2000, 8);
+    w.nics[0].connect(qp_a, 1, qp1a);
+    w.nics[1].connect(qp1a, 0, qp_a);
+    w.nics[0].connect(qp_b, 1, qp1b);
+    w.nics[1].connect(qp1b, 0, qp_b);
+    let mr = w.nics[1].register_mr(0x8000, 0x1000, Access::REMOTE_WRITE);
+
+    // Break the WAIT engine.
+    let outs = w.nics[0].set_wait_stalled(eng.now(), true, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+
+    // Chain on A: WAIT(cq_t >= 1) then an activated write of "chained".
+    let wait = Wqe {
+        opcode: Opcode::Wait,
+        flags: flags::HW_OWNED | flags::WAIT_THRESHOLD,
+        imm: 1, // threshold
+        len: cq_t,
+        activate_n: 1,
+        ..Default::default()
+    };
+    w.mems[0].write(0x8100, b"chained").unwrap();
+    let chained = Wqe {
+        opcode: Opcode::Write,
+        flags: flags::SIGNALED,
+        len: 7,
+        laddr: 0x8100,
+        raddr: 0x8000,
+        rkey: mr.rkey,
+        wr_id: 21,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp_a, wait, false)
+        .unwrap();
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp_a, chained, true)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp_a, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+
+    // Plain write on B: still goes through and produces on cq_t.
+    w.mems[0].write(0x8200, b"plain").unwrap();
+    let plain = Wqe {
+        opcode: Opcode::Write,
+        flags: flags::SIGNALED,
+        len: 5,
+        laddr: 0x8200,
+        raddr: 0x8040,
+        rkey: mr.rkey,
+        wr_id: 22,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], qp_b, plain, false)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(eng.now(), qp_b, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    // The plain write landed; the chained one is frozen despite cq_t
+    // having produced its trigger completion.
+    assert_eq!(w.mems[1].read(0x8040, 5).unwrap(), b"plain");
+    assert!(w.nics[0].is_wait_stalled());
+    assert_eq!(w.mems[1].read(0x8000, 7).unwrap(), &[0u8; 7]);
+
+    // Repair the engine: the parked chain fires.
+    let outs = w.nics[0].set_wait_stalled(eng.now(), false, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+    assert_eq!(w.mems[1].read(0x8000, 7).unwrap(), b"chained");
+}

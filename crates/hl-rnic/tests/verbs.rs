@@ -77,6 +77,12 @@ fn route(nic_idx: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
                     w.cq_events.push((eng.now(), nic_idx, cq));
                 });
             }
+            NicOutput::ArmTimer { at, qpn, gen } => {
+                eng.schedule_at(at, move |w: &mut World, eng| {
+                    let outs = w.nics[nic_idx].on_timer(eng.now(), qpn, gen, &mut w.mems[nic_idx]);
+                    route(nic_idx, outs, eng);
+                });
+            }
         }
     }
 }

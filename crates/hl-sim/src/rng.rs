@@ -6,9 +6,10 @@
 //! means adding a new consumer of randomness does not perturb the draws
 //! seen by existing consumers, which keeps experiments comparable across
 //! code changes.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-repo xoshiro256++ — no external crates, so the
+//! exact draw sequence is pinned by this file alone and the workspace
+//! builds fully offline.
 
 /// Factory for named deterministic RNG streams.
 #[derive(Debug, Clone)]
@@ -45,7 +46,7 @@ impl RngFactory {
 /// A named deterministic random stream with simulation-oriented helpers.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: StdRng,
+    s: [u64; 4],
 }
 
 impl RngStream {
@@ -56,45 +57,85 @@ impl RngStream {
     }
 
     fn from_seed_words(seed: u64, name_hash: u64) -> Self {
-        let mut bytes = [0u8; 32];
-        bytes[..8].copy_from_slice(&seed.to_le_bytes());
-        bytes[8..16].copy_from_slice(&name_hash.to_le_bytes());
-        // Mix the two words into the remaining lanes so nearby seeds do
-        // not produce correlated states.
-        let mixed = splitmix(seed ^ name_hash.rotate_left(32));
-        bytes[16..24].copy_from_slice(&mixed.to_le_bytes());
-        bytes[24..32].copy_from_slice(&splitmix(mixed).to_le_bytes());
-        RngStream {
-            rng: StdRng::from_seed(bytes),
+        // Expand the two words into four non-degenerate state lanes with
+        // splitmix so nearby seeds do not produce correlated states.
+        let mut x = seed ^ name_hash.rotate_left(32);
+        let mut s = [0u64; 4];
+        for lane in &mut s {
+            x = splitmix(x ^ seed) ^ splitmix(name_hash ^ x);
+            *lane = x;
         }
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15; // all-zero state is a fixed point
+        }
+        RngStream { s }
+    }
+
+    /// Core xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `(0, 1)` (for log transforms).
+    fn f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.rng.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire); the rejection loop terminates
+        // deterministically from the stream state.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.rng.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.f64() < p
     }
 
     /// Exponentially distributed draw with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.f64_open().ln()
     }
 
     /// Log-normal draw specified by the *median* and sigma of the
@@ -107,14 +148,14 @@ impl RngStream {
     /// Standard normal via Box–Muller (one value per call; simple and
     /// deterministic, throughput is irrelevant here).
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1 = self.f64_open();
+        let u2 = self.f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
     /// Raw `u64` draw (for seeding sub-generators).
     pub fn u64(&mut self) -> u64 {
-        self.rng.gen()
+        self.next_u64()
     }
 }
 
@@ -183,6 +224,27 @@ mod tests {
         let mut b = f.stream_idx("host", 1);
         let same = (0..100).filter(|_| a.u64() == b.u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = RngFactory::new(11).stream("unit");
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v), "draw {v} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn range_covers_and_respects_bounds() {
+        let mut r = RngFactory::new(13).stream("range");
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = r.range_u64(3, 10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Client-side operation deadlines with exponential backoff and
+//! idempotent re-issue.
+//!
+//! The raw [`HyperLoopClient`] completes an operation only when the
+//! group ACK arrives; a fault anywhere along the chain leaves the
+//! caller waiting forever. [`RetryClient`] wraps the client with a
+//! per-attempt deadline: an attempt that does not ACK in time is
+//! re-issued (after exponential backoff) until the budget is exhausted,
+//! at which point the caller gets a *typed* error — an operation issued
+//! through this wrapper never hangs.
+//!
+//! Re-issue is safe because the group primitives are idempotent at the
+//! replication level:
+//!
+//! * gWRITE / gFLUSH / gMEMCPY re-apply the same bytes to the same
+//!   offsets — replaying them is a no-op on members that already
+//!   executed the first attempt.
+//! * gCAS is *not* naturally idempotent (the first attempt may have
+//!   swapped already), so a successful re-issue normalizes the result
+//!   map: a member reporting `orig == swp` is taken as proof the prior
+//!   attempt succeeded there and its original value is reported as
+//!   `cmp`. This matches the usual RDMA-atomic retry convention.
+//!
+//! The wrapper holds the underlying client in a shared cell so recovery
+//! can [`RetryClient::swap`] in the client of a rebuilt chain; attempts
+//! that time out mid-reconfiguration simply re-issue on the new chain.
+
+use crate::group::{OnDone, OpResult};
+use crate::HyperLoopClient;
+use hl_cluster::World;
+use hl_sim::{Engine, SimDuration};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Typed failure of a deadline-supervised operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// Every attempt either timed out or was refused for backpressure
+    /// within the attempt budget.
+    DeadlineExceeded {
+        /// Attempts made (including refused issues).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::DeadlineExceeded { attempts } => {
+                write!(f, "operation deadline exceeded after {attempts} attempts")
+            }
+        }
+    }
+}
+impl std::error::Error for OpError {}
+
+/// Completion callback carrying success or a typed error.
+pub type OnOutcome = Box<dyn FnOnce(&mut World, &mut Engine<World>, Result<OpResult, OpError>)>;
+
+/// Deadline / retry knobs.
+#[derive(Debug, Clone)]
+pub struct DeadlinePolicy {
+    /// Per-attempt ACK deadline.
+    pub deadline: SimDuration,
+    /// Total attempts before the typed failure.
+    pub max_attempts: u32,
+    /// Backoff before attempt `k+1` is `backoff << k`, capped.
+    pub backoff: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        // The defaults span a heartbeat detection + chain rebuild
+        // (tens of milliseconds) before giving up.
+        DeadlinePolicy {
+            deadline: SimDuration::from_millis(2),
+            max_attempts: 10,
+            backoff: SimDuration::from_micros(500),
+            backoff_cap: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl DeadlinePolicy {
+    fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let mut b = self.backoff.as_nanos();
+        for _ in 0..attempt {
+            b = (b * 2).min(self.backoff_cap.as_nanos());
+        }
+        SimDuration::from_nanos(b)
+    }
+}
+
+/// A group operation in re-issuable form.
+#[derive(Debug, Clone)]
+pub enum GroupOp {
+    /// gWRITE (optionally durable before ACK).
+    Write {
+        /// Offset within the replicated region.
+        offset: u64,
+        /// Bytes to replicate.
+        data: Vec<u8>,
+        /// Interleave a gFLUSH.
+        flush: bool,
+    },
+    /// Standalone gFLUSH.
+    Flush {
+        /// Offset within the replicated region.
+        offset: u64,
+        /// Range length.
+        len: u32,
+    },
+    /// gMEMCPY within the replicated region on every member.
+    Memcpy {
+        /// Source offset.
+        src_off: u64,
+        /// Destination offset.
+        dst_off: u64,
+        /// Bytes to copy.
+        len: u32,
+        /// Flush the destination.
+        flush: bool,
+    },
+    /// gCAS on the members selected by `exec_map`.
+    Cas {
+        /// u64-aligned offset of the target word.
+        offset: u64,
+        /// Expected value.
+        cmp: u64,
+        /// Replacement value.
+        swp: u64,
+        /// Member bitmap (bit 0 = client).
+        exec_map: u32,
+    },
+}
+
+/// Per-operation supervision state shared by the completion and the
+/// deadline closures.
+struct IssueState {
+    cell: Rc<RefCell<HyperLoopClient>>,
+    policy: DeadlinePolicy,
+    op: GroupOp,
+    done: Option<OnOutcome>,
+    settled: bool,
+    outstanding: Rc<RefCell<u32>>,
+    failures: Rc<RefCell<Vec<OpError>>>,
+}
+
+/// Deadline-supervising wrapper around [`HyperLoopClient`].
+///
+/// Cloning shares the client cell, the policy, and the failure log.
+#[derive(Clone)]
+pub struct RetryClient {
+    cell: Rc<RefCell<HyperLoopClient>>,
+    policy: DeadlinePolicy,
+    outstanding: Rc<RefCell<u32>>,
+    failures: Rc<RefCell<Vec<OpError>>>,
+}
+
+impl RetryClient {
+    /// Wrap a client with the default policy.
+    pub fn new(client: HyperLoopClient) -> Self {
+        Self::with_policy(client, DeadlinePolicy::default())
+    }
+
+    /// Wrap a client with an explicit policy.
+    pub fn with_policy(client: HyperLoopClient, policy: DeadlinePolicy) -> Self {
+        RetryClient {
+            cell: Rc::new(RefCell::new(client)),
+            policy,
+            outstanding: Rc::new(RefCell::new(0)),
+            failures: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The current underlying client (a cheap handle clone).
+    pub fn client(&self) -> HyperLoopClient {
+        self.cell.borrow().clone()
+    }
+
+    /// Install the client of a rebuilt chain. In-flight supervised
+    /// operations re-issue on it at their next attempt.
+    pub fn swap(&self, client: HyperLoopClient) {
+        *self.cell.borrow_mut() = client;
+    }
+
+    /// Supervised operations not yet settled (completed or failed).
+    pub fn outstanding(&self) -> u32 {
+        *self.outstanding.borrow()
+    }
+
+    /// Typed failures recorded so far.
+    pub fn failures(&self) -> Vec<OpError> {
+        self.failures.borrow().clone()
+    }
+
+    /// Issue `op` under deadline supervision. Exactly one of the `Ok` /
+    /// `Err` arms of `done` fires, in bounded time.
+    pub fn issue(&self, w: &mut World, eng: &mut Engine<World>, op: GroupOp, done: OnOutcome) {
+        *self.outstanding.borrow_mut() += 1;
+        let st = Rc::new(RefCell::new(IssueState {
+            cell: self.cell.clone(),
+            policy: self.policy.clone(),
+            op,
+            done: Some(done),
+            settled: false,
+            outstanding: self.outstanding.clone(),
+            failures: self.failures.clone(),
+        }));
+        attempt(st, w, eng, 0);
+    }
+
+    /// Supervised gWRITE.
+    pub fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnOutcome,
+    ) {
+        self.issue(
+            w,
+            eng,
+            GroupOp::Write {
+                offset,
+                data: data.to_vec(),
+                flush,
+            },
+            done,
+        );
+    }
+
+    /// Supervised gFLUSH.
+    pub fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnOutcome,
+    ) {
+        self.issue(w, eng, GroupOp::Flush { offset, len }, done);
+    }
+
+    /// Supervised gMEMCPY.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnOutcome,
+    ) {
+        self.issue(
+            w,
+            eng,
+            GroupOp::Memcpy {
+                src_off,
+                dst_off,
+                len,
+                flush,
+            },
+            done,
+        );
+    }
+
+    /// Supervised gCAS (results normalized on re-issued attempts, see
+    /// the module docs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnOutcome,
+    ) {
+        self.issue(
+            w,
+            eng,
+            GroupOp::Cas {
+                offset,
+                cmp,
+                swp,
+                exec_map,
+            },
+            done,
+        );
+    }
+}
+
+fn settle(
+    st: &Rc<RefCell<IssueState>>,
+    w: &mut World,
+    eng: &mut Engine<World>,
+    outcome: Result<OpResult, OpError>,
+) {
+    let done = {
+        let mut s = st.borrow_mut();
+        if s.settled {
+            return;
+        }
+        s.settled = true;
+        *s.outstanding.borrow_mut() -= 1;
+        if let Err(e) = &outcome {
+            s.failures.borrow_mut().push(e.clone());
+        }
+        s.done.take()
+    };
+    if let Some(done) = done {
+        done(w, eng, outcome);
+    }
+}
+
+fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, k: u32) {
+    if st.borrow().settled {
+        return;
+    }
+    let (client, op, policy) = {
+        let s = st.borrow();
+        let client = s.cell.borrow().clone();
+        (client, s.op.clone(), s.policy.clone())
+    };
+    let on_done: OnDone = {
+        let st = st.clone();
+        Box::new(move |w, eng, mut r| {
+            // gCAS retry: a member whose original equals the swapped
+            // value was won by a prior attempt of this very operation.
+            if k > 0 {
+                if let GroupOp::Cas { cmp, swp, .. } = st.borrow().op {
+                    for v in &mut r.results {
+                        if *v == swp {
+                            *v = cmp;
+                        }
+                    }
+                }
+            }
+            settle(&st, w, eng, Ok(r));
+        })
+    };
+    let issued = match &op {
+        GroupOp::Write {
+            offset,
+            data,
+            flush,
+        } => client.gwrite(w, eng, *offset, data, *flush, on_done),
+        GroupOp::Flush { offset, len } => client.gflush(w, eng, *offset, *len, on_done),
+        GroupOp::Memcpy {
+            src_off,
+            dst_off,
+            len,
+            flush,
+        } => client.gmemcpy(w, eng, *src_off, *dst_off, *len, *flush, on_done),
+        GroupOp::Cas {
+            offset,
+            cmp,
+            swp,
+            exec_map,
+        } => client.gcas(w, eng, *offset, *cmp, *swp, *exec_map, on_done),
+    };
+    // Next supervision point: the attempt deadline if the issue went
+    // out, or the backoff if the group refused it (paused for recovery
+    // or out of ring credits — both transient).
+    let wait = match issued {
+        Ok(_) => policy.deadline,
+        Err(_backpressure) => policy.backoff_for(k),
+    };
+    eng.schedule(wait, move |w: &mut World, eng| {
+        let (settled, attempts_left) = {
+            let s = st.borrow();
+            (s.settled, s.policy.max_attempts.saturating_sub(k + 1))
+        };
+        if settled {
+            return;
+        }
+        if attempts_left == 0 {
+            settle(
+                &st,
+                w,
+                eng,
+                Err(OpError::DeadlineExceeded { attempts: k + 1 }),
+            );
+            return;
+        }
+        let backoff = st.borrow().policy.backoff_for(k);
+        eng.schedule(backoff, move |w: &mut World, eng| {
+            attempt(st, w, eng, k + 1);
+        });
+    });
+}

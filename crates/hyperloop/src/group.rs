@@ -44,6 +44,12 @@ pub struct GroupConfig {
     pub ring_slots: u32,
     /// Replenisher wakeup period.
     pub replenish_period: SimDuration,
+    /// Opt-in reliable transport on the client's outbound QPs:
+    /// `(ack timeout, retry_cnt)`. When set, a head-hop loss is repaired
+    /// by NIC retransmission, and retry exhaustion surfaces as an error
+    /// CQE on the client send CQ (see [`crate::recovery`]). `None`
+    /// keeps the historical lossless-fabric assumption.
+    pub transport_timeout: Option<(SimDuration, u8)>,
 }
 
 impl Default for GroupConfig {
@@ -54,6 +60,7 @@ impl Default for GroupConfig {
             rep_bytes: 1 << 20,
             ring_slots: 128,
             replenish_period: SimDuration::from_micros(200),
+            transport_timeout: None,
         }
     }
 }
@@ -88,6 +95,8 @@ impl std::error::Error for Backpressure {}
 pub(crate) struct ClientRing {
     /// QP toward replica 0.
     pub qp_out: u32,
+    /// Send CQ of `qp_out`: transport error CQEs land here.
+    pub out_scq: u32,
     /// QP receiving the tail's ACK WRITE_IMM.
     pub ack_qp: u32,
     /// Recv CQ of `ack_qp` (callback-subscribed).
@@ -363,6 +372,9 @@ impl GroupBuilder {
                 .host(ch)
                 .nic
                 .create_qp(out_scq, out_rcq, out_sq.addr, 4 * slots);
+            if let Some((to, retry_cnt)) = cfg.transport_timeout {
+                w.host(ch).nic.set_qp_timeout(qp_out, to, retry_cnt);
+            }
             let ack_sq =
                 w.host(ch)
                     .layout
@@ -468,6 +480,7 @@ impl GroupBuilder {
 
             client_rings.push(ClientRing {
                 qp_out,
+                out_scq,
                 ack_qp,
                 ack_rcq,
                 staging,
@@ -797,6 +810,7 @@ mod tests {
             rep_rkeys: vec![],
             client_rings: std::array::from_fn(|_| ClientRing {
                 qp_out: 0,
+                out_scq: 0,
                 ack_qp: 0,
                 ack_rcq: 0,
                 staging: hl_nvm::Region {

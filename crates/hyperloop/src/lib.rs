@@ -19,7 +19,11 @@
 //!   replicated write-ahead log (`Append`, `ExecuteAndAdvance`) and
 //!   group locks (`wrLock`/`wrUnlock`/`rdLock`/`rdUnlock`).
 //! * [`recovery`] implements heartbeat failure detection and chain
-//!   rebuild with catch-up copy.
+//!   rebuild with catch-up copy, plus transport-error (CQ error CQE)
+//!   triggered rebuild and graceful degradation to the Naïve path.
+//! * [`deadline`] wraps the client with per-operation deadlines,
+//!   exponential backoff and idempotent re-issue so a supervised
+//!   operation either completes or fails with a typed error.
 //! * [`fanout`] is the §7 extension: FaRM-style primary/backup
 //!   replication with the coordination offloaded to the primary's NIC
 //!   (parallel WAIT-triggered transfers, ack aggregation by WAIT count).
@@ -31,6 +35,7 @@
 
 pub mod api;
 mod client;
+pub mod deadline;
 pub mod fanout;
 mod group;
 pub mod metadata;
@@ -40,6 +45,7 @@ pub mod recovery;
 pub mod replica;
 
 pub use client::HyperLoopClient;
+pub use deadline::{DeadlinePolicy, GroupOp, OnOutcome, OpError, RetryClient};
 pub use group::{
     Backpressure, GroupBuilder, GroupConfig, GroupInner, GroupRef, GroupStats, OnDone, OpResult,
 };

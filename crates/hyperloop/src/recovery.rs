@@ -9,10 +9,11 @@
 //! copying the replicated region with chunked RDMA READs, and resumes.
 
 use crate::group::{GroupBuilder, GroupConfig, GroupRef};
+use crate::metadata::Primitive;
 use crate::HyperLoopClient;
 use hl_cluster::{deliver, Ctx, ProcAddr, ProcEvent, Process, World};
 use hl_fabric::HostId;
-use hl_rnic::{Access, Opcode, Wqe, WQE_SIZE};
+use hl_rnic::{Access, Cqe, CqeStatus, Opcode, Wqe, WQE_SIZE};
 use hl_sim::{Engine, SimDuration};
 
 /// One-shot continuation used by the recovery helpers.
@@ -238,6 +239,13 @@ pub fn catch_up(
     let rcq_s = w.host(src).nic.create_cq();
     let qp_s = w.host(src).nic.create_qp(scq_s, rcq_s, sq_s.addr, 8);
     w.connect_qps(dst, qp_d, src, qp_s);
+    // Catch-up often runs while the fabric is still unhealthy (that is
+    // why the chain is being rebuilt); a lost READ on a fire-and-forget
+    // QP would stall the copy forever, so the copy QP is reliable with
+    // a budget generous enough to ride out transient faults.
+    w.host(dst)
+        .nic
+        .set_qp_timeout(qp_d, SimDuration::from_millis(2), 20);
 
     struct CopyState {
         offset: u64,
@@ -331,19 +339,31 @@ pub fn rebuild_chain(
     if let Some(nm) = new_member {
         replicas.push(nm);
     }
+    let (replenish_period, transport_timeout) = {
+        let g = old.borrow();
+        (g.cfg.replenish_period, g.cfg.transport_timeout)
+    };
     let cfg = GroupConfig {
         client: client_host,
         replicas: replicas.clone(),
         rep_bytes,
         ring_slots,
-        ..Default::default()
+        replenish_period,
+        transport_timeout,
     };
     let new_group = GroupBuilder::new(cfg).build(w);
 
     // Bring every member of the new group to the client's state. The
     // client's copy is authoritative (it holds everything it ever
-    // ACKed). Survivors copy locally; a brand-new member copies over
-    // the fabric.
+    // ACKed). The new group's own client region is a fresh allocation,
+    // so seed it with a local copy first; replicas copy over the
+    // fabric.
+    {
+        let new_rep_addr = new_group.borrow().client_rep.addr;
+        let h = w.host(client_host);
+        let bytes = h.mem.read_vec(client_rep.addr, rep_bytes as usize).unwrap();
+        h.mem.write(new_rep_addr, &bytes).unwrap();
+    }
     let targets: Vec<(HostId, u64)> = {
         let g = new_group.borrow();
         (0..g.n_replicas())
@@ -382,6 +402,171 @@ pub fn rebuild_chain(
                     let client = HyperLoopClient::new(ng.clone(), w);
                     if let Some(done) = done_cell.borrow_mut().take() {
                         done(w, eng, client);
+                    }
+                }
+            }),
+        );
+    }
+}
+
+/// Callback invoked with each transport-error CQE on the client's
+/// outbound rings.
+pub type OnTransportError = Box<dyn FnMut(&mut World, &mut Engine<World>, Cqe)>;
+
+/// Subscribe to error completions on the client's per-primitive
+/// outbound send CQs. With [`crate::GroupConfig::transport_timeout`]
+/// set, a head-hop data-path failure (dead or stalled replica-0 NIC)
+/// surfaces here as `RetryExceeded` followed by `FlushedInError`
+/// completions; without it, only remote NAKs (`RemoteAccess`,
+/// `ReceiverNotReady`) appear.
+pub fn watch_transport_errors(group: &GroupRef, w: &mut World, on_error: OnTransportError) {
+    let (ch, scqs) = {
+        let g = group.borrow();
+        (
+            g.cfg.client,
+            Primitive::ALL.map(|p| g.client_rings[p.idx()].out_scq),
+        )
+    };
+    let cb = std::rc::Rc::new(std::cell::RefCell::new(on_error));
+    for scq in scqs {
+        let cb = cb.clone();
+        w.subscribe_cq_callback(ch, scq, move |cqe, w, eng| {
+            if cqe.status != CqeStatus::Ok {
+                (cb.borrow_mut())(w, eng, cqe);
+            }
+        });
+    }
+}
+
+/// Arm one-shot data-path-error recovery: on the first transport-error
+/// CQE the group is paused, the chain is rebuilt over `survivors`
+/// (+ `new_member`, caught up from the client's copy) and `done`
+/// receives the new client — the same pause → rebuild → catch-up →
+/// resume path the heartbeat detector drives, but triggered by the
+/// NIC's own error machinery (no detection period).
+pub fn rebuild_on_cq_error(
+    group: &GroupRef,
+    w: &mut World,
+    survivors: Vec<HostId>,
+    new_member: Option<HostId>,
+    ring_slots: u32,
+    done: OnRebuilt,
+) {
+    let latch = std::rc::Rc::new(std::cell::RefCell::new(false));
+    let done = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+    let g = group.clone();
+    watch_transport_errors(
+        group,
+        w,
+        Box::new(move |w, eng, cqe| {
+            if std::mem::replace(&mut *latch.borrow_mut(), true) {
+                return;
+            }
+            g.borrow_mut().paused = true;
+            hl_sim::trace!(
+                w.tracer,
+                eng.now(),
+                "recovery",
+                "transport error {:?} on client qp{}: rebuilding chain",
+                cqe.status,
+                cqe.qpn
+            );
+            if let Some(done) = done.borrow_mut().take() {
+                rebuild_chain(w, eng, &g, survivors.clone(), new_member, ring_slots, done);
+            }
+        }),
+    );
+}
+
+/// Continuation receiving the degraded (Naïve-CPU) client.
+pub type OnDegraded = Box<dyn FnOnce(&mut World, &mut Engine<World>, crate::naive::NaiveClient)>;
+
+/// Graceful degradation: pause the HyperLoop group and bring up a
+/// CPU-driven Naïve chain over the *same members*, seeded from the
+/// client's authoritative copy. This is the fallback for a replica
+/// whose CORE-Direct WAIT engine malfunctions (NIC still moves packets
+/// but parked WQE chains never fire — `set_nic_wait_stalled`): Naïve
+/// forwarding posts WQEs from the CPU and uses no WAITs, so it keeps
+/// making progress on the very NIC whose offload path is wedged.
+pub fn degrade_to_naive(
+    group: &GroupRef,
+    w: &mut World,
+    eng: &mut Engine<World>,
+    mode: crate::naive::Mode,
+    done: OnDegraded,
+) {
+    group.borrow_mut().paused = true;
+    let (client_host, replicas, rep_bytes, ring_slots, client_rep) = {
+        let g = group.borrow();
+        (
+            g.cfg.client,
+            g.cfg.replicas.clone(),
+            g.cfg.rep_bytes,
+            g.cfg.ring_slots,
+            g.client_rep.clone(),
+        )
+    };
+    hl_sim::trace!(
+        w.tracer,
+        eng.now(),
+        "recovery",
+        "degrading to naive-CPU forwarding over {} replicas",
+        replicas.len()
+    );
+    let naive = crate::naive::NaiveBuilder::new(crate::naive::NaiveConfig {
+        client: client_host,
+        replicas: replicas.clone(),
+        rep_bytes,
+        ring_slots,
+        mode,
+        ..Default::default()
+    })
+    .build(w, eng);
+
+    // Seed every member of the naive chain from the client's copy: its
+    // local region with a CPU copy, the replicas with chunked RDMA
+    // READs (the catch-up path — CPU-posted READs, no WAITs involved).
+    let local_src = client_rep.addr;
+    let local_dst = naive.group().borrow().member_addr(0, 0);
+    let bytes = w
+        .host(client_host)
+        .mem
+        .read_vec(local_src, rep_bytes as usize)
+        .unwrap();
+    w.host(client_host).mem.write(local_dst, &bytes).unwrap();
+
+    let src_mr =
+        w.host(client_host)
+            .nic
+            .register_mr(client_rep.addr, client_rep.len, Access::REMOTE_READ);
+    let targets: Vec<(HostId, u64)> = {
+        let ni = naive.group().borrow();
+        (1..=replicas.len())
+            .map(|m| (replicas[m - 1], ni.member_addr(m, 0)))
+            .collect()
+    };
+    let total = targets.len();
+    let finished = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+    let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+    for (th, taddr) in targets {
+        let finished = finished.clone();
+        let done_cell = done_cell.clone();
+        let naive = naive.clone();
+        catch_up(
+            w,
+            eng,
+            client_host,
+            src_mr.rkey,
+            client_rep.addr,
+            th,
+            taddr,
+            rep_bytes,
+            64 * 1024,
+            Box::new(move |w, eng| {
+                *finished.borrow_mut() += 1;
+                if *finished.borrow() == total {
+                    if let Some(done) = done_cell.borrow_mut().take() {
+                        done(w, eng, naive);
                     }
                 }
             }),

@@ -1,0 +1,260 @@
+//! Transport-level fault tolerance: NIC error machinery driving chain
+//! recovery, deadline supervision, and graceful degradation.
+
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimDuration, SimTime};
+use hyperloop::api::GroupClient;
+use hyperloop::recovery::{self};
+use hyperloop::{
+    naive, replica, DeadlinePolicy, GroupBuilder, GroupConfig, GroupRef, HyperLoopClient, OpError,
+    RetryClient,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn setup(seed: u64) -> (World, Engine<World>, GroupRef, HyperLoopClient) {
+    let (mut w, mut eng) = ClusterBuilder::new(4)
+        .arena_size(2 << 20)
+        .seed(seed)
+        .build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 256 << 10,
+        ring_slots: 32,
+        transport_timeout: Some((SimDuration::from_micros(100), 3)),
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group.clone(), &mut w);
+    (w, eng, group, client)
+}
+
+/// A gWRITE caught mid-flight by a dead head-replica NIC: the client's
+/// reliable QP exhausts its retry budget, the error CQE triggers a
+/// rebuild onto the standby, and the deadline supervisor re-issues the
+/// op on the new chain — the caller sees a plain ACK.
+#[test]
+fn nic_stall_error_cqe_rebuilds_and_reissues() {
+    let (mut w, mut eng, group, client) = setup(70);
+    let retry = RetryClient::with_policy(
+        client,
+        DeadlinePolicy {
+            deadline: SimDuration::from_millis(1),
+            max_attempts: 20,
+            backoff: SimDuration::from_micros(200),
+            backoff_cap: SimDuration::from_millis(2),
+        },
+    );
+
+    // A few records land while the chain is healthy.
+    let warm = Rc::new(RefCell::new(0));
+    for k in 0..4u64 {
+        let warm = warm.clone();
+        retry.gwrite(
+            &mut w,
+            &mut eng,
+            k * 64,
+            format!("warm-{k}").as_bytes(),
+            true,
+            Box::new(move |_w, _e, r| {
+                assert!(r.is_ok());
+                *warm.borrow_mut() += 1;
+            }),
+        );
+    }
+    let warm2 = warm.clone();
+    eng.run_while(&mut w, move |_| *warm2.borrow() < 4);
+
+    let rebuilt = Rc::new(RefCell::new(false));
+    {
+        let retry = retry.clone();
+        let rebuilt = rebuilt.clone();
+        recovery::rebuild_on_cq_error(
+            &group,
+            &mut w,
+            vec![HostId(2)],
+            Some(HostId(3)),
+            32,
+            Box::new(move |_w, _eng, new_client| {
+                *rebuilt.borrow_mut() = true;
+                retry.swap(new_client);
+            }),
+        );
+    }
+
+    // The head replica's NIC dies for good, with the next write issued
+    // straight into the outage.
+    w.set_nic_stalled(HostId(1), true, &mut eng);
+    let acked = Rc::new(RefCell::new(false));
+    {
+        let acked = acked.clone();
+        retry.gwrite(
+            &mut w,
+            &mut eng,
+            4 * 64,
+            b"survives-the-stall",
+            true,
+            Box::new(move |_w, _e, r| {
+                r.expect("supervised write must complete after rebuild");
+                *acked.borrow_mut() = true;
+            }),
+        );
+    }
+    let a = acked.clone();
+    assert!(
+        eng.run_while(&mut w, move |_| !*a.borrow()),
+        "engine drained before the supervised write settled"
+    );
+    assert!(*rebuilt.borrow(), "CQ error did not trigger the rebuild");
+
+    // The record (and the warm-up history) is on every member of the
+    // rebuilt chain, which excludes the dead replica.
+    let c = retry.client();
+    assert_eq!(c.group_size(), 3);
+    for m in 0..c.group_size() {
+        let host = c.member_host(m);
+        assert_ne!(host, HostId(1));
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(c.member_addr(m, 4 * 64), 18)
+            .unwrap();
+        assert_eq!(got, b"survives-the-stall", "member {m}");
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(c.member_addr(m, 0), 6)
+            .unwrap();
+        assert_eq!(got, b"warm-0", "member {m} lost warm-up history");
+    }
+    assert_eq!(retry.outstanding(), 0);
+}
+
+/// With no recovery armed and the head unreachable, a supervised write
+/// burns its whole attempt budget and fails *typed* — it never hangs.
+#[test]
+fn deadline_exceeded_is_typed_not_a_hang() {
+    let (mut w, mut eng, _group, client) = setup(71);
+    let retry = RetryClient::with_policy(
+        client,
+        DeadlinePolicy {
+            deadline: SimDuration::from_micros(500),
+            max_attempts: 4,
+            backoff: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_micros(400),
+        },
+    );
+    // Nothing reaches the head, in either direction.
+    w.fabric.partition(HostId(0), HostId(1));
+    w.fabric.partition(HostId(1), HostId(0));
+
+    let outcome = Rc::new(RefCell::new(None));
+    {
+        let outcome = outcome.clone();
+        retry.gwrite(
+            &mut w,
+            &mut eng,
+            0,
+            b"into-the-void",
+            true,
+            Box::new(move |_w, _e, r| *outcome.borrow_mut() = Some(r)),
+        );
+    }
+    eng.run_until(&mut w, SimTime::from_nanos(100_000_000));
+    match outcome.borrow().as_ref() {
+        Some(Err(OpError::DeadlineExceeded { attempts: 4 })) => {}
+        other => panic!("expected typed deadline failure, got {other:?}"),
+    }
+    assert_eq!(retry.outstanding(), 0);
+    assert_eq!(
+        retry.failures(),
+        vec![OpError::DeadlineExceeded { attempts: 4 }]
+    );
+}
+
+/// A wedged WAIT engine (packets flow, parked chains never fire) is the
+/// case reliability retries cannot fix: the group degrades to Naive-CPU
+/// forwarding over the same members, seeded from the client's copy, and
+/// writes keep completing.
+#[test]
+fn wait_stall_degrades_to_naive_forwarding() {
+    let (mut w, mut eng, group, client) = setup(72);
+
+    let warm = Rc::new(RefCell::new(0));
+    for k in 0..3u64 {
+        let warm = warm.clone();
+        client
+            .gwrite(
+                &mut w,
+                &mut eng,
+                k * 64,
+                format!("pre-{k}").as_bytes(),
+                true,
+                Box::new(move |_w, _e, _r| *warm.borrow_mut() += 1),
+            )
+            .unwrap();
+    }
+    let warm2 = warm.clone();
+    eng.run_while(&mut w, move |_| *warm2.borrow() < 3);
+
+    // The head's WAIT engine wedges: its NIC still moves packets, but
+    // no deferred chain will ever fire again.
+    w.set_nic_wait_stalled(HostId(1), true, &mut eng);
+
+    let degraded: Rc<RefCell<Option<naive::NaiveClient>>> = Rc::new(RefCell::new(None));
+    {
+        let degraded = degraded.clone();
+        recovery::degrade_to_naive(
+            &group,
+            &mut w,
+            &mut eng,
+            naive::Mode::Event,
+            Box::new(move |_w, _eng, nc| *degraded.borrow_mut() = Some(nc)),
+        );
+    }
+    let d = degraded.clone();
+    assert!(
+        eng.run_while(&mut w, move |_| d.borrow().is_none()),
+        "degradation never completed"
+    );
+    let nc = degraded.borrow_mut().take().unwrap();
+
+    // The naive chain was seeded with the pre-fault history.
+    for m in 0..nc.group_size() {
+        let host = nc.member_host(m);
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(nc.member_addr(m, 0), 5)
+            .unwrap();
+        assert_eq!(got, b"pre-0", "member {m} missing seeded history");
+    }
+
+    // And it makes progress on the very NIC whose offload path is dead.
+    let acked = Rc::new(RefCell::new(false));
+    {
+        let acked = acked.clone();
+        nc.gwrite(
+            &mut w,
+            &mut eng,
+            3 * 64,
+            b"degraded-write",
+            true,
+            Box::new(move |_w, _e, _r| *acked.borrow_mut() = true),
+        )
+        .unwrap();
+    }
+    let a = acked.clone();
+    assert!(
+        eng.run_while(&mut w, move |_| !*a.borrow()),
+        "degraded write never completed"
+    );
+    for m in 0..nc.group_size() {
+        let host = nc.member_host(m);
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(nc.member_addr(m, 3 * 64), 14)
+            .unwrap();
+        assert_eq!(got, b"degraded-write", "member {m}");
+    }
+}

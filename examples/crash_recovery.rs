@@ -1,8 +1,12 @@
-//! Failure drill: writes flow through a HyperLoop chain; a replica's
-//! link dies; heartbeats detect it; the chain is rebuilt over the
-//! survivor plus a standby host (catch-up over RDMA READ); writes
-//! resume. The accelerated data path never compromises recoverability
-//! (paper §5, "Recovery").
+//! Failure drill in two acts. Act one: writes flow through a HyperLoop
+//! chain; a replica's link dies; heartbeats detect it; the chain is
+//! rebuilt over the survivor plus a standby host (catch-up over RDMA
+//! READ); writes resume. Act two: the rebuilt chain's head NIC hangs
+//! mid-gWRITE; the client NIC's own retransmission machinery exhausts
+//! its retry budget and reports an error CQE, which triggers a second
+//! rebuild with no detection period at all, and the deadline supervisor
+//! re-issues the interrupted write on the new chain. The accelerated
+//! data path never compromises recoverability (paper §5, "Recovery").
 //!
 //! ```sh
 //! cargo run --example crash_recovery
@@ -10,8 +14,11 @@
 
 use hyperloop_repro::cluster::{ClusterBuilder, World};
 use hyperloop_repro::fabric::HostId;
+use hyperloop_repro::hyperloop::api::GroupClient;
 use hyperloop_repro::hyperloop::recovery::{self, HeartbeatConfig};
-use hyperloop_repro::hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use hyperloop_repro::hyperloop::{
+    replica, DeadlinePolicy, GroupBuilder, GroupConfig, HyperLoopClient, RetryClient,
+};
 use hyperloop_repro::sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -24,6 +31,10 @@ fn main() {
         replicas: vec![HostId(1), HostId(2)],
         rep_bytes: 512 << 10,
         ring_slots: 32,
+        // Reliable transport on the client's outbound QPs: the NIC
+        // itself retries lost requests and reports unreachable heads as
+        // error CQEs (used in act two; inherited by rebuilt chains).
+        transport_timeout: Some((SimDuration::from_micros(200), 5)),
         ..Default::default()
     })
     .build(&mut world);
@@ -132,7 +143,84 @@ fn main() {
     let r3 = resumed.clone();
     engine.run_while(&mut world, move |_| !*r3.borrow());
     println!(
-        "recovery drill complete: old chain paused={}, new chain live",
+        "act one complete: old chain paused={}, new chain h1 -> h3 live",
         group.borrow().paused
+    );
+
+    // -- Act two: transport-level fault tolerance -----------------------
+    // Wrap the client in a deadline supervisor and arm NIC-error
+    // triggered recovery on the rebuilt chain: if the head dies, the
+    // client NIC's retry machinery reports it without any heartbeat
+    // round trips.
+    let retry = RetryClient::with_policy(
+        client2.clone(),
+        DeadlinePolicy {
+            deadline: SimDuration::from_millis(1),
+            max_attempts: 20,
+            backoff: SimDuration::from_micros(200),
+            backoff_cap: SimDuration::from_millis(2),
+        },
+    );
+    let group2 = client2.group().clone();
+    let rebuilt_again = Rc::new(RefCell::new(false));
+    {
+        let retry = retry.clone();
+        let rebuilt_again = rebuilt_again.clone();
+        recovery::rebuild_on_cq_error(
+            &group2,
+            &mut world,
+            vec![HostId(3)],
+            None,
+            32,
+            Box::new(move |_w, eng, nc| {
+                println!(
+                    "[{}] transport-error recovery: chain rebuilt over h3 alone",
+                    eng.now()
+                );
+                retry.swap(nc);
+                *rebuilt_again.borrow_mut() = true;
+            }),
+        );
+    }
+
+    println!("[{}] >> head h1's NIC hangs mid-gWRITE <<", engine.now());
+    world.set_nic_stalled(HostId(1), true, &mut engine);
+    let survived = Rc::new(RefCell::new(false));
+    {
+        let survived = survived.clone();
+        retry.gwrite(
+            &mut world,
+            &mut engine,
+            21 * 256,
+            b"record-despite-nic-fault",
+            true,
+            Box::new(move |_w, eng, r| {
+                r.expect("supervised write must survive the NIC fault");
+                println!(
+                    "[{}] interrupted write re-issued and ACKed on the rebuilt chain",
+                    eng.now()
+                );
+                *survived.borrow_mut() = true;
+            }),
+        );
+    }
+    let s2 = survived.clone();
+    engine.run_while(&mut world, move |_| !*s2.borrow());
+    assert!(*rebuilt_again.borrow(), "CQ-error recovery did not fire");
+
+    // Post-recovery invariant: the record is byte-identical on every
+    // member of the final chain (client copy included).
+    let final_client = retry.client();
+    for m in 0..final_client.group_size() {
+        let host = final_client.member_host(m);
+        let bytes = world.hosts[host.0]
+            .mem
+            .read_vec(final_client.member_addr(m, 21 * 256), 24)
+            .unwrap();
+        assert_eq!(bytes, b"record-despite-nic-fault", "member {m} diverged");
+    }
+    println!(
+        "act two complete: post-recovery invariant holds on all {} members",
+        final_client.group_size()
     );
 }

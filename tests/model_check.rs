@@ -142,11 +142,43 @@ fn run_ops(ops: &[MOp]) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
     #[test]
     fn group_ops_match_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
         run_ops(&ops);
     }
+}
+
+/// Historic proptest-shrunk failure (formerly persisted in
+/// `model_check.proptest-regressions`), pinned as an explicit
+/// deterministic case: a memcpy whose destination is then overwritten,
+/// followed by a CAS and an unflushed write.
+#[test]
+fn regression_memcpy_overwrite_cas_write() {
+    run_ops(&[
+        MOp::Memcpy {
+            src: 0,
+            dst: 11,
+            len: 52,
+        },
+        MOp::Write {
+            slot: 11,
+            byte: 206,
+            len: 188,
+            flush: true,
+        },
+        MOp::Cas {
+            slot: 4,
+            cmp_cur: true,
+            swp: 453,
+        },
+        MOp::Write {
+            slot: 8,
+            byte: 125,
+            len: 129,
+            flush: false,
+        },
+    ]);
 }
 
 /// Pipelined variant: ops are issued in batches without draining between
@@ -258,7 +290,7 @@ fn write_op_strategy() -> impl Strategy<Value = MOp> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(8))]
     #[test]
     fn pipelined_writes_match_shadow_model(
         ops in proptest::collection::vec(write_op_strategy(), 4..32)
