@@ -1,0 +1,107 @@
+//! # hl-analysis — determinism lints for the simulator workspace
+//!
+//! The reproduction's core guarantee is that the simulator is
+//! *deterministic*: the same seed yields a byte-identical event trace
+//! (the invariant the chaos suite asserts). That guarantee is one
+//! stray `HashMap` iteration or wall-clock read away from silently
+//! breaking. This crate is a dependency-free, `syn`-free static checker
+//! that walks the sim-core crates and enforces the rules the guarantee
+//! rests on:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | `hash-collections` | `std::collections::HashMap`/`HashSet` anywhere in sim code (RandomState iteration order) |
+//! | `wall-clock` | `std::time::Instant`/`SystemTime` (host clock) |
+//! | `os-entropy` | `thread_rng`/`OsRng`/`getrandom`/`RandomState` (unseeded randomness) |
+//! | `thread-spawn` | `std::thread::spawn` (host scheduling order) |
+//! | `float-time` | float-tainted arguments to `SimTime`/`SimDuration` constructors |
+//! | `panic-in-handler` | `panic!`/`unwrap`/`expect` inside NIC packet/doorbell handlers |
+//!
+//! Escape hatch: `// hl-lint: allow(<rule>)` on the offending line or
+//! the line above, for sites audited to be deterministic despite the
+//! pattern (each allow should say *why* in the surrounding comment).
+//!
+//! Run with `cargo run -p hl-analysis -- check`; CI runs it on every
+//! push. The tool exits non-zero when any finding survives.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, Finding, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// The sim-core crates the determinism rules apply to. Tooling
+/// (`hl-analysis` itself), wall-clock benchmarks (`hl-bench`) and the
+/// workload generator (`hl-ycsb`, which only feeds the sim through
+/// seeded streams) are deliberately out of scope.
+pub const SIM_CRATES: &[&str] = &[
+    "hl-sim",
+    "hl-nvm",
+    "hl-fabric",
+    "hl-cpu",
+    "hl-rnic",
+    "hl-cluster",
+    "hyperloop",
+    "hl-store",
+];
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            rust_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every sim-core crate's `src/` tree under workspace `root`.
+/// Returns all findings; an I/O error (missing crate) is itself an
+/// error, so a renamed crate cannot silently drop out of coverage.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in SIM_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for f in files {
+            let text = std::fs::read_to_string(&f)?;
+            let label = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .into_owned();
+            findings.extend(check_source(&label, &text));
+        }
+    }
+    Ok(findings)
+}
+
+/// Locate the workspace root from the current directory (walk up until
+/// a `Cargo.toml` with a `[workspace]` table is found).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! CLI for the determinism lints.
+//!
+//! ```text
+//! cargo run -p hl-analysis -- check [ROOT]   # lint the sim-core crates
+//! cargo run -p hl-analysis -- rules          # list the rules
+//! ```
+//!
+//! `check` exits 1 when any finding survives the allow-comments.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for (name, desc) in hl_analysis::RULES {
+                println!("{name:18} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => {
+                    let cwd = std::env::current_dir().expect("cwd");
+                    match hl_analysis::find_workspace_root(&cwd) {
+                        Some(r) => r,
+                        None => {
+                            eprintln!("error: no workspace root found above {}", cwd.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let findings = match hl_analysis::check_workspace(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!(
+                    "hl-analysis: clean ({} crates checked)",
+                    hl_analysis::SIM_CRATES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!("hl-analysis: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: hl-analysis <check [ROOT] | rules>");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The determinism rules.
+//!
+//! Each rule walks the token stream produced by [`crate::lexer`] and
+//! reports findings. A finding is suppressed by an inline
+//! `// hl-lint: allow(<rule>)` comment on the same line or on the line
+//! directly above — the escape hatch for sites that were audited and
+//! are deterministic despite matching the pattern (e.g. the NIC's
+//! seeded log-normal jitter).
+
+use crate::lexer::{lex, Allow, Tok, TokKind};
+
+/// Rule identifiers, as used in findings and allow-comments.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-collections",
+        "std HashMap/HashSet iterate in RandomState order; sim code must use BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "std::time::Instant/SystemTime read the host clock; sim code must use hl_sim::SimTime",
+    ),
+    (
+        "os-entropy",
+        "thread_rng/OsRng/getrandom draw OS entropy; sim code must use the seeded hl_sim::RngStream",
+    ),
+    (
+        "thread-spawn",
+        "std::thread::spawn introduces host scheduling order; the simulator is single-threaded",
+    ),
+    (
+        "float-time",
+        "floating-point values flowing into SimTime/SimDuration constructors accumulate platform-dependent rounding",
+    ),
+    (
+        "panic-in-handler",
+        "panic!/unwrap/expect inside NIC packet/doorbell handlers; faults must surface as error CQEs",
+    ),
+];
+
+/// NIC state-machine entry points in which `panic-in-handler` applies:
+/// the packet receive path, timer expiry, doorbell, local-DMA completion
+/// and CQE delivery. A malformed packet or corrupted descriptor reaching
+/// these must produce an error CQE, not a process abort.
+const HANDLER_FNS: &[&str] = &[
+    "on_packet",
+    "on_timer",
+    "ring_doorbell",
+    "finish_local",
+    "deliver_cqe",
+];
+
+/// Idents that, seen as `.ident(`, panic in handlers.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macro idents that, seen as `ident!`, panic in handlers.
+const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert"];
+
+/// `SimTime`/`SimDuration` constructor names checked by `float-time`.
+const TIME_CTORS: &[&str] = &["from_nanos", "from_micros", "from_millis", "from_secs"];
+
+/// Float-producing method calls that taint a timestamp argument.
+const FLOATY_METHODS: &[&str] = &["round", "ceil", "floor", "powf", "sqrt", "exp", "ln"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// File the finding is in (as given to [`check_source`]).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lint one source file. `file` is used only for reporting.
+pub fn check_source(file: &str, src: &str) -> Vec<Finding> {
+    let (toks, allows) = lex(src);
+    let mut findings = Vec::new();
+    rule_banned_idents(file, &toks, &mut findings);
+    rule_thread_spawn(file, &toks, &mut findings);
+    rule_float_time(file, &toks, &mut findings);
+    rule_panic_in_handler(file, &toks, &mut findings);
+    findings.retain(|f| !is_allowed(&allows, f));
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+fn is_allowed(allows: &[Allow], f: &Finding) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+}
+
+/// `hash-collections`, `wall-clock`, `os-entropy`: single banned idents.
+fn rule_banned_idents(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for t in toks {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let rule = match t.text.as_str() {
+            "HashMap" | "HashSet" => Some(("hash-collections", "use BTreeMap/BTreeSet instead")),
+            "Instant" | "SystemTime" => Some(("wall-clock", "use hl_sim::SimTime instead")),
+            "thread_rng" | "OsRng" | "from_entropy" | "getrandom" | "RandomState" => {
+                Some(("os-entropy", "use the seeded hl_sim::RngStream instead"))
+            }
+            _ => None,
+        };
+        if let Some((rule, fix)) = rule {
+            out.push(Finding {
+                rule,
+                file: file.to_string(),
+                line: t.line,
+                message: format!("`{}` is nondeterministic in sim code; {}", t.text, fix),
+            });
+        }
+    }
+}
+
+/// `thread-spawn`: the token sequence `thread :: spawn`.
+fn rule_thread_spawn(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(4) {
+        if w[0].is_ident("thread")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && w[3].is_ident("spawn")
+        {
+            out.push(Finding {
+                rule: "thread-spawn",
+                file: file.to_string(),
+                line: w[3].line,
+                message:
+                    "OS threads race the deterministic event loop; model concurrency as sim events"
+                        .to_string(),
+            });
+        }
+    }
+}
+
+/// `float-time`: a `SimTime::from_*`/`SimDuration::from_*` call whose
+/// argument tokens contain a float literal, an `f32`/`f64` cast, or a
+/// float-producing method (`.round()` etc.).
+fn rule_float_time(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        let is_ctor = toks[i].kind == TokKind::Ident
+            && (toks[i].text == "SimTime" || toks[i].text == "SimDuration")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+            && TIME_CTORS.contains(&toks[i + 3].text.as_str())
+            && toks[i + 4].is_punct('(');
+        if !is_ctor {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Scan the balanced argument list.
+        let mut depth = 1;
+        let mut j = i + 5;
+        let mut tainted: Option<String> = None;
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+            } else if t.kind == TokKind::Float {
+                tainted = Some(format!("float literal `{}`", t.text));
+            } else if t.is_ident("f32") || t.is_ident("f64") {
+                tainted = Some(format!("`{}` value", t.text));
+            } else if t.kind == TokKind::Ident
+                && FLOATY_METHODS.contains(&t.text.as_str())
+                && j > 0
+                && toks[j - 1].is_punct('.')
+            {
+                tainted = Some(format!("`.{}()` result", t.text));
+            }
+            j += 1;
+        }
+        if let Some(what) = tainted {
+            out.push(Finding {
+                rule: "float-time",
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "{} flows into a {} timestamp; accumulate in integer nanoseconds",
+                    what, toks[i].text
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+/// `panic-in-handler`: `.unwrap()`/`.expect()`/`panic!`-family inside a
+/// function whose name marks it as a NIC packet/doorbell handler.
+///
+/// Function extents are tracked by brace depth: after `fn <handler>` the
+/// body starts at the next `{` outside parentheses and ends when the
+/// depth returns to its opening value. Closures inside the body count as
+/// part of the handler (they run on the same call path).
+fn rule_panic_in_handler(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let mut brace_depth: i64 = 0;
+    // (fn name, depth its body opened at); handlers only, innermost last.
+    let mut stack: Vec<(String, i64)> = Vec::new();
+    // A handler fn seen, waiting for its body `{` (skipping params and
+    // return type); None when not inside a pending header.
+    let mut pending: Option<String> = None;
+    let mut paren_depth: i64 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren_depth += 1;
+        } else if t.is_punct(')') {
+            paren_depth -= 1;
+        } else if t.is_punct('{') {
+            brace_depth += 1;
+            if paren_depth == 0 {
+                if let Some(name) = pending.take() {
+                    stack.push((name, brace_depth));
+                }
+            }
+        } else if t.is_punct('}') {
+            if let Some((_, open)) = stack.last() {
+                if brace_depth == *open {
+                    stack.pop();
+                }
+            }
+            brace_depth -= 1;
+        } else if t.is_ident("fn")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && paren_depth == 0
+        {
+            if HANDLER_FNS.contains(&toks[i + 1].text.as_str()) {
+                pending = Some(toks[i + 1].text.clone());
+            } else {
+                pending = None;
+            }
+        } else if !stack.is_empty() && t.kind == TokKind::Ident {
+            let in_handler = &stack.last().unwrap().0;
+            let next_is = |c: char| i + 1 < toks.len() && toks[i + 1].is_punct(c);
+            let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+            if PANICKY_METHODS.contains(&t.text.as_str()) && prev_is_dot && next_is('(') {
+                out.push(Finding {
+                    rule: "panic-in-handler",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` in NIC handler `{}`; surface the fault as an error CQE",
+                        t.text, in_handler
+                    ),
+                });
+            } else if PANICKY_MACROS.contains(&t.text.as_str()) && next_is('!') {
+                out.push(Finding {
+                    rule: "panic-in-handler",
+                    file: file.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in NIC handler `{}`; surface the fault as an error CQE",
+                        t.text, in_handler
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(src: &str) -> Vec<&'static str> {
+        check_source("t.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_code_is_clean() {
+        assert!(rules_fired(
+            "use std::collections::BTreeMap;\nfn f(t: SimTime) -> SimTime { t + SimDuration::from_nanos(5) }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let same = "let m: HashMap<u32, u8> = HashMap::new(); // hl-lint: allow(hash-collections)";
+        assert!(rules_fired(same).is_empty());
+        let above = "// vetted -- hl-lint: allow(hash-collections)\nlet m: HashMap<u32, u8> = HashMap::new();";
+        assert!(rules_fired(above).is_empty());
+        let wrong_rule = "let m: HashMap<u32, u8> = HashMap::new(); // hl-lint: allow(wall-clock)";
+        assert_eq!(
+            rules_fired(wrong_rule),
+            ["hash-collections", "hash-collections"]
+        );
+    }
+
+    #[test]
+    fn float_time_needs_taint() {
+        assert!(rules_fired("let t = SimDuration::from_nanos(x + 5);").is_empty());
+        assert_eq!(
+            rules_fired("let t = SimDuration::from_nanos(ns.round() as u64);"),
+            ["float-time"]
+        );
+        assert_eq!(
+            rules_fired("let t = SimTime::from_nanos((x as f64 * 1.5) as u64);"),
+            ["float-time"]
+        );
+    }
+
+    #[test]
+    fn panic_scoped_to_handlers() {
+        assert!(rules_fired("fn helper(&self) { self.x.unwrap(); }").is_empty());
+        assert_eq!(
+            rules_fired("fn on_packet(&mut self) { self.x.unwrap(); }"),
+            ["panic-in-handler"]
+        );
+        // A non-handler fn *after* a handler closes is out of scope again.
+        assert!(rules_fired(
+            "fn on_packet(&mut self) { let x = 1; }\nfn helper(&self) { self.x.expect(\"boom\"); }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: `float-time` fires when a float-tainted expression flows
+// into a SimTime/SimDuration constructor, and not on integer math.
+fn bad(ns: f64) -> SimDuration {
+    SimDuration::from_nanos(ns.round() as u64)
+}
+
+fn fine(ns: u64) -> SimDuration {
+    SimDuration::from_nanos(ns + 17)
+}
+
+fn vetted(ns: f64) -> SimTime {
+    // Seeded jitter, audited: hl-lint: allow(float-time)
+    SimTime::from_nanos((ns * 1.5) as u64)
+}

@@ -1,0 +1,10 @@
+// Fixture: `hash-collections` must fire on the bare use and stay quiet
+// on the allowed one.
+use std::collections::HashMap;
+
+fn order_insensitive() {
+    // Provably order-insensitive: only insert/remove by key, never
+    // iterated. hl-lint: allow(hash-collections)
+    let mut ok: HashMap<u32, u32> = HashMap::new(); // hl-lint: allow(hash-collections)
+    ok.insert(1, 2);
+}

@@ -1,0 +1,7 @@
+// Fixture: `os-entropy` fires on thread_rng.
+fn bad() {
+    let x = rand::thread_rng();
+    // Reporting-only path, audited: hl-lint: allow(os-entropy)
+    let y = rand::thread_rng();
+    let _ = (x, y);
+}

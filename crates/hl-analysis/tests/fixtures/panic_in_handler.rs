@@ -1,0 +1,12 @@
+// Fixture: `panic-in-handler` fires inside NIC handler functions only.
+impl Nic {
+    fn on_packet(&mut self, pkt: Packet) {
+        self.qps.get(pkt.qpn).unwrap();
+        self.qps.get(pkt.qpn).unwrap(); // hl-lint: allow(panic-in-handler)
+    }
+
+    fn helper(&mut self) {
+        // Out of handler scope: must not fire.
+        self.qps.get(0).expect("fine here");
+    }
+}

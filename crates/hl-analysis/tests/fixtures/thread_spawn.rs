@@ -1,0 +1,5 @@
+// Fixture: `thread-spawn` fires on std::thread::spawn.
+fn bad() {
+    std::thread::spawn(|| {});
+    std::thread::spawn(|| {}); // hl-lint: allow(thread-spawn)
+}

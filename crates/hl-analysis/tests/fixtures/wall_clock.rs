@@ -1,0 +1,4 @@
+// Fixture: `wall-clock` fires on std::time::Instant.
+fn bad() -> std::time::Instant {
+    std::time::Instant::now() // hl-lint: allow(wall-clock)
+}

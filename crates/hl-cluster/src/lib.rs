@@ -28,7 +28,7 @@ use hl_rnic::{Cqe, Nic, NicOutput, RecvWqe, RingFull, Wqe};
 use hl_sim::config::HwProfile;
 use hl_sim::{Engine, RngFactory, RngStream, SimDuration, SimTime, Tracer};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Work tag reserved for event-dispatch CPU work.
 const DISPATCH_TAG: u64 = u64::MAX;
@@ -208,7 +208,7 @@ pub struct World {
     pub rng: RngFactory,
     drop_rng: RngStream,
     procs: Vec<Vec<ProcSlot>>,
-    cq_subs: HashMap<(usize, u32), CqSub>,
+    cq_subs: BTreeMap<(usize, u32), CqSub>,
     /// Packets lost to fault injection.
     pub dropped_packets: u64,
 }
@@ -358,6 +358,30 @@ impl World {
         route_nic(host, outs, self, eng);
     }
 
+    /// One line per violation recorded by the race detector across
+    /// every NIC, plus any FIFO-order violations from the fabric
+    /// auditor, in host order (feature `check-ownership`). Empty means
+    /// the run was race-free.
+    #[cfg(feature = "check-ownership")]
+    pub fn race_report(&self) -> Vec<String> {
+        let mut report = Vec::new();
+        for (i, h) in self.hosts.iter().enumerate() {
+            for v in h.nic.race_violations() {
+                report.push(format!("h{i}: {v}"));
+            }
+        }
+        for v in self.fabric.order_violations() {
+            report.push(format!(
+                "fabric: delivery {}->{} at {}ns regresses behind {}ns",
+                v.src,
+                v.dst,
+                v.delivery.as_nanos(),
+                v.prev_delivery.as_nanos()
+            ));
+        }
+        report
+    }
+
     /// Break or repair WAIT triggering on a host's NIC (fault injection:
     /// CORE-Direct offload malfunction; CPU-posted work still runs).
     pub fn set_nic_wait_stalled(&mut self, host: HostId, on: bool, eng: &mut Engine<World>) {
@@ -439,7 +463,7 @@ impl ClusterBuilder {
             rng,
             profile: self.profile,
             procs: (0..self.hosts).map(|_| Vec::new()).collect(),
-            cq_subs: HashMap::new(),
+            cq_subs: BTreeMap::new(),
             dropped_packets: 0,
         };
         (world, Engine::new())

@@ -406,6 +406,9 @@ impl HostCpu {
         if self.cores[core].gen != gen {
             return Vec::new();
         }
+        // Scheduler invariant, not reachable from packet/external data:
+        // a current-generation timer implies the core is running (idling
+        // a core bumps its gen). hl-lint: allow(panic-in-handler)
         let pid = self.cores[core].running.expect("timer on idle core");
         self.charge(now, core, pid);
         // Reset run_start so later charges don't double count.
@@ -417,6 +420,7 @@ impl HostCpu {
             .front()
             .is_some_and(|w| !w.is_infinite() && w.remaining == 0);
         if finished {
+            // `finished` just observed a front item. hl-lint: allow(panic-in-handler)
             let item = self.procs[pid.0].work.pop_front().unwrap();
             out.push(CpuOutput::WorkDone { pid, tag: item.tag });
         }

@@ -37,6 +37,24 @@ struct Port {
     msgs_tx: u64,
 }
 
+/// A FIFO-order violation recorded by the delivery auditor (feature
+/// `check-ownership`): a message for an ordered host pair was scheduled
+/// to arrive *before* an earlier message of the same pair. The RDMA RC
+/// transport model assumes this never happens; any occurrence is a
+/// fabric-model bug.
+#[cfg(feature = "check-ownership")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderViolation {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Latest delivery time previously scheduled for this pair.
+    pub prev_delivery: SimTime,
+    /// The regressing delivery time.
+    pub delivery: SimTime,
+}
+
 /// Result of offering a message to the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Delivery {
@@ -61,6 +79,12 @@ pub struct Fabric {
     /// Probability of dropping any message (fault injection); requires
     /// the caller to pass a uniform draw to keep the fabric RNG-free.
     drop_prob: f64,
+    /// Latest scheduled delivery per ordered pair, indexed `[src][dst]`.
+    #[cfg(feature = "check-ownership")]
+    last_delivery: Vec<Vec<SimTime>>,
+    /// FIFO-order violations recorded by the auditor.
+    #[cfg(feature = "check-ownership")]
+    order_violations: Vec<OrderViolation>,
 }
 
 impl Fabric {
@@ -73,7 +97,33 @@ impl Fabric {
             partitions: Vec::new(),
             down: vec![false; n],
             drop_prob: 0.0,
+            #[cfg(feature = "check-ownership")]
+            last_delivery: vec![vec![SimTime::ZERO; n]; n],
+            #[cfg(feature = "check-ownership")]
+            order_violations: Vec::new(),
         }
+    }
+
+    /// Record a scheduled delivery with the FIFO auditor.
+    #[cfg(feature = "check-ownership")]
+    fn audit_delivery(&mut self, src: HostId, dst: HostId, at: SimTime) {
+        let prev = self.last_delivery[src.0][dst.0];
+        if at < prev {
+            self.order_violations.push(OrderViolation {
+                src,
+                dst,
+                prev_delivery: prev,
+                delivery: at,
+            });
+        } else {
+            self.last_delivery[src.0][dst.0] = at;
+        }
+    }
+
+    /// FIFO-order violations recorded so far (feature `check-ownership`).
+    #[cfg(feature = "check-ownership")]
+    pub fn order_violations(&self) -> &[OrderViolation] {
+        &self.order_violations
     }
 
     /// Number of hosts.
@@ -138,7 +188,10 @@ impl Fabric {
         if src == dst {
             // Loopback never touches the wire; a nominal port-turnaround
             // delay models the NIC-internal path.
-            return Delivery::At(now + SimDuration::from_nanos(100));
+            let at = now + SimDuration::from_nanos(100);
+            #[cfg(feature = "check-ownership")]
+            self.audit_delivery(src, dst, at);
+            return Delivery::At(at);
         }
         let port = &mut self.ports[src.0];
         let start = port.free_at.max(now);
@@ -150,7 +203,10 @@ impl Fabric {
         let prop = SimDuration::from_nanos(
             self.profile.propagation.as_nanos() * self.hops[src.0][dst.0] as u64,
         );
-        Delivery::At(done + prop)
+        let at = done + prop;
+        #[cfg(feature = "check-ownership")]
+        self.audit_delivery(src, dst, at);
+        Delivery::At(at)
     }
 
     /// Bytes transmitted by a host.

@@ -18,6 +18,10 @@ pub enum CqeStatus {
     /// The WQE was flushed without executing because the QP entered the
     /// Error state (ibv `IBV_WC_WR_FLUSH_ERR`).
     FlushedInError,
+    /// A local memory access failed while landing a response or running
+    /// a loopback operation (ibv `IBV_WC_LOC_PROT_ERR`): the address
+    /// fell outside the arena, typically a corrupted descriptor.
+    LocalProtection,
 }
 
 /// What kind of operation completed.

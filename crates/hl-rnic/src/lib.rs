@@ -25,6 +25,8 @@ mod mr;
 mod nic;
 mod packet;
 mod qp;
+#[cfg(feature = "check-ownership")]
+pub mod track;
 mod wqe;
 
 pub use cq::{Cq, Cqe, CqeKind, CqeStatus};

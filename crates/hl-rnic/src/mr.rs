@@ -100,6 +100,14 @@ impl MrTable {
         mr
     }
 
+    /// Deregister the region holding `rkey`. Further accesses quoting
+    /// either of its keys fail with [`MrError::BadKey`]. Returns the
+    /// removed region, or `None` for an unknown key.
+    pub fn deregister(&mut self, rkey: u32) -> Option<MemoryRegion> {
+        let idx = self.regions.iter().position(|m| m.rkey == rkey)?;
+        Some(self.regions.remove(idx))
+    }
+
     /// Validate a remote access quoted with `rkey`.
     pub fn check_remote(
         &self,
@@ -227,6 +235,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn deregister_invalidates_keys() {
+        let mut t = MrTable::new();
+        let a = t.register(0x1000, 0x100, Access::REMOTE_WRITE);
+        let b = t.register(0x2000, 0x100, Access::REMOTE_WRITE);
+        assert_eq!(t.deregister(a.rkey), Some(a));
+        assert_eq!(
+            t.check_remote(a.rkey, 0x1000, 8, Access::REMOTE_WRITE),
+            Err(MrError::BadKey)
+        );
+        assert_eq!(t.check_local(a.lkey, 0x1000, 8), Err(MrError::BadKey));
+        // The other region is untouched; double-deregister is None.
+        assert!(t
+            .check_remote(b.rkey, 0x2000, 8, Access::REMOTE_WRITE)
+            .is_ok());
+        assert_eq!(t.deregister(a.rkey), None);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

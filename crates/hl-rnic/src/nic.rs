@@ -51,6 +51,8 @@ use crate::cq::{Cq, Cqe, CqeKind, CqeStatus};
 use crate::mr::{Access, MemoryRegion, MrTable};
 use crate::packet::{NakReason, Packet, PacketKind};
 use crate::qp::{PendingTx, Qp, QpState, QpTimeout, RecvWqe, SqRing};
+#[cfg(feature = "check-ownership")]
+use crate::track::{OwnershipTracker, Violation};
 use crate::wqe::{flags, Opcode, Wqe, WQE_SIZE};
 use hl_nvm::NvmArena;
 use hl_sim::config::NicProfile;
@@ -157,6 +159,9 @@ pub struct Nic {
     /// CORE-Direct fault: WAIT WQEs never trigger (QPs park on them);
     /// everything else keeps working.
     wait_stalled: bool,
+    /// WQE-ownership & DMA race detector (pure observation).
+    #[cfg(feature = "check-ownership")]
+    tracker: OwnershipTracker,
 }
 
 impl Nic {
@@ -175,7 +180,16 @@ impl Nic {
             counters: NicCounters::default(),
             stalled: false,
             wait_stalled: false,
+            #[cfg(feature = "check-ownership")]
+            tracker: OwnershipTracker::default(),
         }
+    }
+
+    /// Violations recorded by the WQE-ownership & DMA race detector, in
+    /// detection order.
+    #[cfg(feature = "check-ownership")]
+    pub fn race_violations(&self) -> &[Violation] {
+        self.tracker.violations()
     }
 
     /// Counters snapshot.
@@ -196,7 +210,10 @@ impl Nic {
                 .rng
                 .exponential(self.profile.contention_mean.as_nanos() as f64);
         }
-        SimDuration::from_nanos(ns.round() as u64)
+        // Audited: the float factor is drawn from the seeded per-NIC
+        // RngStream and rounded once (no accumulation across events), so
+        // the same seed replays the same nanosecond.
+        SimDuration::from_nanos(ns.round() as u64) // hl-lint: allow(float-time)
     }
 
     // ----- setup ---------------------------------------------------------
@@ -204,6 +221,22 @@ impl Nic {
     /// Register a memory region.
     pub fn register_mr(&mut self, addr: u64, len: u64, access: Access) -> MemoryRegion {
         self.mrs.register(addr, len, access)
+    }
+
+    /// Deregister a memory region by rkey. Subsequent remote accesses
+    /// quoting either key are refused with a `RemoteAccess` NAK (and
+    /// flagged by the race detector as use-after-deregister when the
+    /// `check-ownership` feature is on). Returns `false` for an unknown
+    /// key.
+    pub fn deregister_mr(&mut self, now: SimTime, rkey: u32) -> bool {
+        let Some(mr) = self.mrs.deregister(rkey) else {
+            return false;
+        };
+        #[cfg(feature = "check-ownership")]
+        self.tracker.mr_deregistered(mr.rkey, mr.addr, mr.len, now);
+        #[cfg(not(feature = "check-ownership"))]
+        let _ = (now, mr);
+        true
     }
 
     /// Create a completion queue.
@@ -225,6 +258,8 @@ impl Nic {
             SqRing::new(sq_base, sq_capacity),
         ));
         self.inflight.push(None);
+        #[cfg(feature = "check-ownership")]
+        self.tracker.track_ring(qpn, sq_base, sq_capacity);
         qpn
     }
 
@@ -392,6 +427,8 @@ impl Nic {
         mem.write(addr, &wqe.encode())
             .expect("SQ ring out of arena");
         qp.sq.tail += 1;
+        #[cfg(feature = "check-ownership")]
+        self.tracker.slot_posted(qpn, idx, deferred);
         Ok(idx)
     }
 
@@ -402,6 +439,8 @@ impl Nic {
         let addr = self.qps[qpn as usize].sq.slot_addr(idx);
         let f = mem.read(addr + 1, 1).expect("ring addr")[0];
         mem.write(addr + 1, &[f | flags::HW_OWNED]).unwrap();
+        #[cfg(feature = "check-ownership")]
+        self.tracker.slot_granted(qpn, idx);
     }
 
     /// Post a receive.
@@ -470,13 +509,16 @@ impl Nic {
             if qp.fenced || qp.sq.head >= qp.sq.tail {
                 break;
             }
-            let slot = qp.sq.slot_addr(qp.sq.head);
+            let head_idx = qp.sq.head;
+            let slot = qp.sq.slot_addr(head_idx);
             let bytes = mem.read(slot, WQE_SIZE as usize).expect("SQ ring in arena");
             let Some(wqe) = Wqe::decode(bytes) else {
                 // Corrupted descriptor (e.g. misdirected scatter): error
                 // completion and skip.
                 let send_cq = qp.send_cq;
                 self.qps[qpn as usize].sq.head += 1;
+                #[cfg(feature = "check-ownership")]
+                self.tracker.slot_cleared(qpn, head_idx);
                 self.counters.error_cqes += 1;
                 out.push(NicOutput::Complete {
                     at: t,
@@ -519,8 +561,12 @@ impl Nic {
                         let a = self.qps[qpn as usize].sq.slot_addr(head + i);
                         let f = mem.read(a + 1, 1).expect("ring addr")[0];
                         mem.write(a + 1, &[f | flags::HW_OWNED]).unwrap();
+                        #[cfg(feature = "check-ownership")]
+                        self.tracker.slot_granted(qpn, head + i);
                     }
                     self.qps[qpn as usize].sq.head += 1;
+                    #[cfg(feature = "check-ownership")]
+                    self.tracker.slot_fetched(qpn, head, t);
                     self.counters.wqes_executed += 1;
                     continue;
                 } else {
@@ -535,6 +581,8 @@ impl Nic {
 
             // A real operation: consume the slot and execute.
             self.qps[qpn as usize].sq.head += 1;
+            #[cfg(feature = "check-ownership")]
+            self.tracker.slot_fetched(qpn, head_idx, t);
             self.counters.wqes_executed += 1;
             t += self.jit(self.profile.wqe_process);
             out.extend(self.execute(t, qpn, wqe, mem));
@@ -852,7 +900,8 @@ impl Nic {
             if qp.sq.head >= qp.sq.tail {
                 break;
             }
-            let slot = qp.sq.slot_addr(qp.sq.head);
+            let head_idx = qp.sq.head;
+            let slot = qp.sq.slot_addr(head_idx);
             let send_cq = qp.send_cq;
             let wr_id = mem
                 .read(slot, WQE_SIZE as usize)
@@ -860,6 +909,8 @@ impl Nic {
                 .and_then(Wqe::decode)
                 .map_or(0, |w| w.wr_id);
             self.qps[qpn as usize].sq.head += 1;
+            #[cfg(feature = "check-ownership")]
+            self.tracker.slot_cleared(qpn, head_idx);
             out.extend(self.deliver_cqe(
                 now,
                 send_cq,
@@ -885,29 +936,33 @@ impl Nic {
         wqe: Wqe,
         mem: &mut NvmArena,
     ) -> Vec<NicOutput> {
-        match wqe.opcode {
-            Opcode::LocalCopy => {
-                let data = mem
-                    .read_vec(wqe.laddr, wqe.len as usize)
-                    .expect("local copy source in arena");
-                mem.write(wqe.raddr, &data)
-                    .expect("local copy dest in arena");
-            }
-            Opcode::LocalCas => {
-                let orig = mem
-                    .compare_and_swap_u64(wqe.raddr, wqe.cmp, wqe.swp)
-                    .expect("local CAS target in arena");
-                mem.write_u64(wqe.laddr, orig)
-                    .expect("local CAS result in arena");
-            }
+        // A descriptor scribbled out of the arena (or a DoLocal carrying
+        // a non-local opcode) surfaces as a LocalProtection error CQE
+        // instead of killing the simulated host.
+        let ok = match wqe.opcode {
+            Opcode::LocalCopy => mem
+                .read_vec(wqe.laddr, wqe.len as usize)
+                .ok()
+                .is_some_and(|data| mem.write(wqe.raddr, &data).is_ok()),
+            Opcode::LocalCas => mem
+                .compare_and_swap_u64(wqe.raddr, wqe.cmp, wqe.swp)
+                .ok()
+                .is_some_and(|orig| mem.write_u64(wqe.laddr, orig).is_ok()),
             Opcode::LocalFlush => {
-                mem.flush(wqe.raddr, wqe.len as usize)
-                    .expect("local flush range in arena");
-                self.counters.flushes += 1;
+                let flushed = mem.flush(wqe.raddr, wqe.len as usize).is_ok();
+                if flushed {
+                    self.counters.flushes += 1;
+                }
+                flushed
             }
-            _ => unreachable!("not a local op"),
-        }
-        if wqe.signaled() {
+            _ => false,
+        };
+        let status = if ok {
+            CqeStatus::Ok
+        } else {
+            CqeStatus::LocalProtection
+        };
+        if wqe.signaled() || !ok {
             let cq = self.qps[qpn as usize].send_cq;
             self.deliver_cqe(
                 now,
@@ -916,7 +971,7 @@ impl Nic {
                     qpn,
                     wr_id: wqe.wr_id,
                     kind: CqeKind::SendOp,
-                    status: CqeStatus::Ok,
+                    status,
                     byte_len: wqe.len,
                     imm: 0,
                 },
@@ -942,6 +997,10 @@ impl Nic {
         if cqe.status != CqeStatus::Ok {
             self.counters.error_cqes += 1;
         }
+        // A delivered completion orders earlier DMA writes before later
+        // ones for anyone polling this host, closing the overlap epoch.
+        #[cfg(feature = "check-ownership")]
+        self.tracker.completion_delivered();
         if self.cqs[cq as usize].push(cqe) {
             out.push(NicOutput::CqEvent { cq });
         }
@@ -1011,6 +1070,15 @@ impl Nic {
                 wr_id,
                 signaled,
             } => {
+                #[cfg(feature = "check-ownership")]
+                self.tracker.remote_access(
+                    rkey,
+                    raddr,
+                    data.len() as u64,
+                    pkt.src_nic,
+                    pkt.src_qpn,
+                    t,
+                );
                 if self
                     .mrs
                     .check_remote(rkey, raddr, data.len() as u64, Access::REMOTE_WRITE)
@@ -1018,7 +1086,14 @@ impl Nic {
                 {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 }
-                mem.write(raddr, &data).expect("MR range within arena");
+                if mem.write(raddr, &data).is_err() {
+                    // MR registered beyond the arena: refuse rather than
+                    // kill the simulated host.
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                #[cfg(feature = "check-ownership")]
+                self.tracker
+                    .remote_write(raddr, &data, pkt.src_nic, pkt.src_qpn, t);
                 self.ack(t, &pkt, wr_id, signaled, data.len() as u32)
             }
             PacketKind::WriteImm {
@@ -1029,6 +1104,15 @@ impl Nic {
                 wr_id,
                 signaled,
             } => {
+                #[cfg(feature = "check-ownership")]
+                self.tracker.remote_access(
+                    rkey,
+                    raddr,
+                    data.len() as u64,
+                    pkt.src_nic,
+                    pkt.src_qpn,
+                    t,
+                );
                 if self
                     .mrs
                     .check_remote(rkey, raddr, data.len() as u64, Access::REMOTE_WRITE)
@@ -1036,10 +1120,15 @@ impl Nic {
                 {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 }
+                if mem.write(raddr, &data).is_err() {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
+                #[cfg(feature = "check-ownership")]
+                self.tracker
+                    .remote_write(raddr, &data, pkt.src_nic, pkt.src_qpn, t);
                 let Some(recv) = self.pop_recv(qpn) else {
                     return self.refuse(t, &pkt, NakReason::ReceiverNotReady);
                 };
-                mem.write(raddr, &data).expect("MR range within arena");
                 let recv_cq = self.qps[qpn as usize].recv_cq;
                 let mut out = self.deliver_cqe(
                     t,
@@ -1074,8 +1163,21 @@ impl Nic {
                         continue;
                     }
                     let n = e.len.min((data.len() - off) as u32) as usize;
-                    mem.write(e.addr, &data[off..off + n])
-                        .expect("scatter target within arena");
+                    #[cfg(feature = "check-ownership")]
+                    self.tracker.remote_write(
+                        e.addr,
+                        &data[off..off + n],
+                        pkt.src_nic,
+                        pkt.src_qpn,
+                        t,
+                    );
+                    if mem.write(e.addr, &data[off..off + n]).is_err() {
+                        // A scatter entry escaping the arena is a
+                        // corrupted pre-posted descriptor; refuse the
+                        // SEND (partial scatter may have landed, as with
+                        // a mid-message fault on real hardware).
+                        return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                    }
                 }
                 let recv_cq = self.qps[qpn as usize].recv_cq;
                 let mut out = self.deliver_cqe(
@@ -1100,6 +1202,9 @@ impl Nic {
                 len,
                 wr_id,
             } => {
+                #[cfg(feature = "check-ownership")]
+                self.tracker
+                    .remote_access(rkey, raddr, len as u64, pkt.src_nic, pkt.src_qpn, t);
                 if self
                     .mrs
                     .check_remote(rkey, raddr, len as u64, Access::REMOTE_READ)
@@ -1107,7 +1212,9 @@ impl Nic {
                 {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 }
-                let data = mem.read_vec(raddr, len as usize).expect("MR in arena");
+                let Ok(data) = mem.read_vec(raddr, len as usize) else {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                };
                 let kind = PacketKind::ReadResp { data, wr_id };
                 if pkt.reliable {
                     self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
@@ -1120,6 +1227,9 @@ impl Nic {
                 len,
                 wr_id,
             } => {
+                #[cfg(feature = "check-ownership")]
+                self.tracker
+                    .remote_access(rkey, raddr, len as u64, pkt.src_nic, pkt.src_qpn, t);
                 if self
                     .mrs
                     .check_remote(rkey, raddr, len as u64, Access::REMOTE_READ)
@@ -1129,7 +1239,9 @@ impl Nic {
                 }
                 // Drain the NIC cache for the range into the durable
                 // medium (the firmware feature of paper §4.2).
-                mem.flush(raddr, len as usize).expect("MR in arena");
+                if mem.flush(raddr, len as usize).is_err() {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                }
                 self.counters.flushes += 1;
                 let t = t + self.profile.cache_flush;
                 let kind = PacketKind::FlushResp { wr_id };
@@ -1145,6 +1257,9 @@ impl Nic {
                 swp,
                 wr_id,
             } => {
+                #[cfg(feature = "check-ownership")]
+                self.tracker
+                    .remote_access(rkey, raddr, 8, pkt.src_nic, pkt.src_qpn, t);
                 if self
                     .mrs
                     .check_remote(rkey, raddr, 8, Access::REMOTE_ATOMIC)
@@ -1152,9 +1267,9 @@ impl Nic {
                 {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 }
-                let orig = mem
-                    .compare_and_swap_u64(raddr, cmp, swp)
-                    .expect("MR in arena");
+                let Ok(orig) = mem.compare_and_swap_u64(raddr, cmp, swp) else {
+                    return self.refuse(t, &pkt, NakReason::RemoteAccess);
+                };
                 let kind = PacketKind::CasResp { orig, wr_id };
                 if pkt.reliable {
                     self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
@@ -1162,18 +1277,48 @@ impl Nic {
                 vec![self.respond(t, &pkt, kind)]
             }
             PacketKind::ReadResp { data, wr_id } => {
-                let fl = self.take_inflight(qpn, wr_id);
-                mem.write(fl.laddr, &data).expect("read landing in arena");
-                self.complete_fenced(t, qpn, fl, data.len() as u32, mem)
+                let Some(fl) = self.take_inflight(qpn, wr_id) else {
+                    self.counters.rx_dropped += 1;
+                    return pre;
+                };
+                let status = if mem.write(fl.laddr, &data).is_ok() {
+                    // The response landing is itself a NIC DMA write
+                    // into local memory — attribute it to the peer QP.
+                    #[cfg(feature = "check-ownership")]
+                    self.tracker
+                        .remote_write(fl.laddr, &data, pkt.src_nic, pkt.src_qpn, t);
+                    CqeStatus::Ok
+                } else {
+                    CqeStatus::LocalProtection
+                };
+                self.complete_fenced(t, qpn, fl, data.len() as u32, status, mem)
             }
             PacketKind::FlushResp { wr_id } => {
-                let fl = self.take_inflight(qpn, wr_id);
-                self.complete_fenced(t, qpn, fl, 0, mem)
+                let Some(fl) = self.take_inflight(qpn, wr_id) else {
+                    self.counters.rx_dropped += 1;
+                    return pre;
+                };
+                self.complete_fenced(t, qpn, fl, 0, CqeStatus::Ok, mem)
             }
             PacketKind::CasResp { orig, wr_id } => {
-                let fl = self.take_inflight(qpn, wr_id);
-                mem.write_u64(fl.laddr, orig).expect("CAS result in arena");
-                self.complete_fenced(t, qpn, fl, 8, mem)
+                let Some(fl) = self.take_inflight(qpn, wr_id) else {
+                    self.counters.rx_dropped += 1;
+                    return pre;
+                };
+                let status = if mem.write_u64(fl.laddr, orig).is_ok() {
+                    #[cfg(feature = "check-ownership")]
+                    self.tracker.remote_write(
+                        fl.laddr,
+                        &orig.to_le_bytes(),
+                        pkt.src_nic,
+                        pkt.src_qpn,
+                        t,
+                    );
+                    CqeStatus::Ok
+                } else {
+                    CqeStatus::LocalProtection
+                };
+                self.complete_fenced(t, qpn, fl, 8, status, mem)
             }
             PacketKind::Ack {
                 wr_id,
@@ -1359,26 +1504,34 @@ impl Nic {
         }
     }
 
-    fn take_inflight(&mut self, qpn: u32, wr_id: u64) -> Inflight {
-        let fl = self.inflight[qpn as usize]
-            .take()
-            .expect("response without in-flight fencing op");
-        debug_assert_eq!(fl.wr_id, wr_id, "response cookie mismatch");
-        fl
+    /// Claim the in-flight fencing op a response settles. `None` means
+    /// the response is stale (no fencing op pending, or a cookie from an
+    /// earlier incarnation): the caller drops the packet — a hostile or
+    /// duplicated response must not crash the NIC.
+    fn take_inflight(&mut self, qpn: u32, wr_id: u64) -> Option<Inflight> {
+        let fl = self.inflight[qpn as usize].take()?;
+        if fl.wr_id != wr_id {
+            self.inflight[qpn as usize] = Some(fl);
+            return None;
+        }
+        Some(fl)
     }
 
-    /// Clear the fence, deliver the completion, resume the SQ.
+    /// Clear the fence, deliver the completion, resume the SQ. Error
+    /// statuses are delivered regardless of the signaled flag (as on
+    /// real hardware).
     fn complete_fenced(
         &mut self,
         t: SimTime,
         qpn: u32,
         fl: Inflight,
         byte_len: u32,
+        status: CqeStatus,
         mem: &mut NvmArena,
     ) -> Vec<NicOutput> {
         self.qps[qpn as usize].fenced = false;
         let mut out = Vec::new();
-        if fl.signaled {
+        if fl.signaled || status != CqeStatus::Ok {
             let cq = self.qps[qpn as usize].send_cq;
             out.extend(self.deliver_cqe(
                 t,
@@ -1387,7 +1540,7 @@ impl Nic {
                     qpn,
                     wr_id: fl.wr_id,
                     kind: CqeKind::SendOp,
-                    status: CqeStatus::Ok,
+                    status,
                     byte_len,
                     imm: 0,
                 },

@@ -16,7 +16,7 @@ use hl_fabric::HostId;
 use hl_nvm::Region;
 use hl_sim::{Engine, SimDuration};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// CPU cost knobs for the native path.
@@ -176,7 +176,7 @@ pub struct NativePrimary {
     area: Rc<RefCell<NativeArea>>,
     secondaries: Vec<ProcAddr>,
     costs: NativeDocCosts,
-    pending: HashMap<u64, PendingWrite>,
+    pending: BTreeMap<u64, PendingWrite>,
 }
 
 impl NativePrimary {
@@ -190,7 +190,7 @@ impl NativePrimary {
             area,
             secondaries,
             costs,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 }

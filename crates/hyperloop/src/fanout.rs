@@ -37,7 +37,7 @@ use hl_rnic::{
 };
 use hl_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Fan-out group configuration.
@@ -121,7 +121,7 @@ pub struct FanoutInner {
     /// Client-side credit: slots the primary has reported as posted
     /// (updated by the replenisher's control message, fabric-delayed).
     posted_seen: u64,
-    pending: HashMap<u32, Pending>,
+    pending: BTreeMap<u32, Pending>,
     next_seq: u32,
     /// Completed operations.
     pub acked: u64,
@@ -340,7 +340,7 @@ impl FanoutBuilder {
             backups,
             pri_slots_posted: 0,
             posted_seen: slots as u64,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_seq: 0,
             acked: 0,
             cfg,

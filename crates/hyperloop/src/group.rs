@@ -28,7 +28,7 @@ use hl_nvm::Region;
 use hl_rnic::{field_offset, flags, Access, Opcode, RecvWqe, ScatterEntry, Wqe, WQE_SIZE};
 use hl_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Group configuration.
@@ -168,7 +168,7 @@ pub struct GroupInner {
     pub rep_rkeys: Vec<u32>,
     pub(crate) client_rings: [ClientRing; 3],
     pub(crate) rep_rings: Vec<[RepRing; 3]>, // [replica][primitive]
-    pending: HashMap<u32, Pending>,
+    pending: BTreeMap<u32, Pending>,
     next_seq: u32,
     inflight: [u32; 3],
     /// Per-ring issued-operation counters (= next slot index).
@@ -501,7 +501,7 @@ impl GroupBuilder {
                 .into_iter()
                 .map(|r| r.try_into().unwrap_or_else(|_| unreachable!()))
                 .collect(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_seq: 0,
             inflight: [0; 3],
             issued_ops: [0; 3],
@@ -825,7 +825,7 @@ mod tests {
                 },
             }),
             rep_rings: vec![],
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_seq: 0,
             inflight: [0; 3],
             issued_ops: [0; 3],

@@ -28,7 +28,7 @@ use hl_rnic::{
 };
 use hl_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Multi-client chain configuration.
@@ -72,7 +72,7 @@ struct ClientState {
     ack_rkey: u32,
     /// This client's copy of the data (it is a chain member too).
     rep: Region,
-    pending: HashMap<u32, (SimTime, Option<OnDone>)>,
+    pending: BTreeMap<u32, (SimTime, Option<OnDone>)>,
     next_seq: u32,
     /// Tail-side ACK queue for this client.
     tail_ack_qp: u32,
@@ -208,7 +208,7 @@ impl MultiBuilder {
                 ack_buf,
                 ack_rkey: ack_mr.rkey,
                 rep,
-                pending: HashMap::new(),
+                pending: BTreeMap::new(),
                 next_seq: 0,
                 tail_ack_qp: u32::MAX, // wired below
             });

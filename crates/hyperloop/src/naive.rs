@@ -20,7 +20,7 @@ use hl_nvm::Region;
 use hl_rnic::{Access, CqeKind, CqeStatus, Opcode, RecvWqe, ScatterEntry, Wqe, WQE_SIZE};
 use hl_sim::{Engine, SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Replica scheduling mode.
@@ -145,7 +145,7 @@ pub struct NaiveInner {
     tx_staging: Region,
     ack_buf: Region,
     reps: Vec<RepSide>,
-    pending: HashMap<u32, PendingOp>,
+    pending: BTreeMap<u32, PendingOp>,
     next_seq: u32,
     inflight: u32,
     max_inflight: u32,
@@ -345,7 +345,7 @@ impl NaiveBuilder {
             tx_staging,
             ack_buf,
             reps,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_seq: 0,
             inflight: 0,
             max_inflight: slots / 2,

@@ -281,6 +281,17 @@ fn assert_invariants(r: &CampaignResult, seed: u64) {
         Some(true),
         "seed {seed}: append after the fault window did not complete"
     );
+    // 5. Race-freedom (feature `check-ownership`): the WQE-ownership &
+    // DMA race detector saw nothing across the whole campaign.
+    #[cfg(feature = "check-ownership")]
+    {
+        let report = r.w.race_report();
+        assert!(
+            report.is_empty(),
+            "seed {seed}: race detector flagged:\n{}",
+            report.join("\n")
+        );
+    }
     // 2. No acked-write loss: every ACKed record is byte-identical on
     // the client copy and every member of the final chain.
     let c = r.retry.client();
