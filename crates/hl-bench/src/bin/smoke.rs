@@ -1,8 +1,15 @@
 //! Quick calibration smoke-run for the microbenchmarks.
+//!
+//! Set `HL_TRACE_OUT=/path/trace.json` to additionally run a small
+//! telemetry-enabled pass per backend and export the merged causal
+//! spans as Chrome trace-event JSON (load it in Perfetto or
+//! `chrome://tracing`), plus the per-hop latency attribution and the
+//! labelled metrics registry on stdout.
 
 use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
 
 fn main() {
+    let trace_out = std::env::var("HL_TRACE_OUT").ok();
     for backend in [
         Backend::HyperLoop,
         Backend::NaiveEvent,
@@ -30,5 +37,40 @@ fn main() {
             r.datapath_cores,
             t0.elapsed()
         );
+    }
+
+    if let Some(path) = trace_out {
+        // A smaller traced pass: spans for every op of two backends in
+        // one file keeps the export readable in the trace viewer.
+        for (backend, suffix) in [
+            (Backend::HyperLoop, "hyperloop"),
+            (Backend::NaiveEvent, "naive"),
+        ] {
+            let r = run_micro(&MicroCfg {
+                backend,
+                ops: 200,
+                warmup: 20,
+                op: MicroOp::GWrite {
+                    size: 1024,
+                    flush: false,
+                },
+                telemetry: true,
+                ..Default::default()
+            });
+            let tel = r.telemetry.expect("telemetry was enabled");
+            let out = out_path(&path, suffix);
+            std::fs::write(&out, &tel.chrome_trace).expect("write trace file");
+            println!("\n=== {} attribution ===", backend.name());
+            print!("{}", tel.attribution);
+            println!("trace: {out}");
+        }
+    }
+}
+
+/// `/p/trace.json` + `hyperloop` -> `/p/trace.hyperloop.json`.
+fn out_path(base: &str, suffix: &str) -> String {
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{suffix}.{ext}"),
+        None => format!("{base}.{suffix}"),
     }
 }

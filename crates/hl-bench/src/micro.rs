@@ -8,7 +8,7 @@
 
 use hl_cluster::{ClusterBuilder, World};
 use hl_fabric::HostId;
-use hl_sim::{Engine, Histogram, SimDuration, SimTime, Summary};
+use hl_sim::{Attribution, Engine, Histogram, SimDuration, SimTime, Summary};
 use hyperloop::api::GroupClient;
 use hyperloop::naive::{Mode, NaiveBuilder, NaiveConfig};
 use hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
@@ -85,6 +85,9 @@ pub struct MicroCfg {
     pub ring_slots: u32,
     /// Seed.
     pub seed: u64,
+    /// Collect causal spans, per-hop attribution, labelled metrics and
+    /// a Chrome trace (see [`MicroResult::telemetry`]).
+    pub telemetry: bool,
 }
 
 impl Default for MicroCfg {
@@ -102,8 +105,20 @@ impl Default for MicroCfg {
             stress_per_host: 32,
             ring_slots: 256,
             seed: 42,
+            telemetry: false,
         }
     }
+}
+
+/// Observability artifacts of a telemetry-enabled run.
+#[derive(Debug, Clone)]
+pub struct MicroTelemetry {
+    /// Per-hop latency attribution over all completed spans.
+    pub attribution: Attribution,
+    /// Chrome trace-event JSON (Perfetto-loadable).
+    pub chrome_trace: String,
+    /// Deterministic text dump of the labelled metrics registry.
+    pub metrics: String,
 }
 
 /// Measured outcome.
@@ -119,6 +134,8 @@ pub struct MicroResult {
     /// measured window, in cores (max across replica hosts). Hog time is
     /// excluded; this is the paper's "CPU consumed in the critical path".
     pub datapath_cores: f64,
+    /// Observability artifacts (`Some` iff [`MicroCfg::telemetry`]).
+    pub telemetry: Option<MicroTelemetry>,
 }
 
 struct Pump {
@@ -162,6 +179,9 @@ pub fn run_micro(cfg: &MicroCfg) -> MicroResult {
         .arena_size(sized_arena(cfg))
         .seed(cfg.seed)
         .build();
+    if cfg.telemetry {
+        w.enable_telemetry();
+    }
     // Stagger hog start times so their slices do not expire in lockstep.
     // One third of the background load is bursty (sleep/wake tenants):
     // their sleeper-credited wakeups compete with the replica's and are
@@ -276,11 +296,21 @@ pub fn run_micro(cfg: &MicroCfg) -> MicroResult {
         datapath_cores = datapath_cores.max(cores);
     }
 
+    let telemetry = cfg.telemetry.then(|| {
+        w.collect_metrics(now);
+        MicroTelemetry {
+            attribution: w.attribution(),
+            chrome_trace: w.telemetry.chrome_trace(),
+            metrics: w.telemetry.metrics.render(),
+        }
+    });
+
     MicroResult {
         latency: p.hist.summary(),
         kops: p.recorded as f64 / window / 1e3,
         sim_secs: window,
         datapath_cores,
+        telemetry,
     }
 }
 

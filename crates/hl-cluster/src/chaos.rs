@@ -191,6 +191,11 @@ impl FaultSchedule {
 
 fn inject(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
     hl_sim::trace!(w.tracer, eng.now(), "chaos", "inject {kind}");
+    let now = eng.now();
+    w.telemetry.mark(now, format!("fault:{kind}"), 0);
+    w.telemetry
+        .metrics
+        .counter_add("chaos_faults_injected", "layer=chaos", 1);
     match kind {
         FaultKind::DropWindow { prob } => w.fabric.set_drop_prob(prob),
         FaultKind::OneWayPartition { src, dst } => w.fabric.partition(src, dst),
@@ -208,6 +213,11 @@ fn inject(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
 
 fn heal(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
     hl_sim::trace!(w.tracer, eng.now(), "chaos", "heal {kind}");
+    let now = eng.now();
+    w.telemetry.mark(now, format!("heal:{kind}"), 0);
+    w.telemetry
+        .metrics
+        .counter_add("chaos_faults_healed", "layer=chaos", 1);
     match kind {
         FaultKind::DropWindow { .. } => w.fabric.set_drop_prob(0.0),
         FaultKind::OneWayPartition { src, dst } => w.fabric.heal(src, dst),

@@ -24,9 +24,10 @@ pub mod chaos;
 use hl_cpu::{CpuOutput, HostCpu, ProcId};
 use hl_fabric::{Delivery, Fabric, HostId};
 use hl_nvm::{Layout, NvmArena};
-use hl_rnic::{Cqe, Nic, NicOutput, RecvWqe, RingFull, Wqe};
+use hl_rnic::{Cqe, Nic, NicEventKind, NicOutput, RecvWqe, RingFull, Wqe};
 use hl_sim::config::HwProfile;
-use hl_sim::{Engine, RngFactory, RngStream, SimDuration, SimTime, Tracer};
+use hl_sim::telemetry::Stage;
+use hl_sim::{Attribution, Engine, RngFactory, RngStream, SimDuration, SimTime, Telemetry, Tracer};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -211,6 +212,9 @@ pub struct World {
     cq_subs: BTreeMap<(usize, u32), CqSub>,
     /// Packets lost to fault injection.
     pub dropped_packets: u64,
+    /// Causal op tracing + labelled metrics (off until
+    /// [`World::enable_telemetry`]).
+    pub telemetry: Telemetry,
 }
 
 impl World {
@@ -397,6 +401,68 @@ impl World {
         let outs = h.nic.set_wait_stalled(now, on, &mut h.mem);
         route_nic(host, outs, self, eng);
     }
+
+    /// Turn on causal op tracing: the telemetry hub starts recording
+    /// spans and every NIC starts stamping op-stage events (drained by
+    /// the output router). Off by default so untraced runs pay nothing.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.enable();
+        for h in &mut self.hosts {
+            h.nic.set_telemetry(true);
+        }
+    }
+
+    /// Per-hop latency attribution over every completed op span,
+    /// grouped by primitive (the Fig. 2 / Fig. 9 decomposition).
+    pub fn attribution(&self) -> Attribution {
+        self.telemetry.attribution()
+    }
+
+    /// Snapshot cluster-wide state into the labelled metrics registry:
+    /// NIC counters and ring occupancy, fabric traffic and drops, CPU
+    /// scheduling delay and hog occupancy. Counters are absolute
+    /// (monotonic since boot), so re-collecting overwrites rather than
+    /// double-counts.
+    pub fn collect_metrics(&mut self, now: SimTime) {
+        for (i, h) in self.hosts.iter().enumerate() {
+            let host = format!("host={i}");
+            let c = h.nic.counters().clone();
+            let m = &mut self.telemetry.metrics;
+            m.counter_set("nic_doorbells", &host, c.doorbells);
+            m.counter_set("nic_wqes_executed", &host, c.wqes_executed);
+            m.counter_set("nic_wait_parks", &host, c.wait_parks);
+            m.counter_set("nic_wait_fires", &host, c.wait_fires);
+            m.counter_set("nic_tx_packets", &host, c.tx_packets);
+            m.counter_set("nic_rx_packets", &host, c.rx_packets);
+            m.counter_set("nic_rx_dropped", &host, c.rx_dropped);
+            m.counter_set("nic_retransmits", &host, c.retransmits);
+            m.counter_set("nic_timeouts", &host, c.timeouts);
+            m.counter_set("nic_error_cqes", &host, c.error_cqes);
+            m.counter_set("fabric_bytes_tx", &host, self.fabric.bytes_tx(HostId(i)));
+            m.counter_set("fabric_msgs_tx", &host, self.fabric.msgs_tx(HostId(i)));
+            for qpn in 0..h.nic.num_qps() as u32 {
+                let (head, tail, cap) = h.nic.sq_state(qpn);
+                if cap == 0 {
+                    continue;
+                }
+                let occ = (tail - head) as f64 / cap as f64;
+                m.gauge_set("sq_occupancy", &format!("host={i},qp={qpn}"), occ);
+            }
+            let sl = h.cpu.sched_latency();
+            if !sl.is_empty() {
+                m.histogram_set("cpu_sched_latency_ns", &host, sl.clone());
+            }
+            m.counter_set("cpu_ctx_switches", &host, h.cpu.ctx_switches());
+            m.counter_set("cpu_hog_busy_ns", &host, h.cpu.busy_ns_by_prefix("stress-"));
+            m.gauge_set("cpu_utilization", &host, h.cpu.host_utilization(now));
+        }
+        self.telemetry
+            .metrics
+            .counter_set("fabric_drops", "", self.fabric.drops());
+        self.telemetry
+            .metrics
+            .counter_set("fabric_injected_drops", "", self.dropped_packets);
+    }
 }
 
 /// Builder for a [`World`].
@@ -465,6 +531,7 @@ impl ClusterBuilder {
             procs: (0..self.hosts).map(|_| Vec::new()).collect(),
             cq_subs: BTreeMap::new(),
             dropped_packets: 0,
+            telemetry: Telemetry::default(),
         };
         (world, Engine::new())
     }
@@ -535,8 +602,28 @@ fn run_handler(addr: ProcAddr, ev: ProcEvent, w: &mut World, eng: &mut Engine<Wo
     }
 }
 
+/// Forward a NIC's buffered telemetry events to the world's hub.
+fn drain_nic_telemetry(host: HostId, w: &mut World) {
+    if !w.hosts[host.0].nic.has_events() {
+        return;
+    }
+    for e in w.hosts[host.0].nic.take_events() {
+        let (stage, detail) = match e.kind {
+            NicEventKind::Fetch { qpn } => (Stage::NicFetch, qpn),
+            NicEventKind::WaitPark { cq } => (Stage::WaitPark, cq),
+            NicEventKind::WaitFire { cq } => (Stage::WaitFire, cq),
+            NicEventKind::TxWire { dst } => (Stage::TxWire, dst),
+            NicEventKind::RxWire { src } => (Stage::RxWire, src),
+            NicEventKind::DmaDone { qpn } => (Stage::DmaDone, qpn),
+            NicEventKind::CqeDeliver { cq } => (Stage::CqeDeliver, cq),
+        };
+        w.telemetry.stage(e.at, e.op, stage, host.0, detail);
+    }
+}
+
 /// Turn NIC outputs into events.
 pub fn route_nic(host: HostId, outs: Vec<NicOutput>, w: &mut World, eng: &mut Engine<World>) {
+    drain_nic_telemetry(host, w);
     for o in outs {
         match o {
             NicOutput::Transmit {

@@ -79,6 +79,8 @@ pub struct Fabric {
     /// Probability of dropping any message (fault injection); requires
     /// the caller to pass a uniform draw to keep the fabric RNG-free.
     drop_prob: f64,
+    /// Messages dropped for any reason (partition, link-down, random).
+    drops: u64,
     /// Latest scheduled delivery per ordered pair, indexed `[src][dst]`.
     #[cfg(feature = "check-ownership")]
     last_delivery: Vec<Vec<SimTime>>,
@@ -97,6 +99,7 @@ impl Fabric {
             partitions: Vec::new(),
             down: vec![false; n],
             drop_prob: 0.0,
+            drops: 0,
             #[cfg(feature = "check-ownership")]
             last_delivery: vec![vec![SimTime::ZERO; n]; n],
             #[cfg(feature = "check-ownership")]
@@ -180,9 +183,11 @@ impl Fabric {
         uniform_draw: f64,
     ) -> Delivery {
         if self.down[src.0] || self.down[dst.0] || self.partitions.contains(&(src, dst)) {
+            self.drops += 1;
             return Delivery::Dropped;
         }
         if self.drop_prob > 0.0 && uniform_draw < self.drop_prob {
+            self.drops += 1;
             return Delivery::Dropped;
         }
         if src == dst {
@@ -217,6 +222,12 @@ impl Fabric {
     /// Messages transmitted by a host.
     pub fn msgs_tx(&self, host: HostId) -> u64 {
         self.ports[host.0].msgs_tx
+    }
+
+    /// Messages dropped for any reason (partition, link-down, random
+    /// loss) over all time.
+    pub fn drops(&self) -> u64 {
+        self.drops
     }
 }
 

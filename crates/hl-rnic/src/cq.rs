@@ -50,6 +50,8 @@ pub struct Cqe {
     pub byte_len: u32,
     /// Immediate data (valid for `RecvImm`).
     pub imm: u32,
+    /// Telemetry op id carried from the WQE/packet (0 = untracked).
+    pub op: u32,
 }
 
 /// A completion queue.
@@ -129,6 +131,7 @@ mod tests {
             status: CqeStatus::Ok,
             byte_len: 0,
             imm: 0,
+            op: 0,
         }
     }
 

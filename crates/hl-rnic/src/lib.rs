@@ -31,7 +31,7 @@ mod wqe;
 
 pub use cq::{Cq, Cqe, CqeKind, CqeStatus};
 pub use mr::{Access, MemoryRegion, MrError, MrTable};
-pub use nic::{Nic, NicCounters, NicOutput, RingFull};
+pub use nic::{Nic, NicCounters, NicEvent, NicEventKind, NicOutput, RingFull};
 pub use packet::{NakReason, Packet, PacketKind, HEADER_BYTES};
 pub use qp::{PendingTx, Qp, QpState, QpTimeout, RecvWqe, ScatterEntry, SqRing};
 pub use wqe::{field_offset, flags, Opcode, Wqe, WQE_SIZE};

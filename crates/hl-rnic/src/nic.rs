@@ -113,6 +113,65 @@ struct Inflight {
     /// Local address for READ data / CAS result.
     laddr: u64,
     signaled: bool,
+    /// Telemetry op id of the fencing WQE.
+    op: u32,
+}
+
+/// A telemetry event recorded inside the NIC state machine.
+///
+/// The NIC cannot see the cluster's `Telemetry` hub (it only borrows
+/// its own arena), so op-stage events are buffered here and drained by
+/// the cluster layer (`World::route_nic`) right after every entry-point
+/// call. Only recorded when [`Nic::set_telemetry`] enabled it *and* the
+/// op id is non-zero, so the buffer stays empty in ordinary runs.
+#[derive(Debug, Clone, Copy)]
+pub struct NicEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Telemetry op id (non-zero).
+    pub op: u32,
+    /// What happened.
+    pub kind: NicEventKind,
+}
+
+/// Kinds of NIC-internal telemetry events.
+#[derive(Debug, Clone, Copy)]
+pub enum NicEventKind {
+    /// The send engine fetched one of the op's WQEs from host memory.
+    Fetch {
+        /// The QP whose ring was fetched from.
+        qpn: u32,
+    },
+    /// A WAIT guarding the op's WQEs parked (condition unmet).
+    WaitPark {
+        /// The watched CQ.
+        cq: u32,
+    },
+    /// A WAIT fired and granted the op's WQEs to the NIC.
+    WaitFire {
+        /// The watched CQ.
+        cq: u32,
+    },
+    /// A packet of the op was handed to the fabric.
+    TxWire {
+        /// Destination NIC.
+        dst: u32,
+    },
+    /// A packet of the op arrived from the fabric.
+    RxWire {
+        /// Source NIC.
+        src: u32,
+    },
+    /// A NIC-local DMA (copy/CAS/flush) of the op finished.
+    DmaDone {
+        /// The loopback QP.
+        qpn: u32,
+    },
+    /// A CQE of the op was delivered.
+    CqeDeliver {
+        /// The target CQ.
+        cq: u32,
+    },
 }
 
 /// NIC counters for reporting.
@@ -137,6 +196,12 @@ pub struct NicCounters {
     /// Inbound packets discarded: NIC stalled, QP in Error, stale
     /// duplicates, or PSN gaps awaiting retransmission.
     pub rx_dropped: u64,
+    /// Doorbell rings (send-engine kicks from software).
+    pub doorbells: u64,
+    /// WAIT WQEs that parked on an unsatisfied CQ condition.
+    pub wait_parks: u64,
+    /// WAIT WQEs that fired (unblocked and granted their successors).
+    pub wait_fires: u64,
 }
 
 /// One host's RDMA NIC.
@@ -159,6 +224,10 @@ pub struct Nic {
     /// CORE-Direct fault: WAIT WQEs never trigger (QPs park on them);
     /// everything else keeps working.
     wait_stalled: bool,
+    /// Telemetry stamping enabled (see [`NicEvent`]).
+    telemetry_on: bool,
+    /// Buffered telemetry events awaiting [`Nic::take_events`].
+    events: Vec<NicEvent>,
     /// WQE-ownership & DMA race detector (pure observation).
     #[cfg(feature = "check-ownership")]
     tracker: OwnershipTracker,
@@ -180,9 +249,56 @@ impl Nic {
             counters: NicCounters::default(),
             stalled: false,
             wait_stalled: false,
+            telemetry_on: false,
+            events: Vec::new(),
             #[cfg(feature = "check-ownership")]
             tracker: OwnershipTracker::default(),
         }
+    }
+
+    /// Enable or disable telemetry event stamping. While enabled, the
+    /// caller must drain [`Nic::take_events`] after each entry-point
+    /// call (the cluster's output router does this).
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry_on = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drain buffered telemetry events, in stamping order.
+    pub fn take_events(&mut self) -> Vec<NicEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Are there buffered telemetry events?
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Buffer a telemetry event (no-op when disabled or untracked).
+    #[inline]
+    fn ev(&mut self, at: SimTime, op: u32, kind: NicEventKind) {
+        if self.telemetry_on && op != 0 {
+            self.events.push(NicEvent { at, op, kind });
+        }
+    }
+
+    /// Read the telemetry op id out of the WQE at ring index `idx`
+    /// without consuming it. WAIT descriptors are never op-stamped, so a
+    /// firing/parking WAIT borrows the id of the first WQE it guards.
+    /// Returns 0 when telemetry is off, the slot is unposted, or the
+    /// read fails — never panics (runs on doorbell/packet paths).
+    fn peek_slot_op(&self, qpn: u32, idx: u64, mem: &NvmArena) -> u32 {
+        if !self.telemetry_on {
+            return 0;
+        }
+        let sq = &self.qps[qpn as usize].sq;
+        if idx >= sq.tail {
+            return 0;
+        }
+        mem.read_u32(sq.slot_addr(idx) + crate::wqe::field_offset::OP)
+            .unwrap_or(0)
     }
 
     /// Violations recorded by the WQE-ownership & DMA race detector, in
@@ -466,8 +582,14 @@ impl Nic {
         self.qps[qpn as usize].sq.slot_addr(idx)
     }
 
+    /// Number of QPs created on this NIC.
+    pub fn num_qps(&self) -> usize {
+        self.qps.len()
+    }
+
     /// Ring the doorbell: kick the send engine.
     pub fn ring_doorbell(&mut self, now: SimTime, qpn: u32, mem: &mut NvmArena) -> Vec<NicOutput> {
+        self.counters.doorbells += 1;
         let t = now + self.profile.doorbell;
         self.advance_sq(t, qpn, mem)
     }
@@ -530,6 +652,7 @@ impl Nic {
                         status: CqeStatus::RemoteAccess,
                         byte_len: 0,
                         imm: 0,
+                        op: 0,
                     },
                 });
                 continue;
@@ -554,9 +677,14 @@ impl Nic {
                     if !threshold_mode {
                         self.cqs[cq].consume_for_wait(count);
                     }
+                    self.counters.wait_fires += 1;
                     // Activation: grant ownership of the next N WQEs by
                     // writing their flag bytes in host memory.
                     let (head, activate_n) = (qp.sq.head, wqe.activate_n);
+                    if activate_n > 0 {
+                        let fire_op = self.peek_slot_op(qpn, head + 1, mem);
+                        self.ev(t, fire_op, NicEventKind::WaitFire { cq: cq as u32 });
+                    }
                     for i in 1..=activate_n as u64 {
                         let a = self.qps[qpn as usize].sq.slot_addr(head + i);
                         let f = mem.read(a + 1, 1).expect("ring addr")[0];
@@ -574,6 +702,9 @@ impl Nic {
                     if !self.qps[qpn as usize].parked {
                         self.qps[qpn as usize].parked = true;
                         self.waiters[cq].push(qpn);
+                        self.counters.wait_parks += 1;
+                        let park_op = self.peek_slot_op(qpn, head_idx + 1, mem);
+                        self.ev(t, park_op, NicEventKind::WaitPark { cq: cq as u32 });
                     }
                     break;
                 }
@@ -584,6 +715,7 @@ impl Nic {
             #[cfg(feature = "check-ownership")]
             self.tracker.slot_fetched(qpn, head_idx, t);
             self.counters.wqes_executed += 1;
+            self.ev(t, wqe.op, NicEventKind::Fetch { qpn });
             t += self.jit(self.profile.wqe_process);
             out.extend(self.execute(t, qpn, wqe, mem));
         }
@@ -611,6 +743,7 @@ impl Nic {
                         status: CqeStatus::Ok,
                         byte_len: 0,
                         imm: 0,
+                        op: wqe.op,
                     },
                 });
             }
@@ -633,6 +766,7 @@ impl Nic {
                     wqe.wr_id,
                     wqe.signaled(),
                     wqe.len,
+                    wqe.op,
                 ));
             }
             Opcode::Write | Opcode::WriteImm => {
@@ -667,6 +801,7 @@ impl Nic {
                     wqe.wr_id,
                     wqe.signaled(),
                     wqe.len,
+                    wqe.op,
                 ));
             }
             Opcode::Read | Opcode::Flush | Opcode::Cas => {
@@ -676,6 +811,7 @@ impl Nic {
                     wr_id: wqe.wr_id,
                     laddr: wqe.laddr,
                     signaled: wqe.signaled(),
+                    op: wqe.op,
                 });
                 let kind = match wqe.opcode {
                     Opcode::Read => PacketKind::Read {
@@ -707,6 +843,7 @@ impl Nic {
                     wqe.wr_id,
                     wqe.signaled(),
                     0,
+                    wqe.op,
                 ));
             }
             Opcode::LocalCopy => {
@@ -728,6 +865,7 @@ impl Nic {
 
     fn tx(&mut self, at: SimTime, dst_nic: u32, packet: Packet) -> NicOutput {
         self.counters.tx_packets += 1;
+        self.ev(at, packet.op, NicEventKind::TxWire { dst: dst_nic });
         NicOutput::Transmit {
             at,
             dst_nic,
@@ -749,6 +887,7 @@ impl Nic {
         wr_id: u64,
         signaled: bool,
         byte_len: u32,
+        op: u32,
     ) -> Vec<NicOutput> {
         let id = self.id;
         let qp = &mut self.qps[qpn as usize];
@@ -759,6 +898,7 @@ impl Nic {
                 dst_qpn,
                 psn: 0,
                 reliable: false,
+                op,
                 kind,
             };
             return vec![self.tx(t, dst_nic, packet)];
@@ -771,6 +911,7 @@ impl Nic {
             dst_qpn,
             psn,
             reliable: true,
+            op,
             kind,
         };
         let mut out = Vec::new();
@@ -882,6 +1023,7 @@ impl Nic {
                     status,
                     byte_len: 0,
                     imm: 0,
+                    op: p.packet.op,
                 },
                 mem,
             ));
@@ -903,11 +1045,11 @@ impl Nic {
             let head_idx = qp.sq.head;
             let slot = qp.sq.slot_addr(head_idx);
             let send_cq = qp.send_cq;
-            let wr_id = mem
+            let (wr_id, op) = mem
                 .read(slot, WQE_SIZE as usize)
                 .ok()
                 .and_then(Wqe::decode)
-                .map_or(0, |w| w.wr_id);
+                .map_or((0, 0), |w| (w.wr_id, w.op));
             self.qps[qpn as usize].sq.head += 1;
             #[cfg(feature = "check-ownership")]
             self.tracker.slot_cleared(qpn, head_idx);
@@ -921,6 +1063,7 @@ impl Nic {
                     status: CqeStatus::FlushedInError,
                     byte_len: 0,
                     imm: 0,
+                    op,
                 },
                 mem,
             ));
@@ -962,6 +1105,7 @@ impl Nic {
         } else {
             CqeStatus::LocalProtection
         };
+        self.ev(now, wqe.op, NicEventKind::DmaDone { qpn });
         if wqe.signaled() || !ok {
             let cq = self.qps[qpn as usize].send_cq;
             self.deliver_cqe(
@@ -974,6 +1118,7 @@ impl Nic {
                     status,
                     byte_len: wqe.len,
                     imm: 0,
+                    op: wqe.op,
                 },
                 mem,
             )
@@ -997,6 +1142,7 @@ impl Nic {
         if cqe.status != CqeStatus::Ok {
             self.counters.error_cqes += 1;
         }
+        self.ev(now, cqe.op, NicEventKind::CqeDeliver { cq });
         // A delivered completion orders earlier DMA writes before later
         // ones for anyone polling this host, closing the overlap epoch.
         #[cfg(feature = "check-ownership")]
@@ -1023,6 +1169,7 @@ impl Nic {
             return Vec::new();
         }
         self.counters.rx_packets += 1;
+        self.ev(now, pkt.op, NicEventKind::RxWire { src: pkt.src_nic });
         let t = now + self.jit(self.profile.rx_process);
         let qpn = pkt.dst_qpn;
         let qp = &self.qps[qpn as usize];
@@ -1140,6 +1287,7 @@ impl Nic {
                         status: CqeStatus::Ok,
                         byte_len: data.len() as u32,
                         imm,
+                        op: pkt.op,
                     },
                     mem,
                 );
@@ -1190,6 +1338,7 @@ impl Nic {
                         status: CqeStatus::Ok,
                         byte_len: data.len() as u32,
                         imm: 0,
+                        op: pkt.op,
                     },
                     mem,
                 );
@@ -1337,6 +1486,7 @@ impl Nic {
                             status: CqeStatus::Ok,
                             byte_len,
                             imm: 0,
+                            op: pkt.op,
                         },
                         mem,
                     )
@@ -1375,6 +1525,7 @@ impl Nic {
                         status,
                         byte_len: 0,
                         imm: 0,
+                        op: pkt.op,
                     },
                     mem,
                 );
@@ -1430,6 +1581,7 @@ impl Nic {
                         status: CqeStatus::Ok,
                         byte_len: p.byte_len,
                         imm: 0,
+                        op: p.packet.op,
                     },
                     mem,
                 ));
@@ -1543,6 +1695,7 @@ impl Nic {
                     status,
                     byte_len,
                     imm: 0,
+                    op: fl.op,
                 },
                 mem,
             ));
@@ -1598,6 +1751,7 @@ impl Nic {
                 // themselves retransmitted (the requester re-requests).
                 psn: req.psn,
                 reliable: false,
+                op: req.op,
                 kind,
             },
         )

@@ -33,6 +33,10 @@ pub struct Packet {
     /// responder must apply expected-PSN ordering (execute at `epsn`,
     /// re-ack duplicates below it, drop gaps above it).
     pub reliable: bool,
+    /// Telemetry op id carried from the originating WQE (0 = untracked).
+    /// Responses echo the request's id. Occupies reserved BTH header
+    /// bits, so it adds no wire bytes.
+    pub op: u32,
     /// Operation payload.
     pub kind: PacketKind,
 }
@@ -191,6 +195,7 @@ mod tests {
             dst_qpn: 2,
             psn: 0,
             reliable: false,
+            op: 0,
             kind: PacketKind::Write {
                 raddr: 0,
                 rkey: 0,
@@ -206,6 +211,7 @@ mod tests {
             dst_qpn: 2,
             psn: 0,
             reliable: false,
+            op: 0,
             kind: PacketKind::Ack {
                 wr_id: 0,
                 signaled: true,
@@ -219,6 +225,7 @@ mod tests {
             dst_qpn: 2,
             psn: 0,
             reliable: false,
+            op: 0,
             kind: PacketKind::Cas {
                 raddr: 0,
                 rkey: 0,

@@ -117,6 +117,11 @@ pub struct Wqe {
     pub imm: u32,
     /// WAIT: how many following WQEs to grant to the NIC on trigger.
     pub activate_n: u16,
+    /// Telemetry op id (0 = untracked). Propagated into packets and
+    /// CQEs so every hop of a group operation can be attributed; on
+    /// pre-posted replica WQEs the field is scatter-stamped by the
+    /// client's metadata SEND just like the other descriptor fields.
+    pub op: u32,
     /// Caller cookie, echoed in completions.
     pub wr_id: u64,
 }
@@ -135,6 +140,7 @@ impl Default for Wqe {
             swp: 0,
             imm: 0,
             activate_n: 0,
+            op: 0,
             wr_id: 0,
         }
     }
@@ -146,6 +152,7 @@ impl Wqe {
         let mut b = [0u8; WQE_SIZE as usize];
         b[0] = self.opcode as u8;
         b[1] = self.flags;
+        b[2..4].copy_from_slice(&self.activate_n.to_le_bytes());
         b[4..8].copy_from_slice(&self.len.to_le_bytes());
         b[8..16].copy_from_slice(&self.laddr.to_le_bytes());
         b[16..24].copy_from_slice(&self.raddr.to_le_bytes());
@@ -154,7 +161,7 @@ impl Wqe {
         b[32..40].copy_from_slice(&self.cmp.to_le_bytes());
         b[40..48].copy_from_slice(&self.swp.to_le_bytes());
         b[48..52].copy_from_slice(&self.imm.to_le_bytes());
-        b[52..54].copy_from_slice(&self.activate_n.to_le_bytes());
+        b[52..56].copy_from_slice(&self.op.to_le_bytes());
         b[56..64].copy_from_slice(&self.wr_id.to_le_bytes());
         b
     }
@@ -166,6 +173,7 @@ impl Wqe {
         Some(Wqe {
             opcode: Opcode::from_u8(b[0])?,
             flags: b[1],
+            activate_n: u16::from_le_bytes(b[2..4].try_into().unwrap()),
             len: u32::from_le_bytes(b[4..8].try_into().unwrap()),
             laddr: u64::from_le_bytes(b[8..16].try_into().unwrap()),
             raddr: u64::from_le_bytes(b[16..24].try_into().unwrap()),
@@ -174,7 +182,7 @@ impl Wqe {
             cmp: u64::from_le_bytes(b[32..40].try_into().unwrap()),
             swp: u64::from_le_bytes(b[40..48].try_into().unwrap()),
             imm: u32::from_le_bytes(b[48..52].try_into().unwrap()),
-            activate_n: u16::from_le_bytes(b[52..54].try_into().unwrap()),
+            op: u32::from_le_bytes(b[52..56].try_into().unwrap()),
             wr_id: u64::from_le_bytes(b[56..64].try_into().unwrap()),
         })
     }
@@ -225,6 +233,9 @@ pub mod field_offset {
     pub const SWP: u64 = 40;
     /// Immediate data.
     pub const IMM: u64 = 48;
+    /// Telemetry op id (scatter-stamped alongside the data fields so
+    /// the op identity travels through pre-posted WQEs without CPU).
+    pub const OP: u64 = 52;
 }
 
 #[cfg(test)]
@@ -246,6 +257,7 @@ mod tests {
             swp: 2,
             imm: 0xabcd,
             activate_n: 3,
+            op: 0x1234_5678,
             wr_id: 0xdead_beef,
         };
         let enc = w.encode();
@@ -282,6 +294,7 @@ mod tests {
             cmp: 0xaaaa,
             swp: 0xbbbb,
             imm: 0xcccc_dddd,
+            op: 0x0102_0304,
             ..Default::default()
         };
         let b = w.encode();
@@ -306,6 +319,11 @@ mod tests {
         assert_eq!(
             u32::from_le_bytes(b[off..off + 4].try_into().unwrap()),
             w.imm
+        );
+        let off = field_offset::OP as usize;
+        assert_eq!(
+            u32::from_le_bytes(b[off..off + 4].try_into().unwrap()),
+            w.op
         );
     }
 
@@ -350,12 +368,13 @@ mod tests {
             swp in any::<u64>(),
             imm in any::<u32>(),
             activate_n in any::<u16>(),
+            opid in any::<u32>(),
             wr_id in any::<u64>(),
         ) {
             let w = Wqe {
                 opcode: Opcode::from_u8(op).unwrap(),
                 flags, len, laddr, raddr, lkey, rkey, cmp, swp, imm,
-                activate_n, wr_id,
+                activate_n, op: opid, wr_id,
             };
             prop_assert_eq!(Wqe::decode(&w.encode()), Some(w));
         }

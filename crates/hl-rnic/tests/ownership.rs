@@ -39,6 +39,7 @@ fn write_pkt(
         dst_qpn,
         psn: 0,
         reliable: false,
+        op: 0,
         kind: PacketKind::Write {
             raddr,
             rkey,
@@ -252,6 +253,7 @@ fn completion_or_identical_bytes_make_overlap_legal() {
             status: CqeStatus::Ok,
             byte_len: 0,
             imm: 0,
+            op: 0,
         },
         &mut mem,
     );

@@ -16,11 +16,13 @@ pub mod config;
 mod engine;
 mod rng;
 mod stats;
+pub mod telemetry;
 mod time;
 mod trace;
 
 pub use engine::{Engine, Handler};
 pub use rng::{RngFactory, RngStream};
 pub use stats::{Counters, Histogram, Summary};
+pub use telemetry::{Attribution, Metrics, OpKind, Stage, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, Tracer};

@@ -267,29 +267,25 @@ impl fmt::Display for Summary {
 /// accounting.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    entries: Vec<(String, f64)>,
+    entries: std::collections::BTreeMap<String, f64>,
 }
 
 impl Counters {
     /// Add `delta` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: f64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == name) {
-            e.1 += delta;
+        if let Some(v) = self.entries.get_mut(name) {
+            *v += delta;
         } else {
-            self.entries.push((name.to_string(), delta));
+            self.entries.insert(name.to_string(), delta);
         }
     }
 
     /// Read counter `name` (zero if absent).
     pub fn get(&self, name: &str) -> f64 {
-        self.entries
-            .iter()
-            .find(|e| e.0 == name)
-            .map(|e| e.1)
-            .unwrap_or(0.0)
+        self.entries.get(name).copied().unwrap_or(0.0)
     }
 
-    /// Iterate over `(name, value)` pairs in insertion order.
+    /// Iterate over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         self.entries.iter().map(|(n, v)| (n.as_str(), *v))
     }

@@ -1,0 +1,769 @@
+//! Structured, causal telemetry: op spans, per-hop latency attribution
+//! and a labelled metrics registry.
+//!
+//! The free-form [`crate::Tracer`] answers "what happened"; this module
+//! answers "where did the latency go". Every group primitive (and every
+//! naive-baseline op) allocates an **OpId** at issue time. The id rides
+//! inside WQE descriptors, fabric packets and CQEs, so each layer can
+//! stamp a typed [`Stage`] event onto the op without knowing anything
+//! about the layers above it. The resulting per-op event list is a
+//! causal span: sorting the events by time and taking consecutive
+//! deltas decomposes the end-to-end latency into named hop segments
+//! (client post, wire, WAIT block, DMA, replica CPU, …) whose durations
+//! telescope to the measured latency *exactly* — integer nanoseconds,
+//! no residue.
+//!
+//! Three consumers sit on top:
+//!
+//! * [`Telemetry::attribution`] — per-kind latency breakdown ranking
+//!   segments by their contribution to the mean/p50/p99 (the paper's
+//!   Fig 2/9 "where does the tail come from" analysis);
+//! * [`Metrics`] — counters/gauges/histograms keyed by
+//!   `(name, labels)` in `BTreeMap`s so iteration (and any render) is
+//!   deterministic by name;
+//! * [`Telemetry::chrome_trace`] — a hand-rolled Chrome trace-event
+//!   JSON export (fixed field order, integer-derived timestamps) that
+//!   loads in Perfetto / `chrome://tracing`.
+
+use crate::stats::Histogram;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// What kind of operation a span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// HyperLoop gWRITE (optionally with interleaved gFLUSH).
+    GWrite,
+    /// HyperLoop standalone gFLUSH (rides the gWRITE ring).
+    GFlush,
+    /// HyperLoop gMEMCPY.
+    GMemcpy,
+    /// HyperLoop gCAS.
+    GCas,
+    /// Naive-baseline replicated write.
+    NaiveWrite,
+    /// Naive-baseline flush.
+    NaiveFlush,
+    /// Naive-baseline memcpy (log apply).
+    NaiveMemcpy,
+    /// Naive-baseline CAS.
+    NaiveCas,
+}
+
+impl OpKind {
+    /// Short label used in exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::GWrite => "gWRITE",
+            OpKind::GFlush => "gFLUSH",
+            OpKind::GMemcpy => "gMEMCPY",
+            OpKind::GCas => "gCAS",
+            OpKind::NaiveWrite => "naive-WRITE",
+            OpKind::NaiveFlush => "naive-FLUSH",
+            OpKind::NaiveMemcpy => "naive-MEMCPY",
+            OpKind::NaiveCas => "naive-CAS",
+        }
+    }
+
+    /// True for the naive (CPU-involved) baseline kinds.
+    pub fn is_naive(self) -> bool {
+        matches!(
+            self,
+            OpKind::NaiveWrite | OpKind::NaiveFlush | OpKind::NaiveMemcpy | OpKind::NaiveCas
+        )
+    }
+}
+
+/// A typed point on an op's causal timeline.
+///
+/// Each stage *ends* a named segment: the time between the previous
+/// event and this one is attributed to [`Stage::segment`]. `OpBegin`
+/// opens the span and ends nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Span opened (op issued by the client library).
+    OpBegin,
+    /// Client finished building descriptors and rang the doorbell.
+    ClientPost,
+    /// A NIC fetched one of the op's WQEs from host memory.
+    NicFetch,
+    /// A WAIT WQE for this op parked (its CQ condition not yet met).
+    WaitPark,
+    /// A parked WAIT unblocked and granted the op's WQEs to the NIC.
+    WaitFire,
+    /// A packet belonging to the op left a NIC onto the wire.
+    TxWire,
+    /// A packet belonging to the op arrived at a NIC.
+    RxWire,
+    /// A NIC-local DMA (copy/CAS/flush) for the op finished.
+    DmaDone,
+    /// A CQE for the op was delivered to a completion queue.
+    CqeDeliver,
+    /// A replica CPU picked the op off its run queue (naive only).
+    CpuWake,
+    /// A replica CPU finished processing the op (naive only).
+    CpuDone,
+    /// Span closed (group ACK reached the issuing client).
+    OpEnd,
+}
+
+impl Stage {
+    /// Name of the segment this stage ends, if any.
+    pub fn segment(self) -> Option<&'static str> {
+        match self {
+            Stage::OpBegin => None,
+            Stage::ClientPost => Some("client-post"),
+            Stage::NicFetch => Some("nic-queue"),
+            Stage::WaitPark => Some("nic-queue"),
+            Stage::WaitFire => Some("wait-block"),
+            Stage::TxWire => Some("wqe-exec"),
+            Stage::RxWire => Some("wire"),
+            Stage::DmaDone => Some("dma"),
+            Stage::CqeDeliver => Some("cqe-deliver"),
+            Stage::CpuWake => Some("cpu-queue"),
+            Stage::CpuDone => Some("replica-cpu"),
+            Stage::OpEnd => Some("ack-deliver"),
+        }
+    }
+}
+
+/// One stamped event on an op's timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct OpEvent {
+    /// When the stage was reached.
+    pub at: SimTime,
+    /// The stage.
+    pub stage: Stage,
+    /// Host on which the stage happened.
+    pub host: usize,
+    /// Stage-specific detail (QP or CQ number; 0 when not meaningful).
+    pub detail: u32,
+}
+
+/// The full causal record of one operation.
+#[derive(Debug, Clone)]
+pub struct OpSpan {
+    /// Op id (non-zero; 0 is the "untracked" sentinel in descriptors).
+    pub id: u32,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Issue time.
+    pub begin: SimTime,
+    /// Completion time; `None` while in flight (or lost).
+    pub end: Option<SimTime>,
+    /// Stamped events, in stamping order (not necessarily time order).
+    pub events: Vec<OpEvent>,
+}
+
+impl OpSpan {
+    /// Events sorted by time (stable: stamping order breaks ties).
+    pub fn sorted_events(&self) -> Vec<OpEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|e| e.at);
+        ev
+    }
+
+    /// Decompose the span into named segment durations (ns).
+    ///
+    /// Deltas between consecutive time-sorted events are attributed to
+    /// the segment the *later* event ends; the values telescope, so
+    /// they sum to `end - begin` exactly when the span is complete.
+    /// Events stamped after `end` (chain-internal ACKs can trail the
+    /// tail's WRITE_IMM) are off the critical path and excluded; they
+    /// remain visible in [`OpSpan::events`] and the Chrome trace.
+    pub fn segments(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut ev = self.sorted_events();
+        if let Some(end) = self.end {
+            ev.retain(|e| e.at <= end);
+        }
+        for pair in ev.windows(2) {
+            let d = pair[1].at.as_nanos() - pair[0].at.as_nanos();
+            let label = pair[1].stage.segment().unwrap_or("other");
+            *out.entry(label).or_insert(0) += d;
+        }
+        out
+    }
+
+    /// End-to-end latency in ns (None while in flight).
+    pub fn e2e_ns(&self) -> Option<u64> {
+        self.end.map(|e| e.as_nanos() - self.begin.as_nanos())
+    }
+}
+
+/// An instant annotation on the global timeline (fault injected, link
+/// healed, recovery started, …).
+#[derive(Debug, Clone)]
+pub struct Mark {
+    /// When.
+    pub at: SimTime,
+    /// What (short label).
+    pub name: String,
+    /// Host it concerns (0 when global).
+    pub host: usize,
+}
+
+/// Labelled metrics registry: counters, gauges and histograms keyed by
+/// `(name, labels)`. Both maps and label strings are ordered, so
+/// iteration and [`Metrics::render`] are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), f64>,
+    histograms: BTreeMap<(String, String), Histogram>,
+}
+
+impl Metrics {
+    /// Add `delta` to counter `name{labels}`.
+    pub fn counter_add(&mut self, name: &str, labels: &str, delta: u64) {
+        *self
+            .counters
+            .entry((name.to_string(), labels.to_string()))
+            .or_insert(0) += delta;
+    }
+
+    /// Set counter `name{labels}` to an absolute value (for snapshots
+    /// of monotonic sources: re-collecting overwrites, never
+    /// double-counts).
+    pub fn counter_set(&mut self, name: &str, labels: &str, v: u64) {
+        self.counters
+            .insert((name.to_string(), labels.to_string()), v);
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, name: &str, labels: &str) -> u64 {
+        self.counters
+            .get(&(name.to_string(), labels.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Set gauge `name{labels}` to `v`.
+    pub fn gauge_set(&mut self, name: &str, labels: &str, v: f64) {
+        self.gauges
+            .insert((name.to_string(), labels.to_string()), v);
+    }
+
+    /// Read a gauge (0.0 if absent).
+    pub fn gauge(&self, name: &str, labels: &str) -> f64 {
+        self.gauges
+            .get(&(name.to_string(), labels.to_string()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Record `v` into histogram `name{labels}`.
+    pub fn histogram_record(&mut self, name: &str, labels: &str, v: u64) {
+        self.histograms
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .record(v);
+    }
+
+    /// Merge a whole histogram into `name{labels}`.
+    pub fn histogram_merge(&mut self, name: &str, labels: &str, h: &Histogram) {
+        self.histograms
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .merge(h);
+    }
+
+    /// Replace histogram `name{labels}` with a snapshot (the overwrite
+    /// counterpart of [`Metrics::histogram_merge`], for sources that
+    /// accumulate since boot).
+    pub fn histogram_set(&mut self, name: &str, labels: &str, h: Histogram) {
+        self.histograms
+            .insert((name.to_string(), labels.to_string()), h);
+    }
+
+    /// Look up a histogram.
+    pub fn histogram(&self, name: &str, labels: &str) -> Option<&Histogram> {
+        self.histograms.get(&(name.to_string(), labels.to_string()))
+    }
+
+    /// Iterate counters in `(name, labels)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters
+            .iter()
+            .map(|((n, l), v)| (n.as_str(), l.as_str(), *v))
+    }
+
+    /// Iterate gauges in `(name, labels)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.gauges
+            .iter()
+            .map(|((n, l), v)| (n.as_str(), l.as_str(), *v))
+    }
+
+    /// Deterministic text dump (one line per metric, name order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((n, l), v) in &self.counters {
+            out.push_str(&format!("counter {n}{{{l}}} {v}\n"));
+        }
+        for ((n, l), v) in &self.gauges {
+            out.push_str(&format!("gauge {n}{{{l}}} {v:.3}\n"));
+        }
+        for ((n, l), h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {n}{{{l}}} n={} p50={} p99={} max={}\n",
+                h.count(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+/// One segment's contribution to a kind's latency profile.
+#[derive(Debug, Clone)]
+pub struct SegmentStat {
+    /// Segment name (see [`Stage::segment`]).
+    pub label: &'static str,
+    /// Per-op time spent in this segment (ns values).
+    pub hist: Histogram,
+    /// Total ns across all ops (ranking key).
+    pub total_ns: u64,
+    /// Segment mean as a share of the end-to-end mean.
+    pub share_mean: f64,
+    /// Segment p50 over end-to-end p50.
+    pub share_p50: f64,
+    /// Segment p99 over end-to-end p99.
+    pub share_p99: f64,
+}
+
+/// Latency breakdown for one op kind.
+#[derive(Debug, Clone)]
+pub struct KindBreakdown {
+    /// The op kind.
+    pub kind: OpKind,
+    /// Completed ops of this kind.
+    pub ops: u64,
+    /// End-to-end latency histogram (ns).
+    pub e2e: Histogram,
+    /// Segments, ranked by `total_ns` descending (then by name).
+    pub segments: Vec<SegmentStat>,
+}
+
+impl KindBreakdown {
+    /// Total ns this kind spent in `label` (0 if the segment never ran).
+    pub fn segment_ns(&self, label: &str) -> u64 {
+        self.segments
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.total_ns)
+            .unwrap_or(0)
+    }
+}
+
+/// The full attribution report (see [`Telemetry::attribution`]).
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Per-kind breakdowns, in kind order.
+    pub kinds: Vec<KindBreakdown>,
+}
+
+impl Attribution {
+    /// Look up one kind's breakdown.
+    pub fn kind(&self, k: OpKind) -> Option<&KindBreakdown> {
+        self.kinds.iter().find(|b| b.kind == k)
+    }
+}
+
+impl std::fmt::Display for Attribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.kinds {
+            writeln!(
+                f,
+                "{}: n={} e2e p50={}ns p99={}ns",
+                b.kind.label(),
+                b.ops,
+                b.e2e.p50(),
+                b.e2e.p99()
+            )?;
+            for s in &b.segments {
+                writeln!(
+                    f,
+                    "  {:<12} p50={:>8}ns p99={:>8}ns share(mean)={:>5.1}% share(p99)={:>5.1}%",
+                    s.label,
+                    s.hist.p50(),
+                    s.hist.p99(),
+                    100.0 * s.share_mean,
+                    100.0 * s.share_p99,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The telemetry hub owned by the cluster (`World.telemetry`).
+///
+/// Disabled by default: every stamping entry point is a cheap branch
+/// when off, and op id 0 means "untracked" throughout the stack.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    enabled: bool,
+    next_op: u32,
+    spans: BTreeMap<u32, OpSpan>,
+    marks: Vec<Mark>,
+    /// The labelled metrics registry.
+    pub metrics: Metrics,
+}
+
+impl Telemetry {
+    /// Turn span collection on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Is span collection on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span; returns its op id (0 when telemetry is disabled).
+    pub fn begin_op(&mut self, at: SimTime, kind: OpKind, host: usize) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        self.next_op += 1;
+        let id = self.next_op;
+        self.spans.insert(
+            id,
+            OpSpan {
+                id,
+                kind,
+                begin: at,
+                end: None,
+                events: vec![OpEvent {
+                    at,
+                    stage: Stage::OpBegin,
+                    host,
+                    detail: 0,
+                }],
+            },
+        );
+        id
+    }
+
+    /// Stamp a stage onto op `op`. No-op for id 0 or unknown ids.
+    pub fn stage(&mut self, at: SimTime, op: u32, stage: Stage, host: usize, detail: u32) {
+        if op == 0 {
+            return;
+        }
+        if let Some(s) = self.spans.get_mut(&op) {
+            s.events.push(OpEvent {
+                at,
+                stage,
+                host,
+                detail,
+            });
+        }
+    }
+
+    /// Close op `op` (records the `OpEnd` stage too).
+    pub fn end_op(&mut self, at: SimTime, op: u32, host: usize) {
+        if op == 0 {
+            return;
+        }
+        if let Some(s) = self.spans.get_mut(&op) {
+            s.events.push(OpEvent {
+                at,
+                stage: Stage::OpEnd,
+                host,
+                detail: 0,
+            });
+            s.end = Some(at);
+        }
+    }
+
+    /// Record an instant annotation (fault injected, recovery, …).
+    pub fn mark(&mut self, at: SimTime, name: impl Into<String>, host: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.marks.push(Mark {
+            at,
+            name: name.into(),
+            host,
+        });
+    }
+
+    /// All spans, by op id.
+    pub fn spans(&self) -> impl Iterator<Item = &OpSpan> {
+        self.spans.values()
+    }
+
+    /// One span.
+    pub fn span(&self, op: u32) -> Option<&OpSpan> {
+        self.spans.get(&op)
+    }
+
+    /// Recorded instant marks, in stamping order.
+    pub fn marks(&self) -> &[Mark] {
+        &self.marks
+    }
+
+    /// Build the per-hop latency attribution report over all *completed*
+    /// spans. Segments are ranked by total time descending, i.e. by how
+    /// much of the kind's aggregate latency they explain.
+    pub fn attribution(&self) -> Attribution {
+        // kind -> (e2e hist, ops, label -> (hist, total))
+        type PerKind = (Histogram, u64, BTreeMap<&'static str, (Histogram, u64)>);
+        let mut by_kind: BTreeMap<OpKind, PerKind> = BTreeMap::new();
+        for s in self.spans.values() {
+            let Some(e2e) = s.e2e_ns() else { continue };
+            let entry = by_kind
+                .entry(s.kind)
+                .or_insert_with(|| (Histogram::new(), 0, BTreeMap::new()));
+            entry.0.record(e2e);
+            entry.1 += 1;
+            for (label, ns) in s.segments() {
+                let seg = entry
+                    .2
+                    .entry(label)
+                    .or_insert_with(|| (Histogram::new(), 0));
+                seg.0.record(ns);
+                seg.1 += ns;
+            }
+        }
+        let mut kinds = Vec::new();
+        for (kind, (e2e, ops, segs)) in by_kind {
+            let e2e_mean = e2e.mean().max(1.0);
+            let e2e_p50 = e2e.p50().max(1) as f64;
+            let e2e_p99 = e2e.p99().max(1) as f64;
+            let mut segments: Vec<SegmentStat> = segs
+                .into_iter()
+                .map(|(label, (hist, total_ns))| SegmentStat {
+                    label,
+                    share_mean: hist.mean() / e2e_mean,
+                    share_p50: hist.p50() as f64 / e2e_p50,
+                    share_p99: hist.p99() as f64 / e2e_p99,
+                    hist,
+                    total_ns,
+                })
+                .collect();
+            segments.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(b.label)));
+            kinds.push(KindBreakdown {
+                kind,
+                ops,
+                e2e,
+                segments,
+            });
+        }
+        Attribution { kinds }
+    }
+
+    /// Export everything as Chrome trace-event JSON (Perfetto-loadable).
+    ///
+    /// Serialization is hand-rolled with a fixed field order and
+    /// integer-derived microsecond timestamps, so the same sim run
+    /// always produces byte-identical output. Layout: one process per
+    /// host, one thread per op id; each hop segment is a complete
+    /// (`"X"`) event on the host where it ended, and marks are instant
+    /// (`"i"`) events.
+    pub fn chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        let mut max_host = 0usize;
+        for s in self.spans.values() {
+            for e in &s.events {
+                max_host = max_host.max(e.host);
+            }
+        }
+        for m in &self.marks {
+            max_host = max_host.max(m.host);
+        }
+        for h in 0..=max_host {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{h},\"tid\":0,\
+                 \"args\":{{\"name\":\"host{h}\"}}}}"
+            ));
+        }
+        for s in self.spans.values() {
+            let ev = s.sorted_events();
+            let end_ns = s.end.map(|e| e.as_nanos());
+            if let Some(end_ns) = end_ns {
+                // Whole-op span on the issuing host.
+                let begin_ns = s.begin.as_nanos();
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{\"op\":{}}}}}",
+                    s.kind.label(),
+                    ts_us(begin_ns),
+                    ts_us(end_ns - begin_ns),
+                    ev.first().map(|e| e.host).unwrap_or(0),
+                    s.id,
+                    s.id
+                ));
+            }
+            for pair in ev.windows(2) {
+                let Some(label) = pair[1].stage.segment() else {
+                    continue;
+                };
+                let start = pair[0].at.as_nanos();
+                let dur = pair[1].at.as_nanos() - start;
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{\"op\":{},\"detail\":{}}}}}",
+                    label,
+                    s.kind.label(),
+                    ts_us(start),
+                    ts_us(dur),
+                    pair[1].host,
+                    s.id,
+                    s.id,
+                    pair[1].detail
+                ));
+            }
+        }
+        for m in &self.marks {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"mark\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
+                 \"tid\":0,\"s\":\"g\"}}",
+                m.name,
+                ts_us(m.at.as_nanos()),
+                m.host
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&events.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Nanoseconds rendered as a decimal microsecond timestamp without ever
+/// constructing a float (keeps the export bit-stable everywhere).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_telemetry_allocates_no_ops() {
+        let mut tel = Telemetry::default();
+        assert_eq!(tel.begin_op(t(0), OpKind::GWrite, 0), 0);
+        tel.stage(t(5), 0, Stage::TxWire, 0, 0);
+        tel.end_op(t(9), 0, 0);
+        assert_eq!(tel.spans().count(), 0);
+    }
+
+    #[test]
+    fn segments_telescope_to_e2e() {
+        let mut tel = Telemetry::default();
+        tel.enable();
+        let op = tel.begin_op(t(100), OpKind::GWrite, 0);
+        assert_eq!(op, 1);
+        // Stamp out of order: sorting must still telescope.
+        tel.stage(t(400), op, Stage::RxWire, 1, 0);
+        tel.stage(t(150), op, Stage::ClientPost, 0, 3);
+        tel.stage(t(300), op, Stage::TxWire, 0, 3);
+        tel.end_op(t(1000), op, 0);
+        let s = tel.span(op).unwrap();
+        let segs = s.segments();
+        let total: u64 = segs.values().sum();
+        assert_eq!(total, s.e2e_ns().unwrap());
+        assert_eq!(segs["client-post"], 50);
+        assert_eq!(segs["wqe-exec"], 150);
+        assert_eq!(segs["wire"], 100);
+        assert_eq!(segs["ack-deliver"], 600);
+    }
+
+    #[test]
+    fn late_events_do_not_break_telescoping() {
+        let mut tel = Telemetry::default();
+        tel.enable();
+        let op = tel.begin_op(t(0), OpKind::GWrite, 0);
+        tel.stage(t(100), op, Stage::TxWire, 0, 0);
+        tel.end_op(t(500), op, 0);
+        // A chain-internal ACK trailing the client-visible completion.
+        tel.stage(t(700), op, Stage::RxWire, 1, 0);
+        let s = tel.span(op).unwrap();
+        let total: u64 = s.segments().values().sum();
+        assert_eq!(total, s.e2e_ns().unwrap());
+        // The raw event list still holds the late arrival.
+        assert_eq!(s.events.len(), 4);
+    }
+
+    #[test]
+    fn attribution_ranks_by_total() {
+        let mut tel = Telemetry::default();
+        tel.enable();
+        for _ in 0..10 {
+            let op = tel.begin_op(t(0), OpKind::NaiveWrite, 0);
+            tel.stage(t(10), op, Stage::ClientPost, 0, 0);
+            tel.stage(t(20), op, Stage::CpuWake, 1, 0);
+            tel.stage(t(920), op, Stage::CpuDone, 1, 0);
+            tel.end_op(t(1000), op, 0);
+        }
+        let a = tel.attribution();
+        let b = a.kind(OpKind::NaiveWrite).unwrap();
+        assert_eq!(b.ops, 10);
+        assert_eq!(b.segments[0].label, "replica-cpu");
+        assert!(b.segments[0].share_mean > 0.8);
+        assert_eq!(b.segment_ns("replica-cpu"), 9000);
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_determinism() {
+        let build = || {
+            let mut tel = Telemetry::default();
+            tel.enable();
+            let op = tel.begin_op(t(1500), OpKind::GCas, 0);
+            tel.stage(t(2000), op, Stage::TxWire, 0, 7);
+            tel.end_op(t(3001), op, 0);
+            tel.mark(t(2500), "fault:drop", 1);
+            tel.chrome_trace()
+        };
+        let j1 = build();
+        let j2 = build();
+        assert_eq!(j1, j2);
+        assert!(j1.starts_with("{\"traceEvents\":["));
+        assert!(j1.ends_with("]}"));
+        assert!(j1.contains("\"ph\":\"X\""));
+        assert!(j1.contains("\"ph\":\"M\""));
+        assert!(j1.contains("\"ph\":\"i\""));
+        assert!(j1.contains("\"ts\":1.500"));
+        assert!(j1.contains("\"name\":\"gCAS\""));
+        // No floats were involved: fractional digits are exact.
+        assert!(j1.contains("\"dur\":1.501"));
+    }
+
+    #[test]
+    fn metrics_registry_is_name_ordered() {
+        let mut m = Metrics::default();
+        m.counter_add("z.last", "host=0", 1);
+        m.counter_add("a.first", "host=1", 2);
+        m.counter_add("a.first", "host=0", 3);
+        m.gauge_set("occ", "qp=4", 0.5);
+        m.histogram_record("lat", "host=0", 100);
+        let names: Vec<_> = m.counters().map(|(n, l, _)| format!("{n}|{l}")).collect();
+        assert_eq!(names, ["a.first|host=0", "a.first|host=1", "z.last|host=0"]);
+        assert_eq!(m.counter("a.first", "host=0"), 3);
+        assert_eq!(m.counter_total("a.first"), 5);
+        assert_eq!(m.gauge("occ", "qp=4"), 0.5);
+        assert_eq!(m.histogram("lat", "host=0").unwrap().count(), 1);
+        let r = m.render();
+        assert!(r.contains("counter a.first{host=0} 3"));
+        assert!(r.contains("histogram lat{host=0} n=1"));
+    }
+}

@@ -5,6 +5,7 @@
 //! costs one branch per trace point when off.
 
 use crate::time::SimTime;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Trace record.
@@ -29,7 +30,7 @@ impl fmt::Display for TraceEntry {
 pub struct Tracer {
     enabled: bool,
     capacity: usize,
-    entries: Vec<TraceEntry>,
+    entries: VecDeque<TraceEntry>,
     dropped: u64,
     /// Optional subsystem filter; empty = all.
     filter: Vec<&'static str>,
@@ -42,7 +43,7 @@ impl Default for Tracer {
         Tracer {
             enabled: false,
             capacity: 65_536,
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             dropped: 0,
             filter: Vec::new(),
             echo: false,
@@ -78,14 +79,14 @@ impl Tracer {
             eprintln!("[{at} {sys}] {msg}");
         }
         if self.entries.len() >= self.capacity {
-            self.entries.remove(0);
+            self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push(TraceEntry { at, sys, msg });
+        self.entries.push_back(TraceEntry { at, sys, msg });
     }
 
-    /// All retained entries in order.
-    pub fn entries(&self) -> &[TraceEntry] {
+    /// All retained entries in order (oldest first).
+    pub fn entries(&self) -> &VecDeque<TraceEntry> {
         &self.entries
     }
 

@@ -20,7 +20,8 @@ use crate::group::{Backpressure, GroupRef, OnDone, OpResult};
 use crate::metadata::{self, MetaMsg, Primitive};
 use hl_cluster::World;
 use hl_rnic::{CqeKind, CqeStatus, Opcode, RecvWqe, Wqe};
-use hl_sim::{Engine, SimTime};
+use hl_sim::telemetry::Stage;
+use hl_sim::{Engine, OpKind, SimTime};
 
 /// Handle used by applications and benchmarks to issue group operations.
 #[derive(Clone)]
@@ -85,7 +86,9 @@ impl HyperLoopClient {
         }
 
         // 2. Metadata.
+        let op = w.telemetry.begin_op(eng.now(), OpKind::GWrite, ch.0);
         let mut msg = MetaMsg::new(g, seq);
+        msg.set_op(op);
         for i in 0..n.saturating_sub(1) {
             let src = inner.replica_rep[i].at(offset);
             let dst = inner.replica_rep[i + 1].at(offset);
@@ -111,6 +114,7 @@ impl HyperLoopClient {
                 raddr: r0,
                 rkey: rkey0,
                 wr_id: seq as u64,
+                op,
                 ..Default::default()
             },
             false,
@@ -125,6 +129,7 @@ impl HyperLoopClient {
                     raddr: r0,
                     rkey: rkey0,
                     wr_id: seq as u64,
+                    op,
                     ..Default::default()
                 },
                 false,
@@ -139,6 +144,7 @@ impl HyperLoopClient {
             seq,
             slot,
             staging,
+            op,
             done,
         )
     }
@@ -166,7 +172,9 @@ impl HyperLoopClient {
         let local = inner.client_rep.at(offset);
         w.host(ch).mem.flush(local, len as usize).unwrap();
 
+        let op = w.telemetry.begin_op(eng.now(), OpKind::GFlush, ch.0);
         let mut msg = MetaMsg::new(g, seq);
+        msg.set_op(op);
         for i in 0..n.saturating_sub(1) {
             let src = inner.replica_rep[i].at(offset);
             let dst = inner.replica_rep[i + 1].at(offset);
@@ -190,6 +198,7 @@ impl HyperLoopClient {
                     raddr: r0,
                     rkey: rkey0,
                     wr_id: seq as u64,
+                    op,
                     ..Default::default()
                 },
                 false,
@@ -203,6 +212,7 @@ impl HyperLoopClient {
             seq,
             slot,
             staging,
+            op,
             done,
         )
     }
@@ -239,7 +249,9 @@ impl HyperLoopClient {
             w.host(ch).mem.flush(dst, len as usize).unwrap();
         }
 
+        let op = w.telemetry.begin_op(eng.now(), OpKind::GMemcpy, ch.0);
         let mut msg = MetaMsg::new(g, seq);
+        msg.set_op(op);
         for i in 0..n {
             let src = inner.replica_rep[i].at(src_off);
             let dst = inner.replica_rep[i].at(dst_off);
@@ -262,6 +274,7 @@ impl HyperLoopClient {
             seq,
             slot,
             staging,
+            op,
             done,
         )
     }
@@ -290,7 +303,9 @@ impl HyperLoopClient {
         let slots = inner.cfg.ring_slots as u64;
         let msg_len = inner.msg_len;
 
+        let op = w.telemetry.begin_op(eng.now(), OpKind::GCas, ch.0);
         let mut msg = MetaMsg::new(g, seq);
+        msg.set_op(op);
         // Client-local CAS (member 0).
         if exec_map & 1 != 0 {
             let addr = inner.client_rep.at(offset);
@@ -323,6 +338,7 @@ impl HyperLoopClient {
             seq,
             slot,
             staging,
+            op,
             done,
         )
     }
@@ -339,6 +355,7 @@ impl HyperLoopClient {
         seq: u32,
         slot: u64,
         staging: u64,
+        op: u32,
         done: OnDone,
     ) -> Result<u32, Backpressure> {
         let ch = inner.cfg.client;
@@ -352,12 +369,15 @@ impl HyperLoopClient {
                     len: msg_len as u32,
                     laddr: staging,
                     wr_id: seq as u64,
+                    op,
                     ..Default::default()
                 },
                 false,
             )
             .expect("client SQ sized");
-        inner.register_pending(seq, prim, slot, eng.now(), done);
+        inner.register_pending(seq, prim, slot, eng.now(), op, done);
+        w.telemetry
+            .stage(eng.now(), op, Stage::ClientPost, ch.0, qp_out);
         w.ring_doorbell(ch, qp_out, eng);
         Ok(seq)
     }
@@ -392,6 +412,22 @@ fn dispatch_ack(group: &GroupRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut En
     );
     let latency = eng.now().duration_since(p.issued_at);
     drop(inner);
+    // The ACK WRITE_IMM carried the op id end to end; fall back to the
+    // pending record for ops issued before tracing was enabled.
+    let op = if cqe.op != 0 { cqe.op } else { p.op };
+    w.telemetry.end_op(eng.now(), op, ch.0);
+    if w.telemetry.enabled() {
+        let kind = match p.prim {
+            Primitive::GWrite => "gWRITE-ring",
+            Primitive::GMemcpy => "gMEMCPY",
+            Primitive::GCas => "gCAS",
+        };
+        w.telemetry.metrics.histogram_record(
+            "hyperloop_op_latency_ns",
+            &format!("prim={kind}"),
+            latency.as_nanos(),
+        );
+    }
     if let Some(done) = p.done {
         done(
             w,
@@ -411,5 +447,6 @@ pub(crate) struct CompletedPending {
     pub prim: Primitive,
     pub issued_at: SimTime,
     pub slot: u64,
+    pub op: u32,
     pub done: Option<OnDone>,
 }

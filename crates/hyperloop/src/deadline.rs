@@ -316,6 +316,13 @@ fn settle(
         }
         s.done.take()
     };
+    if outcome.is_err() && w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("retry_deadline_exceeded", "layer=deadline", 1);
+        let now = eng.now();
+        w.telemetry.mark(now, "deadline-exceeded", 0);
+    }
     if let Some(done) = done {
         done(w, eng, outcome);
     }
@@ -347,6 +354,11 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
             settle(&st, w, eng, Ok(r));
         })
     };
+    if k > 0 && w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("retry_reissues", "layer=deadline", 1);
+    }
     let issued = match &op {
         GroupOp::Write {
             offset,
@@ -372,7 +384,14 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
     // or out of ring credits — both transient).
     let wait = match issued {
         Ok(_) => policy.deadline,
-        Err(_backpressure) => policy.backoff_for(k),
+        Err(_backpressure) => {
+            if w.telemetry.enabled() {
+                w.telemetry
+                    .metrics
+                    .counter_add("retry_backpressured", "layer=deadline", 1);
+            }
+            policy.backoff_for(k)
+        }
     };
     eng.schedule(wait, move |w: &mut World, eng| {
         let (settled, attempts_left) = {

@@ -136,6 +136,8 @@ struct Pending {
     prim: Primitive,
     issued_at: SimTime,
     slot: u64,
+    /// Telemetry op id (0 when tracing is off).
+    op: u32,
     done: Option<OnDone>,
 }
 
@@ -235,12 +237,14 @@ impl GroupInner {
         s
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn register_pending(
         &mut self,
         seq: u32,
         prim: Primitive,
         slot: u64,
         issued_at: SimTime,
+        op: u32,
         done: OnDone,
     ) {
         self.pending.insert(
@@ -249,6 +253,7 @@ impl GroupInner {
                 prim,
                 issued_at,
                 slot,
+                op,
                 done: Some(done),
             },
         );
@@ -262,6 +267,7 @@ impl GroupInner {
             prim: p.prim,
             issued_at: p.issued_at,
             slot: p.slot,
+            op: p.op,
             done: p.done,
         })
     }
@@ -631,6 +637,7 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                 let idx = host.post_send(qp_next, wimm, true).unwrap();
                 let wimm_addr = slot_wqe_addr(host, qp_next, idx);
                 scatter.push(se(0, 4, wimm_addr + field_offset::IMM));
+                scatter.push(se(metadata::OP_OFF, 4, wimm_addr + field_offset::OP));
             } else {
                 let write = Wqe {
                     opcode: Opcode::Write,
@@ -653,9 +660,10 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                     wr_id: slot,
                     ..Default::default()
                 };
-                host.post_send(qp_next, send, true).unwrap();
+                let sidx = host.post_send(qp_next, send, true).unwrap();
                 let waddr = slot_wqe_addr(host, qp_next, widx);
                 let faddr = slot_wqe_addr(host, qp_next, fidx);
+                let saddr = slot_wqe_addr(host, qp_next, sidx);
                 scatter.extend([
                     se(rec + wrec::LEN, 4, waddr + field_offset::LEN),
                     se(rec + wrec::SRC, 8, waddr + field_offset::LADDR),
@@ -663,6 +671,11 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                     se(rec + wrec::FOP, 1, faddr + field_offset::OPCODE),
                     se(rec + wrec::FADDR, 8, faddr + field_offset::RADDR),
                     se(rec + wrec::FLEN, 4, faddr + field_offset::LEN),
+                    // Telemetry op id rides the same scatter into every
+                    // data WQE, so causal spans cost zero replica CPU.
+                    se(metadata::OP_OFF, 4, waddr + field_offset::OP),
+                    se(metadata::OP_OFF, 4, faddr + field_offset::OP),
+                    se(metadata::OP_OFF, 4, saddr + field_offset::OP),
                 ]);
             }
         }
@@ -703,6 +716,8 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                     se(rec + wrec::FOP, 1, faddr + field_offset::OPCODE),
                     se(rec + wrec::FADDR, 8, faddr + field_offset::RADDR),
                     se(rec + wrec::FLEN, 4, faddr + field_offset::LEN),
+                    se(metadata::OP_OFF, 4, caddr + field_offset::OP),
+                    se(metadata::OP_OFF, 4, faddr + field_offset::OP),
                 ]);
             } else {
                 let cas = Wqe {
@@ -720,6 +735,7 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                     se(rec + crec::CMP, 8, caddr + field_offset::CMP),
                     se(rec + crec::SWP, 8, caddr + field_offset::SWP),
                     se(rec + crec::RESULT, 8, caddr + field_offset::LADDR),
+                    se(metadata::OP_OFF, 4, caddr + field_offset::OP),
                 ]);
             }
             // Downstream leg: WAIT for the local CQEs, then forward.
@@ -745,6 +761,7 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                 let idx = host.post_send(qp_next, wimm, true).unwrap();
                 let wimm_addr = slot_wqe_addr(host, qp_next, idx);
                 scatter.push(se(0, 4, wimm_addr + field_offset::IMM));
+                scatter.push(se(metadata::OP_OFF, 4, wimm_addr + field_offset::OP));
             } else {
                 let send = Wqe {
                     opcode: Opcode::Send,
@@ -753,7 +770,9 @@ pub(crate) fn post_slot(inner: &mut GroupInner, w: &mut World, i: usize, prim: P
                     wr_id: slot,
                     ..Default::default()
                 };
-                host.post_send(qp_next, send, true).unwrap();
+                let sidx = host.post_send(qp_next, send, true).unwrap();
+                let saddr = slot_wqe_addr(host, qp_next, sidx);
+                scatter.push(se(metadata::OP_OFF, 4, saddr + field_offset::OP));
             }
         }
     }

@@ -10,7 +10,7 @@
 //! ```text
 //! offset 0           4     8            8+8g                end
 //!        ┌───────────┬─────┬────────────┬────────────────────┐
-//!        │ imm (u32) │ pad │ results[g] │ records[n] (48 B)  │
+//!        │ imm (u32) │ op  │ results[g] │ records[n] (48 B)  │
 //!        └───────────┴─────┴────────────┴────────────────────┘
 //! ```
 //!
@@ -31,6 +31,11 @@ use hl_rnic::Opcode;
 pub const REC: u64 = 48;
 /// Header (imm + pad) size.
 pub const HDR: u64 = 8;
+/// Offset of the telemetry op id (u32) in the header's pad bytes: each
+/// replica's RECV scatters it straight into the `op` field of every
+/// pre-posted WQE it arms, so causal spans propagate down the chain
+/// with zero replica CPU.
+pub const OP_OFF: u64 = 4;
 
 /// The three pre-posted ring kinds (gFLUSH rides on the gWRITE ring as
 /// an interleaved or write-of-zero-bytes operation).
@@ -130,6 +135,12 @@ impl MetaMsg {
         let mut buf = vec![0u8; msg_len(group_size) as usize];
         buf[..4].copy_from_slice(&seq.to_le_bytes());
         MetaMsg { buf, group_size }
+    }
+
+    /// Stamp the telemetry op id into the header pad (0 = untraced).
+    pub fn set_op(&mut self, op: u32) {
+        let off = OP_OFF as usize;
+        self.buf[off..off + 4].copy_from_slice(&op.to_le_bytes());
     }
 
     /// Set a member's result-map slot (the client pre-fills its own).

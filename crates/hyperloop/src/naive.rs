@@ -18,7 +18,8 @@ use hl_cluster::{Ctx, ProcAddr, ProcEvent, Process, World};
 use hl_fabric::HostId;
 use hl_nvm::Region;
 use hl_rnic::{Access, CqeKind, CqeStatus, Opcode, RecvWqe, ScatterEntry, Wqe, WQE_SIZE};
-use hl_sim::{Engine, SimDuration, SimTime};
+use hl_sim::telemetry::Stage;
+use hl_sim::{Engine, OpKind, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -104,7 +105,8 @@ const D_AUX: u64 = 16; // memcpy src / CAS cmp
 const D_SWP: u64 = 24;
 const D_LEN: u64 = 32;
 const D_EXEC: u64 = 36;
-const D_RESULTS: u64 = 40;
+const D_OP: u64 = 40; // telemetry op id (0 = untraced)
+const D_RESULTS: u64 = 48;
 
 fn desc_len(g: usize) -> u64 {
     D_RESULTS + 8 * g as u64
@@ -125,6 +127,7 @@ struct RepSide {
 
 struct PendingOp {
     issued_at: SimTime,
+    op: u32,
     done: Option<OnDone>,
 }
 
@@ -419,7 +422,19 @@ fn ack_dispatch(rc: &NaiveRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut Engin
         },
     );
     let latency = eng.now().duration_since(p.issued_at);
+    let mode = inner.cfg.mode;
     drop(inner);
+    let op = if cqe.op != 0 { cqe.op } else { p.op };
+    w.telemetry.end_op(eng.now(), op, ch.0);
+    if w.telemetry.enabled() {
+        let label = match mode {
+            Mode::Event => "mode=event",
+            Mode::Polling => "mode=polling",
+        };
+        w.telemetry
+            .metrics
+            .histogram_record("naive_op_latency_ns", label, latency.as_nanos());
+    }
     if let Some(done) = p.done {
         done(
             w,
@@ -449,6 +464,7 @@ impl NaiveClient {
         &self,
         w: &mut World,
         eng: &mut Engine<World>,
+        kind: OpKind,
         desc: Vec<u8>,
         data: Option<(u64, u32)>, // (offset, len): client WRITE of rep data
         done: OnDone,
@@ -467,8 +483,12 @@ impl NaiveClient {
         let dlen = inner.dlen;
         let staging = inner.tx_staging.at((seq as u64 % slots) * dlen);
 
+        // The op id travels inside the descriptor so every replica CPU
+        // along the chain can stamp its own wake/handle stages on it.
+        let op = w.telemetry.begin_op(eng.now(), kind, ch.0);
         let mut desc = desc;
         desc[D_SEQ as usize..D_SEQ as usize + 4].copy_from_slice(&seq.to_le_bytes());
+        desc[D_OP as usize..D_OP as usize + 4].copy_from_slice(&op.to_le_bytes());
         w.host(ch).mem.write(staging, &desc).unwrap();
 
         let qp_out = inner.qp_out;
@@ -486,6 +506,7 @@ impl NaiveClient {
                         raddr,
                         rkey,
                         wr_id: seq as u64,
+                        op,
                         ..Default::default()
                     },
                     false,
@@ -500,6 +521,7 @@ impl NaiveClient {
                     len: dlen as u32,
                     laddr: staging,
                     wr_id: seq as u64,
+                    op,
                     ..Default::default()
                 },
                 false,
@@ -509,10 +531,13 @@ impl NaiveClient {
             seq,
             PendingOp {
                 issued_at: eng.now(),
+                op,
                 done: Some(done),
             },
         );
         drop(inner);
+        w.telemetry
+            .stage(eng.now(), op, Stage::ClientPost, ch.0, qp_out);
         w.ring_doorbell(ch, qp_out, eng);
         Ok(seq)
     }
@@ -543,7 +568,14 @@ impl NaiveClient {
         d[D_FLUSH as usize] = flush as u8;
         d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&offset.to_le_bytes());
         d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&(data.len() as u32).to_le_bytes());
-        self.issue(w, eng, d, Some((offset, data.len() as u32)), done)
+        self.issue(
+            w,
+            eng,
+            OpKind::NaiveWrite,
+            d,
+            Some((offset, data.len() as u32)),
+            done,
+        )
     }
 
     /// gMEMCPY equivalent.
@@ -577,7 +609,7 @@ impl NaiveClient {
         d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&dst_off.to_le_bytes());
         d[D_AUX as usize..D_AUX as usize + 8].copy_from_slice(&src_off.to_le_bytes());
         d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&len.to_le_bytes());
-        self.issue(w, eng, d, None, done)
+        self.issue(w, eng, OpKind::NaiveMemcpy, d, None, done)
     }
 
     /// gCAS equivalent.
@@ -607,7 +639,7 @@ impl NaiveClient {
         d[D_AUX as usize..D_AUX as usize + 8].copy_from_slice(&cmp.to_le_bytes());
         d[D_SWP as usize..D_SWP as usize + 8].copy_from_slice(&swp.to_le_bytes());
         d[D_EXEC as usize..D_EXEC as usize + 4].copy_from_slice(&exec_map.to_le_bytes());
-        self.issue(w, eng, d, None, done)
+        self.issue(w, eng, OpKind::NaiveCas, d, None, done)
     }
 
     /// Standalone gFLUSH equivalent (flush-only descriptor).
@@ -632,7 +664,7 @@ impl NaiveClient {
         d[D_FLUSH as usize] = 1;
         d[D_OFFSET as usize..D_OFFSET as usize + 8].copy_from_slice(&offset.to_le_bytes());
         d[D_LEN as usize..D_LEN as usize + 4].copy_from_slice(&len.to_le_bytes());
-        self.issue(w, eng, d, None, done)
+        self.issue(w, eng, OpKind::NaiveFlush, d, None, done)
     }
 }
 
@@ -662,7 +694,7 @@ impl NaiveReplica {
             }
             self.queue.push_back(cqe.wr_id);
             // Charge a realistic amount of work, memcpy-sized for gMEMCPY.
-            let cost = {
+            let (cost, op, host) = {
                 let inner = self.inner.borrow();
                 let rep = &inner.reps[self.idx];
                 let slots = inner.cfg.ring_slots as u64;
@@ -670,14 +702,17 @@ impl NaiveReplica {
                 let mem = &ctx.world.hosts[rep.host.0].mem;
                 let prim = mem.read(addr, 1).unwrap()[0];
                 let len = mem.read_u32(addr + D_LEN).unwrap();
+                let op = mem.read_u32(addr + D_OP).unwrap_or(0);
                 let mut c = costs.parse + costs.persist + costs.post;
                 if prim == 1 {
                     c += SimDuration::from_nanos(
                         (len as u128 * 1_000_000_000 / costs.memcpy_bps as u128) as u64,
                     );
                 }
-                c
+                (c, op, rep.host.0)
             };
+            let now = ctx.now();
+            ctx.world.telemetry.stage(now, op, Stage::CpuWake, host, 0);
             ctx.submit_work(cost, TAG_HANDLE);
         }
     }
@@ -713,6 +748,7 @@ impl NaiveReplica {
                 .try_into()
                 .unwrap(),
         );
+        let op = u32::from_le_bytes(desc[D_OP as usize..D_OP as usize + 4].try_into().unwrap());
 
         let my_rep = inner.replica_rep[i].clone();
         let mut desc_out = desc.clone();
@@ -765,6 +801,7 @@ impl NaiveReplica {
                         rkey: next_rkey,
                         imm: seq,
                         wr_id: seq as u64,
+                        op,
                         ..Default::default()
                     },
                     false,
@@ -783,6 +820,7 @@ impl NaiveReplica {
                             raddr: next_rep.at(offset),
                             rkey: next_rkey,
                             wr_id: seq as u64,
+                            op,
                             ..Default::default()
                         },
                         false,
@@ -797,6 +835,7 @@ impl NaiveReplica {
                         len: dlen as u32,
                         laddr: tx_addr,
                         wr_id: seq as u64,
+                        op,
                         ..Default::default()
                     },
                     false,
@@ -818,6 +857,10 @@ impl NaiveReplica {
             },
         );
         drop(inner);
+        let now = ctx.now();
+        ctx.world
+            .telemetry
+            .stage(now, op, Stage::CpuDone, rh.0, qp_next);
         ctx.ring_doorbell(qp_next);
     }
 }

@@ -129,6 +129,13 @@ impl Process for FailureDetector {
                         self.misses[i] += 1;
                         if self.misses[i] >= self.cfg.miss_threshold {
                             self.failed[i] = true;
+                            let now = ctx.eng.now();
+                            ctx.world.telemetry.mark(now, "hb:replica-failed", i);
+                            ctx.world.telemetry.metrics.counter_add(
+                                "recovery_failures_detected",
+                                "layer=heartbeat",
+                                1,
+                            );
                             (self.on_failure)(ctx.world, ctx.eng, i);
                         }
                     }
@@ -335,6 +342,12 @@ pub fn rebuild_chain(
         let g = old.borrow();
         (g.cfg.client, g.cfg.rep_bytes, g.client_rep.clone())
     };
+    let now = eng.now();
+    w.telemetry
+        .mark(now, "recovery:rebuild-chain", client_host.0);
+    w.telemetry
+        .metrics
+        .counter_add("recovery_chain_rebuilds", "layer=recovery", 1);
     let mut replicas = survivors;
     if let Some(nm) = new_member {
         replicas.push(nm);
@@ -513,6 +526,12 @@ pub fn degrade_to_naive(
         "degrading to naive-CPU forwarding over {} replicas",
         replicas.len()
     );
+    let now = eng.now();
+    w.telemetry
+        .mark(now, "recovery:degrade-naive", client_host.0);
+    w.telemetry
+        .metrics
+        .counter_add("recovery_degrades_to_naive", "layer=recovery", 1);
     let naive = crate::naive::NaiveBuilder::new(crate::naive::NaiveConfig {
         client: client_host,
         replicas: replicas.clone(),

@@ -1,0 +1,210 @@
+//! Per-hop latency attribution soundness (DESIGN.md §10).
+//!
+//! Two properties of the causal-span telemetry:
+//!
+//! 1. **Telescoping** — for every completed op (HyperLoop chain and
+//!    Naïve baseline alike), the named segment durations sum to the
+//!    end-to-end latency *exactly*, in integer nanoseconds. The
+//!    decomposition is a partition of the span, not an approximation.
+//! 2. **The paper's headline, recovered from traces** — under
+//!    `stress-ng`-style CPU contention the Naïve baseline's tail is
+//!    dominated by replica-CPU segments (scheduling + handling), while
+//!    the NIC-offloaded chain records *zero* replica-CPU time.
+
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hyperloop_repro::cluster::ClusterBuilder;
+use hyperloop_repro::fabric::HostId;
+use hyperloop_repro::hyperloop::naive::{Mode, NaiveBuilder, NaiveConfig};
+use hyperloop_repro::hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use hyperloop_repro::sim::telemetry::OpKind;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const OPS: usize = 40;
+const PIPELINE: usize = 4;
+
+/// Drive `OPS` gWRITEs through `client`, `PIPELINE` outstanding, each
+/// completion issuing the next (stays well inside the ring credits).
+fn drive_gwrites<C>(w: &mut hyperloop_repro::cluster::World, eng: &mut Eng, client: C)
+where
+    C: Fn(&mut hyperloop_repro::cluster::World, &mut Eng, u64, hyperloop_repro::hyperloop::OnDone)
+        + Clone
+        + 'static,
+{
+    let issued = Rc::new(RefCell::new(0usize));
+    let acked = Rc::new(RefCell::new(0usize));
+    fn next<C>(
+        client: &C,
+        issued: &Rc<RefCell<usize>>,
+        acked: &Rc<RefCell<usize>>,
+        w: &mut hyperloop_repro::cluster::World,
+        eng: &mut Eng,
+    ) where
+        C: Fn(
+                &mut hyperloop_repro::cluster::World,
+                &mut Eng,
+                u64,
+                hyperloop_repro::hyperloop::OnDone,
+            ) + Clone
+            + 'static,
+    {
+        let k = *issued.borrow();
+        if k >= OPS {
+            return;
+        }
+        *issued.borrow_mut() += 1;
+        let (c2, i2, a2) = (client.clone(), issued.clone(), acked.clone());
+        client(
+            w,
+            eng,
+            (k * 64) as u64,
+            Box::new(move |w, eng, _r| {
+                *a2.borrow_mut() += 1;
+                next(&c2, &i2, &a2, w, eng);
+            }),
+        );
+    }
+    for _ in 0..PIPELINE {
+        next(&client, &issued, &acked, w, eng);
+    }
+    let probe = acked.clone();
+    eng.run_while(w, move |_| *probe.borrow() < OPS);
+}
+
+type Eng = hyperloop_repro::sim::Engine<hyperloop_repro::cluster::World>;
+
+/// Every completed span's segments must telescope to its e2e latency.
+fn assert_spans_sound(tel: &hyperloop_repro::sim::Telemetry, want_kind: OpKind, min_ops: usize) {
+    let mut completed = 0;
+    for s in tel.spans() {
+        let Some(e2e) = s.e2e_ns() else { continue };
+        completed += 1;
+        assert_eq!(s.kind, want_kind);
+        let sum: u64 = s.segments().values().sum();
+        assert_eq!(
+            sum,
+            e2e,
+            "op {} ({}): segments sum {} != e2e {}",
+            s.id,
+            s.kind.label(),
+            sum,
+            e2e
+        );
+    }
+    assert!(
+        completed >= min_ops,
+        "only {completed} completed spans; expected at least {min_ops}"
+    );
+}
+
+#[test]
+fn gwrite_segments_sum_to_e2e_exactly() {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(2 << 20).seed(7).build();
+    w.enable_telemetry();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 256 << 10,
+        ring_slots: 64,
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group, &mut w);
+
+    drive_gwrites(&mut w, &mut eng, move |w, eng, off, done| {
+        client
+            .gwrite(w, eng, off, &[0xabu8; 64], true, done)
+            .unwrap();
+    });
+
+    assert_spans_sound(&w.telemetry, OpKind::GWrite, OPS);
+}
+
+#[test]
+fn naive_segments_sum_to_e2e_exactly() {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(2 << 20).seed(8).build();
+    w.enable_telemetry();
+    let client = NaiveBuilder::new(NaiveConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 256 << 10,
+        ring_slots: 64,
+        mode: Mode::Event,
+        ..Default::default()
+    })
+    .build(&mut w, &mut eng);
+
+    drive_gwrites(&mut w, &mut eng, move |w, eng, off, done| {
+        client
+            .gwrite(w, eng, off, &[0xcdu8; 64], true, done)
+            .unwrap();
+    });
+
+    assert_spans_sound(&w.telemetry, OpKind::NaiveWrite, OPS);
+    // The CPU-driven baseline must actually record replica-CPU segments.
+    let attr = w.telemetry.attribution();
+    let b = attr.kind(OpKind::NaiveWrite).unwrap();
+    assert!(
+        b.segment_ns("replica-cpu") > 0,
+        "naive baseline recorded no replica-cpu time"
+    );
+}
+
+/// The Fig 2/9 analysis, read off the attribution report: with CPU hogs
+/// on the replica hosts, the Naïve tail is replica-CPU time; the
+/// HyperLoop chain spends none.
+#[test]
+fn replica_cpu_dominates_naive_tail_but_not_hyperloop() {
+    let base = MicroCfg {
+        ops: 400,
+        warmup: 40,
+        op: MicroOp::GWrite {
+            size: 1024,
+            flush: false,
+        },
+        telemetry: true,
+        ..Default::default()
+    };
+
+    let hl = run_micro(&MicroCfg {
+        backend: Backend::HyperLoop,
+        ..base.clone()
+    });
+    let nv = run_micro(&MicroCfg {
+        backend: Backend::NaiveEvent,
+        ..base
+    });
+    let hl_tel = hl.telemetry.expect("telemetry enabled");
+    let nv_tel = nv.telemetry.expect("telemetry enabled");
+
+    let hl_b = hl_tel.attribution.kind(OpKind::GWrite).unwrap();
+    assert_eq!(
+        hl_b.segment_ns("replica-cpu") + hl_b.segment_ns("cpu-queue"),
+        0,
+        "NIC-offloaded chain spent CPU time on the critical path"
+    );
+
+    let nv_b = nv_tel.attribution.kind(OpKind::NaiveWrite).unwrap();
+    let cpu_p99_share: f64 = nv_b
+        .segments
+        .iter()
+        .filter(|s| s.label == "replica-cpu" || s.label == "cpu-queue")
+        .map(|s| s.share_p99)
+        .sum();
+    assert!(
+        cpu_p99_share > 0.5,
+        "expected replica-CPU segments to dominate the naive p99; share = {cpu_p99_share:.2}"
+    );
+
+    // The exports are non-trivial Chrome trace-event JSON.
+    for (tel, kind) in [(&hl_tel, "gWRITE"), (&nv_tel, "naive-WRITE")] {
+        assert!(tel.chrome_trace.starts_with("{\"traceEvents\":["));
+        assert!(tel.chrome_trace.ends_with("]}"));
+        assert!(tel.chrome_trace.contains(&format!("\"name\":\"{kind}\"")));
+        assert!(tel.chrome_trace.contains("\"ph\":\"X\""));
+        assert!(tel.metrics.contains("counter nic_wqes_executed"));
+    }
+    // The offloaded chain parked WAIT WQEs; the baseline never posts any.
+    assert!(hl_tel.metrics.contains("counter nic_wait_fires"));
+}
