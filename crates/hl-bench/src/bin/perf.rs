@@ -1,0 +1,555 @@
+//! Simulator-self performance harness (ISSUE 4 "baseline the win").
+//!
+//! Measures the hot-path overhaul against the engine it replaced and
+//! emits `BENCH_4.json`:
+//!
+//! 1. **Event-queue microbench** (`datapath_timer_pattern`, the
+//!    headline) — the access pattern the NIC datapath actually
+//!    generates: every op schedules its completion, arms a retransmit
+//!    timeout, and the completion cancels it. The pre-change engine
+//!    (`BinaryHeap` + per-event `Box<dyn FnOnce>`, embedded below
+//!    verbatim so the baseline runs on the same machine in the same
+//!    process) cannot cancel, so ~30k dead timers stay resident and
+//!    deepen every heap operation until they fire as stale no-ops.
+//! 2. **Uniform rotation** — 1024 lanes each rescheduling themselves
+//!    at a fixed delay, no timers. This is `BinaryHeap`'s best case
+//!    (every push lands at a leaf, every pop sifts a max key from the
+//!    root) and measures the arena engine's bookkeeping tax when the
+//!    cancel machinery goes unused.
+//! 3. **End-to-end gWRITE** — wall-clock ops/sec of the full simulated
+//!    stack (NIC, fabric, NVM, telemetry) via the Figure-9 throughput
+//!    configuration.
+//! 4. **Campaign wall-clock** — the chaos campaign fanned across OS
+//!    threads vs run sequentially, with a byte-identity check on the
+//!    merged artifacts.
+//!
+//! Timing uses `std::time::Instant`, which is legal here: hl-bench is
+//! host-side tooling, deliberately outside the determinism-linted
+//! simulation crates.
+
+use hl_bench::campaign::{run_campaigns_parallel, run_campaigns_sequential};
+use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_sim::{Engine, EventCtx, EventToken, SimDuration};
+use std::time::Instant;
+
+/// The engine this PR replaced, embedded as the measurement baseline:
+/// a `BinaryHeap` of `(time, seq)`-ordered events, each one a separate
+/// `Box<dyn FnOnce>` allocation, with no cancellation support.
+mod legacy {
+    use hl_sim::{SimDuration, SimTime};
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    pub type Handler<C> = Box<dyn FnOnce(&mut C, &mut Engine<C>)>;
+
+    struct Scheduled<C> {
+        at: SimTime,
+        seq: u64,
+        run: Handler<C>,
+    }
+
+    impl<C> PartialEq for Scheduled<C> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<C> Eq for Scheduled<C> {}
+    impl<C> PartialOrd for Scheduled<C> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<C> Ord for Scheduled<C> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap; invert so the earliest (time, seq) pops first.
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct Engine<C> {
+        queue: BinaryHeap<Scheduled<C>>,
+        now: SimTime,
+        seq: u64,
+        executed: u64,
+    }
+
+    impl<C> Engine<C> {
+        pub fn new() -> Self {
+            Engine {
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+                executed: 0,
+            }
+        }
+
+        pub fn events_executed(&self) -> u64 {
+            self.executed
+        }
+
+        pub fn pending(&self) -> usize {
+            self.queue.len()
+        }
+
+        pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
+        where
+            F: FnOnce(&mut C, &mut Engine<C>) + 'static,
+        {
+            let at = (self.now + delay).max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Scheduled {
+                at,
+                seq,
+                run: Box::new(f),
+            });
+        }
+
+        pub fn step(&mut self, ctx: &mut C) -> bool {
+            match self.queue.pop() {
+                Some(ev) => {
+                    self.now = ev.at;
+                    self.executed += 1;
+                    (ev.run)(ctx, self);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        pub fn run(&mut self, ctx: &mut C) {
+            while self.step(ctx) {}
+        }
+    }
+}
+
+const LANES: usize = 1024;
+const EVENTS: u64 = 2_000_000;
+const TIMER_OPS: u64 = 300_000;
+const CAMPAIGN_SEEDS: [u64; 8] = [101, 102, 103, 104, 105, 106, 107, 108];
+
+/// Shared lane state for the engine microbenches. `remaining` gates the
+/// total event count; `acc` consumes the payload so the work per event
+/// is identical (and non-optimizable-away) across all variants.
+struct Lanes {
+    acc: Vec<u64>,
+    remaining: u64,
+}
+
+impl Lanes {
+    fn new(budget: u64) -> Self {
+        Lanes {
+            acc: vec![0; LANES],
+            remaining: budget,
+        }
+    }
+}
+
+/// Typed event: what the hl-cluster datapath schedules instead of a
+/// boxed closure. The `[u64; 4]` payload mirrors the captured state the
+/// closure variants carry, so all variants move the same bytes.
+struct LaneEvent {
+    lane: u32,
+    payload: [u64; 4],
+}
+
+impl EventCtx for Lanes {
+    type Event = LaneEvent;
+    fn run_event(&mut self, eng: &mut Engine<Self>, ev: LaneEvent) {
+        self.acc[ev.lane as usize] =
+            self.acc[ev.lane as usize].wrapping_add(ev.payload[0] ^ ev.payload[3]);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            eng.schedule_event(
+                lane_delay(ev.lane),
+                LaneEvent {
+                    lane: ev.lane,
+                    payload: ev.payload,
+                },
+            );
+        }
+    }
+}
+
+fn lane_delay(lane: u32) -> SimDuration {
+    SimDuration::from_nanos(100 + (lane as u64 % 7) * 10)
+}
+
+fn lane_payload(lane: u32) -> [u64; 4] {
+    [lane as u64 + 1, 2, 3, lane as u64]
+}
+
+fn lane_step_arena(w: &mut Lanes, eng: &mut Engine<Lanes>, lane: u32, payload: [u64; 4]) {
+    w.acc[lane as usize] = w.acc[lane as usize].wrapping_add(payload[0] ^ payload[3]);
+    if w.remaining > 0 {
+        w.remaining -= 1;
+        eng.schedule(lane_delay(lane), move |w: &mut Lanes, eng| {
+            lane_step_arena(w, eng, lane, payload)
+        });
+    }
+}
+
+fn lane_step_legacy(w: &mut Lanes, eng: &mut legacy::Engine<Lanes>, lane: u32, payload: [u64; 4]) {
+    w.acc[lane as usize] = w.acc[lane as usize].wrapping_add(payload[0] ^ payload[3]);
+    if w.remaining > 0 {
+        w.remaining -= 1;
+        eng.schedule(lane_delay(lane), move |w: &mut Lanes, eng| {
+            lane_step_legacy(w, eng, lane, payload)
+        });
+    }
+}
+
+struct EngineSample {
+    wall_ms: f64,
+    events_per_sec: f64,
+    executed: u64,
+    checksum: u64,
+}
+
+fn sample(wall: std::time::Duration, executed: u64, w: &Lanes) -> EngineSample {
+    let secs = wall.as_secs_f64();
+    EngineSample {
+        wall_ms: secs * 1e3,
+        events_per_sec: executed as f64 / secs,
+        executed,
+        checksum: w.acc.iter().fold(0u64, |a, &b| a.wrapping_add(b)),
+    }
+}
+
+fn bench_legacy_closures() -> EngineSample {
+    let mut w = Lanes::new(EVENTS - LANES as u64);
+    let mut eng = legacy::Engine::new();
+    let t0 = Instant::now();
+    for lane in 0..LANES as u32 {
+        let payload = lane_payload(lane);
+        eng.schedule(lane_delay(lane), move |w: &mut Lanes, eng| {
+            lane_step_legacy(w, eng, lane, payload)
+        });
+    }
+    eng.run(&mut w);
+    sample(t0.elapsed(), eng.events_executed(), &w)
+}
+
+fn bench_arena_closures() -> EngineSample {
+    let mut w = Lanes::new(EVENTS - LANES as u64);
+    let mut eng: Engine<Lanes> = Engine::new();
+    let t0 = Instant::now();
+    for lane in 0..LANES as u32 {
+        let payload = lane_payload(lane);
+        eng.schedule(lane_delay(lane), move |w: &mut Lanes, eng| {
+            lane_step_arena(w, eng, lane, payload)
+        });
+    }
+    eng.run(&mut w);
+    sample(t0.elapsed(), eng.events_executed(), &w)
+}
+
+fn bench_arena_typed() -> EngineSample {
+    let mut w = Lanes::new(EVENTS - LANES as u64);
+    let mut eng: Engine<Lanes> = Engine::new();
+    let t0 = Instant::now();
+    for lane in 0..LANES as u32 {
+        eng.schedule_event(
+            lane_delay(lane),
+            LaneEvent {
+                lane,
+                payload: lane_payload(lane),
+            },
+        );
+    }
+    eng.run(&mut w);
+    sample(t0.elapsed(), eng.events_executed(), &w)
+}
+
+struct TimerSample {
+    wall_ms: f64,
+    events_per_sec: f64,
+    ops_per_sec: f64,
+    executed: u64,
+    max_pending: usize,
+}
+
+/// The datapath pattern on the old engine: ops arrive every 100ns, each
+/// arms a 3ms retransmit timeout (the chain's `transport_timeout`) it
+/// cannot cancel, completion fires 200ns later, and the dead timer
+/// fires as a stale no-op three milliseconds on — so ~30k dead entries
+/// are resident at steady state, deepening
+/// every heap operation, and a third of all executed events are pure
+/// waste.
+fn bench_timers_legacy() -> TimerSample {
+    struct W {
+        live: u64,
+        completed: u64,
+        stale_fired: u64,
+    }
+    fn op(w: &mut W, eng: &mut legacy::Engine<W>, remaining: u64) {
+        w.live += 1;
+        // The timeout: by firing time the op is long gone.
+        eng.schedule(SimDuration::from_micros(3000), move |w: &mut W, _| {
+            w.stale_fired += 1;
+        });
+        // The completion.
+        eng.schedule(SimDuration::from_nanos(200), move |w: &mut W, _| {
+            w.live -= 1;
+            w.completed += 1;
+        });
+        if remaining > 0 {
+            eng.schedule(SimDuration::from_nanos(100), move |w: &mut W, eng| {
+                op(w, eng, remaining - 1)
+            });
+        }
+    }
+    let mut w = W {
+        live: 0,
+        completed: 0,
+        stale_fired: 0,
+    };
+    let mut eng = legacy::Engine::new();
+    let mut max_pending = 0usize;
+    let t0 = Instant::now();
+    eng.schedule(SimDuration::ZERO, move |w: &mut W, eng| {
+        op(w, eng, TIMER_OPS - 1)
+    });
+    while eng.step(&mut w) {
+        max_pending = max_pending.max(eng.pending());
+    }
+    let wall = t0.elapsed();
+    assert_eq!(w.completed, TIMER_OPS);
+    assert_eq!(w.stale_fired, TIMER_OPS);
+    TimerSample {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: eng.events_executed() as f64 / wall.as_secs_f64(),
+        ops_per_sec: TIMER_OPS as f64 / wall.as_secs_f64(),
+        executed: eng.events_executed(),
+        max_pending,
+    }
+}
+
+/// Same pattern on the new engine: completion cancels the timer token,
+/// so the heap stays shallow and dead timers never execute.
+fn bench_timers_cancel() -> TimerSample {
+    struct W {
+        live: u64,
+        completed: u64,
+        stale_fired: u64,
+    }
+    hl_sim::inert_event_ctx!(W);
+    fn op(w: &mut W, eng: &mut Engine<W>, remaining: u64) {
+        w.live += 1;
+        let timer: EventToken =
+            eng.schedule(SimDuration::from_micros(3000), move |w: &mut W, _| {
+                w.stale_fired += 1;
+            });
+        eng.schedule(SimDuration::from_nanos(200), move |w: &mut W, eng| {
+            w.live -= 1;
+            w.completed += 1;
+            eng.cancel(timer);
+        });
+        if remaining > 0 {
+            eng.schedule(SimDuration::from_nanos(100), move |w: &mut W, eng| {
+                op(w, eng, remaining - 1)
+            });
+        }
+    }
+    let mut w = W {
+        live: 0,
+        completed: 0,
+        stale_fired: 0,
+    };
+    let mut eng: Engine<W> = Engine::new();
+    let mut max_pending = 0usize;
+    let t0 = Instant::now();
+    eng.schedule(SimDuration::ZERO, move |w: &mut W, eng| {
+        op(w, eng, TIMER_OPS - 1)
+    });
+    while eng.step(&mut w) {
+        max_pending = max_pending.max(eng.pending());
+    }
+    let wall = t0.elapsed();
+    assert_eq!(w.completed, TIMER_OPS);
+    assert_eq!(w.stale_fired, 0, "cancelled timers must never fire");
+    TimerSample {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: eng.events_executed() as f64 / wall.as_secs_f64(),
+        ops_per_sec: TIMER_OPS as f64 / wall.as_secs_f64(),
+        executed: eng.events_executed(),
+        max_pending,
+    }
+}
+
+fn f(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn main() {
+    eprintln!("perf: event-queue microbench, datapath timer pattern ({TIMER_OPS} ops)...");
+    let timers_legacy = bench_timers_legacy();
+    let timers_cancel = bench_timers_cancel();
+    let timers_ev_speedup = timers_cancel.events_per_sec / timers_legacy.events_per_sec;
+    let timers_op_speedup = timers_cancel.ops_per_sec / timers_legacy.ops_per_sec;
+
+    eprintln!("perf: uniform rotation ({LANES} lanes, {EVENTS} events per variant)...");
+    let legacy_ev = bench_legacy_closures();
+    let arena_cl = bench_arena_closures();
+    let arena_ty = bench_arena_typed();
+    assert_eq!(legacy_ev.executed, arena_cl.executed);
+    assert_eq!(legacy_ev.executed, arena_ty.executed);
+    assert_eq!(
+        legacy_ev.checksum, arena_ty.checksum,
+        "engine variants diverged on the same workload"
+    );
+    assert_eq!(legacy_ev.checksum, arena_cl.checksum);
+    let uniform_typed_speedup = arena_ty.events_per_sec / legacy_ev.events_per_sec;
+
+    eprintln!("perf: end-to-end gWRITE throughput...");
+    let cfg = MicroCfg {
+        backend: Backend::HyperLoop,
+        op: MicroOp::GWrite {
+            size: 1024,
+            flush: false,
+        },
+        ops: 20_000,
+        pipeline: 16,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let micro = run_micro(&cfg);
+    let gwrite_wall = t0.elapsed();
+    let gwrite_wall_ops = cfg.ops as f64 / gwrite_wall.as_secs_f64();
+
+    // Floor at 2 so the fan-out/merge machinery is always exercised;
+    // with a single hardware thread the two timings are honestly
+    // reported as roughly equal.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, CAMPAIGN_SEEDS.len());
+    eprintln!(
+        "perf: chaos campaign x{} sequential vs {threads} threads...",
+        CAMPAIGN_SEEDS.len()
+    );
+    let t0 = Instant::now();
+    let seq = run_campaigns_sequential(&CAMPAIGN_SEEDS);
+    let seq_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let par = run_campaigns_parallel(&CAMPAIGN_SEEDS, threads);
+    let par_wall = t0.elapsed();
+    let byte_identical = seq == par;
+    assert!(byte_identical, "parallel campaign output diverged");
+    let campaign_speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64();
+
+    let engine_sample = |s: &EngineSample| {
+        format!(
+            "{{\"wall_ms\": {}, \"events_per_sec\": {}, \"events\": {}}}",
+            f(s.wall_ms),
+            f(s.events_per_sec),
+            s.executed
+        )
+    };
+    let timer_sample = |s: &TimerSample| {
+        format!(
+            "{{\"wall_ms\": {}, \"events_per_sec\": {}, \"ops_per_sec\": {}, \
+             \"events\": {}, \"max_pending\": {}}}",
+            f(s.wall_ms),
+            f(s.events_per_sec),
+            f(s.ops_per_sec),
+            s.executed,
+            s.max_pending
+        )
+    };
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"BENCH_4\",\n\
+         \x20 \"engine_microbench\": {{\n\
+         \x20   \"headline\": \"datapath_timer_pattern\",\n\
+         \x20   \"datapath_timer_pattern\": {{\n\
+         \x20     \"ops\": {TIMER_OPS},\n\
+         \x20     \"baseline_legacy_dead_timers\": {},\n\
+         \x20     \"arena_cancel_tokens\": {},\n\
+         \x20     \"events_per_sec_speedup\": {},\n\
+         \x20     \"ops_per_sec_speedup\": {}\n\
+         \x20   }},\n\
+         \x20   \"uniform_rotation\": {{\n\
+         \x20     \"lanes\": {LANES},\n\
+         \x20     \"events\": {},\n\
+         \x20     \"baseline_legacy_boxed_closures\": {},\n\
+         \x20     \"arena_closures\": {},\n\
+         \x20     \"arena_typed\": {},\n\
+         \x20     \"speedup_typed_vs_baseline\": {}\n\
+         \x20   }}\n\
+         \x20 }},\n\
+         \x20 \"gwrite_e2e\": {{\n\
+         \x20   \"backend\": \"HyperLoop\",\n\
+         \x20   \"size_bytes\": 1024,\n\
+         \x20   \"ops\": {},\n\
+         \x20   \"sim_kops\": {},\n\
+         \x20   \"wall_ms\": {},\n\
+         \x20   \"wall_ops_per_sec\": {}\n\
+         \x20 }},\n\
+         \x20 \"campaign\": {{\n\
+         \x20   \"seeds\": {:?},\n\
+         \x20   \"threads\": {threads},\n\
+         \x20   \"sequential_ms\": {},\n\
+         \x20   \"parallel_ms\": {},\n\
+         \x20   \"speedup\": {},\n\
+         \x20   \"byte_identical\": {byte_identical}\n\
+         \x20 }}\n\
+         }}\n",
+        timer_sample(&timers_legacy),
+        timer_sample(&timers_cancel),
+        f(timers_ev_speedup),
+        f(timers_op_speedup),
+        legacy_ev.executed,
+        engine_sample(&legacy_ev),
+        engine_sample(&arena_cl),
+        engine_sample(&arena_ty),
+        f(uniform_typed_speedup),
+        cfg.ops,
+        f(micro.kops),
+        f(gwrite_wall.as_secs_f64() * 1e3),
+        f(gwrite_wall_ops),
+        CAMPAIGN_SEEDS,
+        f(seq_wall.as_secs_f64() * 1e3),
+        f(par_wall.as_secs_f64() * 1e3),
+        f(campaign_speedup),
+    );
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+
+    println!(
+        "event-queue microbench (datapath timer pattern): {} -> {} events/sec ({}x), \
+         {} -> {} ops/sec ({}x), max pending {} -> {}",
+        f(timers_legacy.events_per_sec),
+        f(timers_cancel.events_per_sec),
+        f(timers_ev_speedup),
+        f(timers_legacy.ops_per_sec),
+        f(timers_cancel.ops_per_sec),
+        f(timers_op_speedup),
+        timers_legacy.max_pending,
+        timers_cancel.max_pending
+    );
+    println!(
+        "uniform rotation: baseline {} / arena-closures {} / arena-typed {} events/sec ({}x typed)",
+        f(legacy_ev.events_per_sec),
+        f(arena_cl.events_per_sec),
+        f(arena_ty.events_per_sec),
+        f(uniform_typed_speedup)
+    );
+    println!(
+        "gWRITE e2e: {} sim-Kops/s, {} wall ops/sec",
+        f(micro.kops),
+        f(gwrite_wall_ops)
+    );
+    println!(
+        "campaign: {} seeds, sequential {} ms, parallel({} threads) {} ms, speedup {}x, byte_identical {}",
+        CAMPAIGN_SEEDS.len(),
+        f(seq_wall.as_secs_f64() * 1e3),
+        threads,
+        f(par_wall.as_secs_f64() * 1e3),
+        f(campaign_speedup),
+        byte_identical
+    );
+    println!("wrote BENCH_4.json");
+}

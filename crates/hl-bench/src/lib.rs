@@ -14,5 +14,6 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod campaign;
 pub mod micro;
 pub mod table;

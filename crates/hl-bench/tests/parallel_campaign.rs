@@ -1,0 +1,43 @@
+//! The parallel campaign runner must be a pure wall-clock optimisation:
+//! fanning seeds across OS threads may change *when* a campaign runs,
+//! never *what* it produces. For each seed, every artifact — invariant
+//! report, filtered trace stream, Chrome trace export — must be
+//! byte-identical to the sequential run, and the merge must preserve
+//! seed order.
+
+use hl_bench::campaign::{run_campaigns_parallel, run_campaigns_sequential};
+
+#[test]
+fn parallel_campaigns_are_byte_identical_to_sequential() {
+    let seeds = [103u64, 107, 111];
+    let seq = run_campaigns_sequential(&seeds);
+    // Three real worker threads even on a single-core box: the atomic
+    // work-claiming makes seed->thread assignment nondeterministic,
+    // which is exactly what must not leak into the artifacts.
+    let par = run_campaigns_parallel(&seeds, 3);
+
+    assert_eq!(seq.len(), seeds.len());
+    assert_eq!(par.len(), seeds.len());
+    for ((a, b), &seed) in seq.iter().zip(&par).zip(&seeds) {
+        assert_eq!(a.seed, seed, "sequential results out of seed order");
+        assert_eq!(b.seed, seed, "parallel merge broke seed order");
+        assert!(
+            !a.trace.is_empty(),
+            "seed {seed}: no trace entries; byte-identity check is vacuous"
+        );
+        assert!(
+            a.chrome_trace.starts_with("{\"traceEvents\":["),
+            "seed {seed}: export is not Chrome trace-event JSON"
+        );
+        assert_eq!(
+            a.invariants, b.invariants,
+            "seed {seed}: invariant reports diverged"
+        );
+        assert_eq!(a.trace, b.trace, "seed {seed}: trace streams diverged");
+        assert_eq!(
+            a.chrome_trace, b.chrome_trace,
+            "seed {seed}: Chrome traces diverged"
+        );
+    }
+    assert_eq!(seq, par, "parallel artifacts differ from sequential");
+}

@@ -24,10 +24,13 @@ pub mod chaos;
 use hl_cpu::{CpuOutput, HostCpu, ProcId};
 use hl_fabric::{Delivery, Fabric, HostId};
 use hl_nvm::{Layout, NvmArena};
-use hl_rnic::{Cqe, Nic, NicEventKind, NicOutput, RecvWqe, RingFull, Wqe};
+use hl_rnic::{Cqe, Nic, NicEventKind, NicOutput, Packet, RecvWqe, RingFull, Wqe};
 use hl_sim::config::HwProfile;
 use hl_sim::telemetry::Stage;
-use hl_sim::{Attribution, Engine, RngFactory, RngStream, SimDuration, SimTime, Telemetry, Tracer};
+use hl_sim::{
+    Attribution, Engine, EventCtx, EventToken, RngFactory, RngStream, SimDuration, SimTime,
+    Telemetry, Tracer,
+};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -215,6 +218,135 @@ pub struct World {
     /// Causal op tracing + labelled metrics (off until
     /// [`World::enable_telemetry`]).
     pub telemetry: Telemetry,
+    /// Live ack-timer event per reliable QP, keyed `(host, qpn)`.
+    /// Superseded or dead timers are cancelled in the engine rather
+    /// than left queued as no-op events.
+    timer_tokens: BTreeMap<(usize, u32), EventToken>,
+}
+
+/// High-frequency datapath events, dispatched through the engine's
+/// typed fast path (no per-event allocation; see [`EventCtx`]).
+/// Cold-path events (process delivery, chaos injection, application
+/// callbacks) keep using boxed closures.
+pub enum WorldEvent {
+    /// Hand `packet` to the fabric (egress serialization + propagation)
+    /// at the scheduled transmit time.
+    FabricTx {
+        /// Transmitting host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// `packet` arrives at `dst`'s NIC.
+    NicRx {
+        /// Receiving host.
+        dst: HostId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Deliver a CQE on `host` (completion latency elapsed).
+    CqeDeliver {
+        /// The host whose NIC delivers.
+        host: HostId,
+        /// Target CQ.
+        cq: u32,
+        /// The completion.
+        cqe: Cqe,
+    },
+    /// Finish a NIC-local loopback operation (DMA copy / CAS / flush).
+    DoLocal {
+        /// The host.
+        host: HostId,
+        /// Loopback QP.
+        qpn: u32,
+        /// The WQE to execute locally.
+        wqe: Wqe,
+    },
+    /// A reliable QP's ack-retransmit timer expired.
+    NicTimer {
+        /// The host.
+        host: HostId,
+        /// The QP whose timer this is.
+        qpn: u32,
+        /// Timer generation at arm time (staleness check).
+        gen: u64,
+    },
+    /// A CPU scheduler core timer expired.
+    CpuTimer {
+        /// The host.
+        host: HostId,
+        /// Core index.
+        core: usize,
+        /// Generation at arm time (staleness check).
+        gen: u64,
+    },
+}
+
+impl EventCtx for World {
+    type Event = WorldEvent;
+
+    fn run_event(&mut self, eng: &mut Engine<World>, ev: WorldEvent) {
+        let now = eng.now();
+        match ev {
+            WorldEvent::FabricTx { src, dst, packet } => {
+                let size = packet.wire_size();
+                let draw = self.drop_rng.f64();
+                hl_sim::trace!(
+                    self.tracer,
+                    now,
+                    "fabric",
+                    "{src}->{dst} {size}B qp{}->qp{}",
+                    packet.src_qpn,
+                    packet.dst_qpn
+                );
+                match self.fabric.send(now, src, dst, size, draw) {
+                    Delivery::At(arrive) => {
+                        eng.schedule_event_at(arrive, WorldEvent::NicRx { dst, packet });
+                    }
+                    Delivery::Dropped => {
+                        hl_sim::trace!(self.tracer, now, "fabric", "{src}->{dst} DROPPED");
+                        self.dropped_packets += 1;
+                    }
+                }
+            }
+            WorldEvent::NicRx { dst, packet } => {
+                let h = &mut self.hosts[dst.0];
+                let outs = h.nic.on_packet(now, packet, &mut h.mem);
+                route_nic(dst, outs, self, eng);
+            }
+            WorldEvent::CqeDeliver { host, cq, cqe } => {
+                hl_sim::trace!(
+                    self.tracer,
+                    now,
+                    "rnic",
+                    "{host} cqe cq{cq} qp{} wr{} {:?}",
+                    cqe.qpn,
+                    cqe.wr_id,
+                    cqe.status
+                );
+                let h = &mut self.hosts[host.0];
+                let outs = h.nic.deliver_cqe(now, cq, cqe, &mut h.mem);
+                route_nic(host, outs, self, eng);
+            }
+            WorldEvent::DoLocal { host, qpn, wqe } => {
+                let h = &mut self.hosts[host.0];
+                let outs = h.nic.finish_local(now, qpn, wqe, &mut h.mem);
+                route_nic(host, outs, self, eng);
+            }
+            WorldEvent::NicTimer { host, qpn, gen } => {
+                self.timer_tokens.remove(&(host.0, qpn));
+                let h = &mut self.hosts[host.0];
+                let outs = h.nic.on_timer(now, qpn, gen, &mut h.mem);
+                route_nic(host, outs, self, eng);
+            }
+            WorldEvent::CpuTimer { host, core, gen } => {
+                let outs = self.hosts[host.0].cpu.on_timer(now, core, gen);
+                route_cpu(host, outs, self, eng);
+            }
+        }
+    }
 }
 
 impl World {
@@ -532,6 +664,7 @@ impl ClusterBuilder {
             cq_subs: BTreeMap::new(),
             dropped_packets: 0,
             telemetry: Telemetry::default(),
+            timer_tokens: BTreeMap::new(),
         };
         (world, Engine::new())
     }
@@ -560,11 +693,7 @@ pub fn route_cpu(host: HostId, outs: Vec<CpuOutput>, w: &mut World, eng: &mut En
     for o in outs {
         match o {
             CpuOutput::Timer { core, gen, at } => {
-                eng.schedule_at(at, move |w: &mut World, eng| {
-                    let now = eng.now();
-                    let outs = w.hosts[host.0].cpu.on_timer(now, core, gen);
-                    route_cpu(host, outs, w, eng);
-                });
+                eng.schedule_event_at(at, WorldEvent::CpuTimer { host, core, gen });
             }
             CpuOutput::WorkDone { pid, tag } => {
                 let addr = ProcAddr { host, pid };
@@ -632,69 +761,37 @@ pub fn route_nic(host: HostId, outs: Vec<NicOutput>, w: &mut World, eng: &mut En
                 packet,
             } => {
                 let dst = HostId(dst_nic as usize);
-                eng.schedule_at(at, move |w: &mut World, eng| {
-                    let now = eng.now();
-                    let size = packet.wire_size();
-                    let draw = w.drop_rng.f64();
-                    hl_sim::trace!(
-                        w.tracer,
-                        now,
-                        "fabric",
-                        "{host}->{dst} {size}B qp{}->qp{}",
-                        packet.src_qpn,
-                        packet.dst_qpn
-                    );
-                    match w.fabric.send(now, host, dst, size, draw) {
-                        Delivery::At(arrive) => {
-                            eng.schedule_at(arrive, move |w: &mut World, eng| {
-                                let now = eng.now();
-                                let h = &mut w.hosts[dst.0];
-                                let outs = h.nic.on_packet(now, packet, &mut h.mem);
-                                route_nic(dst, outs, w, eng);
-                            });
-                        }
-                        Delivery::Dropped => {
-                            hl_sim::trace!(w.tracer, now, "fabric", "{host}->{dst} DROPPED");
-                            w.dropped_packets += 1;
-                        }
-                    }
-                });
+                eng.schedule_event_at(
+                    at,
+                    WorldEvent::FabricTx {
+                        src: host,
+                        dst,
+                        packet,
+                    },
+                );
             }
             NicOutput::Complete { at, cq, cqe } => {
-                eng.schedule_at(at, move |w: &mut World, eng| {
-                    let now = eng.now();
-                    hl_sim::trace!(
-                        w.tracer,
-                        now,
-                        "rnic",
-                        "{host} cqe cq{cq} qp{} wr{} {:?}",
-                        cqe.qpn,
-                        cqe.wr_id,
-                        cqe.status
-                    );
-                    let h = &mut w.hosts[host.0];
-                    let outs = h.nic.deliver_cqe(now, cq, cqe, &mut h.mem);
-                    route_nic(host, outs, w, eng);
-                });
+                eng.schedule_event_at(at, WorldEvent::CqeDeliver { host, cq, cqe });
             }
             NicOutput::DoLocal { at, qpn, wqe } => {
-                eng.schedule_at(at, move |w: &mut World, eng| {
-                    let now = eng.now();
-                    let h = &mut w.hosts[host.0];
-                    let outs = h.nic.finish_local(now, qpn, wqe, &mut h.mem);
-                    route_nic(host, outs, w, eng);
-                });
+                eng.schedule_event_at(at, WorldEvent::DoLocal { host, qpn, wqe });
             }
             NicOutput::CqEvent { cq } => {
                 dispatch_cq_event(host, cq, w, eng);
             }
             NicOutput::ArmTimer { at, qpn, gen } => {
-                eng.schedule_at(at, move |w: &mut World, eng| {
-                    let now = eng.now();
-                    let h = &mut w.hosts[host.0];
-                    let outs = h.nic.on_timer(now, qpn, gen, &mut h.mem);
-                    route_nic(host, outs, w, eng);
-                });
+                // A new arm supersedes any timer still queued for this
+                // QP: cancel it instead of letting it fire as a
+                // stale-generation no-op.
+                let tok = eng.schedule_event_at(at, WorldEvent::NicTimer { host, qpn, gen });
+                if let Some(old) = w.timer_tokens.insert((host.0, qpn), tok) {
+                    eng.cancel(old);
+                }
+            }
+            NicOutput::CancelTimer { qpn } => {
+                if let Some(tok) = w.timer_tokens.remove(&(host.0, qpn)) {
+                    eng.cancel(tok);
+                }
             }
         }
     }

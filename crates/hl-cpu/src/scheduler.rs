@@ -583,6 +583,7 @@ mod tests {
         cpu: HostCpu,
         done: Vec<(SimTime, ProcId, WorkTag)>,
     }
+    hl_sim::inert_event_ctx!(Sim);
 
     fn route(out: Vec<CpuOutput>, sim: &mut Sim, eng: &mut Engine<Sim>) {
         for o in out {

@@ -10,6 +10,7 @@ struct Sim {
     cpu: HostCpu,
     done: Vec<(SimTime, ProcId, u64)>,
 }
+hl_sim::inert_event_ctx!(Sim);
 
 fn route(out: Vec<CpuOutput>, sim: &mut Sim, eng: &mut Engine<Sim>) {
     for o in out {

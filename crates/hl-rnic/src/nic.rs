@@ -104,6 +104,13 @@ pub enum NicOutput {
         /// Timer generation at arm time.
         gen: u64,
     },
+    /// The QP's ack timer became dead (unacked list drained, or the QP
+    /// entered Error): the cluster layer should cancel the pending
+    /// timer event instead of letting it fire as a stale no-op.
+    CancelTimer {
+        /// The QP whose ack timer is dead.
+        qpn: u32,
+    },
 }
 
 /// In-flight fencing operation state (at most one per QP).
@@ -748,9 +755,10 @@ impl Nic {
                 });
             }
             Opcode::Send => {
-                let data = mem
+                let data: hl_sim::Bytes = mem
                     .read_vec(wqe.laddr, wqe.len as usize)
-                    .expect("send gather in arena");
+                    .expect("send gather in arena")
+                    .into();
                 let (dst, dst_qpn) = remote.expect("SEND on unconnected QP");
                 let kind = PacketKind::Send {
                     data,
@@ -770,9 +778,10 @@ impl Nic {
                 ));
             }
             Opcode::Write | Opcode::WriteImm => {
-                let data = mem
+                let data: hl_sim::Bytes = mem
                     .read_vec(wqe.laddr, wqe.len as usize)
-                    .expect("write gather in arena");
+                    .expect("write gather in arena")
+                    .into();
                 let (dst, dst_qpn) = remote.expect("WRITE on unconnected QP");
                 let kind = if wqe.opcode == Opcode::Write {
                     PacketKind::Write {
@@ -1006,7 +1015,8 @@ impl Nic {
         let send_cq = qp.send_cq;
         let pending = std::mem::take(&mut qp.unacked);
         self.inflight[qpn as usize] = None;
-        let mut out = Vec::new();
+        // The ack timer dies with the QP.
+        let mut out = vec![NicOutput::CancelTimer { qpn }];
         for (i, p) in pending.iter().enumerate() {
             let status = if i == 0 {
                 CqeStatus::RetryExceeded
@@ -1364,7 +1374,10 @@ impl Nic {
                 let Ok(data) = mem.read_vec(raddr, len as usize) else {
                     return self.refuse(t, &pkt, NakReason::RemoteAccess);
                 };
-                let kind = PacketKind::ReadResp { data, wr_id };
+                let kind = PacketKind::ReadResp {
+                    data: data.into(),
+                    wr_id,
+                };
                 if pkt.reliable {
                     self.qps[qpn as usize].resp_cache = Some((pkt.psn, kind.clone()));
                 }
@@ -1601,15 +1614,15 @@ impl Nic {
             let qp = &mut self.qps[qpn as usize];
             qp.retries = 0;
             qp.timer_gen += 1;
-            if !qp.unacked.is_empty() {
-                if let Some(cfg) = qp.timeout {
-                    let gen = qp.timer_gen;
-                    out.push(NicOutput::ArmTimer {
-                        at: t + cfg.timeout,
-                        qpn,
-                        gen,
-                    });
-                }
+            if qp.unacked.is_empty() {
+                out.push(NicOutput::CancelTimer { qpn });
+            } else if let Some(cfg) = qp.timeout {
+                let gen = qp.timer_gen;
+                out.push(NicOutput::ArmTimer {
+                    at: t + cfg.timeout,
+                    qpn,
+                    gen,
+                });
             }
         }
         if !matched {

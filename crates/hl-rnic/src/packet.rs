@@ -16,6 +16,8 @@
 /// Fixed per-packet header overhead (Ethernet + IP + UDP + BTH ≈ RoCEv2).
 pub const HEADER_BYTES: usize = 48;
 
+use hl_sim::Bytes;
+
 /// A packet between two connected QPs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
@@ -50,8 +52,8 @@ pub enum PacketKind {
         raddr: u64,
         /// Remote key.
         rkey: u32,
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (shared, zero-copy).
+        data: Bytes,
         /// Requester cookie for the ack.
         wr_id: u64,
         /// Requester wants a completion.
@@ -63,8 +65,8 @@ pub enum PacketKind {
         raddr: u64,
         /// Remote key.
         rkey: u32,
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (shared, zero-copy).
+        data: Bytes,
         /// Immediate value delivered in the responder's CQE.
         imm: u32,
         /// Requester cookie for the ack.
@@ -74,8 +76,8 @@ pub enum PacketKind {
     },
     /// Two-sided send: scattered per the responder's posted RECV.
     Send {
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (shared, zero-copy).
+        data: Bytes,
         /// Requester cookie for the ack.
         wr_id: u64,
         /// Requester wants a completion.
@@ -118,8 +120,8 @@ pub enum PacketKind {
     },
     /// Read response with the data.
     ReadResp {
-        /// Returned bytes.
-        data: Vec<u8>,
+        /// Returned bytes (shared, zero-copy).
+        data: Bytes,
         /// Echoed cookie.
         wr_id: u64,
     },
@@ -199,7 +201,7 @@ mod tests {
             kind: PacketKind::Write {
                 raddr: 0,
                 rkey: 0,
-                data: vec![0; 100],
+                data: vec![0; 100].into(),
                 wr_id: 0,
                 signaled: false,
             },

@@ -11,7 +11,7 @@ use hl_rnic::{
     flags, Access, Cqe, CqeKind, CqeStatus, Nic, NicOutput, Opcode, Packet, PacketKind, Wqe,
 };
 use hl_sim::config::NicProfile;
-use hl_sim::{RngFactory, SimTime};
+use hl_sim::{Bytes, RngFactory, SimTime};
 
 const T1: SimTime = SimTime::from_nanos(1_000);
 const T2: SimTime = SimTime::from_nanos(2_000);
@@ -43,7 +43,7 @@ fn write_pkt(
         kind: PacketKind::Write {
             raddr,
             rkey,
-            data: data.to_vec(),
+            data: Bytes::copy_from_slice(data),
             wr_id: 1,
             signaled: false,
         },

@@ -12,6 +12,7 @@ struct World {
     nics: Vec<Nic>,
     mems: Vec<NvmArena>,
 }
+hl_sim::inert_event_ctx!(World);
 
 fn world(n: usize) -> World {
     let fac = RngFactory::new(7);
@@ -63,6 +64,9 @@ fn route(nic: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
                     route(nic, outs, eng);
                 });
             }
+            // The nic-level harness keeps legacy fire-and-ignore timer
+            // semantics; stale generations no-op inside on_timer.
+            NicOutput::CancelTimer { .. } => {}
         }
     }
 }

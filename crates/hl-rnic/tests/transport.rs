@@ -20,6 +20,7 @@ struct World {
     /// Drop the next N packets *arriving* at nic i (transient loss).
     rx_drop: Vec<u32>,
 }
+hl_sim::inert_event_ctx!(World);
 
 fn world(n: usize) -> World {
     let fac = RngFactory::new(11);
@@ -73,6 +74,9 @@ fn route(nic: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
                     route(nic, outs, eng);
                 });
             }
+            // The nic-level harness keeps legacy fire-and-ignore timer
+            // semantics; stale generations no-op inside on_timer.
+            NicOutput::CancelTimer { .. } => {}
         }
     }
 }

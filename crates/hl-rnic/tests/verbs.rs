@@ -20,6 +20,7 @@ struct World {
     cq_events: Vec<(SimTime, usize, u32)>,
     completions: Vec<(SimTime, usize, u32, Cqe)>, // (when, nic, cq, cqe)
 }
+hl_sim::inert_event_ctx!(World);
 
 impl World {
     fn new(n: usize) -> Self {
@@ -83,6 +84,9 @@ fn route(nic_idx: usize, outs: Vec<NicOutput>, eng: &mut Engine<World>) {
                     route(nic_idx, outs, eng);
                 });
             }
+            // The nic-level harness keeps legacy fire-and-ignore timer
+            // semantics; stale generations no-op inside on_timer.
+            NicOutput::CancelTimer { .. } => {}
         }
     }
 }

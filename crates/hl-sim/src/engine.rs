@@ -1,48 +1,133 @@
 //! The discrete-event engine.
 //!
-//! A single-threaded, deterministic event loop. Events are boxed
-//! `FnOnce(&mut C, &mut Engine<C>)` closures ordered by `(time, seq)`,
-//! where `seq` is a monotonically increasing tiebreaker so that events
-//! scheduled for the same instant fire in scheduling order. Determinism
-//! therefore depends only on the order of `schedule` calls and the RNG
-//! seed — never on hash iteration order or wall-clock time.
+//! A single-threaded, deterministic event loop. Two event
+//! representations share one queue:
 //!
-//! The context type `C` is the simulated world (hosts, network, …). The
-//! engine is passed alongside the context to every handler so handlers
-//! can schedule follow-up events.
+//! * **Typed events** — the context type declares a payload enum via
+//!   [`EventCtx::Event`] and dispatches it in [`EventCtx::run_event`].
+//!   This is the hot path: a typed event is stored inline in an arena
+//!   slot, so the datapath (packet delivery, CQE dispatch, timer fire)
+//!   costs no per-event heap allocation.
+//! * **Boxed closures** — `FnOnce(&mut C, &mut Engine<C>)`, the escape
+//!   hatch for cold-path and setup-time events that need to capture
+//!   arbitrary state.
+//!
+//! Events are ordered by `(time, seq)`, where `seq` is a monotonically
+//! increasing tiebreaker so that events scheduled for the same instant
+//! fire in scheduling order. Determinism therefore depends only on the
+//! order of `schedule` calls and the RNG seed — never on hash iteration
+//! order, arena layout, or wall-clock time.
+//!
+//! Internally the queue is an index-min **4-ary heap** over a slab of
+//! event slots. Every schedule call returns an [`EventToken`]
+//! (generation-checked slot handle) that can later be passed to
+//! [`Engine::cancel`], which removes the entry from the heap in
+//! O(log n) — retransmit timers that are superseded no longer leak
+//! dead entries that the loop must pop and discard.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Event handler signature: mutate the world, schedule more events.
 pub type Handler<C> = Box<dyn FnOnce(&mut C, &mut Engine<C>)>;
 
-struct Scheduled<C> {
-    at: SimTime,
-    seq: u64,
-    run: Handler<C>,
+/// Contract between the engine and its context type.
+///
+/// `Event` is the typed payload for high-frequency events; contexts
+/// with no typed events use [`NoEvent`] (see [`inert_event_ctx!`]).
+pub trait EventCtx: Sized {
+    /// Typed event payload dispatched by [`EventCtx::run_event`].
+    type Event;
+
+    /// Dispatch one typed event. Called by the engine with the event's
+    /// scheduled time already applied to [`Engine::now`].
+    fn run_event(&mut self, eng: &mut Engine<Self>, ev: Self::Event);
 }
 
-impl<C> PartialEq for Scheduled<C> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// The uninhabited event type for contexts that only use closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoEvent {}
+
+/// Implement [`EventCtx`] with no typed events (`Event = NoEvent`) for
+/// one or more local context types:
+///
+/// ```
+/// struct MyWorld {
+///     ticks: u64,
+/// }
+/// hl_sim::inert_event_ctx!(MyWorld);
+/// let mut eng: hl_sim::Engine<MyWorld> = hl_sim::Engine::new();
+/// ```
+#[macro_export]
+macro_rules! inert_event_ctx {
+    ($($t:ty),+ $(,)?) => {$(
+        impl $crate::EventCtx for $t {
+            type Event = $crate::NoEvent;
+            fn run_event(&mut self, _eng: &mut $crate::Engine<Self>, ev: $crate::NoEvent) {
+                match ev {}
+            }
+        }
+    )+};
+}
+
+// Convenience impls so tests, benches and doc examples can use plain
+// std types as trivial contexts.
+inert_event_ctx!((), u32, u64, usize);
+
+impl<T> EventCtx for Vec<T> {
+    type Event = NoEvent;
+    fn run_event(&mut self, _eng: &mut Engine<Self>, ev: NoEvent) {
+        match ev {}
     }
 }
-impl<C> Eq for Scheduled<C> {}
-impl<C> PartialOrd for Scheduled<C> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Generation-checked handle to a scheduled event, returned by every
+/// `schedule*` call. Pass it to [`Engine::cancel`] to remove the event
+/// before it fires; a token whose event already ran (or was cancelled)
+/// is harmlessly stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken {
+    slot: u32,
+    gen: u32,
 }
-impl<C> Ord for Scheduled<C> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+/// What a scheduled slot carries.
+enum Payload<C: EventCtx> {
+    /// Inline typed event — no heap allocation.
+    Typed(C::Event),
+    /// Boxed closure escape hatch.
+    Call(Handler<C>),
+}
+
+/// Bookkeeping for one arena slot. Vacant slots chain through
+/// `next_free`; occupied slots know their heap position so
+/// [`Engine::cancel`] is O(log n). Payloads live in a parallel vector
+/// (`Engine::payloads`) so the metadata the sift loops touch stays
+/// 12 bytes per slot — L1-resident at datapath arena sizes.
+struct Slot {
+    /// Bumped on every free; stale [`EventToken`]s fail the check.
+    gen: u32,
+    /// Index into the heap while occupied.
+    heap_pos: u32,
+    /// Free-list link while vacant.
+    next_free: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A heap entry: the ordering key plus the arena slot it refers to.
+/// Keys are duplicated here so sift compares stay within one cache
+/// line instead of chasing the arena.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
@@ -58,8 +143,15 @@ impl<C> Ord for Scheduled<C> {
 /// engine.run(&mut world);
 /// assert_eq!(world, vec![5_000]);
 /// ```
-pub struct Engine<C> {
-    queue: BinaryHeap<Scheduled<C>>,
+pub struct Engine<C: EventCtx> {
+    /// Index-min 4-ary heap ordered by `(at, seq)`.
+    heap: Vec<HeapEntry>,
+    /// Slot bookkeeping addressed by heap entries and tokens.
+    slots: Vec<Slot>,
+    /// Event payloads, parallel to `slots` (split off so the sift
+    /// loops never pull payload bytes into cache).
+    payloads: Vec<Option<Payload<C>>>,
+    free_head: u32,
     now: SimTime,
     seq: u64,
     executed: u64,
@@ -67,17 +159,20 @@ pub struct Engine<C> {
     event_limit: u64,
 }
 
-impl<C> Default for Engine<C> {
+impl<C: EventCtx> Default for Engine<C> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<C> Engine<C> {
+impl<C: EventCtx> Engine<C> {
     /// A fresh engine at t = 0.
     pub fn new() -> Self {
         Engine {
-            queue: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            payloads: Vec::new(),
+            free_head: NONE,
             now: SimTime::ZERO,
             seq: 0,
             executed: 0,
@@ -103,32 +198,53 @@ impl<C> Engine<C> {
 
     /// Number of events waiting in the queue.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.heap.len()
     }
 
     /// Schedule `f` to run after `delay`.
-    pub fn schedule<F>(&mut self, delay: SimDuration, f: F)
+    pub fn schedule<F>(&mut self, delay: SimDuration, f: F) -> EventToken
     where
         F: FnOnce(&mut C, &mut Engine<C>) + 'static,
     {
-        self.schedule_at(self.now + delay, f);
+        self.schedule_at(self.now + delay, f)
     }
 
     /// Schedule `f` at an absolute instant. Events in the past are clamped
     /// to `now` (they still run after already-queued events at `now`,
     /// because of the `seq` tiebreaker).
-    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventToken
     where
         F: FnOnce(&mut C, &mut Engine<C>) + 'static,
     {
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        });
+        self.push(at, Payload::Call(Box::new(f)))
+    }
+
+    /// Schedule a typed event after `delay` (allocation-free hot path).
+    pub fn schedule_event(&mut self, delay: SimDuration, ev: C::Event) -> EventToken {
+        self.push(self.now + delay, Payload::Typed(ev))
+    }
+
+    /// Schedule a typed event at an absolute instant, clamped to `now`
+    /// like [`Engine::schedule_at`].
+    pub fn schedule_event_at(&mut self, at: SimTime, ev: C::Event) -> EventToken {
+        self.push(at, Payload::Typed(ev))
+    }
+
+    /// Cancel a scheduled event. Returns `true` if the token was live
+    /// (the event is removed and will never fire); `false` if it already
+    /// ran or was cancelled. O(log n) — the heap entry is removed, not
+    /// left behind as a dead no-op.
+    pub fn cancel(&mut self, tok: EventToken) -> bool {
+        let Some(slot) = self.slots.get(tok.slot as usize) else {
+            return false;
+        };
+        if slot.gen != tok.gen || self.payloads[tok.slot as usize].is_none() {
+            return false;
+        }
+        let pos = slot.heap_pos as usize;
+        self.heap_remove(pos);
+        self.free_slot(tok.slot);
+        true
     }
 
     /// Run a single event if one is pending. Returns `false` when idle.
@@ -139,16 +255,23 @@ impl<C> Engine<C> {
                 self.event_limit, self.now
             );
         }
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now, "time went backwards");
-                self.now = ev.at;
-                self.executed += 1;
-                (ev.run)(ctx, self);
-                true
-            }
-            None => false,
+        if self.heap.is_empty() {
+            return false;
         }
+        let head = self.heap[0];
+        debug_assert!(head.at >= self.now, "time went backwards");
+        self.heap_remove(0);
+        let payload = self.payloads[head.slot as usize]
+            .take()
+            .expect("occupied slot");
+        self.free_slot(head.slot);
+        self.now = head.at;
+        self.executed += 1;
+        match payload {
+            Payload::Typed(ev) => ctx.run_event(self, ev),
+            Payload::Call(f) => f(ctx, self),
+        }
+        true
     }
 
     /// Run until the queue is empty.
@@ -160,7 +283,7 @@ impl<C> Engine<C> {
     /// Events scheduled after the deadline remain queued; the clock is
     /// left at the last executed event (≤ deadline).
     pub fn run_until(&mut self, ctx: &mut C, deadline: SimTime) {
-        while let Some(head) = self.queue.peek() {
+        while let Some(head) = self.heap.first() {
             if head.at > deadline {
                 break;
             }
@@ -183,6 +306,124 @@ impl<C> Engine<C> {
             }
         }
     }
+
+    // ----- arena + 4-ary heap internals ----------------------------------
+
+    fn push(&mut self, at: SimTime, payload: Payload<C>) -> EventToken {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        // Claim a slot from the free list, or grow the slab.
+        let slot = if self.free_head != NONE {
+            let s = self.free_head;
+            self.free_head = self.slots[s as usize].next_free;
+            self.payloads[s as usize] = Some(payload);
+            s
+        } else {
+            assert!(self.slots.len() < NONE as usize, "event arena overflow");
+            self.slots.push(Slot {
+                gen: 0,
+                heap_pos: 0,
+                next_free: NONE,
+            });
+            self.payloads.push(Some(payload));
+            (self.slots.len() - 1) as u32
+        };
+        let pos = self.heap.len();
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.slots[slot as usize].heap_pos = pos as u32;
+        self.sift_up(pos);
+        EventToken {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        self.payloads[slot as usize] = None;
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.next_free = self.free_head;
+        self.free_head = slot;
+    }
+
+    /// Remove the heap entry at `pos`, restoring the heap property.
+    fn heap_remove(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap_remove(pos);
+        if pos < last {
+            let moved_slot = self.heap[pos].slot;
+            self.slots[moved_slot as usize].heap_pos = pos as u32;
+            // The element that moved in may need to travel either way;
+            // if sift_down left it in place, try the other direction.
+            self.sift_down(pos);
+            if self.slots[moved_slot as usize].heap_pos as usize == pos {
+                self.sift_up(pos);
+            }
+        }
+    }
+
+    /// Both sifts use the classic hole technique: the moving entry is
+    /// held in a register while displaced entries shift one copy (and
+    /// one `heap_pos` fix-up) each, instead of a three-copy swap with
+    /// two fix-ups per level. On the hot pop path this halves the
+    /// random writes into the slot arena.
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let key = entry.key();
+        let start = i;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            let p = self.heap[parent];
+            if key >= p.key() {
+                break;
+            }
+            self.heap[i] = p;
+            self.slots[p.slot as usize].heap_pos = i as u32;
+            i = parent;
+        }
+        // Callers guarantee heap[start] and its heap_pos are already
+        // consistent, so an unmoved entry needs no write-back at all —
+        // the common case for a freshly pushed (latest-key) event.
+        if i != start {
+            self.heap[i] = entry;
+            self.slots[entry.slot as usize].heap_pos = i as u32;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[i];
+        let key = entry.key();
+        let start = i;
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let end = (first + 4).min(len);
+            let mut min = first;
+            let mut min_key = self.heap[first].key();
+            for c in first + 1..end {
+                let k = self.heap[c].key();
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key >= key {
+                break;
+            }
+            let m = self.heap[min];
+            self.heap[i] = m;
+            self.slots[m.slot as usize].heap_pos = i as u32;
+            i = min;
+        }
+        if i != start {
+            self.heap[i] = entry;
+            self.slots[entry.slot as usize].heap_pos = i as u32;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +436,7 @@ mod tests {
     struct World {
         log: Vec<(u64, &'static str)>,
     }
+    inert_event_ctx!(World);
 
     #[test]
     fn events_fire_in_time_order() {
@@ -304,5 +546,104 @@ mod tests {
         }
         eng.schedule(SimDuration::ZERO, forever);
         eng.run(&mut w);
+    }
+
+    // ----- typed events and cancellation ---------------------------------
+
+    struct Typed {
+        fired: Vec<(u64, u32)>,
+    }
+
+    enum TypedEv {
+        Mark(u32),
+        Chain { left: u32 },
+    }
+
+    impl EventCtx for Typed {
+        type Event = TypedEv;
+        fn run_event(&mut self, eng: &mut Engine<Self>, ev: TypedEv) {
+            match ev {
+                TypedEv::Mark(id) => self.fired.push((eng.now().as_nanos(), id)),
+                TypedEv::Chain { left } => {
+                    self.fired.push((eng.now().as_nanos(), left));
+                    if left > 0 {
+                        eng.schedule_event(
+                            SimDuration::from_nanos(3),
+                            TypedEv::Chain { left: left - 1 },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_interleave_with_closures_in_seq_order() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        eng.schedule_event(SimDuration::from_nanos(5), TypedEv::Mark(1));
+        eng.schedule(SimDuration::from_nanos(5), |w: &mut Typed, eng| {
+            w.fired.push((eng.now().as_nanos(), 2));
+        });
+        eng.schedule_event(SimDuration::from_nanos(5), TypedEv::Mark(3));
+        eng.run(&mut w);
+        assert_eq!(w.fired, vec![(5, 1), (5, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn typed_events_can_chain() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        eng.schedule_event(SimDuration::ZERO, TypedEv::Chain { left: 4 });
+        eng.run(&mut w);
+        assert_eq!(w.fired.len(), 5);
+        assert_eq!(eng.now().as_nanos(), 12);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_removes_event_before_it_fires() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        let keep = eng.schedule_event(SimDuration::from_nanos(10), TypedEv::Mark(1));
+        let kill = eng.schedule_event(SimDuration::from_nanos(20), TypedEv::Mark(2));
+        eng.schedule_event(SimDuration::from_nanos(30), TypedEv::Mark(3));
+        assert!(eng.cancel(kill));
+        assert_eq!(eng.pending(), 2);
+        // Double-cancel and cancel-after-fire are inert.
+        assert!(!eng.cancel(kill));
+        eng.run(&mut w);
+        assert!(!eng.cancel(keep));
+        assert_eq!(w.fired, vec![(10, 1), (30, 3)]);
+    }
+
+    #[test]
+    fn cancel_tokens_survive_slot_reuse() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        let a = eng.schedule_event(SimDuration::from_nanos(10), TypedEv::Mark(1));
+        assert!(eng.cancel(a));
+        // The freed slot is reused; the old token must not cancel the
+        // new occupant.
+        let b = eng.schedule_event(SimDuration::from_nanos(10), TypedEv::Mark(2));
+        assert!(!eng.cancel(a));
+        eng.run(&mut w);
+        assert_eq!(w.fired, vec![(10, 2)]);
+        assert!(!eng.cancel(b));
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_order_and_bounds_queue() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        // Arm + supersede a "timer" 1000 times; only the last survives.
+        let mut tok = eng.schedule_event(SimDuration::from_nanos(10_000), TypedEv::Mark(0));
+        for i in 1..1000u32 {
+            assert!(eng.cancel(tok));
+            tok = eng.schedule_event(SimDuration::from_nanos(10_000 + i as u64), TypedEv::Mark(i));
+            assert_eq!(eng.pending(), 1);
+        }
+        eng.run(&mut w);
+        assert_eq!(w.fired, vec![(10_999, 999)]);
     }
 }

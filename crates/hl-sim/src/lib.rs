@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+mod bytes;
 pub mod config;
 mod engine;
 mod rng;
@@ -20,7 +21,8 @@ pub mod telemetry;
 mod time;
 mod trace;
 
-pub use engine::{Engine, Handler};
+pub use bytes::Bytes;
+pub use engine::{Engine, EventCtx, EventToken, Handler, NoEvent};
 pub use rng::{RngFactory, RngStream};
 pub use stats::{Counters, Histogram, Summary};
 pub use telemetry::{Attribution, Metrics, OpKind, Stage, Telemetry};

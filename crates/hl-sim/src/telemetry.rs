@@ -156,11 +156,21 @@ pub struct OpSpan {
 }
 
 impl OpSpan {
+    /// Indices into [`OpSpan::events`] in time order (stable: stamping
+    /// order breaks ties). The export paths iterate through this
+    /// instead of cloning and sorting the event vector itself.
+    pub fn sorted_idx(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.events.len() as u32).collect();
+        idx.sort_by_key(|&i| self.events[i as usize].at);
+        idx
+    }
+
     /// Events sorted by time (stable: stamping order breaks ties).
     pub fn sorted_events(&self) -> Vec<OpEvent> {
-        let mut ev = self.events.clone();
-        ev.sort_by_key(|e| e.at);
-        ev
+        self.sorted_idx()
+            .into_iter()
+            .map(|i| self.events[i as usize])
+            .collect()
     }
 
     /// Decompose the span into named segment durations (ns).
@@ -173,14 +183,19 @@ impl OpSpan {
     /// remain visible in [`OpSpan::events`] and the Chrome trace.
     pub fn segments(&self) -> BTreeMap<&'static str, u64> {
         let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
-        let mut ev = self.sorted_events();
-        if let Some(end) = self.end {
-            ev.retain(|e| e.at <= end);
-        }
-        for pair in ev.windows(2) {
-            let d = pair[1].at.as_nanos() - pair[0].at.as_nanos();
-            let label = pair[1].stage.segment().unwrap_or("other");
-            *out.entry(label).or_insert(0) += d;
+        let mut prev: Option<&OpEvent> = None;
+        for i in self.sorted_idx() {
+            let e = &self.events[i as usize];
+            if self.end.is_some_and(|end| e.at > end) {
+                // Sorted by time, so everything from here on trails `end`.
+                break;
+            }
+            if let Some(p) = prev {
+                let d = e.at.as_nanos() - p.at.as_nanos();
+                let label = e.stage.segment().unwrap_or("other");
+                *out.entry(label).or_insert(0) += d;
+            }
+            prev = Some(e);
         }
         out
     }
@@ -592,7 +607,11 @@ impl Telemetry {
             ));
         }
         for s in self.spans.values() {
-            let ev = s.sorted_events();
+            // Sort indices, not events: spans can hold thousands of
+            // stamped events and export runs per span, so cloning the
+            // event vector here was the hottest allocation in the
+            // exporter.
+            let idx = s.sorted_idx();
             let end_ns = s.end.map(|e| e.as_nanos());
             if let Some(end_ns) = end_ns {
                 // Whole-op span on the issuing host.
@@ -603,17 +622,18 @@ impl Telemetry {
                     s.kind.label(),
                     ts_us(begin_ns),
                     ts_us(end_ns - begin_ns),
-                    ev.first().map(|e| e.host).unwrap_or(0),
+                    idx.first().map(|&i| s.events[i as usize].host).unwrap_or(0),
                     s.id,
                     s.id
                 ));
             }
-            for pair in ev.windows(2) {
-                let Some(label) = pair[1].stage.segment() else {
+            for pair in idx.windows(2) {
+                let (a, b) = (&s.events[pair[0] as usize], &s.events[pair[1] as usize]);
+                let Some(label) = b.stage.segment() else {
                     continue;
                 };
-                let start = pair[0].at.as_nanos();
-                let dur = pair[1].at.as_nanos() - start;
+                let start = a.at.as_nanos();
+                let dur = b.at.as_nanos() - start;
                 events.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                      \"pid\":{},\"tid\":{},\"args\":{{\"op\":{},\"detail\":{}}}}}",
@@ -621,10 +641,10 @@ impl Telemetry {
                     s.kind.label(),
                     ts_us(start),
                     ts_us(dur),
-                    pair[1].host,
+                    b.host,
                     s.id,
                     s.id,
-                    pair[1].detail
+                    b.detail
                 ));
             }
         }

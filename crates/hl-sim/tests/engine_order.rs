@@ -1,0 +1,175 @@
+//! Property tests: the arena event queue pops in exact `(time, seq)`
+//! order under any interleaving of schedule / schedule_at /
+//! schedule_event / cancel, and past-time scheduling clamps to `now`.
+//!
+//! The reference model is a plain vector sorted stably by `(at, seq)`
+//! — the contract the whole deterministic testbed rests on. Any slab
+//! reuse bug, heap-property violation, or cancel that disturbs a
+//! neighbouring entry shows up as an order or liveness divergence.
+
+use hl_sim::{Engine, EventCtx, EventToken, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Test context: records `(now_ns, id)` for every fired event, via the
+/// typed path and the closure path alike.
+#[derive(Default)]
+struct Log {
+    fired: Vec<(u64, u64)>,
+}
+
+impl EventCtx for Log {
+    type Event = u64;
+    fn run_event(&mut self, eng: &mut Engine<Self>, id: u64) {
+        let now = eng.now().as_nanos();
+        self.fired.push((now, id));
+    }
+}
+
+/// One modelled schedule: where the event should fire and whether a
+/// cancel killed it before the run.
+struct Modelled {
+    at: u64,
+    seq: u64,
+    id: u64,
+    token: EventToken,
+    live: bool,
+}
+
+proptest! {
+    /// Apply a random interleaving of the four queue operations, then
+    /// run to quiescence: fired events must match the reference model
+    /// (stable sort by `(at, seq)` over the survivors) exactly — same
+    /// ids, same order, same firing times — and every cancel must
+    /// report liveness truthfully.
+    #[test]
+    fn pops_follow_time_seq_order_exactly(
+        ops in proptest::collection::vec((0u8..4, 0u64..10_000, 0usize..64), 1..200)
+    ) {
+        let mut eng: Engine<Log> = Engine::new();
+        let mut model: Vec<Modelled> = Vec::new();
+        let mut next_id = 0u64;
+        let mut next_seq = 0u64;
+        for (kind, t, pick) in ops {
+            match kind {
+                // Closure with a relative delay (now = 0 pre-run).
+                0 => {
+                    let id = next_id;
+                    let token = eng.schedule(
+                        SimDuration::from_nanos(t),
+                        move |w: &mut Log, eng: &mut Engine<Log>| {
+                            let now = eng.now().as_nanos();
+                            w.fired.push((now, id));
+                        },
+                    );
+                    model.push(Modelled { at: t, seq: next_seq, id, token, live: true });
+                    next_id += 1;
+                    next_seq += 1;
+                }
+                // Closure at an absolute instant.
+                1 => {
+                    let id = next_id;
+                    let token = eng.schedule_at(
+                        SimTime::from_nanos(t),
+                        move |w: &mut Log, eng: &mut Engine<Log>| {
+                            let now = eng.now().as_nanos();
+                            w.fired.push((now, id));
+                        },
+                    );
+                    model.push(Modelled { at: t, seq: next_seq, id, token, live: true });
+                    next_id += 1;
+                    next_seq += 1;
+                }
+                // Typed event (allocation-free datapath representation).
+                2 => {
+                    let id = next_id;
+                    let token = eng.schedule_event(SimDuration::from_nanos(t), id);
+                    model.push(Modelled { at: t, seq: next_seq, id, token, live: true });
+                    next_id += 1;
+                    next_seq += 1;
+                }
+                // Cancel some earlier token (possibly already cancelled).
+                _ => {
+                    if !model.is_empty() {
+                        let idx = pick % model.len();
+                        let m = &mut model[idx];
+                        let was_live = m.live;
+                        let reported = eng.cancel(m.token);
+                        prop_assert_eq!(
+                            reported, was_live,
+                            "cancel lied about liveness of id {}", m.id
+                        );
+                        m.live = false;
+                    }
+                }
+            }
+        }
+
+        let live_total = model.iter().filter(|m| m.live).count();
+        prop_assert_eq!(eng.pending(), live_total, "pending() disagrees with the model");
+
+        let mut expected: Vec<&Modelled> = model.iter().filter(|m| m.live).collect();
+        expected.sort_by_key(|m| (m.at, m.seq));
+        let want: Vec<(u64, u64)> = expected.iter().map(|m| (m.at, m.id)).collect();
+
+        let mut log = Log::default();
+        eng.run(&mut log);
+        prop_assert_eq!(&log.fired, &want, "pop order diverged from (time, seq) model");
+        prop_assert_eq!(eng.pending(), 0usize);
+    }
+
+    /// An event scheduled at an absolute instant already in the past is
+    /// clamped to `now` — and the `seq` tiebreaker still puts it after
+    /// everything queued at `now` before it.
+    #[test]
+    fn past_time_scheduling_clamps_to_now(
+        t in 1_000u64..100_000,
+        back in 0u64..200_000,
+    ) {
+        let mut eng: Engine<Log> = Engine::new();
+        let trigger_at = SimTime::from_nanos(t);
+        // The trigger fires first and schedules an event into the past.
+        eng.schedule_at(trigger_at, move |w: &mut Log, eng: &mut Engine<Log>| {
+            w.fired.push((eng.now().as_nanos(), 1));
+            let past = SimTime::from_nanos(t.saturating_sub(back));
+            eng.schedule_at(past, |w: &mut Log, eng: &mut Engine<Log>| {
+                w.fired.push((eng.now().as_nanos(), 3));
+            });
+        });
+        // A sibling already queued at the same instant must still beat
+        // the clamped late-comer (larger seq).
+        eng.schedule_at(trigger_at, |w: &mut Log, eng: &mut Engine<Log>| {
+            w.fired.push((eng.now().as_nanos(), 2));
+        });
+        let mut log = Log::default();
+        eng.run(&mut log);
+        prop_assert_eq!(&log.fired, &vec![(t, 1), (t, 2), (t, 3)]);
+    }
+
+    /// Cancelling never perturbs survivors, and a token is dead after
+    /// its event fires: cancel a prefix of typed events, run, then
+    /// check every stale token reports `false`.
+    #[test]
+    fn stale_tokens_are_inert(
+        n in 1usize..40,
+        k in 0usize..40,
+    ) {
+        let mut eng: Engine<Log> = Engine::new();
+        let tokens: Vec<EventToken> = (0..n as u64)
+            .map(|id| eng.schedule_event(SimDuration::from_nanos(id * 7), id))
+            .collect();
+        let k = k % n;
+        for tok in &tokens[..k] {
+            prop_assert!(eng.cancel(*tok));
+            // Double-cancel is a no-op.
+            prop_assert!(!eng.cancel(*tok));
+        }
+        let mut log = Log::default();
+        eng.run(&mut log);
+        let survivors: Vec<u64> = log.fired.iter().map(|&(_, id)| id).collect();
+        prop_assert_eq!(survivors, (k as u64..n as u64).collect::<Vec<u64>>());
+        // Every token — fired or cancelled — is now stale.
+        for tok in &tokens {
+            prop_assert!(!eng.cancel(*tok), "token outlived its event");
+        }
+    }
+}

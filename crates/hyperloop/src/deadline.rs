@@ -28,7 +28,7 @@
 use crate::group::{OnDone, OpResult};
 use crate::HyperLoopClient;
 use hl_cluster::World;
-use hl_sim::{Engine, SimDuration};
+use hl_sim::{Bytes, Engine, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -100,8 +100,9 @@ pub enum GroupOp {
     Write {
         /// Offset within the replicated region.
         offset: u64,
-        /// Bytes to replicate.
-        data: Vec<u8>,
+        /// Bytes to replicate; refcounted so each retry re-issue shares
+        /// the one payload buffer instead of cloning it.
+        data: Bytes,
         /// Interleave a gFLUSH.
         flush: bool,
     },
@@ -227,7 +228,7 @@ impl RetryClient {
             eng,
             GroupOp::Write {
                 offset,
-                data: data.to_vec(),
+                data: Bytes::copy_from_slice(data),
                 flush,
             },
             done,

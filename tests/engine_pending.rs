@@ -1,0 +1,85 @@
+//! Regression test for dead-timer churn (ISSUE 4 satellite).
+//!
+//! Every reliable-QP transmit arms a retransmit timer. Before cancel
+//! tokens, a completed op's timer stayed in the event queue as a dead
+//! entry until it fired as a stale no-op — so the pending-event count
+//! grew with the op rate times the 3ms timeout window. With
+//! `NicOutput::CancelTimer` + `Engine::cancel`, a drained QP removes
+//! its timer immediately and the queue stays flat.
+//!
+//! The assertion is differential: a 6x longer workload must not raise
+//! the high-water pending-event mark by more than a small constant. If
+//! dead timers ever leak again, the long run's mark grows by roughly
+//! one entry per completed op (hundreds here) and this fails loudly.
+
+use hyperloop_repro::cluster::ClusterBuilder;
+use hyperloop_repro::fabric::HostId;
+use hyperloop_repro::hyperloop::{replica, GroupBuilder, GroupConfig, HyperLoopClient};
+use hyperloop_repro::sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Drive `ops` sequential durable gWRITEs on a 2-replica chain with the
+/// retransmit timeout armed, returning the high-water pending-event
+/// mark sampled at every op completion, plus the quiescent count.
+fn pending_marks(ops: usize) -> (usize, usize) {
+    let (mut w, mut eng) = ClusterBuilder::new(3).arena_size(2 << 20).seed(7).build();
+    let group = GroupBuilder::new(GroupConfig {
+        client: HostId(0),
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 256 << 10,
+        ring_slots: 64,
+        // Arm the per-transmit retransmit timer (the churn source).
+        transport_timeout: Some((SimDuration::from_millis(3), 7)),
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = Rc::new(HyperLoopClient::new(group, &mut w));
+
+    let done = Rc::new(RefCell::new(0usize));
+    let mut max_pending = 0usize;
+    for k in 0..ops {
+        let d = done.clone();
+        client
+            .gwrite(
+                &mut w,
+                &mut eng,
+                (k as u64 % 512) * 64,
+                format!("pending-{k:04}").as_bytes(),
+                true,
+                Box::new(move |_w, _e, _r| *d.borrow_mut() += 1),
+            )
+            .unwrap();
+        let d2 = done.clone();
+        let want = k + 1;
+        eng.run_while(&mut w, move |_| *d2.borrow() < want);
+        max_pending = max_pending.max(eng.pending());
+    }
+    assert_eq!(*done.borrow(), ops, "ops left unfinished");
+    // Let in-flight chain internals (trailing ACKs, replenish credits)
+    // settle; replenisher/heartbeat machinery keeps a small steady set.
+    let end = eng.now() + SimDuration::from_millis(10);
+    eng.run_until(&mut w, end);
+    (max_pending, eng.pending())
+}
+
+#[test]
+fn pending_events_stay_bounded_under_sustained_reliable_traffic() {
+    let (short_max, short_idle) = pending_marks(60);
+    let (long_max, long_idle) = pending_marks(360);
+    // 6x the ops completed inside one 3ms timeout window: leaked dead
+    // timers would add ~one pending entry per extra op (~300 here).
+    // The +16 margin absorbs scheduling jitter in the steady set.
+    assert!(
+        long_max <= short_max + 16,
+        "pending-event high-water mark grew with op count \
+         ({short_max} @ 60 ops -> {long_max} @ 360 ops): dead timers are leaking"
+    );
+    // Quiescent queues must be flat too, not draining a timer backlog.
+    assert!(
+        long_idle <= short_idle + 16,
+        "quiescent pending-event count grew with op count \
+         ({short_idle} -> {long_idle}): dead timers are leaking"
+    );
+}
