@@ -16,4 +16,5 @@
 pub mod apps;
 pub mod campaign;
 pub mod micro;
+pub mod shard;
 pub mod table;

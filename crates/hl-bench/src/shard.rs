@@ -1,0 +1,315 @@
+//! Sharded campaign: aggregate throughput scaling over 1→N HyperLoop
+//! groups.
+//!
+//! Each shard is a full, independent HyperLoop group — its own chain of
+//! pre-posted WQE rings, WAIT wiring and NVM region — placed on
+//! *disjoint* hosts by [`ShardPlan::place`], all inside one
+//! deterministic event engine. A per-shard closed-loop pump keeps
+//! `pipeline` supervised gWRITEs outstanding through the
+//! [`ShardRouter`], with keys pre-bucketed by the router's own
+//! consistent-hash ring so the routed path is exercised end to end.
+//! Because shards share no host NIC, CPU or egress FIFO, aggregate
+//! ops/sec scales near-linearly with the shard count — the scale-out
+//! claim this campaign measures.
+
+use hl_cluster::shard::ShardPlan;
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, Histogram, SimDuration, SimTime, Summary};
+use hyperloop::{
+    replica, DeadlinePolicy, GroupBuilder, GroupConfig, GroupOp, HyperLoopClient, RetryClient,
+    ShardRouter,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Configuration of one sharded campaign run.
+#[derive(Debug, Clone)]
+pub struct ShardCampaignCfg {
+    /// Number of independent HyperLoop groups.
+    pub n_shards: usize,
+    /// Replicas per shard (group size is `1 + replicas_per_shard`).
+    pub replicas_per_shard: usize,
+    /// Recorded operations per shard.
+    pub ops_per_shard: usize,
+    /// Unrecorded warmup operations per shard.
+    pub warmup_per_shard: usize,
+    /// Outstanding operations per shard.
+    pub pipeline: usize,
+    /// gWRITE payload bytes.
+    pub write_size: usize,
+    /// Pre-posted ring depth per shard.
+    pub ring_slots: u32,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Collect labelled metrics (per-shard `router_ops` counters).
+    pub telemetry: bool,
+}
+
+impl Default for ShardCampaignCfg {
+    fn default() -> Self {
+        ShardCampaignCfg {
+            n_shards: 1,
+            replicas_per_shard: 2,
+            ops_per_shard: 4_000,
+            warmup_per_shard: 200,
+            pipeline: 8,
+            write_size: 512,
+            ring_slots: 256,
+            seed: 42,
+            telemetry: false,
+        }
+    }
+}
+
+/// Measured outcome of a sharded campaign.
+#[derive(Debug, Clone)]
+pub struct ShardCampaignResult {
+    /// Shard count.
+    pub n_shards: usize,
+    /// Total recorded operations across shards.
+    pub total_ops: usize,
+    /// Aggregate throughput over the measured window (Kops/s).
+    pub agg_kops: f64,
+    /// Per-shard throughput (Kops/s), indexed by shard id.
+    pub per_shard_kops: Vec<f64>,
+    /// Latency over all recorded operations.
+    pub latency: Summary,
+    /// Simulated seconds in the measured window.
+    pub sim_secs: f64,
+    /// Rendered labelled-metrics registry (`Some` iff telemetry).
+    pub metrics: Option<String>,
+    /// One-line deterministic report (identical across same-seed
+    /// re-runs; the scaling table and CI byte-identity check use it).
+    pub report: String,
+}
+
+struct ShardPump {
+    sid: usize,
+    issued: usize,
+    recorded: usize,
+    total: usize,
+    warmup: usize,
+    done_at: Option<SimTime>,
+    hist: Histogram,
+    keys: Vec<u64>,
+    write_size: usize,
+}
+
+/// Run one sharded campaign.
+pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
+    let group_size = 1 + cfg.replicas_per_shard;
+    let n_hosts = cfg.n_shards * group_size;
+    let rep_bytes = (128 * cfg.write_size.max(64) as u64 + (64 << 10)).next_power_of_two();
+    let arena = (rep_bytes as usize + (4 << 20)).next_power_of_two();
+
+    let (mut w, mut eng) = ClusterBuilder::new(n_hosts)
+        .arena_size(arena)
+        .seed(cfg.seed)
+        .build();
+    if cfg.telemetry {
+        w.enable_telemetry();
+    }
+
+    // Disjoint placement: every host serves exactly one group member.
+    let hosts: Vec<HostId> = (0..n_hosts).map(HostId).collect();
+    let plan = ShardPlan::place(cfg.n_shards, cfg.replicas_per_shard, &hosts);
+    assert!(plan.is_disjoint(), "sized pool must place disjointly");
+
+    let mut shards = Vec::with_capacity(cfg.n_shards);
+    for g in &plan.groups {
+        let group = GroupBuilder::new(GroupConfig {
+            client: g.client,
+            replicas: g.replicas.clone(),
+            rep_bytes,
+            ring_slots: cfg.ring_slots,
+            replenish_period: SimDuration::from_micros(50),
+            transport_timeout: None,
+        })
+        .build(&mut w);
+        replica::start_replenishers(&group, &mut w, &mut eng);
+        let client = HyperLoopClient::new(group, &mut w);
+        shards.push(RetryClient::with_policy(client, DeadlinePolicy::default()));
+    }
+    let router = Rc::new(ShardRouter::new(shards));
+
+    // Pre-bucket a deterministic key stream by the router's own ring so
+    // the routed (keyed) issue path is what the campaign exercises.
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); cfg.n_shards];
+    for k in 0..(1024 * cfg.n_shards as u64) {
+        buckets[router.shard_of_u64(k)].push(k);
+    }
+
+    let pumps: Vec<Rc<RefCell<ShardPump>>> = buckets
+        .into_iter()
+        .enumerate()
+        .map(|(sid, keys)| {
+            Rc::new(RefCell::new(ShardPump {
+                sid,
+                issued: 0,
+                recorded: 0,
+                total: cfg.ops_per_shard + cfg.warmup_per_shard,
+                warmup: cfg.warmup_per_shard,
+                done_at: None,
+                hist: Histogram::new(),
+                keys,
+                write_size: cfg.write_size,
+            }))
+        })
+        .collect();
+
+    // Prime the chains (replenishers, QP wiring), then measure.
+    eng.run_until(&mut w, SimTime::from_nanos(2_000_000));
+    let measure_from = eng.now();
+
+    for pump in &pumps {
+        for _ in 0..cfg.pipeline {
+            issue_next(&router, pump, &mut w, &mut eng);
+        }
+    }
+    let all = pumps.clone();
+    eng.run_while(&mut w, move |_| {
+        all.iter().any(|p| p.borrow().recorded < p.borrow().total)
+    });
+    let now = eng.now();
+    let window = now.duration_since(measure_from).as_secs_f64();
+
+    assert_eq!(
+        router.failures().len(),
+        0,
+        "clean campaign must not fail ops"
+    );
+
+    let mut latency = Histogram::new();
+    let mut per_shard_kops = Vec::with_capacity(cfg.n_shards);
+    let mut total_ops = 0usize;
+    for pump in &pumps {
+        let p = pump.borrow();
+        assert_eq!(p.recorded, p.total, "shard {} did not finish", p.sid);
+        // Per-shard rate over that shard's own active window.
+        let shard_window = p
+            .done_at
+            .expect("finished shard has a completion time")
+            .duration_since(measure_from)
+            .as_secs_f64();
+        per_shard_kops.push((p.total - p.warmup) as f64 / shard_window / 1e3);
+        total_ops += p.total - p.warmup;
+        latency.merge(&p.hist);
+    }
+    let agg_kops = total_ops as f64 / window / 1e3;
+
+    let metrics = cfg.telemetry.then(|| {
+        w.collect_metrics(now);
+        w.telemetry.metrics.render()
+    });
+
+    let summary = latency.summary();
+    let per_shard_str = per_shard_kops
+        .iter()
+        .map(|k| format!("{k:.1}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let report = format!(
+        "shards={} ops={} agg_kops={:.1} window_us={:.0} p50_ns={} p99_ns={} per_shard_kops=[{}]",
+        cfg.n_shards,
+        total_ops,
+        agg_kops,
+        window * 1e6,
+        summary.p50_ns,
+        summary.p99_ns,
+        per_shard_str
+    );
+
+    ShardCampaignResult {
+        n_shards: cfg.n_shards,
+        total_ops,
+        agg_kops,
+        per_shard_kops,
+        latency: summary,
+        sim_secs: window,
+        metrics,
+        report,
+    }
+}
+
+fn issue_next(
+    router: &Rc<ShardRouter>,
+    pump: &Rc<RefCell<ShardPump>>,
+    w: &mut World,
+    eng: &mut Engine<World>,
+) {
+    let (sid, idx, key, size) = {
+        let p = pump.borrow();
+        if p.issued >= p.total {
+            return;
+        }
+        let key = p.keys[p.issued % p.keys.len()];
+        (p.sid, p.issued as u64, key, p.write_size)
+    };
+    pump.borrow_mut().issued += 1;
+    debug_assert_eq!(
+        router.shard_of_u64(key),
+        sid,
+        "bucketed key must route home"
+    );
+
+    let r2 = router.clone();
+    let p2 = pump.clone();
+    let issued_at = eng.now();
+    let done: hyperloop::OnOutcome = Box::new(move |w, eng, r| {
+        {
+            let mut p = p2.borrow_mut();
+            if r.is_ok() && p.recorded >= p.warmup {
+                p.hist
+                    .record(eng.now().duration_since(issued_at).as_nanos());
+            }
+            p.recorded += 1;
+            if p.recorded == p.total {
+                p.done_at = Some(eng.now());
+            }
+        }
+        issue_next(&r2, &p2, w, eng);
+    });
+
+    // Rotate over 128 disjoint offsets so pipelined writes don't overlap.
+    let slot = idx % 128;
+    let data = hl_sim::Bytes::from(vec![(key & 0xff) as u8; size]);
+    router.issue_on(
+        w,
+        eng,
+        sid,
+        GroupOp::Write {
+            offset: slot * size.max(64) as u64,
+            data,
+            flush: false,
+        },
+        done,
+    );
+}
+
+/// Run the campaign at each shard count and render the scaling table.
+/// Returns the per-count results plus the aggregate speedup of the last
+/// entry relative to the first.
+pub fn scaling_sweep(
+    base: &ShardCampaignCfg,
+    shard_counts: &[usize],
+) -> (Vec<ShardCampaignResult>, f64) {
+    let mut results = Vec::with_capacity(shard_counts.len());
+    for &n in shard_counts {
+        let cfg = ShardCampaignCfg {
+            n_shards: n,
+            ..base.clone()
+        };
+        results.push(run_shard_campaign(&cfg));
+    }
+    let speedup = results.last().map_or(0.0, |last| {
+        results.first().map_or(0.0, |first| {
+            if first.agg_kops > 0.0 {
+                last.agg_kops / first.agg_kops
+            } else {
+                0.0
+            }
+        })
+    });
+    (results, speedup)
+}

@@ -161,6 +161,48 @@ impl FaultSchedule {
         FaultSchedule { seed, events }
     }
 
+    /// Generate a schedule scoped to one shard's chain: only link-down
+    /// and NIC-WAIT-engine faults, targeting only `victims` — no
+    /// whole-fabric drop windows, so co-scheduled shards on other hosts
+    /// are untouched by construction. These are the two per-host kinds
+    /// the recovery paths fully cover: a link-down starves heartbeats
+    /// and is detected and rebuilt around, while a WAIT stall leaves
+    /// packets flowing and the parked chains resume on heal. (A NIC
+    /// stall on a *mid-chain* hop is deliberately excluded: the
+    /// replica-to-replica hops are fire-and-forget, so eaten packets
+    /// desync the pre-posted rings with nothing for either detector to
+    /// observe.) Used by the shard-isolation chaos regressions: the
+    /// victim shard must recover while every other shard's timing stays
+    /// identical to a fault-free run.
+    pub fn generate_link_wait(
+        seed: u64,
+        victims: &[HostId],
+        start: SimTime,
+        end: SimTime,
+    ) -> FaultSchedule {
+        assert!(!victims.is_empty() && start < end);
+        let mut rng = RngFactory::new(seed).stream("chaos-shard-schedule");
+        let span = end.as_nanos() - start.as_nanos();
+        let mut events = Vec::new();
+        let n = rng.range_u64(2, 5);
+        for _ in 0..n {
+            let at = SimTime::from_nanos(start.as_nanos() + rng.range_u64(0, span * 2 / 3));
+            let dur = SimDuration::from_nanos(rng.range_u64(span / 8, span / 3));
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            let kind = if rng.range_u64(0, 2) == 0 {
+                FaultKind::LinkDown { host: victim }
+            } else {
+                FaultKind::WaitStall { host: victim }
+            };
+            events.push(FaultEvent {
+                at,
+                duration: Some(dur),
+                kind,
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
     /// Hosts permanently crashed by this schedule.
     pub fn crashed_hosts(&self) -> Vec<HostId> {
         self.events
@@ -255,6 +297,29 @@ mod tests {
             assert_eq!(x.at, y.at);
             assert_eq!(x.duration, y.duration);
             assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn shard_scoped_schedule_targets_only_victims_and_heals() {
+        let v = [HostId(4), HostId(5)];
+        for seed in 0..32u64 {
+            let s = FaultSchedule::generate_link_wait(
+                seed,
+                &v,
+                SimTime::from_nanos(1_000_000),
+                SimTime::from_nanos(50_000_000),
+            );
+            assert!(!s.events.is_empty());
+            for e in &s.events {
+                assert!(e.duration.is_some(), "shard-scoped faults must heal");
+                match e.kind {
+                    FaultKind::LinkDown { host } | FaultKind::WaitStall { host } => {
+                        assert!(v.contains(&host), "fault targeted non-victim {host}")
+                    }
+                    other => panic!("disallowed fault kind {other}"),
+                }
+            }
         }
     }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod shard;
 
 use hl_cpu::{CpuOutput, HostCpu, ProcId};
 use hl_fabric::{Delivery, Fabric, HostId};

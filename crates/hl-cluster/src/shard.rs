@@ -1,0 +1,319 @@
+//! Multi-group sharding: deterministic consistent-hash key routing and
+//! group placement.
+//!
+//! One HyperLoop group serves one replication group; a frontend scales
+//! out by running *many* groups side by side (paper §4 scopes the chain
+//! per group for exactly this reason). This module provides the two
+//! deterministic maps that sharding needs:
+//!
+//! * [`HashRing`] — keys → shard ids, via consistent hashing with
+//!   virtual nodes. Balanced (each of 8 shards lands within ~20% of the
+//!   mean over a large keyspace) and *stable*: growing the shard set
+//!   from N to N+1 remaps only ~1/(N+1) of the keys, all of them onto
+//!   the new shard.
+//! * [`ShardPlan`] — shard ids → member hosts, via consistent hashing
+//!   with bounded loads: each shard walks the host ring from its own
+//!   hash point and claims distinct hosts that are below the global
+//!   load cap. With a host pool sized exactly `shards × group_size`
+//!   every host serves exactly one group member, so shards are
+//!   fault-isolated by construction.
+//!
+//! Everything here is pure arithmetic over the inputs — no OS entropy,
+//! no wall clock — so placement and routing replay identically for a
+//! given seedless configuration, which the differential oracle and the
+//! chaos suite rely on.
+
+use hl_fabric::HostId;
+
+/// FNV-1a over a byte string (the same construction the YCSB scrambler
+/// uses; deterministic and dependency-free).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One round of splitmix64 finalization so structured inputs (small
+/// integers, sequential vnode ids) spread over the whole ring.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Ring point for virtual node `v` of shard/host `id` under `salt`.
+fn point(salt: u64, id: u64, v: u64) -> u64 {
+    mix(salt ^ mix(id).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ mix(v.wrapping_add(1)))
+}
+
+/// Consistent-hash ring mapping keys to shard ids `0..n_shards`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(ring point, shard id)` pairs.
+    points: Vec<(u64, u32)>,
+    n_shards: usize,
+}
+
+impl HashRing {
+    /// Virtual nodes per shard used by [`HashRing::new`]. 128 keeps the
+    /// per-shard key share within ~20% of the mean for 8 shards.
+    pub const DEFAULT_VNODES: usize = 128;
+
+    /// A ring over `n_shards` shards with the default vnode count.
+    pub fn new(n_shards: usize) -> Self {
+        Self::with_vnodes(n_shards, Self::DEFAULT_VNODES)
+    }
+
+    /// A ring over `n_shards` shards with `vnodes` virtual nodes each.
+    /// A shard's points depend only on its own id, so adding shard N
+    /// leaves shards `0..N`'s points untouched — moved keys can only
+    /// move *to* the new shard.
+    pub fn with_vnodes(n_shards: usize, vnodes: usize) -> Self {
+        assert!(n_shards > 0 && vnodes > 0);
+        let mut points = Vec::with_capacity(n_shards * vnodes);
+        for s in 0..n_shards as u64 {
+            for v in 0..vnodes as u64 {
+                points.push((point(SHARD_SALT, s, v), s as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Shard owning `key` (successor of the key's hash on the ring).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let h = fnv1a(key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let i = if i == self.points.len() { 0 } else { i };
+        self.points[i].1 as usize
+    }
+
+    /// Shard owning a `u64` key (hashes its little-endian bytes).
+    pub fn shard_of_u64(&self, key: u64) -> usize {
+        self.shard_of(&key.to_le_bytes())
+    }
+}
+
+/// Salt separating shard-ring points from host-ring points ("shard").
+const SHARD_SALT: u64 = 0x73_68_61_72_64_00_00_01;
+/// Salt for the host ring used by placement ("host").
+const HOST_SALT: u64 = 0x68_6f_73_74_00_00_00_02;
+
+/// The member hosts of one shard's replication group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// Shard id (`0..n_shards`).
+    pub shard: usize,
+    /// Chain head (frontend / transaction coordinator) host.
+    pub client: HostId,
+    /// Replica hosts in chain order.
+    pub replicas: Vec<HostId>,
+}
+
+impl ShardGroup {
+    /// All member hosts, client first.
+    pub fn members(&self) -> Vec<HostId> {
+        let mut m = vec![self.client];
+        m.extend(self.replicas.iter().copied());
+        m
+    }
+}
+
+/// Deterministic placement of `n_shards` groups over a host pool.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Per-shard group membership, indexed by shard id.
+    pub groups: Vec<ShardGroup>,
+}
+
+impl ShardPlan {
+    /// Place `n_shards` groups of `1 + replicas_per_shard` members each
+    /// over `hosts` by bounded-load consistent hashing: every shard
+    /// walks the host ring from its own hash point, claiming distinct
+    /// hosts whose load is below the cap
+    /// `ceil(n_shards × group_size / n_hosts)`.
+    ///
+    /// With `hosts.len() == n_shards × (1 + replicas_per_shard)` the cap
+    /// is 1 and the plan is perfectly balanced *and* disjoint — no host
+    /// serves two shards, so a fault in one shard's chain cannot touch
+    /// another shard. Smaller pools oversubscribe hosts evenly instead
+    /// of failing.
+    pub fn place(n_shards: usize, replicas_per_shard: usize, hosts: &[HostId]) -> ShardPlan {
+        let group_size = 1 + replicas_per_shard;
+        assert!(n_shards > 0 && replicas_per_shard > 0);
+        assert!(
+            hosts.len() >= group_size,
+            "pool of {} hosts cannot fit a group of {group_size}",
+            hosts.len()
+        );
+        let members_total = n_shards * group_size;
+        let cap = members_total.div_ceil(hosts.len());
+
+        // Host ring: vnodes per host, salted apart from the key ring.
+        const HOST_VNODES: u64 = 64;
+        let mut ring: Vec<(u64, usize)> = Vec::with_capacity(hosts.len() * HOST_VNODES as usize);
+        for (i, h) in hosts.iter().enumerate() {
+            for v in 0..HOST_VNODES {
+                ring.push((point(HOST_SALT, h.0 as u64, v), i));
+            }
+        }
+        ring.sort_unstable();
+
+        let mut load = vec![0usize; hosts.len()];
+        let mut groups = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let start = point(SHARD_SALT, s as u64, 0);
+            let mut i = ring.partition_point(|&(p, _)| p < start) % ring.len();
+            let mut picked: Vec<usize> = Vec::with_capacity(group_size);
+            let mut steps = 0usize;
+            while picked.len() < group_size {
+                // Two passes over the ring always suffice: the first may
+                // skip hosts that fill up mid-walk, the second sees the
+                // final loads. The cap guarantees total capacity.
+                assert!(
+                    steps < 2 * ring.len(),
+                    "placement walk failed to converge (cap {cap})"
+                );
+                steps += 1;
+                let host_idx = ring[i].1;
+                i = (i + 1) % ring.len();
+                if load[host_idx] >= cap || picked.contains(&host_idx) {
+                    continue;
+                }
+                load[host_idx] += 1;
+                picked.push(host_idx);
+            }
+            groups.push(ShardGroup {
+                shard: s,
+                client: hosts[picked[0]],
+                replicas: picked[1..].iter().map(|&i| hosts[i]).collect(),
+            });
+        }
+        ShardPlan { groups }
+    }
+
+    /// Number of shards placed.
+    pub fn n_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no host serves members of two different shards (full
+    /// fault isolation between shards).
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen: Vec<HostId> = Vec::new();
+        for g in &self.groups {
+            for h in g.members() {
+                if seen.contains(&h) {
+                    return false;
+                }
+                seen.push(h);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for k in 0u64..10_000 {
+            assert_eq!(a.shard_of_u64(k), b.shard_of_u64(k));
+        }
+    }
+
+    #[test]
+    fn ring_is_balanced_within_20_percent() {
+        let ring = HashRing::new(8);
+        let mut counts = [0u64; 8];
+        const KEYS: u64 = 64_000;
+        for k in 0..KEYS {
+            counts[ring.shard_of_u64(k)] += 1;
+        }
+        let mean = KEYS as f64 / 8.0;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - mean).abs() / mean;
+            assert!(
+                dev < 0.20,
+                "shard {s}: {c} keys, {:.1}% off mean",
+                dev * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_one_over_n_keys_onto_the_new_shard() {
+        let old = HashRing::new(8);
+        let new = HashRing::new(9);
+        const KEYS: u64 = 64_000;
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let (a, b) = (old.shard_of_u64(k), new.shard_of_u64(k));
+            if a != b {
+                moved += 1;
+                assert_eq!(b, 8, "key {k} moved {a}->{b}, not onto the new shard");
+            }
+        }
+        let frac = moved as f64 / KEYS as f64;
+        let ideal = 1.0 / 9.0;
+        assert!(
+            frac > 0.5 * ideal && frac < 2.0 * ideal,
+            "moved fraction {frac:.4} vs ideal {ideal:.4}"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_disjoint_when_sized() {
+        let hosts: Vec<HostId> = (0..24).map(HostId).collect();
+        let a = ShardPlan::place(8, 2, &hosts);
+        let b = ShardPlan::place(8, 2, &hosts);
+        assert_eq!(a.groups, b.groups);
+        assert!(a.is_disjoint());
+        for g in &a.groups {
+            assert_eq!(g.replicas.len(), 2);
+            let m = g.members();
+            for (i, h) in m.iter().enumerate() {
+                assert!(!m[..i].contains(h), "shard {} repeats {h}", g.shard);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_oversubscribes_evenly_when_pool_is_small() {
+        let hosts: Vec<HostId> = (0..6).map(HostId).collect();
+        let plan = ShardPlan::place(4, 2, &hosts); // 12 members on 6 hosts
+        let mut load = [0usize; 6];
+        for g in &plan.groups {
+            for h in g.members() {
+                load[h.0] += 1;
+            }
+        }
+        assert_eq!(load.iter().sum::<usize>(), 12);
+        assert!(load.iter().all(|&l| l <= 2), "cap exceeded: {load:?}");
+    }
+
+    #[test]
+    fn placement_never_repeats_a_host_within_a_group() {
+        let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+        let plan = ShardPlan::place(2, 3, &hosts); // cap = 2
+        for g in &plan.groups {
+            let m = g.members();
+            for (i, h) in m.iter().enumerate() {
+                assert!(!m[..i].contains(h));
+            }
+        }
+    }
+}

@@ -19,3 +19,4 @@
 
 pub mod doc;
 pub mod kv;
+pub mod sharded;

@@ -1,0 +1,189 @@
+//! Shard-partitioned store frontends.
+//!
+//! A sharded deployment opens one [`KvDb`] / [`DocStore`] per shard —
+//! each backed by its own HyperLoop group with its own log, slots and
+//! lock word — and these thin frontends route every operation to the
+//! owning shard with the same deterministic [`HashRing`] the client
+//! router uses. Cross-shard reads/scans are merges of per-shard state;
+//! there are no cross-shard transactions (each key lives entirely
+//! within one group, as in the paper's per-group scoping).
+
+use crate::doc::{DocStore, Document};
+use crate::kv::KvDb;
+use hl_cluster::shard::HashRing;
+use hl_cluster::World;
+use hl_sim::Engine;
+use hyperloop::api::GroupClient;
+use hyperloop::{Backpressure, OnDone};
+
+/// A key-value store partitioned over per-shard [`KvDb`] instances.
+pub struct ShardedKv<C: GroupClient> {
+    ring: HashRing,
+    shards: Vec<KvDb<C>>,
+}
+
+impl<C: GroupClient + 'static> ShardedKv<C> {
+    /// Build from one opened [`KvDb`] per shard (shard id = index).
+    pub fn new(shards: Vec<KvDb<C>>) -> Self {
+        assert!(!shards.is_empty());
+        ShardedKv {
+            ring: HashRing::new(shards.len()),
+            shards,
+        }
+    }
+
+    /// Build with an explicit ring (shared with the op router).
+    pub fn with_ring(ring: HashRing, shards: Vec<KvDb<C>>) -> Self {
+        assert_eq!(ring.n_shards(), shards.len());
+        ShardedKv { ring, shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.ring.shard_of(key)
+    }
+
+    /// The per-shard store (e.g. for log cursors or replica reads).
+    pub fn shard(&self, sid: usize) -> &KvDb<C> {
+        &self.shards[sid]
+    }
+
+    /// Mutable access to a per-shard store.
+    pub fn shard_mut(&mut self, sid: usize) -> &mut KvDb<C> {
+        &mut self.shards[sid]
+    }
+
+    /// Durable put, routed to the owning shard's replicated log.
+    pub fn put(
+        &mut self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        key: &[u8],
+        value: &[u8],
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let sid = self.ring.shard_of(key);
+        self.shards[sid].put(w, eng, key, value, done)
+    }
+
+    /// Durable delete, routed to the owning shard.
+    pub fn delete(
+        &mut self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        key: &[u8],
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let sid = self.ring.shard_of(key);
+        self.shards[sid].delete(w, eng, key, done)
+    }
+
+    /// Read from the owning shard's client memtable.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.shards[self.ring.shard_of(key)].get(key)
+    }
+
+    /// Eventually-consistent read from replica `replica` of the owning
+    /// shard's group.
+    pub fn get_at_replica(&self, replica: usize, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[self.ring.shard_of(key)].get_at_replica(replica, key)
+    }
+
+    /// Total keys across all shard memtables.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Ordered scan merged across shards: collects each shard's scan
+    /// from `from` and returns the `limit` smallest keys overall.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for s in &self.shards {
+            all.extend(
+                s.scan(from, limit)
+                    .into_iter()
+                    .map(|(k, v)| (k.to_vec(), v.to_vec())),
+            );
+        }
+        all.sort();
+        all.truncate(limit);
+        all
+    }
+}
+
+/// A document store partitioned over per-shard [`DocStore`] instances;
+/// documents route by id.
+pub struct ShardedDoc<C: GroupClient> {
+    ring: HashRing,
+    shards: Vec<DocStore<C>>,
+}
+
+impl<C: GroupClient + 'static> ShardedDoc<C> {
+    /// Build from one opened [`DocStore`] per shard (shard id = index).
+    pub fn new(shards: Vec<DocStore<C>>) -> Self {
+        assert!(!shards.is_empty());
+        ShardedDoc {
+            ring: HashRing::new(shards.len()),
+            shards,
+        }
+    }
+
+    /// Build with an explicit ring (shared with the op router).
+    pub fn with_ring(ring: HashRing, shards: Vec<DocStore<C>>) -> Self {
+        assert_eq!(ring.n_shards(), shards.len());
+        ShardedDoc { ring, shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning document `id`.
+    pub fn shard_of(&self, id: u64) -> usize {
+        self.ring.shard_of_u64(id)
+    }
+
+    /// The per-shard store.
+    pub fn shard(&self, sid: usize) -> &DocStore<C> {
+        &self.shards[sid]
+    }
+
+    /// Journaled upsert routed to the owning shard (strong consistency
+    /// under that shard's group lock when enabled).
+    pub fn upsert(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        doc: &Document,
+        done: OnDone,
+    ) -> Result<(), Backpressure> {
+        let sid = self.shard_of(doc.id);
+        self.shards[sid].upsert(w, eng, doc, done)
+    }
+
+    /// Read `id` from the owning shard's client copy.
+    pub fn read(&self, w: &mut World, id: u64) -> Option<Document> {
+        self.shards[self.shard_of(id)].read(w, id)
+    }
+
+    /// Read `id` from member `member` of the owning shard's group.
+    pub fn read_at(&self, w: &mut World, member: usize, id: u64) -> Option<Document> {
+        self.shards[self.shard_of(id)].read_at(w, member, id)
+    }
+
+    /// Committed operations summed across shards.
+    pub fn committed(&self) -> u64 {
+        self.shards.iter().map(|s| s.committed()).sum()
+    }
+}

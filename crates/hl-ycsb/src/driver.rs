@@ -78,6 +78,19 @@ impl YcsbStats {
     pub fn kind(&self, k: OpKind) -> &Histogram {
         &self.per_kind[kind_idx(k)]
     }
+
+    /// Fold another stats object into this one (deterministic: all
+    /// histograms bucket-merge, counters add). Used to aggregate
+    /// per-shard driver stats into one campaign report.
+    pub fn merge(&mut self, other: &YcsbStats) {
+        for (mine, theirs) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
+            mine.merge(theirs);
+        }
+        self.all.merge(&other.all);
+        self.writes.merge(&other.writes);
+        self.completed += other.completed;
+        self.drivers_done += other.drivers_done;
+    }
 }
 
 /// Client software-stack CPU costs (query construction, parsing,

@@ -11,6 +11,7 @@
 
 pub mod distributions;
 pub mod driver;
+pub mod sharding;
 pub mod workload;
 
 pub use distributions::{KeyChooser, Zipfian};
@@ -18,4 +19,5 @@ pub use driver::{
     preload_docstore, run_until_done, ycsb_document, FrontEndCosts, HlDriver, NativeDriver,
     YcsbStats,
 };
+pub use sharding::{split_records, ShardKeyRange};
 pub use workload::{Op, OpGenerator, OpKind, Workload};

@@ -1,0 +1,84 @@
+//! Shard-aware workload partitioning.
+//!
+//! A sharded YCSB run gives each shard its own driver over a disjoint
+//! slice of the record space, so every operation is local to one
+//! HyperLoop group (no cross-shard transactions exist, matching the
+//! per-group scoping of the datapath). [`split_records`] produces the
+//! per-shard ranges deterministically; per-shard [`YcsbStats`] are
+//! folded back together with [`YcsbStats::merge`].
+//!
+//! [`YcsbStats`]: crate::driver::YcsbStats
+//! [`YcsbStats::merge`]: crate::driver::YcsbStats::merge
+
+/// A contiguous record-id range assigned to one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKeyRange {
+    /// Shard id.
+    pub shard: usize,
+    /// First record id in the range.
+    pub start: u64,
+    /// Number of records in the range.
+    pub count: u64,
+}
+
+impl ShardKeyRange {
+    /// One-past-the-last record id.
+    pub fn end(&self) -> u64 {
+        self.start + self.count
+    }
+
+    /// True when `id` falls in this range.
+    pub fn contains(&self, id: u64) -> bool {
+        id >= self.start && id < self.end()
+    }
+}
+
+/// Split `records` ids into `shards` contiguous, disjoint, exhaustive
+/// ranges. The first `records % shards` shards take one extra record,
+/// so counts never differ by more than one. Deterministic in its
+/// arguments.
+pub fn split_records(records: u64, shards: usize) -> Vec<ShardKeyRange> {
+    assert!(shards > 0);
+    let base = records / shards as u64;
+    let extra = records % shards as u64;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0u64;
+    for s in 0..shards {
+        let count = base + u64::from((s as u64) < extra);
+        out.push(ShardKeyRange {
+            shard: s,
+            start,
+            count,
+        });
+        start += count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_disjoint_exhaustive_and_balanced() {
+        for (records, shards) in [(100u64, 8usize), (7, 3), (8, 8), (1_000_003, 7)] {
+            let ranges = split_records(records, shards);
+            assert_eq!(ranges.len(), shards);
+            let mut next = 0u64;
+            for (i, r) in ranges.iter().enumerate() {
+                assert_eq!(r.shard, i);
+                assert_eq!(r.start, next, "gap before shard {i}");
+                next = r.end();
+            }
+            assert_eq!(next, records, "ranges must cover every record");
+            let min = ranges.iter().map(|r| r.count).min().unwrap();
+            let max = ranges.iter().map(|r| r.count).max().unwrap();
+            assert!(max - min <= 1, "counts differ by more than one");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(split_records(1000, 8), split_records(1000, 8));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the YCSB key-chooser distributions
+//! (`hl-ycsb/src/distributions.rs`), driven by seeded proptest
+//! strategies so every case is replayable:
+//!
+//! 1. **In-range** — every chooser kind only ever emits keys inside the
+//!    current keyspace, for arbitrary seeds, item counts and skews.
+//! 2. **Deterministic per seed** — the same factory seed and stream
+//!    name replay the exact draw sequence.
+//! 3. **Skew ordering** — a higher zipfian theta concentrates strictly
+//!    more mass on the head ranks than a clearly lower one.
+
+use hl_sim::RngFactory;
+use hl_ycsb::{KeyChooser, Zipfian};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every chooser kind stays inside `[0, records)` regardless of
+    /// seed, keyspace size, or skew.
+    #[test]
+    fn choosers_stay_in_range(
+        seed in any::<u64>(),
+        records in 1u64..10_000,
+        theta_pct in 10u32..100,
+    ) {
+        let theta = theta_pct as f64 / 100.0;
+        let mut rng = RngFactory::new(seed).stream("props-range");
+        let mut choosers = [
+            KeyChooser::Uniform,
+            KeyChooser::ScrambledZipfian(Zipfian::new(records, theta)),
+            KeyChooser::Latest(Zipfian::new(records, theta)),
+        ];
+        for ch in &mut choosers {
+            for _ in 0..256 {
+                let k = ch.next(&mut rng, records);
+                prop_assert!(k < records, "{ch:?} emitted {k} >= {records}");
+            }
+        }
+    }
+
+    /// Raw zipfian ranks stay in `[0, items)` too, including after the
+    /// keyspace grows mid-stream.
+    #[test]
+    fn zipfian_ranks_stay_in_range(
+        seed in any::<u64>(),
+        items in 1u64..5_000,
+        growth in 1u64..5_000,
+    ) {
+        let mut z = Zipfian::ycsb(items);
+        let mut rng = RngFactory::new(seed).stream("props-zipf");
+        for _ in 0..128 {
+            prop_assert!(z.next_rank(&mut rng) < items);
+        }
+        z.grow(items + growth);
+        for _ in 0..128 {
+            prop_assert!(z.next_rank(&mut rng) < items + growth);
+        }
+    }
+
+    /// The same factory seed and stream name replay the identical draw
+    /// sequence for every chooser kind.
+    #[test]
+    fn draws_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        records in 1u64..10_000,
+    ) {
+        for mk in [
+            || KeyChooser::Uniform,
+            || KeyChooser::ScrambledZipfian(Zipfian::ycsb(1)),
+            || KeyChooser::Latest(Zipfian::ycsb(1)),
+        ] {
+            let mut a_rng = RngFactory::new(seed).stream("props-det");
+            let mut b_rng = RngFactory::new(seed).stream("props-det");
+            let (mut a, mut b) = (mk(), mk());
+            let xs: Vec<u64> = (0..128).map(|_| a.next(&mut a_rng, records)).collect();
+            let ys: Vec<u64> = (0..128).map(|_| b.next(&mut b_rng, records)).collect();
+            prop_assert_eq!(xs, ys);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Skew ordering: with a clear theta gap, the hotter generator puts
+    /// strictly more of its mass on the head ranks.
+    #[test]
+    fn higher_theta_is_more_skewed(
+        seed in any::<u64>(),
+        lo_pct in 20u32..50,
+    ) {
+        const ITEMS: u64 = 1_000;
+        const DRAWS: usize = 20_000;
+        const HEAD: u64 = 10;
+        let lo = lo_pct as f64 / 100.0;
+        let hi = lo + 0.45;
+        let z_lo = Zipfian::new(ITEMS, lo);
+        let z_hi = Zipfian::new(ITEMS, hi);
+        let mut rng_lo = RngFactory::new(seed).stream("props-skew");
+        let mut rng_hi = RngFactory::new(seed).stream("props-skew");
+        let head_lo = (0..DRAWS)
+            .filter(|_| z_lo.next_rank(&mut rng_lo) < HEAD)
+            .count();
+        let head_hi = (0..DRAWS)
+            .filter(|_| z_hi.next_rank(&mut rng_hi) < HEAD)
+            .count();
+        prop_assert!(
+            head_hi > head_lo,
+            "theta {hi:.2} head {head_hi} not hotter than theta {lo:.2} head {head_lo}"
+        );
+    }
+}

@@ -43,6 +43,7 @@ pub mod multi;
 pub mod naive;
 pub mod recovery;
 pub mod replica;
+pub mod router;
 
 pub use client::HyperLoopClient;
 pub use deadline::{DeadlinePolicy, GroupOp, OnOutcome, OpError, RetryClient};
@@ -50,3 +51,4 @@ pub use group::{
     Backpressure, GroupBuilder, GroupConfig, GroupInner, GroupRef, GroupStats, OnDone, OpResult,
 };
 pub use metadata::Primitive;
+pub use router::ShardRouter;

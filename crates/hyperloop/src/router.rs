@@ -1,0 +1,145 @@
+//! Client-side shard router: keys → shards → per-shard supervised
+//! clients.
+//!
+//! A sharded deployment runs N independent HyperLoop groups (one chain
+//! each, placed by [`hl_cluster::shard::ShardPlan`]); the router is the
+//! single frontend object that maps a key to its owning shard via the
+//! deterministic [`HashRing`] and drives that shard's [`RetryClient`].
+//! All shards live in the *same* event engine, so concurrency across
+//! shards is just interleaved events — fully deterministic under a
+//! fixed seed.
+//!
+//! Every routed issue bumps a telemetry counter labelled with the shard
+//! id (`shard=<n>`), so campaign metrics can be split per shard without
+//! any extra plumbing.
+
+use crate::deadline::{GroupOp, OnOutcome, OpError, RetryClient};
+use hl_cluster::shard::HashRing;
+use hl_cluster::World;
+use hl_sim::{Bytes, Engine};
+
+/// Routes operations to per-shard [`RetryClient`]s by consistent-hash
+/// key placement.
+///
+/// Cloning shares the shard clients (each is itself a shared handle).
+#[derive(Clone)]
+pub struct ShardRouter {
+    ring: HashRing,
+    shards: Vec<RetryClient>,
+}
+
+impl ShardRouter {
+    /// Build a router over one supervised client per shard; shard ids
+    /// are the vector indices.
+    pub fn new(shards: Vec<RetryClient>) -> Self {
+        assert!(!shards.is_empty(), "router needs at least one shard");
+        ShardRouter {
+            ring: HashRing::new(shards.len()),
+            shards,
+        }
+    }
+
+    /// Build a router with an explicit ring (e.g. shared with a store
+    /// layer so both route identically).
+    pub fn with_ring(ring: HashRing, shards: Vec<RetryClient>) -> Self {
+        assert_eq!(ring.n_shards(), shards.len());
+        ShardRouter { ring, shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing ring (share it with stores / load generators so the
+    /// whole stack agrees on placement).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Shard owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.ring.shard_of(key)
+    }
+
+    /// Shard owning a `u64` key.
+    pub fn shard_of_u64(&self, key: u64) -> usize {
+        self.ring.shard_of_u64(key)
+    }
+
+    /// The supervised client for shard `sid`.
+    pub fn client(&self, sid: usize) -> &RetryClient {
+        &self.shards[sid]
+    }
+
+    /// Issue `op` on an explicit shard under deadline supervision.
+    pub fn issue_on(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        sid: usize,
+        op: GroupOp,
+        done: OnOutcome,
+    ) {
+        if w.telemetry.enabled() {
+            w.telemetry
+                .metrics
+                .counter_add("router_ops", &format!("shard={sid}"), 1);
+        }
+        self.shards[sid].issue(w, eng, op, done);
+    }
+
+    /// Route `op` by `key` and issue it on the owning shard.
+    pub fn issue_keyed(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        key: &[u8],
+        op: GroupOp,
+        done: OnOutcome,
+    ) {
+        let sid = self.shard_of(key);
+        self.issue_on(w, eng, sid, op, done);
+    }
+
+    /// Key-routed supervised gWRITE at `offset` within the owning
+    /// shard's replicated region.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gwrite_keyed(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        key: &[u8],
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnOutcome,
+    ) {
+        self.issue_keyed(
+            w,
+            eng,
+            key,
+            GroupOp::Write {
+                offset,
+                data: Bytes::copy_from_slice(data),
+                flush,
+            },
+            done,
+        );
+    }
+
+    /// Supervised operations not yet settled, summed over all shards.
+    pub fn outstanding(&self) -> u32 {
+        self.shards.iter().map(|s| s.outstanding()).sum()
+    }
+
+    /// Typed failures recorded so far on shard `sid`.
+    pub fn shard_failures(&self, sid: usize) -> Vec<OpError> {
+        self.shards[sid].failures()
+    }
+
+    /// Typed failures recorded so far across all shards.
+    pub fn failures(&self) -> Vec<OpError> {
+        self.shards.iter().flat_map(|s| s.failures()).collect()
+    }
+}

@@ -1,0 +1,175 @@
+//! ShardRouter unit tests: placement determinism, balance, minimal
+//! remap on shard-count growth, and end-to-end keyed routing (writes
+//! land on the owning shard, telemetry counters carry shard labels).
+
+use hl_cluster::shard::HashRing;
+use hl_cluster::{ClusterBuilder, World};
+use hl_fabric::HostId;
+use hl_sim::{Engine, SimTime};
+use hyperloop::api::GroupClient;
+use hyperloop::{
+    replica, GroupBuilder, GroupConfig, HyperLoopClient, OnOutcome, RetryClient, ShardRouter,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const REP_BYTES: u64 = 16 << 10;
+
+/// Build `n_shards` single-replica groups on hosts `2s` (client) and
+/// `2s + 1` (replica) plus a router over them.
+fn build_router(n_shards: usize) -> (World, Engine<World>, ShardRouter) {
+    let (mut w, mut eng) = ClusterBuilder::new(2 * n_shards)
+        .arena_size(4 << 20)
+        .seed(11)
+        .build();
+    let mut shards = Vec::with_capacity(n_shards);
+    for s in 0..n_shards {
+        let group = GroupBuilder::new(GroupConfig {
+            client: HostId(2 * s),
+            replicas: vec![HostId(2 * s + 1)],
+            rep_bytes: REP_BYTES,
+            ring_slots: 64,
+            ..Default::default()
+        })
+        .build(&mut w);
+        replica::start_replenishers(&group, &mut w, &mut eng);
+        shards.push(RetryClient::new(HyperLoopClient::new(group, &mut w)));
+    }
+    // Prime the chains before any traffic.
+    eng.run_until(&mut w, SimTime::from_nanos(2_000_000));
+    (w, eng, ShardRouter::new(shards))
+}
+
+/// Routing is a pure function of the key: byte and u64 routes agree,
+/// and two independently-built routers of the same width map every key
+/// identically (and identically to a bare ring of the same width).
+#[test]
+fn routing_is_deterministic() {
+    let (_w1, _e1, r1) = build_router(4);
+    let (_w2, _e2, r2) = build_router(4);
+    let ring = HashRing::new(4);
+    for k in 0..4096u64 {
+        let sid = r1.shard_of_u64(k);
+        assert_eq!(sid, r2.shard_of_u64(k));
+        assert_eq!(sid, ring.shard_of_u64(k));
+        assert_eq!(sid, r1.shard_of(&k.to_le_bytes()));
+        assert!(sid < r1.n_shards());
+    }
+}
+
+/// Key placement across 8 shards is balanced within 20% of the mean.
+#[test]
+fn placement_balances_within_20pct_across_8_shards() {
+    let (_w, _e, router) = build_router(8);
+    const KEYS: u64 = 64 * 1024;
+    let mut counts = vec![0u64; router.n_shards()];
+    for k in 0..KEYS {
+        counts[router.shard_of_u64(k)] += 1;
+    }
+    let mean = KEYS as f64 / counts.len() as f64;
+    for (sid, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - mean).abs() / mean;
+        assert!(
+            dev <= 0.20,
+            "shard {sid} holds {c} keys, {:.1}% off the mean {mean}",
+            dev * 100.0
+        );
+    }
+}
+
+/// Growing 8 → 9 shards remaps only ~1/9 of the keyspace, and every
+/// remapped key lands on the new shard (consistent-hash minimal churn).
+#[test]
+fn growth_remaps_only_one_over_n_keys() {
+    let (_w8, _e8, r8) = build_router(8);
+    let (_w9, _e9, r9) = build_router(9);
+    const KEYS: u64 = 64 * 1024;
+    let mut moved = 0u64;
+    for k in 0..KEYS {
+        let (a, b) = (r8.shard_of_u64(k), r9.shard_of_u64(k));
+        if a != b {
+            assert_eq!(b, 8, "key {k} moved {a}->{b}, not onto the new shard");
+            moved += 1;
+        }
+    }
+    let ideal = KEYS as f64 / 9.0;
+    assert!(
+        (moved as f64) > 0.5 * ideal && (moved as f64) < 2.0 * ideal,
+        "moved {moved} keys; ideal ~{ideal:.0}"
+    );
+}
+
+/// Keyed writes reach the owning shard's replicas (and only that
+/// shard), and the router's telemetry counters account for every issue
+/// under `shard=<n>` labels.
+#[test]
+fn keyed_writes_land_on_owning_shard() {
+    let (mut w, mut eng, router) = build_router(4);
+    w.enable_telemetry();
+    const OPS: u64 = 64;
+    const LEN: usize = 32;
+
+    let mut expected: Vec<(usize, u64, u8)> = Vec::new(); // (shard, offset, fill)
+    for i in 0..OPS {
+        let key = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let sid = router.shard_of_u64(key);
+        let offset = i * 64;
+        let fill = (key & 0xff) as u8;
+        expected.push((sid, offset, fill));
+
+        let done_flag = Rc::new(RefCell::new(false));
+        let d = done_flag.clone();
+        let done: OnOutcome = Box::new(move |_w, _e, r| {
+            r.expect("fault-free write must complete");
+            *d.borrow_mut() = true;
+        });
+        router.gwrite_keyed(
+            &mut w,
+            &mut eng,
+            &key.to_le_bytes(),
+            offset,
+            &[fill; LEN],
+            true,
+            done,
+        );
+        let d2 = done_flag.clone();
+        eng.run_while(&mut w, move |_| !*d2.borrow());
+        assert!(*done_flag.borrow(), "write {i} never completed");
+    }
+    assert_eq!(router.failures().len(), 0);
+    assert_eq!(router.outstanding(), 0);
+
+    // Every member of the owning shard holds the payload; the same
+    // offset on every *other* shard is untouched (still zero).
+    for &(sid, offset, fill) in &expected {
+        for other in 0..router.n_shards() {
+            let c = router.client(other).client();
+            for m in 0..c.group_size() {
+                let host = c.member_host(m);
+                let got = w.hosts[host.0]
+                    .mem
+                    .read_vec(c.member_addr(m, offset), LEN)
+                    .unwrap();
+                if other == sid {
+                    assert_eq!(got, vec![fill; LEN], "shard {sid} member {m} @{offset}");
+                } else {
+                    assert_eq!(got, vec![0u8; LEN], "shard {other} dirtied @{offset}");
+                }
+            }
+        }
+    }
+
+    // Telemetry: per-shard router_ops counters sum to the issue count.
+    let now = eng.now();
+    w.collect_metrics(now);
+    let rendered = w.telemetry.metrics.render();
+    let total: u64 = rendered
+        .lines()
+        .filter(|l| l.contains("router_ops") && l.contains("shard="))
+        .filter_map(|l| l.split_whitespace().last()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(
+        total, OPS,
+        "router_ops counters must cover every issue:\n{rendered}"
+    );
+}
