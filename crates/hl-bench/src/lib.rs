@@ -9,12 +9,15 @@
 //!   CPU, group-size scaling).
 //! * [`apps`] — Figure 2 (native MongoDB-style multi-tenancy), Figure 11
 //!   (kvlite/RocksDB), Figure 12 (doclite/MongoDB across YCSB mixes).
+//! * [`gray`] — gray-failure campaign: tail latency per impairment
+//!   class per backend, and the crashed-host live-rejoin case.
 //! * [`table`] — plain-text table rendering.
 
 #![warn(missing_docs)]
 
 pub mod apps;
 pub mod campaign;
+pub mod gray;
 pub mod micro;
 pub mod shard;
 pub mod table;

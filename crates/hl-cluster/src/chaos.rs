@@ -53,6 +53,46 @@ pub enum FaultKind {
         /// Affected host.
         host: HostId,
     },
+    /// Gray failure: the directed path `src → dst` gains fixed delay
+    /// plus uniform jitter (alive but erratic).
+    Jitter {
+        /// Sender side of the impaired path.
+        src: HostId,
+        /// Receiver side.
+        dst: HostId,
+        /// Fixed extra one-way delay.
+        delay: SimDuration,
+        /// Uniform extra delay in `[0, jitter]` per message.
+        jitter: SimDuration,
+    },
+    /// Gray failure: the directed path `src → dst` loses packets with
+    /// probability `prob` but stays up — the lossy-but-alive link.
+    /// Routed through [`hl_fabric::Fabric::set_link_drop_prob`] so no
+    /// bystander pair sees a single extra drop.
+    LossyLink {
+        /// Sender side of the lossy path.
+        src: HostId,
+        /// Receiver side.
+        dst: HostId,
+        /// Per-packet loss probability.
+        prob: f64,
+    },
+    /// Gray failure: everything in and out of `host` is token-bucket
+    /// rate-limited to `bps` (the capped uplink).
+    RateLimit {
+        /// Affected host.
+        host: HostId,
+        /// Rate cap in bits per second.
+        bps: u64,
+    },
+    /// Gray failure: a straggler NIC — every message through `host`
+    /// pays a fixed extra delay (firmware pause loops, PCIe backoff).
+    StragglerNic {
+        /// Affected host.
+        host: HostId,
+        /// Extra per-message delay.
+        delay: SimDuration,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -65,6 +105,26 @@ impl std::fmt::Display for FaultKind {
             FaultKind::WaitStall { host } => write!(f, "wait-stall {host}"),
             FaultKind::SlowReplica { host } => write!(f, "slow-replica {host}"),
             FaultKind::HostCrash { host } => write!(f, "host-crash {host}"),
+            FaultKind::Jitter {
+                src,
+                dst,
+                delay,
+                jitter,
+            } => write!(
+                f,
+                "jitter {src}->{dst} {}us+{}us",
+                delay.as_nanos() / 1000,
+                jitter.as_nanos() / 1000
+            ),
+            FaultKind::LossyLink { src, dst, prob } => {
+                write!(f, "lossy-link {src}->{dst} p={prob:.3}")
+            }
+            FaultKind::RateLimit { host, bps } => {
+                write!(f, "rate-limit {host} {}Mbps", bps / 1_000_000)
+            }
+            FaultKind::StragglerNic { host, delay } => {
+                write!(f, "straggler-nic {host} +{}us", delay.as_nanos() / 1000)
+            }
         }
     }
 }
@@ -203,6 +263,105 @@ impl FaultSchedule {
         FaultSchedule { seed, events }
     }
 
+    /// Generate a shard-scoped schedule that *includes* NIC stalls:
+    /// link-down, WAIT-stall, and NIC-stall faults targeting only
+    /// `victims`. Historically NIC stalls were excluded from
+    /// shard-scoped schedules because a stalled *mid-chain* NIC eats
+    /// fire-and-forget packets with nothing for either detector to
+    /// observe; the client-side end-to-end deadline probe
+    /// (`hyperloop::deadline::RetryClient::arm_nic_stall_probe`) closes
+    /// that gap — consecutive attempt timeouts with no transport-error
+    /// CQE surface as a `nic_stall_suspected` detection, so the kind is
+    /// re-admitted here.
+    pub fn generate_shard_faults(
+        seed: u64,
+        victims: &[HostId],
+        start: SimTime,
+        end: SimTime,
+    ) -> FaultSchedule {
+        assert!(!victims.is_empty() && start < end);
+        let mut rng = RngFactory::new(seed).stream("chaos-shard-gray-schedule");
+        let span = end.as_nanos() - start.as_nanos();
+        let mut events = Vec::new();
+        let n = rng.range_u64(2, 5);
+        for _ in 0..n {
+            let at = SimTime::from_nanos(start.as_nanos() + rng.range_u64(0, span * 2 / 3));
+            let dur = SimDuration::from_nanos(rng.range_u64(span / 8, span / 3));
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            let kind = match rng.range_u64(0, 3) {
+                0 => FaultKind::LinkDown { host: victim },
+                1 => FaultKind::WaitStall { host: victim },
+                _ => FaultKind::NicStall { host: victim },
+            };
+            events.push(FaultEvent {
+                at,
+                duration: Some(dur),
+                kind,
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
+    /// Generate a gray-failure schedule: only impairment kinds (jitter,
+    /// lossy link, rate limit, straggler NIC), every one transient. The
+    /// paths impaired are the directed pairs between a victim and
+    /// `peer` (both directions drawn independently), so co-hosted
+    /// bystander traffic is untouched by construction. These are the
+    /// faults the health monitor must *ride out or degrade through* —
+    /// none of them kills a host, so binary failure detectors stay
+    /// silent and only end-to-end health signals move.
+    pub fn generate_gray(
+        seed: u64,
+        victims: &[HostId],
+        peer: HostId,
+        start: SimTime,
+        end: SimTime,
+    ) -> FaultSchedule {
+        assert!(!victims.is_empty() && start < end);
+        let mut rng = RngFactory::new(seed).stream("chaos-gray-schedule");
+        let span = end.as_nanos() - start.as_nanos();
+        let mut events = Vec::new();
+        let n = rng.range_u64(2, 6);
+        for _ in 0..n {
+            let at = SimTime::from_nanos(start.as_nanos() + rng.range_u64(0, span * 2 / 3));
+            let dur = SimDuration::from_nanos(rng.range_u64(span / 8, span / 3));
+            let victim = victims[rng.range_u64(0, victims.len() as u64) as usize];
+            let toward_victim = rng.range_u64(0, 2) == 0;
+            let (src, dst) = if toward_victim {
+                (peer, victim)
+            } else {
+                (victim, peer)
+            };
+            let kind = match rng.range_u64(0, 4) {
+                0 => FaultKind::Jitter {
+                    src,
+                    dst,
+                    delay: SimDuration::from_micros(rng.range_u64(5, 50)),
+                    jitter: SimDuration::from_micros(rng.range_u64(10, 100)),
+                },
+                1 => FaultKind::LossyLink {
+                    src,
+                    dst,
+                    prob: 0.05 + rng.f64() * 0.25,
+                },
+                2 => FaultKind::RateLimit {
+                    host: victim,
+                    bps: rng.range_u64(50, 500) * 1_000_000,
+                },
+                _ => FaultKind::StragglerNic {
+                    host: victim,
+                    delay: SimDuration::from_micros(rng.range_u64(10, 80)),
+                },
+            };
+            events.push(FaultEvent {
+                at,
+                duration: Some(dur),
+                kind,
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
     /// Hosts permanently crashed by this schedule.
     pub fn crashed_hosts(&self) -> Vec<HostId> {
         self.events
@@ -250,6 +409,22 @@ fn inject(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
             w.fabric.set_link_down(host, true);
             w.set_nic_stalled(host, true, eng);
         }
+        FaultKind::Jitter {
+            src,
+            dst,
+            delay,
+            jitter,
+        } => w
+            .fabric
+            .set_impairment(src, dst, hl_fabric::Impairment::delay(delay, jitter)),
+        FaultKind::LossyLink { src, dst, prob } => w.fabric.set_link_drop_prob(src, dst, prob),
+        FaultKind::RateLimit { host, bps } => w
+            .fabric
+            .set_host_impairment(host, hl_fabric::Impairment::rate(bps, 16 * 1024)),
+        FaultKind::StragglerNic { host, delay } => w.fabric.set_host_impairment(
+            host,
+            hl_fabric::Impairment::delay(delay, hl_sim::SimDuration::ZERO),
+        ),
     }
 }
 
@@ -266,6 +441,11 @@ fn heal(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
         FaultKind::LinkDown { host } => w.fabric.set_link_down(host, false),
         FaultKind::NicStall { host } => w.set_nic_stalled(host, false, eng),
         FaultKind::WaitStall { host } => w.set_nic_wait_stalled(host, false, eng),
+        FaultKind::Jitter { src, dst, .. } => w.fabric.clear_impairment(src, dst),
+        FaultKind::LossyLink { src, dst, .. } => w.fabric.set_link_drop_prob(src, dst, 0.0),
+        FaultKind::RateLimit { host, .. } | FaultKind::StragglerNic { host, .. } => {
+            w.fabric.clear_host_impairment(host)
+        }
         // Permanent kinds never get heal events scheduled.
         FaultKind::SlowReplica { .. } | FaultKind::HostCrash { .. } => {}
     }
@@ -321,6 +501,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gray_schedule_is_gray_only_and_heals() {
+        let v = [HostId(1), HostId(2)];
+        for seed in 0..32u64 {
+            let s = FaultSchedule::generate_gray(
+                seed,
+                &v,
+                HostId(0),
+                SimTime::from_nanos(1_000_000),
+                SimTime::from_nanos(50_000_000),
+            );
+            assert!(!s.events.is_empty());
+            for e in &s.events {
+                assert!(e.duration.is_some(), "gray faults must heal");
+                match e.kind {
+                    FaultKind::Jitter { src, dst, .. } | FaultKind::LossyLink { src, dst, .. } => {
+                        assert!(
+                            (v.contains(&src) && dst == HostId(0))
+                                || (src == HostId(0) && v.contains(&dst)),
+                            "impaired pair {src}->{dst} touches a bystander"
+                        );
+                    }
+                    FaultKind::RateLimit { host, .. } | FaultKind::StragglerNic { host, .. } => {
+                        assert!(v.contains(&host));
+                    }
+                    other => panic!("non-gray fault kind {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_faults_readmit_nic_stall() {
+        let v = [HostId(4), HostId(5)];
+        let mut seen_stall = false;
+        for seed in 0..32u64 {
+            let s = FaultSchedule::generate_shard_faults(
+                seed,
+                &v,
+                SimTime::from_nanos(1_000_000),
+                SimTime::from_nanos(50_000_000),
+            );
+            for e in &s.events {
+                assert!(e.duration.is_some());
+                match e.kind {
+                    FaultKind::LinkDown { host }
+                    | FaultKind::WaitStall { host }
+                    | FaultKind::NicStall { host } => assert!(v.contains(&host)),
+                    other => panic!("disallowed fault kind {other}"),
+                }
+                if matches!(e.kind, FaultKind::NicStall { .. }) {
+                    seen_stall = true;
+                }
+            }
+        }
+        assert!(seen_stall, "NicStall must appear across 32 seeds");
     }
 
     #[test]

@@ -306,6 +306,17 @@ impl EventCtx for World {
                     Delivery::At(arrive) => {
                         eng.schedule_event_at(arrive, WorldEvent::NicRx { dst, packet });
                     }
+                    Delivery::Duplicated(arrive, again) => {
+                        hl_sim::trace!(self.tracer, now, "fabric", "{src}->{dst} DUPLICATED");
+                        eng.schedule_event_at(
+                            again,
+                            WorldEvent::NicRx {
+                                dst,
+                                packet: packet.clone(),
+                            },
+                        );
+                        eng.schedule_event_at(arrive, WorldEvent::NicRx { dst, packet });
+                    }
                     Delivery::Dropped => {
                         hl_sim::trace!(self.tracer, now, "fabric", "{src}->{dst} DROPPED");
                         self.dropped_packets += 1;
@@ -464,7 +475,11 @@ impl World {
         }
         let draw = self.drop_rng.f64();
         match self.fabric.send(now, from, to.host, wire_bytes, draw) {
-            Delivery::At(at) => {
+            // Control messages are boxed `Any` and cannot be cloned, so
+            // an impairment duplicate delivers only the original copy —
+            // process protocols see duplication as reordering-free loss
+            // of the duplicate, which is indistinguishable on the wire.
+            Delivery::At(at) | Delivery::Duplicated(at, _) => {
                 eng.schedule_at(at, move |w: &mut World, eng| {
                     deliver(to, ProcEvent::Message(msg), recv_cost, w, eng);
                 });
@@ -654,9 +669,13 @@ impl ClusterBuilder {
                 }
             })
             .collect();
+        let mut fabric = Fabric::new(self.hosts, self.profile.net.clone());
+        // Dedicated stream for the gray-failure impairment knobs so
+        // turning impairments on never perturbs other random streams.
+        fabric.set_impairment_rng(rng.stream("fabric-impair"));
         let world = World {
             hosts,
-            fabric: Fabric::new(self.hosts, self.profile.net.clone()),
+            fabric,
             tracer: Tracer::default(),
             drop_rng: rng.stream("fabric-drops"),
             rng,

@@ -19,7 +19,7 @@ fn drop_prob_drops_the_expected_fraction_seeded() {
     for _ in 0..n {
         match f.send(SimTime::ZERO, HostId(0), HostId(1), 64, rng.f64()) {
             Delivery::Dropped => dropped += 1,
-            Delivery::At(_) => {}
+            Delivery::At(_) | Delivery::Duplicated(..) => {}
         }
     }
     let rate = dropped as f64 / n as f64;

@@ -516,6 +516,20 @@ impl Telemetry {
         });
     }
 
+    /// Record a named state-machine transition: an instant mark
+    /// (`transition:{what}:{from}->{to}`) plus a labelled counter
+    /// (`state_transitions{what=…,to=…}`), so campaigns can count
+    /// degrade / re-promote / rejoin edges without parsing mark names.
+    /// Like [`Telemetry::mark`], a no-op while telemetry is disabled.
+    pub fn transition(&mut self, at: SimTime, what: &str, from: &str, to: &str, host: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.mark(at, format!("transition:{what}:{from}->{to}"), host);
+        self.metrics
+            .counter_add("state_transitions", &format!("what={what},to={to}"), 1);
+    }
+
     /// All spans, by op id.
     pub fn spans(&self) -> impl Iterator<Item = &OpSpan> {
         self.spans.values()

@@ -25,12 +25,163 @@
 //! can [`RetryClient::swap`] in the client of a rebuilt chain; attempts
 //! that time out mid-reconfiguration simply re-issue on the new chain.
 
-use crate::group::{OnDone, OpResult};
+use crate::api::GroupClient;
+use crate::group::{Backpressure, OnDone, OpResult};
+use crate::naive::NaiveClient;
 use crate::HyperLoopClient;
 use hl_cluster::World;
 use hl_sim::{Bytes, Engine, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// The replication engine a [`RetryClient`] currently drives: the
+/// offloaded HyperLoop chain, or the CPU-forwarding Naïve fallback the
+/// health monitor degrades to when the chain is sick. Supervised
+/// operations are backend-agnostic — an attempt that times out on one
+/// backend simply re-issues on whatever backend is installed by then,
+/// which is exactly how in-flight ops survive a degrade or re-promote
+/// transition.
+#[derive(Clone)]
+pub enum Backend {
+    /// NIC-offloaded chain replication.
+    Hyper(HyperLoopClient),
+    /// CPU-driven Naïve forwarding (degraded mode).
+    Naive(NaiveClient),
+}
+
+impl Backend {
+    /// True while the offloaded chain is serving.
+    pub fn is_offloaded(&self) -> bool {
+        matches!(self, Backend::Hyper(_))
+    }
+
+    /// The HyperLoop client, if this backend is offloaded.
+    pub fn as_hyper(&self) -> Option<&HyperLoopClient> {
+        match self {
+            Backend::Hyper(c) => Some(c),
+            Backend::Naive(_) => None,
+        }
+    }
+
+    /// The Naïve client, if this backend is degraded.
+    pub fn as_naive(&self) -> Option<&NaiveClient> {
+        match self {
+            Backend::Hyper(_) => None,
+            Backend::Naive(c) => Some(c),
+        }
+    }
+}
+
+impl GroupClient for Backend {
+    fn gwrite(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        data: &[u8],
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        match self {
+            Backend::Hyper(c) => c.gwrite(w, eng, offset, data, flush, done),
+            Backend::Naive(c) => c.gwrite(w, eng, offset, data, flush, done),
+        }
+    }
+    fn gmemcpy(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        src_off: u64,
+        dst_off: u64,
+        len: u32,
+        flush: bool,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        match self {
+            Backend::Hyper(c) => c.gmemcpy(w, eng, src_off, dst_off, len, flush, done),
+            Backend::Naive(c) => c.gmemcpy(w, eng, src_off, dst_off, len, flush, done),
+        }
+    }
+    fn gcas(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        cmp: u64,
+        swp: u64,
+        exec_map: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        match self {
+            Backend::Hyper(c) => c.gcas(w, eng, offset, cmp, swp, exec_map, done),
+            Backend::Naive(c) => c.gcas(w, eng, offset, cmp, swp, exec_map, done),
+        }
+    }
+    fn gflush(
+        &self,
+        w: &mut World,
+        eng: &mut Engine<World>,
+        offset: u64,
+        len: u32,
+        done: OnDone,
+    ) -> Result<u32, Backpressure> {
+        match self {
+            Backend::Hyper(c) => c.gflush(w, eng, offset, len, done),
+            Backend::Naive(c) => c.gflush(w, eng, offset, len, done),
+        }
+    }
+    fn group_size(&self) -> usize {
+        match self {
+            Backend::Hyper(c) => GroupClient::group_size(c),
+            Backend::Naive(c) => GroupClient::group_size(c),
+        }
+    }
+    fn member_addr(&self, m: usize, offset: u64) -> u64 {
+        match self {
+            Backend::Hyper(c) => GroupClient::member_addr(c, m, offset),
+            Backend::Naive(c) => GroupClient::member_addr(c, m, offset),
+        }
+    }
+    fn member_host(&self, m: usize) -> hl_fabric::HostId {
+        match self {
+            Backend::Hyper(c) => GroupClient::member_host(c, m),
+            Backend::Naive(c) => GroupClient::member_host(c, m),
+        }
+    }
+}
+
+/// Supervision counters shared by every clone of a [`RetryClient`].
+/// Always live (unlike the telemetry registry, which is opt-in) so the
+/// health monitor can score a chain without telemetry overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Operations settled successfully.
+    pub acked: u64,
+    /// Attempts re-issued after a missed per-attempt deadline.
+    pub reissues: u64,
+    /// Issues refused by the group (paused or out of credits).
+    pub backpressured: u64,
+    /// Operations that exhausted the attempt budget.
+    pub deadline_exceeded: u64,
+    /// Per-attempt deadlines that expired without an ACK.
+    pub attempt_timeouts: u64,
+}
+
+/// Callback fired when the stall probe crosses its threshold.
+pub type OnSuspect = Box<dyn FnMut(&mut World, &mut Engine<World>)>;
+
+/// Client-side end-to-end stall probe: a mid-chain NIC stall eats
+/// fire-and-forget packets without producing a transport-error CQE
+/// anywhere the client can see, so the only end-to-end signal is ACK
+/// silence. The probe counts *consecutive* attempt-deadline expiries
+/// with no intervening success; at the threshold it fires once per
+/// episode (re-armed by the next successful ACK).
+struct ProbeState {
+    threshold: u32,
+    consecutive: u32,
+    episode_open: bool,
+    on_suspect: Option<OnSuspect>,
+}
 
 /// Typed failure of a deadline-supervised operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,24 +291,34 @@ pub enum GroupOp {
 /// Per-operation supervision state shared by the completion and the
 /// deadline closures.
 struct IssueState {
-    cell: Rc<RefCell<HyperLoopClient>>,
+    cell: Rc<RefCell<Backend>>,
     policy: DeadlinePolicy,
     op: GroupOp,
     done: Option<OnOutcome>,
     settled: bool,
     outstanding: Rc<RefCell<u32>>,
     failures: Rc<RefCell<Vec<OpError>>>,
+    stats: Rc<RefCell<RetryStats>>,
+    probe: Rc<RefCell<Option<ProbeState>>>,
 }
 
-/// Deadline-supervising wrapper around [`HyperLoopClient`].
+/// Shared dirty-range log: `Some` while a cutover is recording
+/// `(offset, len)` ranges mutated at issue time.
+type DirtyLog = Rc<RefCell<Option<Vec<(u64, u32)>>>>;
+
+/// Deadline-supervising wrapper around a replication [`Backend`].
 ///
-/// Cloning shares the client cell, the policy, and the failure log.
+/// Cloning shares the backend cell, the policy, the stats, and the
+/// failure log.
 #[derive(Clone)]
 pub struct RetryClient {
-    cell: Rc<RefCell<HyperLoopClient>>,
+    cell: Rc<RefCell<Backend>>,
     policy: DeadlinePolicy,
     outstanding: Rc<RefCell<u32>>,
     failures: Rc<RefCell<Vec<OpError>>>,
+    stats: Rc<RefCell<RetryStats>>,
+    probe: Rc<RefCell<Option<ProbeState>>>,
+    dirty: DirtyLog,
 }
 
 impl RetryClient {
@@ -168,23 +329,58 @@ impl RetryClient {
 
     /// Wrap a client with an explicit policy.
     pub fn with_policy(client: HyperLoopClient, policy: DeadlinePolicy) -> Self {
+        Self::with_policy_backend(Backend::Hyper(client), policy)
+    }
+
+    /// Wrap an arbitrary backend (e.g. a Naïve chain used as a control
+    /// or a pre-degraded group) with an explicit policy.
+    pub fn with_policy_backend(backend: Backend, policy: DeadlinePolicy) -> Self {
         RetryClient {
-            cell: Rc::new(RefCell::new(client)),
+            cell: Rc::new(RefCell::new(backend)),
             policy,
             outstanding: Rc::new(RefCell::new(0)),
             failures: Rc::new(RefCell::new(Vec::new())),
+            stats: Rc::new(RefCell::new(RetryStats::default())),
+            probe: Rc::new(RefCell::new(None)),
+            dirty: Rc::new(RefCell::new(None)),
         }
     }
 
-    /// The current underlying client (a cheap handle clone).
+    /// The current underlying HyperLoop client (a cheap handle clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is degraded to the Naïve backend; use
+    /// [`RetryClient::backend`] for backend-agnostic access.
     pub fn client(&self) -> HyperLoopClient {
+        match &*self.cell.borrow() {
+            Backend::Hyper(c) => c.clone(),
+            Backend::Naive(_) => {
+                panic!("RetryClient::client(): group is degraded to the Naive backend")
+            }
+        }
+    }
+
+    /// The current backend (a cheap handle clone).
+    pub fn backend(&self) -> Backend {
         self.cell.borrow().clone()
+    }
+
+    /// True while the offloaded chain is serving.
+    pub fn is_offloaded(&self) -> bool {
+        self.cell.borrow().is_offloaded()
     }
 
     /// Install the client of a rebuilt chain. In-flight supervised
     /// operations re-issue on it at their next attempt.
     pub fn swap(&self, client: HyperLoopClient) {
-        *self.cell.borrow_mut() = client;
+        *self.cell.borrow_mut() = Backend::Hyper(client);
+    }
+
+    /// Degrade: install a Naïve client as the serving backend. In-flight
+    /// supervised operations re-issue on it at their next attempt.
+    pub fn swap_naive(&self, client: NaiveClient) {
+        *self.cell.borrow_mut() = Backend::Naive(client);
     }
 
     /// Supervised operations not yet settled (completed or failed).
@@ -197,9 +393,54 @@ impl RetryClient {
         self.failures.borrow().clone()
     }
 
+    /// A snapshot of the always-on supervision counters.
+    pub fn stats(&self) -> RetryStats {
+        *self.stats.borrow()
+    }
+
+    /// Arm the end-to-end NIC-stall probe: after `threshold` consecutive
+    /// attempt-deadline expiries with no intervening ACK, bump the
+    /// `nic_stall_suspected` counter (layer=probe), drop a trace mark,
+    /// and invoke `on_suspect` once; the episode re-arms on the next
+    /// successful ACK. This is the detection path for mid-chain stalls
+    /// that produce no transport-error CQE at the client.
+    pub fn arm_nic_stall_probe(&self, threshold: u32, on_suspect: OnSuspect) {
+        *self.probe.borrow_mut() = Some(ProbeState {
+            threshold: threshold.max(1),
+            consecutive: 0,
+            episode_open: false,
+            on_suspect: Some(on_suspect),
+        });
+    }
+
+    /// Disarm the NIC-stall probe.
+    pub fn disarm_nic_stall_probe(&self) {
+        *self.probe.borrow_mut() = None;
+    }
+
+    /// Start recording the NVM ranges touched by every subsequently
+    /// issued op (live-cutover dirty log). Replaces any prior log.
+    pub fn begin_dirty_log(&self) {
+        *self.dirty.borrow_mut() = Some(Vec::new());
+    }
+
+    /// Stop recording and return the dirty ranges as `(offset, len)`
+    /// pairs, in issue order. Empty if logging was never started.
+    pub fn take_dirty_log(&self) -> Vec<(u64, u32)> {
+        self.dirty.borrow_mut().take().unwrap_or_default()
+    }
+
     /// Issue `op` under deadline supervision. Exactly one of the `Ok` /
     /// `Err` arms of `done` fires, in bounded time.
     pub fn issue(&self, w: &mut World, eng: &mut Engine<World>, op: GroupOp, done: OnOutcome) {
+        if let Some(log) = self.dirty.borrow_mut().as_mut() {
+            match &op {
+                GroupOp::Write { offset, data, .. } => log.push((*offset, data.len() as u32)),
+                GroupOp::Memcpy { dst_off, len, .. } => log.push((*dst_off, *len)),
+                GroupOp::Cas { offset, .. } => log.push((*offset, 8)),
+                GroupOp::Flush { .. } => {}
+            }
+        }
         *self.outstanding.borrow_mut() += 1;
         let st = Rc::new(RefCell::new(IssueState {
             cell: self.cell.clone(),
@@ -209,6 +450,8 @@ impl RetryClient {
             settled: false,
             outstanding: self.outstanding.clone(),
             failures: self.failures.clone(),
+            stats: self.stats.clone(),
+            probe: self.probe.clone(),
         }));
         attempt(st, w, eng, 0);
     }
@@ -312,8 +555,20 @@ fn settle(
         }
         s.settled = true;
         *s.outstanding.borrow_mut() -= 1;
-        if let Err(e) = &outcome {
-            s.failures.borrow_mut().push(e.clone());
+        match &outcome {
+            Ok(_) => {
+                s.stats.borrow_mut().acked += 1;
+                // A completed op proves the chain end-to-end: close any
+                // open stall episode and re-arm the probe.
+                if let Some(p) = s.probe.borrow_mut().as_mut() {
+                    p.consecutive = 0;
+                    p.episode_open = false;
+                }
+            }
+            Err(e) => {
+                s.stats.borrow_mut().deadline_exceeded += 1;
+                s.failures.borrow_mut().push(e.clone());
+            }
         }
         s.done.take()
     };
@@ -355,10 +610,13 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
             settle(&st, w, eng, Ok(r));
         })
     };
-    if k > 0 && w.telemetry.enabled() {
-        w.telemetry
-            .metrics
-            .counter_add("retry_reissues", "layer=deadline", 1);
+    if k > 0 {
+        st.borrow().stats.borrow_mut().reissues += 1;
+        if w.telemetry.enabled() {
+            w.telemetry
+                .metrics
+                .counter_add("retry_reissues", "layer=deadline", 1);
+        }
     }
     let issued = match &op {
         GroupOp::Write {
@@ -383,9 +641,11 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
     // Next supervision point: the attempt deadline if the issue went
     // out, or the backoff if the group refused it (paused for recovery
     // or out of ring credits — both transient).
+    let went_out = issued.is_ok();
     let wait = match issued {
         Ok(_) => policy.deadline,
         Err(_backpressure) => {
+            st.borrow().stats.borrow_mut().backpressured += 1;
             if w.telemetry.enabled() {
                 w.telemetry
                     .metrics
@@ -402,6 +662,13 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
         if settled {
             return;
         }
+        if went_out {
+            // The issue left the client but no ACK came back within the
+            // attempt deadline: the end-to-end signal a silent mid-chain
+            // stall cannot suppress.
+            st.borrow().stats.borrow_mut().attempt_timeouts += 1;
+            probe_note_timeout(&st, w, eng);
+        }
         if attempts_left == 0 {
             settle(
                 &st,
@@ -416,4 +683,55 @@ fn attempt(st: Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>, 
             attempt(st, w, eng, k + 1);
         });
     });
+}
+
+/// Record an attempt-deadline expiry against the stall probe; fire the
+/// suspect callback when the consecutive-expiry threshold is crossed
+/// and no episode is already open.
+fn probe_note_timeout(st: &Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Engine<World>) {
+    let probe = st.borrow().probe.clone();
+    let fire = {
+        let mut p = probe.borrow_mut();
+        match p.as_mut() {
+            None => false,
+            Some(ps) => {
+                ps.consecutive += 1;
+                if ps.consecutive >= ps.threshold && !ps.episode_open {
+                    ps.episode_open = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    };
+    if !fire {
+        return;
+    }
+    let host = {
+        let s = st.borrow();
+        let b = s.cell.borrow();
+        b.member_host(0).0
+    };
+    if w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("nic_stall_suspected", "layer=probe", 1);
+        let now = eng.now();
+        w.telemetry.mark(now, "probe:nic-stall-suspected", host);
+    }
+    // Take the callback out for the call so it may re-enter the probe
+    // (e.g. trigger a rebuild that disarms or re-arms it).
+    let cb = probe
+        .borrow_mut()
+        .as_mut()
+        .and_then(|p| p.on_suspect.take());
+    if let Some(mut cb) = cb {
+        cb(w, eng);
+        if let Some(p) = probe.borrow_mut().as_mut() {
+            if p.on_suspect.is_none() {
+                p.on_suspect = Some(cb);
+            }
+        }
+    }
 }

@@ -1,0 +1,669 @@
+//! Gray-failure health monitoring and the degradation state machine.
+//!
+//! Fail-stop faults surface as error CQEs or missed heartbeats and are
+//! handled by [`crate::recovery`]. *Gray* faults — a jittery or lossy
+//! link, a rate-limited or straggling NIC — leave the chain nominally
+//! alive but slow, which offloaded WQE chains cannot route around: the
+//! NICs keep executing, just badly. The countermeasure is a control
+//! loop that *scores* chain health from cheap end-to-end signals and
+//! drives the backend both ways:
+//!
+//! * **degrade** — after `degrade_after` consecutive sick evaluations,
+//!   fall back to the CPU-driven Naïve chain over the same members
+//!   (via [`crate::recovery::degrade_to_naive`]), swapped into the
+//!   supervising [`RetryClient`] so in-flight operations simply
+//!   re-issue on the fallback;
+//! * **re-promote** — after `promote_after` consecutive healthy
+//!   evaluations *and* a minimum degraded dwell (hysteresis, so a
+//!   flapping link cannot thrash the backend), rebuild a fresh
+//!   offloaded chain and cut over **live**: the bulk of the replica
+//!   seed streams while the Naïve chain keeps serving, and only the
+//!   final delta copy runs under a brief pause ([`live_cutover`]).
+//!
+//! The same cutover machinery implements crash-rejoin under live
+//! traffic ([`rejoin_member`]): a healed host is caught up with
+//! streaming [`crate::recovery::catch_up`] copies while the serving
+//! chain keeps ACKing client operations — no stop-the-world.
+//!
+//! The health score is a weighted sum of *windowed deltas* (this
+//! evaluation period only) of per-member NIC counters (retransmits,
+//! ACK timeouts, error CQEs) and the supervising client's
+//! [`RetryStats`] (attempt timeouts, re-issues, exhausted deadlines) —
+//! all signals the client can observe without instrumenting the sick
+//! middle of the chain.
+
+use crate::deadline::{Backend, RetryClient, RetryStats};
+use crate::group::{GroupBuilder, GroupConfig, GroupRef};
+use crate::naive::Mode;
+use crate::recovery::{catch_up, degrade_to_naive, OnRebuilt};
+use crate::HyperLoopClient;
+use hl_cluster::World;
+use hl_fabric::HostId;
+use hl_rnic::Access;
+use hl_sim::{Engine, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Health-loop knobs.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Evaluation period.
+    pub period: SimDuration,
+    /// A period scoring at or above this is *sick*.
+    pub degrade_score: u64,
+    /// A period scoring at or below this is *healthy* (the gap to
+    /// `degrade_score` is the hysteresis band).
+    pub healthy_score: u64,
+    /// Consecutive sick evaluations before degrading.
+    pub degrade_after: u32,
+    /// Consecutive healthy evaluations before re-promoting.
+    pub promote_after: u32,
+    /// Minimum time spent degraded before a re-promotion may start.
+    pub min_degraded_dwell: SimDuration,
+    /// Ring slots for rebuilt offloaded chains.
+    pub ring_slots: u32,
+    /// Replica scheduling mode of the degraded (Naïve) chain.
+    pub naive_mode: Mode,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            period: SimDuration::from_micros(200),
+            degrade_score: 20,
+            healthy_score: 2,
+            degrade_after: 3,
+            promote_after: 5,
+            min_degraded_dwell: SimDuration::from_millis(2),
+            ring_slots: 64,
+            naive_mode: Mode::Event,
+        }
+    }
+}
+
+/// Where the monitored group currently is in the degradation state
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// The offloaded chain is serving.
+    Offloaded,
+    /// Degradation in progress (Naïve chain being built and seeded).
+    Degrading,
+    /// The Naïve fallback is serving.
+    Degraded,
+    /// Re-promotion in progress (live cutover running).
+    Promoting,
+}
+
+impl HealthState {
+    fn name(self) -> &'static str {
+        match self {
+            HealthState::Offloaded => "offloaded",
+            HealthState::Degrading => "degrading",
+            HealthState::Degraded => "degraded",
+            HealthState::Promoting => "promoting",
+        }
+    }
+}
+
+// Signal weights: an error CQE or an end-to-end attempt timeout is far
+// stronger evidence than a single retransmit.
+const W_RETRANSMIT: u64 = 1;
+const W_TIMEOUT: u64 = 20;
+const W_ERROR_CQE: u64 = 50;
+const W_ATTEMPT_TIMEOUT: u64 = 25;
+const W_REISSUE: u64 = 5;
+const W_DEADLINE_EXCEEDED: u64 = 100;
+
+struct MonitorInner {
+    cfg: HealthConfig,
+    retry: RetryClient,
+    /// The current (or, while degraded, the last) offloaded group —
+    /// the config template for re-promotion rebuilds.
+    group: GroupRef,
+    hosts: Vec<HostId>,
+    client_host: HostId,
+    state: HealthState,
+    sick: u32,
+    healthy: u32,
+    degraded_at: SimTime,
+    base_nic: Vec<(u64, u64, u64)>,
+    base_stats: RetryStats,
+    last_score: u64,
+    degrades: u64,
+    promotes: u64,
+    stopped: bool,
+}
+
+/// The periodic health evaluator driving degrade / re-promote.
+///
+/// Cloning shares the monitor state.
+#[derive(Clone)]
+pub struct HealthMonitor {
+    inner: Rc<RefCell<MonitorInner>>,
+}
+
+impl HealthMonitor {
+    /// Start monitoring `retry` (currently serving the offloaded
+    /// `group`). The first evaluation runs one period from now.
+    pub fn start(
+        retry: RetryClient,
+        group: GroupRef,
+        cfg: HealthConfig,
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) -> HealthMonitor {
+        let (client_host, mut hosts) = {
+            let g = group.borrow();
+            (g.cfg.client, vec![g.cfg.client])
+        };
+        hosts.extend(group.borrow().cfg.replicas.iter().copied());
+        let base_nic = hosts
+            .iter()
+            .map(|&h| {
+                let c = w.host(h).nic.counters();
+                (c.retransmits, c.timeouts, c.error_cqes)
+            })
+            .collect();
+        let base_stats = retry.stats();
+        let inner = Rc::new(RefCell::new(MonitorInner {
+            cfg,
+            retry,
+            group,
+            hosts,
+            client_host,
+            state: HealthState::Offloaded,
+            sick: 0,
+            healthy: 0,
+            degraded_at: SimTime::ZERO,
+            base_nic,
+            base_stats,
+            last_score: 0,
+            degrades: 0,
+            promotes: 0,
+            stopped: false,
+        }));
+        let period = inner.borrow().cfg.period;
+        let m = inner.clone();
+        eng.schedule(period, move |w: &mut World, eng| tick(m, w, eng));
+        HealthMonitor { inner }
+    }
+
+    /// Stop evaluating (any in-flight transition still completes).
+    pub fn stop(&self) {
+        self.inner.borrow_mut().stopped = true;
+    }
+
+    /// Current state-machine position.
+    pub fn state(&self) -> HealthState {
+        self.inner.borrow().state
+    }
+
+    /// The most recent period score.
+    pub fn last_score(&self) -> u64 {
+        self.inner.borrow().last_score
+    }
+
+    /// Completed degradations.
+    pub fn degrades(&self) -> u64 {
+        self.inner.borrow().degrades
+    }
+
+    /// Completed re-promotions.
+    pub fn promotes(&self) -> u64 {
+        self.inner.borrow().promotes
+    }
+}
+
+fn sample_score(m: &Rc<RefCell<MonitorInner>>, w: &mut World) -> u64 {
+    let hosts = m.borrow().hosts.clone();
+    let nic_now: Vec<(u64, u64, u64)> = hosts
+        .iter()
+        .map(|&h| {
+            let c = w.host(h).nic.counters();
+            (c.retransmits, c.timeouts, c.error_cqes)
+        })
+        .collect();
+    let mut mm = m.borrow_mut();
+    let mut score = 0u64;
+    for (now, base) in nic_now.iter().zip(mm.base_nic.iter()) {
+        score += W_RETRANSMIT * now.0.saturating_sub(base.0)
+            + W_TIMEOUT * now.1.saturating_sub(base.1)
+            + W_ERROR_CQE * now.2.saturating_sub(base.2);
+    }
+    let stats = mm.retry.stats();
+    let base = mm.base_stats;
+    score += W_ATTEMPT_TIMEOUT * stats.attempt_timeouts.saturating_sub(base.attempt_timeouts)
+        + W_REISSUE * stats.reissues.saturating_sub(base.reissues)
+        + W_DEADLINE_EXCEEDED
+            * stats
+                .deadline_exceeded
+                .saturating_sub(base.deadline_exceeded);
+    mm.base_nic = nic_now;
+    mm.base_stats = stats;
+    mm.last_score = score;
+    score
+}
+
+fn tick(m: Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
+    if m.borrow().stopped {
+        return;
+    }
+    let score = sample_score(&m, w);
+    w.telemetry
+        .metrics
+        .gauge_set("health_score", "layer=health", score as f64);
+
+    enum Action {
+        None,
+        Degrade,
+        Promote,
+    }
+    let action = {
+        let mut mm = m.borrow_mut();
+        match mm.state {
+            HealthState::Offloaded => {
+                if score >= mm.cfg.degrade_score {
+                    mm.sick += 1;
+                    mm.healthy = 0;
+                    if mm.sick >= mm.cfg.degrade_after {
+                        Action::Degrade
+                    } else {
+                        Action::None
+                    }
+                } else {
+                    mm.sick = 0;
+                    Action::None
+                }
+            }
+            HealthState::Degraded => {
+                if score <= mm.cfg.healthy_score {
+                    mm.healthy += 1;
+                    let dwelt = eng.now().duration_since(mm.degraded_at);
+                    if mm.healthy >= mm.cfg.promote_after && dwelt >= mm.cfg.min_degraded_dwell {
+                        Action::Promote
+                    } else {
+                        Action::None
+                    }
+                } else {
+                    mm.healthy = 0;
+                    Action::None
+                }
+            }
+            // A transition is already in flight; let it land.
+            HealthState::Degrading | HealthState::Promoting => Action::None,
+        }
+    };
+    match action {
+        Action::Degrade => start_degrade(&m, w, eng),
+        Action::Promote => start_promote(&m, w, eng),
+        Action::None => {}
+    }
+    let period = m.borrow().cfg.period;
+    eng.schedule(period, move |w: &mut World, eng| tick(m, w, eng));
+}
+
+fn transition_to(
+    m: &Rc<RefCell<MonitorInner>>,
+    w: &mut World,
+    eng: &mut Engine<World>,
+    to: HealthState,
+) {
+    let (from, host) = {
+        let mut mm = m.borrow_mut();
+        let from = mm.state;
+        mm.state = to;
+        (from, mm.client_host.0)
+    };
+    let now = eng.now();
+    w.telemetry
+        .transition(now, "backend", from.name(), to.name(), host);
+}
+
+fn start_degrade(m: &Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
+    transition_to(m, w, eng, HealthState::Degrading);
+    let (group, mode, retry) = {
+        let mm = m.borrow();
+        (mm.group.clone(), mm.cfg.naive_mode, mm.retry.clone())
+    };
+    let m = m.clone();
+    degrade_to_naive(
+        &group,
+        w,
+        eng,
+        mode,
+        Box::new(move |w, eng, naive| {
+            retry.swap_naive(naive);
+            {
+                let mut mm = m.borrow_mut();
+                mm.degraded_at = eng.now();
+                mm.degrades += 1;
+                mm.sick = 0;
+                mm.healthy = 0;
+            }
+            transition_to(&m, w, eng, HealthState::Degraded);
+            w.telemetry
+                .metrics
+                .counter_add("health_degrades", "layer=health", 1);
+        }),
+    );
+}
+
+fn start_promote(m: &Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
+    transition_to(m, w, eng, HealthState::Promoting);
+    let (retry, cfg) = {
+        let mm = m.borrow();
+        let g = mm.group.borrow();
+        (
+            mm.retry.clone(),
+            GroupConfig {
+                client: g.cfg.client,
+                replicas: g.cfg.replicas.clone(),
+                rep_bytes: g.cfg.rep_bytes,
+                ring_slots: mm.cfg.ring_slots,
+                replenish_period: g.cfg.replenish_period,
+                transport_timeout: g.cfg.transport_timeout,
+            },
+        )
+    };
+    let m = m.clone();
+    live_cutover(
+        &retry,
+        cfg,
+        w,
+        eng,
+        Box::new(move |w, eng, client| {
+            {
+                let mut mm = m.borrow_mut();
+                mm.group = client.group().clone();
+                mm.promotes += 1;
+                mm.sick = 0;
+                mm.healthy = 0;
+            }
+            transition_to(&m, w, eng, HealthState::Offloaded);
+            w.telemetry
+                .metrics
+                .counter_add("health_promotes", "layer=health", 1);
+        }),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live cutover
+// ---------------------------------------------------------------------------
+
+/// How long the drain phase polls for outstanding supervised ops
+/// before proceeding anyway (under loss, in-flight ops may never reach
+/// zero within any bound; re-issue on the new chain covers them).
+const DRAIN_POLLS: u32 = 20;
+const DRAIN_POLL_PERIOD: SimDuration = SimDuration::from_micros(100);
+
+/// Cut the supervised group over to a freshly built offloaded chain
+/// **without stopping client traffic**:
+///
+/// 1. start dirty-range logging at the [`RetryClient`];
+/// 2. build the new chain and stream the bulk seed to every new
+///    replica with chunked RDMA READs while the old backend keeps
+///    serving;
+/// 3. pause the old backend, drain in-flight ops (bounded — unACKed
+///    survivors re-issue on the new chain and their target ranges are
+///    in the dirty log);
+/// 4. copy only the dirty bounding range as a delta;
+/// 5. swap the new chain's client into the `RetryClient` and hand it
+///    to `done`.
+///
+/// The source of truth throughout is the *client's* copy of the
+/// replicated region: both backends apply every mutation locally at
+/// issue time, so a range written mid-cutover is (a) already current
+/// in the source region and (b) recorded in the dirty log.
+pub fn live_cutover(
+    retry: &RetryClient,
+    cfg: GroupConfig,
+    w: &mut World,
+    eng: &mut Engine<World>,
+    done: OnRebuilt,
+) {
+    let backend = retry.backend();
+    let (src_host, src_rep) = match &backend {
+        Backend::Hyper(c) => {
+            let g = c.group().borrow();
+            (g.cfg.client, g.client_rep.clone())
+        }
+        Backend::Naive(n) => {
+            let g = n.group().borrow();
+            (g.cfg.client, g.client_rep.clone())
+        }
+    };
+    assert_eq!(src_host, cfg.client, "cutover keeps the coordinator");
+    let rep_bytes = cfg.rep_bytes;
+    retry.begin_dirty_log();
+    let now = eng.now();
+    w.telemetry.mark(now, "cutover:start", src_host.0);
+
+    let new_group = GroupBuilder::new(cfg).build(w);
+
+    // Local seed of the new chain's client region.
+    let new_rep_addr = new_group.borrow().client_rep.addr;
+    let bytes = w
+        .host(src_host)
+        .mem
+        .read_vec(src_rep.addr, rep_bytes as usize)
+        .unwrap();
+    w.host(src_host).mem.write(new_rep_addr, &bytes).unwrap();
+
+    let src_mr = w
+        .host(src_host)
+        .nic
+        .register_mr(src_rep.addr, src_rep.len, Access::REMOTE_READ);
+    let targets: Vec<(HostId, u64)> = {
+        let g = new_group.borrow();
+        (0..g.n_replicas())
+            .map(|i| (g.cfg.replicas[i], g.replica_rep[i].addr))
+            .collect()
+    };
+
+    // Phase 2: bulk streaming seed, old backend still serving.
+    let total = targets.len();
+    let finished = Rc::new(RefCell::new(0usize));
+    let done_cell = Rc::new(RefCell::new(Some(done)));
+    let retry = retry.clone();
+    for (th, taddr) in targets.clone() {
+        let finished = finished.clone();
+        let done_cell = done_cell.clone();
+        let retry = retry.clone();
+        let backend = backend.clone();
+        let new_group = new_group.clone();
+        let targets = targets.clone();
+        let src_rkey = src_mr.rkey;
+        catch_up(
+            w,
+            eng,
+            src_host,
+            src_mr.rkey,
+            src_rep.addr,
+            th,
+            taddr,
+            rep_bytes,
+            64 * 1024,
+            Box::new(move |w, eng| {
+                *finished.borrow_mut() += 1;
+                if *finished.borrow() < total {
+                    return;
+                }
+                // Phase 3: pause the old backend; new issues see
+                // Backpressure and back off until the swap.
+                match &backend {
+                    Backend::Hyper(c) => c.group().borrow_mut().paused = true,
+                    Backend::Naive(n) => n.group().borrow_mut().paused = true,
+                }
+                let now = eng.now();
+                w.telemetry.mark(now, "cutover:pause", src_host.0);
+                let retry2 = retry.clone();
+                drain_then(
+                    retry.clone(),
+                    DRAIN_POLLS,
+                    eng,
+                    Box::new(move |w, eng| {
+                        delta_and_swap(
+                            retry2,
+                            new_group,
+                            targets,
+                            src_host,
+                            src_rkey,
+                            src_rep.addr,
+                            new_rep_addr,
+                            done_cell,
+                            w,
+                            eng,
+                        );
+                    }),
+                );
+            }),
+        );
+    }
+}
+
+type OnDrained = Box<dyn FnOnce(&mut World, &mut Engine<World>)>;
+
+/// Poll until no supervised ops are outstanding, or the poll budget is
+/// spent — then run `then`.
+fn drain_then(retry: RetryClient, polls_left: u32, eng: &mut Engine<World>, then: OnDrained) {
+    eng.schedule(DRAIN_POLL_PERIOD, move |w: &mut World, eng| {
+        if retry.outstanding() == 0 || polls_left == 0 {
+            then(w, eng);
+        } else {
+            drain_then(retry, polls_left - 1, eng, then);
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn delta_and_swap(
+    retry: RetryClient,
+    new_group: GroupRef,
+    targets: Vec<(HostId, u64)>,
+    src_host: HostId,
+    src_rkey: u32,
+    src_addr: u64,
+    new_rep_addr: u64,
+    done_cell: Rc<RefCell<Option<OnRebuilt>>>,
+    w: &mut World,
+    eng: &mut Engine<World>,
+) {
+    let dirty = retry.take_dirty_log();
+    let finish = move |w: &mut World, eng: &mut Engine<World>| {
+        crate::replica::start_replenishers(&new_group, w, eng);
+        let client = HyperLoopClient::new(new_group.clone(), w);
+        retry.swap(client.clone());
+        let now = eng.now();
+        w.telemetry.mark(now, "cutover:swap", src_host.0);
+        if let Some(done) = done_cell.borrow_mut().take() {
+            done(w, eng, client);
+        }
+    };
+    if dirty.is_empty() {
+        finish(w, eng);
+        return;
+    }
+    // Phase 4: delta — the bounding range of everything dirtied since
+    // the log was armed (bulk copies may have raced any of it).
+    let lo = dirty.iter().map(|&(o, _)| o).min().unwrap();
+    let hi = dirty.iter().map(|&(o, l)| o + l as u64).max().unwrap();
+    let len = hi - lo;
+    if w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("cutover_delta_bytes", "layer=health", len);
+    }
+    let bytes = w
+        .host(src_host)
+        .mem
+        .read_vec(src_addr + lo, len as usize)
+        .unwrap();
+    w.host(src_host)
+        .mem
+        .write(new_rep_addr + lo, &bytes)
+        .unwrap();
+
+    let total = targets.len();
+    let finished = Rc::new(RefCell::new(0usize));
+    let finish_cell = Rc::new(RefCell::new(Some(finish)));
+    for (th, taddr) in targets {
+        let finished = finished.clone();
+        let finish_cell = finish_cell.clone();
+        catch_up(
+            w,
+            eng,
+            src_host,
+            src_rkey,
+            src_addr + lo,
+            th,
+            taddr + lo,
+            len,
+            64 * 1024,
+            Box::new(move |w, eng| {
+                *finished.borrow_mut() += 1;
+                if *finished.borrow() == total {
+                    if let Some(finish) = finish_cell.borrow_mut().take() {
+                        finish(w, eng);
+                    }
+                }
+            }),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-rejoin under live traffic
+// ---------------------------------------------------------------------------
+
+/// Re-admit a healed host into the supervised group without stopping
+/// client traffic: a fresh offloaded chain is built over the current
+/// membership *plus* `new_member`, seeded with streaming catch-up while
+/// the serving chain keeps ACKing, and swapped in via [`live_cutover`].
+pub fn rejoin_member(
+    retry: &RetryClient,
+    new_member: HostId,
+    ring_slots: u32,
+    w: &mut World,
+    eng: &mut Engine<World>,
+    done: OnRebuilt,
+) {
+    let backend = retry.backend();
+    let mut cfg = match &backend {
+        Backend::Hyper(c) => {
+            let g = c.group().borrow();
+            GroupConfig {
+                client: g.cfg.client,
+                replicas: g.cfg.replicas.clone(),
+                rep_bytes: g.cfg.rep_bytes,
+                ring_slots,
+                replenish_period: g.cfg.replenish_period,
+                transport_timeout: g.cfg.transport_timeout,
+            }
+        }
+        Backend::Naive(n) => {
+            let g = n.group().borrow();
+            GroupConfig {
+                client: g.cfg.client,
+                replicas: g.cfg.replicas.clone(),
+                rep_bytes: g.cfg.rep_bytes,
+                ring_slots,
+                ..Default::default()
+            }
+        }
+    };
+    assert!(
+        !cfg.replicas.contains(&new_member) && cfg.client != new_member,
+        "rejoining host must not already be a member"
+    );
+    cfg.replicas.push(new_member);
+    let now = eng.now();
+    w.telemetry.mark(now, "rejoin:start", new_member.0);
+    if w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("health_rejoins", "layer=health", 1);
+    }
+    live_cutover(retry, cfg, w, eng, done);
+}

@@ -38,6 +38,7 @@ mod client;
 pub mod deadline;
 pub mod fanout;
 mod group;
+pub mod health;
 pub mod metadata;
 pub mod multi;
 pub mod naive;
@@ -46,9 +47,10 @@ pub mod replica;
 pub mod router;
 
 pub use client::HyperLoopClient;
-pub use deadline::{DeadlinePolicy, GroupOp, OnOutcome, OpError, RetryClient};
+pub use deadline::{Backend, DeadlinePolicy, GroupOp, OnOutcome, OpError, RetryClient, RetryStats};
 pub use group::{
     Backpressure, GroupBuilder, GroupConfig, GroupInner, GroupRef, GroupStats, OnDone, OpResult,
 };
+pub use health::{HealthConfig, HealthMonitor, HealthState};
 pub use metadata::Primitive;
 pub use router::ShardRouter;

@@ -152,6 +152,9 @@ pub struct NaiveInner {
     next_seq: u32,
     inflight: u32,
     max_inflight: u32,
+    /// Refuse new issues (during a cutover back to an offloaded chain);
+    /// in-flight descriptors still drain and ACK.
+    pub paused: bool,
     /// Issue/ack counters.
     pub stats: crate::group::GroupStats,
 }
@@ -352,6 +355,7 @@ impl NaiveBuilder {
             next_seq: 0,
             inflight: 0,
             max_inflight: slots / 2,
+            paused: false,
             stats: Default::default(),
             cfg,
         }));
@@ -470,7 +474,7 @@ impl NaiveClient {
         done: OnDone,
     ) -> Result<u32, Backpressure> {
         let mut inner = self.inner.borrow_mut();
-        if inner.inflight >= inner.max_inflight {
+        if inner.paused || inner.inflight >= inner.max_inflight {
             inner.stats.backpressured += 1;
             return Err(Backpressure);
         }

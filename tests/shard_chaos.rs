@@ -5,8 +5,13 @@
 //! [`ShardPlan::place`] (6 hosts for 2 shards of 3 members, plus two
 //! standbys for rebuilds). Both shards drive a record stream through
 //! deadline-supervised clients while a seeded, *shard-scoped* fault
-//! schedule ([`FaultSchedule::generate_link_wait`]: link-down and
-//! WAIT-engine stalls, only on the victim shard's replicas) plays out.
+//! schedule ([`FaultSchedule::generate_shard_faults`]: link-down,
+//! WAIT-engine stalls and *silent* NIC stalls, only on the victim
+//! shard's replicas) plays out. Silent stalls on a non-head replica
+//! produce no error CQE and no missed heartbeat, so each shard also
+//! arms the client-side end-to-end deadline probe
+//! ([`RetryClient::arm_nic_stall_probe`]) and funnels suspicion into
+//! the same latched rebuild path as the binary detectors.
 //!
 //! Invariants, per seed:
 //!
@@ -63,19 +68,22 @@ fn trigger_rebuild(
     members: &[HostId],
     standbys: &Rc<RefCell<Vec<HostId>>>,
     failed: HostId,
+    probe_blame: &Rc<RefCell<usize>>,
     w: &mut World,
     eng: &mut Engine<World>,
 ) {
     if std::mem::replace(&mut *latch.borrow_mut(), true) {
         return;
     }
-    *rebuilds.borrow_mut() += 1;
-    group.borrow_mut().paused = true;
     let survivors: Vec<HostId> = members.iter().copied().filter(|&h| h != failed).collect();
     let new_member = standbys.borrow_mut().pop();
     if survivors.is_empty() && new_member.is_none() {
+        // Nothing to rebuild onto — leave the group serving so retries
+        // can ride the fault out instead of wedging behind `paused`.
         return;
     }
+    *rebuilds.borrow_mut() += 1;
+    group.borrow_mut().paused = true;
     let mut final_members = survivors.clone();
     if let Some(nm) = new_member {
         final_members.push(nm);
@@ -83,6 +91,7 @@ fn trigger_rebuild(
     let retry = retry.clone();
     let standbys = standbys.clone();
     let rebuilds = rebuilds.clone();
+    let probe_blame = probe_blame.clone();
     recovery::rebuild_chain(
         w,
         eng,
@@ -98,6 +107,7 @@ fn trigger_rebuild(
                 final_members,
                 standbys,
                 rebuilds,
+                probe_blame,
                 w,
                 eng,
             );
@@ -108,12 +118,14 @@ fn trigger_rebuild(
 /// Arm heartbeat + transport-error detection on one shard's group,
 /// counting rebuilds so the isolation invariant can assert they stay
 /// scoped to the victim.
+#[allow(clippy::too_many_arguments)]
 fn arm_recovery(
     group: &GroupRef,
     retry: &RetryClient,
     members: Vec<HostId>,
     standbys: Rc<RefCell<Vec<HostId>>>,
     rebuilds: Rc<RefCell<u32>>,
+    probe_blame: Rc<RefCell<usize>>,
     w: &mut World,
     eng: &mut Engine<World>,
 ) {
@@ -125,6 +137,7 @@ fn arm_recovery(
         let members = members.clone();
         let standbys = standbys.clone();
         let rebuilds = rebuilds.clone();
+        let probe_blame = probe_blame.clone();
         recovery::start_heartbeats(
             group,
             HeartbeatConfig {
@@ -134,7 +147,16 @@ fn arm_recovery(
             Box::new(move |w, eng, idx| {
                 let failed = members[idx];
                 trigger_rebuild(
-                    &latch, &rebuilds, &g, &retry, &members, &standbys, failed, w, eng,
+                    &latch,
+                    &rebuilds,
+                    &g,
+                    &retry,
+                    &members,
+                    &standbys,
+                    failed,
+                    &probe_blame,
+                    w,
+                    eng,
                 );
             }),
             w,
@@ -142,15 +164,68 @@ fn arm_recovery(
         );
     }
     {
+        let latch = latch.clone();
         let g = group.clone();
         let retry = retry.clone();
+        let members = members.clone();
+        let standbys = standbys.clone();
+        let rebuilds = rebuilds.clone();
+        let probe_blame = probe_blame.clone();
         recovery::watch_transport_errors(
             group,
             w,
             Box::new(move |w, eng, _cqe| {
                 let failed = members[0];
                 trigger_rebuild(
-                    &latch, &rebuilds, &g, &retry, &members, &standbys, failed, w, eng,
+                    &latch,
+                    &rebuilds,
+                    &g,
+                    &retry,
+                    &members,
+                    &standbys,
+                    failed,
+                    &probe_blame,
+                    w,
+                    eng,
+                );
+            }),
+        );
+    }
+    {
+        // End-to-end probe for silent NIC stalls. The probe cannot tell
+        // *which* NIC stalled, so blame rotates across chain
+        // generations, starting at the first non-head member (a stalled
+        // head is usually caught by the transport-error path first): if
+        // the first eviction misses the culprit, the next generation's
+        // suspicion evicts the next member, bounding recovery at one
+        // rebuild per member. Re-armed on every generation.
+        // Threshold 5 (≈10ms of consecutive expiries): slow enough
+        // that heartbeat loss (~6ms) and head transport errors win the
+        // latch for fail-stop faults (they blame the exact host), fast
+        // enough to catch a silent stall well inside the retry budget.
+        let g = group.clone();
+        let r = retry.clone();
+        retry.arm_nic_stall_probe(
+            5,
+            Box::new(move |w, eng| {
+                let idx = {
+                    let mut b = probe_blame.borrow_mut();
+                    let i = *b;
+                    *b += 1;
+                    i
+                };
+                let failed = members[(1 + idx) % members.len()];
+                trigger_rebuild(
+                    &latch,
+                    &rebuilds,
+                    &g,
+                    &r,
+                    &members,
+                    &standbys,
+                    failed,
+                    &probe_blame,
+                    w,
+                    eng,
                 );
             }),
         );
@@ -221,6 +296,7 @@ fn run_campaign(seed: u64, faults: Option<&FaultSchedule>) -> CampaignOutcome {
             g.replicas.clone(),
             standbys,
             rebuilds.clone(),
+            Rc::new(RefCell::new(0usize)),
             &mut w,
             &mut eng,
         );
@@ -299,7 +375,7 @@ fn run_campaign(seed: u64, faults: Option<&FaultSchedule>) -> CampaignOutcome {
 }
 
 fn victim_schedule(seed: u64, plan_replicas: &[HostId]) -> FaultSchedule {
-    FaultSchedule::generate_link_wait(
+    FaultSchedule::generate_shard_faults(
         seed,
         plan_replicas,
         SimTime::from_nanos(2_000_000),
