@@ -1,12 +1,21 @@
-//! # hl-analysis — determinism lints for the simulator workspace
+//! # hl-analysis — static analysis for the simulator workspace
 //!
 //! The reproduction's core guarantee is that the simulator is
 //! *deterministic*: the same seed yields a byte-identical event trace
 //! (the invariant the chaos suite asserts). That guarantee is one
 //! stray `HashMap` iteration or wall-clock read away from silently
-//! breaking. This crate is a dependency-free, `syn`-free static checker
-//! that walks the sim-core crates and enforces the rules the guarantee
-//! rests on:
+//! breaking — and the WQE/metadata descriptor byte layout the offload
+//! path scatters into is plain `const` arithmetic with nothing but
+//! convention keeping it overlap-free. This crate is a dependency-free,
+//! `syn`-free two-pass workspace analyzer:
+//!
+//! **Pass 1 — determinism lints + call-graph taint.** Lexical rules
+//! run over the sim-core crates; on top of them a nesting-aware parser
+//! ([`symbols`]) extracts per-crate symbol tables and an approximate
+//! call graph across *all* workspace crates, and [`taint`] propagates
+//! nondeterminism transitively: an event-handler entry point that
+//! reaches a tainted helper two crates away is reported with the full
+//! call chain.
 //!
 //! | rule | what it forbids |
 //! |------|-----------------|
@@ -16,18 +25,36 @@
 //! | `thread-spawn` | `std::thread::spawn` (host scheduling order) |
 //! | `float-time` | float-tainted arguments to `SimTime`/`SimDuration` constructors |
 //! | `panic-in-handler` | `panic!`/`unwrap`/`expect` inside NIC packet/doorbell handlers |
+//! | `rand-raw` | raw `rand::` paths outside the named-RNG-stream API |
+//! | `wire-truncation` | bare `as` truncation of wire-format fields |
+//! | `taint` | entry point transitively reaching any source above |
+//! | `taint-panic` | NIC handler transitively reaching an unsuppressed panic site |
 //!
-//! Escape hatch: `// hl-lint: allow(<rule>)` on the offending line or
-//! the line above, for sites audited to be deterministic despite the
-//! pattern (each allow should say *why* in the surrounding comment).
+//! **Pass 2 — wire-format layout verifier.** [`layout`] parses the
+//! descriptor/offset constants out of hl-rnic's `wqe.rs` and
+//! hyperloop's `metadata.rs`/`naive.rs`, reconstructs each
+//! descriptor's field map, and fails on overlapping ranges, fields
+//! exceeding the declared descriptor size, width drift on a logical
+//! field across crates, or a `group.rs` scatter entry binding
+//! mismatched fields.
 //!
-//! Run with `cargo run -p hl-analysis -- check`; CI runs it on every
-//! push. The tool exits non-zero when any finding survives.
+//! Escape hatch: `// hl-lint: allow(<rule>)` — trailing on the
+//! offending line, or on its own line covering exactly the **next
+//! statement or item** (not the rest of the file). Taint chains are
+//! suppressible only at the source. Each allow should say *why* in
+//! the surrounding comment.
+//!
+//! Run with `cargo run -p hl-analysis -- check` and `-- layout`; CI
+//! runs both on every push. The tool exits non-zero when any finding
+//! survives.
 
 #![warn(missing_docs)]
 
+pub mod layout;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 pub use rules::{check_source, Finding, RULES};
 
@@ -36,7 +63,9 @@ use std::path::{Path, PathBuf};
 /// The sim-core crates the determinism rules apply to. Tooling
 /// (`hl-analysis` itself), wall-clock benchmarks (`hl-bench`) and the
 /// workload generator (`hl-ycsb`, which only feeds the sim through
-/// seeded streams) are deliberately out of scope.
+/// seeded streams) are deliberately out of scope for *direct* lexical
+/// findings, but still parsed into the call graph so a sim-crate
+/// handler calling into them is caught by the taint pass.
 pub const SIM_CRATES: &[&str] = &[
     "hl-sim",
     "hl-nvm",
@@ -48,43 +77,37 @@ pub const SIM_CRATES: &[&str] = &[
     "hl-store",
 ];
 
-/// Recursively collect `.rs` files under `dir`, sorted for stable
-/// output.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for p in entries {
-        if p.is_dir() {
-            rust_files(&p, out)?;
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
+/// Lint every sim-core crate under workspace `root`: lexical rules on
+/// sim-crate sources, then the transitive taint pass over the whole
+/// workspace call graph. Returns all findings; a missing sim crate is
+/// an I/O error, so a renamed crate cannot silently drop out of
+/// coverage.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates = taint::discover_crates(root, SIM_CRATES)?;
+    for krate in SIM_CRATES {
+        if !crates.iter().any(|c| c.name == *krate) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "sim crate `{krate}` not found under {}/crates",
+                    root.display()
+                ),
+            ));
         }
     }
-    Ok(())
+    let model = taint::build_model(root, &crates)?;
+    let mut findings = model.direct.clone();
+    findings.extend(taint::taint_findings(&model, true));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(findings)
 }
 
-/// Lint every sim-core crate's `src/` tree under workspace `root`.
-/// Returns all findings; an I/O error (missing crate) is itself an
-/// error, so a renamed crate cannot silently drop out of coverage.
-pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for krate in SIM_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        rust_files(&src, &mut files)?;
-        for f in files {
-            let text = std::fs::read_to_string(&f)?;
-            let label = f
-                .strip_prefix(root)
-                .unwrap_or(&f)
-                .to_string_lossy()
-                .into_owned();
-            findings.extend(check_source(&label, &text));
-        }
-    }
-    Ok(findings)
+/// Run the wire-format layout verifier over workspace `root` with the
+/// built-in descriptor schema.
+pub fn layout_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    layout::verify(root, &layout::builtin_schema())
 }
 
 /// Locate the workspace root from the current directory (walk up until
@@ -104,4 +127,32 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
             return None;
         }
     }
+}
+
+/// Markdown summary table (rule → finding count) for CI job summaries.
+pub fn summary_table(findings: &[Finding]) -> String {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for (rule, _) in RULES {
+        counts.insert(rule, 0);
+    }
+    for rule in [
+        "taint",
+        "taint-panic",
+        "layout-overlap",
+        "layout-bounds",
+        "layout-mismatch",
+        "layout-missing",
+    ] {
+        counts.insert(rule, 0);
+    }
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut s = String::from("| rule | findings |\n|---|---|\n");
+    for (rule, n) in &counts {
+        s.push_str(&format!("| `{rule}` | {n} |\n"));
+    }
+    s.push_str(&format!("| **total** | **{}** |\n", findings.len()));
+    s
 }

@@ -2,10 +2,13 @@
 //!
 //! Each rule walks the token stream produced by [`crate::lexer`] and
 //! reports findings. A finding is suppressed by an inline
-//! `// hl-lint: allow(<rule>)` comment on the same line or on the line
-//! directly above — the escape hatch for sites that were audited and
-//! are deterministic despite matching the pattern (e.g. the NIC's
-//! seeded log-normal jitter).
+//! `// hl-lint: allow(<rule>)` comment — the escape hatch for sites
+//! that were audited and are deterministic despite matching the
+//! pattern (e.g. the NIC's seeded log-normal jitter). An allow is
+//! scoped to exactly one item or statement: trailing an offending line
+//! it covers that line; on its own line it covers the next statement or
+//! item (however many lines it spans) and nothing beyond its
+//! terminating `;`/`}` — it can never silence the rest of a file.
 
 use crate::lexer::{lex, Allow, Tok, TokKind};
 
@@ -35,6 +38,34 @@ pub const RULES: &[(&str, &str)] = &[
         "panic-in-handler",
         "panic!/unwrap/expect inside NIC packet/doorbell handlers; faults must surface as error CQEs",
     ),
+    (
+        "rand-raw",
+        "raw rand:: paths bypass the named-stream RNG API; derive a stream via hl_sim::RngFactory::stream",
+    ),
+    (
+        "wire-truncation",
+        "`as` cast narrows a wire-format field (psn/raddr/op/...) below its declared width, silently dropping bytes",
+    ),
+];
+
+/// Wire-format field names and their declared byte widths (WQE,
+/// metadata and naive-descriptor layouts). A direct `<field> as <ty>`
+/// cast to a narrower integer silently drops bytes of the wire value;
+/// an intentional narrowing must mask first (`(x & 0xffff_ffff) as u32`),
+/// which documents the truncation and is not flagged.
+const WIRE_FIELDS: &[(&str, u64)] = &[
+    ("psn", 8),
+    ("raddr", 8),
+    ("laddr", 8),
+    ("wr_id", 8),
+    ("cmp", 8),
+    ("swp", 8),
+    ("imm", 4),
+    ("op", 4),
+    ("len", 4),
+    ("lkey", 4),
+    ("rkey", 4),
+    ("activate_n", 2),
 ];
 
 /// NIC state-machine entry points in which `panic-in-handler` applies:
@@ -92,15 +123,100 @@ pub fn check_source(file: &str, src: &str) -> Vec<Finding> {
     rule_thread_spawn(file, &toks, &mut findings);
     rule_float_time(file, &toks, &mut findings);
     rule_panic_in_handler(file, &toks, &mut findings);
-    findings.retain(|f| !is_allowed(&allows, f));
+    rule_rand_raw(file, &toks, &mut findings);
+    rule_wire_truncation(file, &toks, &mut findings);
+    let ranges = allow_ranges(&toks, &allows);
+    findings.retain(|f| {
+        !ranges
+            .iter()
+            .any(|r| r.rule == f.rule && r.start <= f.line && f.line <= r.end)
+    });
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
 }
 
-fn is_allowed(allows: &[Allow], f: &Finding) -> bool {
+/// Line span one `// hl-lint: allow(<rule>)` comment suppresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRange {
+    /// Suppressed rule.
+    pub rule: String,
+    /// First suppressed line (the comment's own line).
+    pub start: u32,
+    /// Last suppressed line (end of the covered statement/item).
+    pub end: u32,
+}
+
+/// Resolve allow-comments to statement-scoped line ranges.
+///
+/// A trailing allow (code on the same line) covers that line only. An
+/// allow on its own line covers the next statement or item: from the
+/// first following token through the token that terminates it — a `;`
+/// or `,` at the statement's own nesting depth, or the `}` closing a
+/// block the statement opened (so an allow above a `fn` covers that one
+/// item, never the rest of the file).
+pub fn allow_ranges(toks: &[Tok], allows: &[Allow]) -> Vec<AllowRange> {
     allows
         .iter()
-        .any(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+        .map(|a| {
+            let trailing = toks.iter().any(|t| t.line == a.line);
+            if trailing {
+                return AllowRange {
+                    rule: a.rule.clone(),
+                    start: a.line,
+                    end: a.line,
+                };
+            }
+            // First token after the comment line starts the statement.
+            let Some(start_idx) = toks.iter().position(|t| t.line > a.line) else {
+                return AllowRange {
+                    rule: a.rule.clone(),
+                    start: a.line,
+                    end: a.line,
+                };
+            };
+            let mut depth: i64 = 0;
+            // Approximate generic-angle depth so the `,` in
+            // `HashMap<u32, u8>` does not terminate the statement: `<`
+            // counts only in type/path position (after an ident or
+            // `::`), which is where statement-level commas can hide.
+            let mut angle: i64 = 0;
+            let mut end = toks[start_idx].line;
+            let mut prev_ident_or_colon = false;
+            for t in &toks[start_idx..] {
+                end = t.line;
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    // Closing the statement's own block (`fn f() { .. }`)
+                    // or stepping out of the enclosing scope both end it.
+                    if depth <= 0 && t.is_punct('}') {
+                        break;
+                    }
+                    if depth < 0 {
+                        break;
+                    }
+                } else if t.is_punct('<') && prev_ident_or_colon {
+                    angle += 1;
+                } else if t.is_punct('>') && angle > 0 {
+                    angle -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    // A `;` ends a statement no matter what (it cannot
+                    // occur inside generics), so a mis-counted `<` from
+                    // a comparison cannot extend coverage past it.
+                    break;
+                } else if t.is_punct(',') && depth == 0 && angle == 0 {
+                    break;
+                }
+                prev_ident_or_colon = t.kind == TokKind::Ident || t.is_punct(':');
+            }
+            AllowRange {
+                rule: a.rule.clone(),
+                start: a.line,
+                end,
+            }
+        })
+        .collect()
 }
 
 /// `hash-collections`, `wall-clock`, `os-entropy`: single banned idents.
@@ -281,6 +397,58 @@ fn rule_panic_in_handler(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
+/// `rand-raw`: any `rand::` path. The workspace's only sanctioned
+/// randomness is the seeded, named hl_sim::RngStream; a raw `rand` call
+/// either draws OS entropy or, even seeded, couples draw order across
+/// consumers (adding one perturbs all experiments).
+fn rule_rand_raw(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(3) {
+        if w[0].is_ident("rand") && w[1].is_punct(':') && w[2].is_punct(':') {
+            out.push(Finding {
+                rule: "rand-raw",
+                file: file.to_string(),
+                line: w[0].line,
+                message: "raw `rand::` bypasses the named RNG streams; derive one with hl_sim::RngFactory::stream(\"<name>\")"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `wire-truncation`: `<wire field> as <narrower int>` without an
+/// explicit mask. The direct form silently drops the field's high
+/// bytes (e.g. `psn as u32` wraps after 4 Gi packets); a masked cast
+/// (`(psn & 0xffff_ffff) as u32`) states the intent and is exempt
+/// because the token before `as` is then `)`.
+fn rule_wire_truncation(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for w in toks.windows(3) {
+        let (field, cast, ty) = (&w[0], &w[1], &w[2]);
+        if field.kind != TokKind::Ident || !cast.is_ident("as") || ty.kind != TokKind::Ident {
+            continue;
+        }
+        let Some((_, width)) = WIRE_FIELDS.iter().find(|(n, _)| field.is_ident(n)) else {
+            continue;
+        };
+        let target = match ty.text.as_str() {
+            "u8" | "i8" => 1,
+            "u16" | "i16" => 2,
+            "u32" | "i32" => 4,
+            _ => continue,
+        };
+        if target < *width {
+            out.push(Finding {
+                rule: "wire-truncation",
+                file: file.to_string(),
+                line: field.line,
+                message: format!(
+                    "`{} as {}` drops bytes of a {}-byte wire field; mask explicitly if the truncation is intended",
+                    field.text, ty.text, width
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,7 +469,7 @@ mod tests {
     }
 
     #[test]
-    fn allow_suppresses_same_and_next_line() {
+    fn allow_scoped_to_statement() {
         let same = "let m: HashMap<u32, u8> = HashMap::new(); // hl-lint: allow(hash-collections)";
         assert!(rules_fired(same).is_empty());
         let above = "// vetted -- hl-lint: allow(hash-collections)\nlet m: HashMap<u32, u8> = HashMap::new();";
@@ -311,6 +479,44 @@ mod tests {
             rules_fired(wrong_rule),
             ["hash-collections", "hash-collections"]
         );
+    }
+
+    #[test]
+    fn allow_covers_multiline_statement_but_not_beyond() {
+        // The statement below the comment spans three lines: all covered.
+        let multi = "// audited -- hl-lint: allow(hash-collections)\nlet m: HashMap<u32, u8> =\n    HashMap::with_capacity(\n        4);\nlet n: HashMap<u32, u8> = HashMap::new();";
+        assert_eq!(
+            rules_fired(multi),
+            ["hash-collections", "hash-collections"],
+            "only the statement after the comment is suppressed"
+        );
+        // An allow above one fn item must not bleed into the next item.
+        let item = "// hl-lint: allow(wall-clock)\nfn a() { let t = Instant::now(); }\nfn b() { let t = Instant::now(); }";
+        assert_eq!(rules_fired(item), ["wall-clock"]);
+    }
+
+    #[test]
+    fn trailing_allow_does_not_cover_next_line() {
+        let src = "let a: HashMap<u32, u8> = known_safe(); // hl-lint: allow(hash-collections)\nlet b: HashMap<u32, u8> = known_safe();";
+        assert_eq!(rules_fired(src), ["hash-collections"]);
+    }
+
+    #[test]
+    fn rand_raw_paths() {
+        assert_eq!(rules_fired("let x = rand::random::<u64>();"), ["rand-raw"]);
+        assert!(rules_fired("let s = factory.stream(\"nic-jitter\");").is_empty());
+    }
+
+    #[test]
+    fn wire_truncation_needs_bare_field_cast() {
+        assert_eq!(rules_fired("let x = pkt.psn as u32;"), ["wire-truncation"]);
+        assert_eq!(rules_fired("let x = w.raddr as u32;"), ["wire-truncation"]);
+        // Masked casts document the truncation and pass.
+        assert!(rules_fired("let x = (pkt.psn & 0xffff_ffff) as u32;").is_empty());
+        // Widening or same-width casts pass.
+        assert!(rules_fired("let x = imm as u64; let y = len as u32;").is_empty());
+        // Unrelated identifiers pass.
+        assert!(rules_fired("let x = count as u8;").is_empty());
     }
 
     #[test]

@@ -1,0 +1,3 @@
+// Layout fixture: crate A's view of the shared descriptor — op-id at 8.
+pub const DESC_SIZE: u64 = 16;
+pub const OP: u64 = 8;

@@ -1,0 +1,4 @@
+// Layout fixture: crate B's drifted mirror of the same descriptor —
+// op-id at 12 instead of 8.
+pub const DESC_SIZE: u64 = 16;
+pub const OP_OFF: u64 = 12;

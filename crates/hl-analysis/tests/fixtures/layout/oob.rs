@@ -1,0 +1,4 @@
+// Layout fixture: TAIL (12..20) exceeds the 16-byte descriptor.
+pub const DESC_SIZE: u64 = 16;
+pub const HEAD: u64 = 0;
+pub const TAIL: u64 = 12;

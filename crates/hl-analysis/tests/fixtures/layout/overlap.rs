@@ -1,0 +1,4 @@
+// Layout fixture: B (4..12) overlaps A (0..8).
+pub const DESC_SIZE: u64 = 16;
+pub const A: u64 = 0;
+pub const B: u64 = 4;

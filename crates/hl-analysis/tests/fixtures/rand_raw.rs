@@ -1,0 +1,10 @@
+// Fixture: `rand-raw` fires on raw `rand::` paths outside the
+// named-RNG-stream API.
+fn bad(factory: &mut RngFactory) {
+    let x: u64 = rand::random();
+    // Replay harness seed echo, audited: hl-lint: allow(rand-raw)
+    let y: u64 = rand::random();
+    // The blessed route: a named, seeded stream.
+    let z = factory.stream("nic-jitter").next_u64();
+    let _ = (x, y, z);
+}

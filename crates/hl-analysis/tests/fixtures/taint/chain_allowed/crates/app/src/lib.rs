@@ -1,0 +1,9 @@
+// Allow fixture: identical chain to chain_pos, but the source is
+// suppressed where it lives — so no taint finding anywhere.
+pub fn on_packet(x: u64) -> u64 {
+    stage(x)
+}
+
+fn stage(x: u64) -> u64 {
+    mid::mid_helper(x)
+}

@@ -1,0 +1,5 @@
+pub fn leaf_time() -> u64 {
+    // Startup banner only, never on the datapath (fixture rationale).
+    // hl-lint: allow(wall-clock)
+    Instant::now().elapsed().as_nanos() as u64
+}

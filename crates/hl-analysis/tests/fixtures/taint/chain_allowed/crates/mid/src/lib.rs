@@ -1,0 +1,3 @@
+pub fn mid_helper(x: u64) -> u64 {
+    leaf::leaf_time() + x
+}

@@ -1,0 +1,10 @@
+// Positive fixture: the datapath entry reaches a wall-clock read three
+// crates away — app::on_packet → app::stage → mid::mid_helper →
+// leaf::leaf_time.
+pub fn on_packet(x: u64) -> u64 {
+    stage(x)
+}
+
+fn stage(x: u64) -> u64 {
+    mid::mid_helper(x)
+}

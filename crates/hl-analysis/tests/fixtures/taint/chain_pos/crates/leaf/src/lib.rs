@@ -1,0 +1,3 @@
+pub fn leaf_time() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,4 @@
+// Negative fixture: the entry only reaches deterministic helpers.
+pub fn on_packet(x: u64) -> u64 {
+    mid::mix(x)
+}

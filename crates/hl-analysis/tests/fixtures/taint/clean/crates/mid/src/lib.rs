@@ -1,0 +1,3 @@
+pub fn mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}

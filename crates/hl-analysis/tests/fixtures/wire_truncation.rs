@@ -1,0 +1,12 @@
+// Fixture: `wire-truncation` fires on a bare `as` cast that narrows a
+// wire-format field below its declared width.
+fn bad(w: &Wqe) -> u32 {
+    let lost = w.raddr as u32;
+    // Low-half probe for the trace log, audited: hl-lint: allow(wire-truncation)
+    let ok_allowed = w.laddr as u32;
+    // Masked casts document the truncation and are not flagged.
+    let ok_masked = (w.cmp & 0xffff_ffff) as u32;
+    // Widening casts are not flagged.
+    let ok_wide = w.len as u64;
+    lost + ok_allowed + ok_masked + ok_wide as u32
+}

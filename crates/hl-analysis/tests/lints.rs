@@ -36,6 +36,8 @@ fixture_tests! {
     thread_spawn_fixture: "thread_spawn.rs" => "thread-spawn",
     float_time_fixture: "float_time.rs" => "float-time",
     panic_in_handler_fixture: "panic_in_handler.rs" => "panic-in-handler",
+    rand_raw_fixture: "rand_raw.rs" => "rand-raw",
+    wire_truncation_fixture: "wire_truncation.rs" => "wire-truncation",
 }
 
 /// Every rule name used by a fixture is registered in [`hl_analysis::RULES`]
@@ -50,6 +52,8 @@ fn fixture_rules_are_registered() {
         "thread-spawn",
         "float-time",
         "panic-in-handler",
+        "rand-raw",
+        "wire-truncation",
     ] {
         assert!(registered.contains(&rule), "{rule} not in RULES");
     }

@@ -1,0 +1,96 @@
+//! Taint-pass self-tests over the fixture mini-workspaces in
+//! `tests/fixtures/taint/`: a positive cross-crate 3-hop chain, the
+//! same chain suppressed at its source, and a clean negative.
+
+use hl_analysis::taint::{build_model, discover_crates, taint_findings};
+use hl_analysis::Finding;
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/taint")
+        .join(name)
+}
+
+fn run(name: &str) -> Vec<Finding> {
+    let root = fixture_root(name);
+    let crates = discover_crates(&root, &["app", "mid", "leaf"]).unwrap();
+    let model = build_model(&root, &crates).unwrap();
+    // `sim_entry_only = false`: fixture crates are not in the real
+    // SIM_CRATES list, so report every matching entry point.
+    taint_findings(&model, false)
+}
+
+/// A wall-clock read three crates away from the entry is detected and
+/// the report carries the full call path through every hop.
+#[test]
+fn cross_crate_three_hop_chain_detected() {
+    let findings = run("chain_pos");
+    let taints: Vec<&Finding> = findings.iter().filter(|f| f.rule == "taint").collect();
+    assert_eq!(
+        taints.len(),
+        1,
+        "expected exactly one chain finding, got: {findings:#?}"
+    );
+    let f = taints[0];
+    assert!(
+        f.file.ends_with("app/src/lib.rs"),
+        "chain must be reported at the entry point, got {}",
+        f.file
+    );
+    assert!(
+        f.message.contains("wall-clock"),
+        "source rule named: {}",
+        f.message
+    );
+    assert!(
+        f.message
+            .contains("on_packet → stage → mid_helper → leaf_time"),
+        "full call path reported: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("leaf/src/lib.rs"),
+        "source location named: {}",
+        f.message
+    );
+}
+
+/// The identical chain with `hl-lint: allow(wall-clock)` at the source
+/// yields nothing: suppression at the source kills the whole chain.
+#[test]
+fn allow_at_source_suppresses_chain() {
+    let findings = run("chain_allowed");
+    assert!(
+        findings.is_empty(),
+        "allow at the source must suppress the chain: {findings:#?}"
+    );
+}
+
+/// An entry that only reaches deterministic helpers is clean.
+#[test]
+fn clean_workspace_has_no_chains() {
+    let findings = run("clean");
+    assert!(findings.is_empty(), "negative fixture: {findings:#?}");
+}
+
+/// The real workspace check (lexical + taint) is clean end to end —
+/// the same gate `cargo run -p hl-analysis -- check` enforces.
+#[test]
+fn real_workspace_taint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let findings = hl_analysis::check_workspace(root).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "taint pass failed on the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -335,6 +335,9 @@ impl HostCpu {
 
     /// Stop the process on `core` mid-slice, preserving unfinished work.
     fn preempt(&mut self, now: SimTime, core: usize) -> Vec<CpuOutput> {
+        // Callers only preempt a core they just found busy; an idle core
+        // here is a scheduler-invariant violation worth aborting on.
+        // hl-lint: allow(panic-in-handler)
         let pid = self.cores[core].running.expect("preempting idle core");
         self.charge(now, core, pid);
         let p = &mut self.procs[pid.0];

@@ -565,8 +565,13 @@ impl Fabric {
         for &(is_pair, a, b, imp) in &specs {
             if let Some(bps) = imp.rate_bps {
                 let st = if is_pair {
+                    // `specs` was collected from these same maps a few
+                    // lines up and nothing removes entries in between,
+                    // so the key is present by construction.
+                    // hl-lint: allow(panic-in-handler)
                     self.impairments.get_mut(&(a, b)).unwrap()
                 } else {
+                    // hl-lint: allow(panic-in-handler)
                     self.host_impairments.get_mut(&a).unwrap()
                 };
                 at = st.bucket.pass(at, size as u64, bps, imp.burst_bytes);

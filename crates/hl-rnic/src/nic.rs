@@ -640,6 +640,11 @@ impl Nic {
             }
             let head_idx = qp.sq.head;
             let slot = qp.sq.slot_addr(head_idx);
+            // The SQ ring's arena range is reserved at QP creation and
+            // slot_addr wraps inside it; a read failing here is a
+            // simulator bug, not reachable from guest data, and aborting
+            // loudly is the deterministic response.
+            // hl-lint: allow(panic-in-handler)
             let bytes = mem.read(slot, WQE_SIZE as usize).expect("SQ ring in arena");
             let Some(wqe) = Wqe::decode(bytes) else {
                 // Corrupted descriptor (e.g. misdirected scatter): error
@@ -693,8 +698,13 @@ impl Nic {
                         self.ev(t, fire_op, NicEventKind::WaitFire { cq: cq as u32 });
                     }
                     for i in 1..=activate_n as u64 {
+                        // Ownership-flag flips on slots inside the same
+                        // creation-time ring reservation as above: a
+                        // failure is a simulator bug, so panic loudly.
                         let a = self.qps[qpn as usize].sq.slot_addr(head + i);
+                        // hl-lint: allow(panic-in-handler)
                         let f = mem.read(a + 1, 1).expect("ring addr")[0];
+                        // hl-lint: allow(panic-in-handler)
                         mem.write(a + 1, &[f | flags::HW_OWNED]).unwrap();
                         #[cfg(feature = "check-ownership")]
                         self.tracker.slot_granted(qpn, head + i);
@@ -755,11 +765,13 @@ impl Nic {
                 });
             }
             Opcode::Send => {
-                let data: hl_sim::Bytes = mem
-                    .read_vec(wqe.laddr, wqe.len as usize)
-                    .expect("send gather in arena")
-                    .into();
-                let (dst, dst_qpn) = remote.expect("SEND on unconnected QP");
+                let Ok(gather) = mem.read_vec(wqe.laddr, wqe.len as usize) else {
+                    return self.local_qp_fault(t, qpn, &wqe, mem);
+                };
+                let data: hl_sim::Bytes = gather.into();
+                let Some((dst, dst_qpn)) = remote else {
+                    return self.local_qp_fault(t, qpn, &wqe, mem);
+                };
                 let kind = PacketKind::Send {
                     data,
                     wr_id: wqe.wr_id,
@@ -778,11 +790,13 @@ impl Nic {
                 ));
             }
             Opcode::Write | Opcode::WriteImm => {
-                let data: hl_sim::Bytes = mem
-                    .read_vec(wqe.laddr, wqe.len as usize)
-                    .expect("write gather in arena")
-                    .into();
-                let (dst, dst_qpn) = remote.expect("WRITE on unconnected QP");
+                let Ok(gather) = mem.read_vec(wqe.laddr, wqe.len as usize) else {
+                    return self.local_qp_fault(t, qpn, &wqe, mem);
+                };
+                let data: hl_sim::Bytes = gather.into();
+                let Some((dst, dst_qpn)) = remote else {
+                    return self.local_qp_fault(t, qpn, &wqe, mem);
+                };
                 let kind = if wqe.opcode == Opcode::Write {
                     PacketKind::Write {
                         raddr: wqe.raddr,
@@ -814,7 +828,9 @@ impl Nic {
                 ));
             }
             Opcode::Read | Opcode::Flush | Opcode::Cas => {
-                let (dst, dst_qpn) = remote.expect("fencing op on unconnected QP");
+                let Some((dst, dst_qpn)) = remote else {
+                    return self.local_qp_fault(t, qpn, &wqe, mem);
+                };
                 self.qps[qpn as usize].fenced = true;
                 self.inflight[qpn as usize] = Some(Inflight {
                     wr_id: wqe.wr_id,
@@ -867,6 +883,9 @@ impl Nic {
                 let at = t + self.jit(self.profile.cache_flush);
                 out.push(NicOutput::DoLocal { at, qpn, wqe });
             }
+            // `advance_sq` consumes WAIT slots itself and never forwards
+            // them here; reaching this arm is a simulator bug.
+            // hl-lint: allow(panic-in-handler)
             Opcode::Wait => unreachable!("WAIT handled by the engine loop"),
         }
         out
@@ -999,6 +1018,63 @@ impl Nic {
             return self.fatal_qp_error(now, qpn, mem);
         }
         self.retransmit_all(now, qpn)
+    }
+
+    /// A local fault while executing a WQE — the gather range fell
+    /// outside the arena (a corrupted descriptor pointing into the
+    /// void) or a wire op was posted on an unconnected QP. Real
+    /// hardware completes the WQE `IBV_WC_LOC_PROT_ERR` and errors the
+    /// QP rather than halting, and so do we: the faulting WQE completes
+    /// [`CqeStatus::LocalProtection`], in-flight requests and the rest
+    /// of the SQ flush `FlushedInError`.
+    fn local_qp_fault(
+        &mut self,
+        now: SimTime,
+        qpn: u32,
+        wqe: &Wqe,
+        mem: &mut NvmArena,
+    ) -> Vec<NicOutput> {
+        let qp = &mut self.qps[qpn as usize];
+        qp.state = QpState::Error;
+        qp.timer_gen += 1;
+        qp.retries = 0;
+        qp.fenced = false;
+        let send_cq = qp.send_cq;
+        let pending = std::mem::take(&mut qp.unacked);
+        self.inflight[qpn as usize] = None;
+        let mut out = vec![NicOutput::CancelTimer { qpn }];
+        out.extend(self.deliver_cqe(
+            now,
+            send_cq,
+            Cqe {
+                qpn,
+                wr_id: wqe.wr_id,
+                kind: CqeKind::SendOp,
+                status: CqeStatus::LocalProtection,
+                byte_len: 0,
+                imm: 0,
+                op: wqe.op,
+            },
+            mem,
+        ));
+        for p in pending.iter() {
+            out.extend(self.deliver_cqe(
+                now,
+                send_cq,
+                Cqe {
+                    qpn,
+                    wr_id: p.wr_id,
+                    kind: CqeKind::SendOp,
+                    status: CqeStatus::FlushedInError,
+                    byte_len: 0,
+                    imm: 0,
+                    op: p.packet.op,
+                },
+                mem,
+            ));
+        }
+        out.extend(self.flush_sq_in_error(now, qpn, mem));
+        out
     }
 
     /// Retry budget exhausted: move the QP to Error and flush everything
@@ -1576,11 +1652,14 @@ impl Nic {
     ) -> (bool, Vec<NicOutput>) {
         let mut out = Vec::new();
         let mut progressed = false;
-        while let Some(front) = self.qps[qpn as usize].unacked.front() {
-            if front.psn >= psn {
-                break;
+        loop {
+            match self.qps[qpn as usize].unacked.front() {
+                Some(front) if front.psn < psn => {}
+                _ => break,
             }
-            let p = self.qps[qpn as usize].unacked.pop_front().unwrap();
+            let Some(p) = self.qps[qpn as usize].unacked.pop_front() else {
+                break;
+            };
             progressed = true;
             if p.signaled {
                 let cq = self.qps[qpn as usize].send_cq;

@@ -980,3 +980,92 @@ fn wait_activation_wraps_the_ring() {
         "wrapped WQEs activated and executed in order"
     );
 }
+
+/// A WQE whose local gather falls outside the arena must not panic the
+/// NIC: the faulting WQE completes `LocalProtection` (the simulator's
+/// IBV_WC_LOC_PROT_ERR), the QP enters Error, and everything queued
+/// behind it flushes `FlushedInError` — mirroring real RC-QP semantics.
+#[test]
+fn local_gather_fault_errors_qp_instead_of_panicking() {
+    let mut w = World::new(2);
+    let mut eng = Engine::new();
+    let p = connect_pair(&mut w, 0, 1, 0x10000);
+    let bad = Wqe {
+        opcode: Opcode::Send,
+        flags: flags::SIGNALED,
+        len: 16,
+        laddr: (ARENA as u64) + 0x1000, // outside the arena: gather fails
+        wr_id: 1,
+        ..Default::default()
+    };
+    let trailing = Wqe {
+        opcode: Opcode::Send,
+        flags: flags::SIGNALED,
+        len: 4,
+        laddr: 0x2000,
+        wr_id: 2,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], p.qp_a, bad, false)
+        .unwrap();
+    w.nics[0]
+        .post_send(&mut w.mems[0], p.qp_a, trailing, false)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(SimTime::ZERO, p.qp_a, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    let cqes = poll(&mut w, 0, p.scq_a);
+    assert_eq!(cqes.len(), 2, "{cqes:#?}");
+    assert_eq!(cqes[0].wr_id, 1);
+    assert_eq!(cqes[0].status, CqeStatus::LocalProtection);
+    assert_eq!(cqes[1].wr_id, 2);
+    assert_eq!(cqes[1].status, CqeStatus::FlushedInError);
+    // The QP is dead: later posts flush immediately in error.
+    let late = Wqe {
+        opcode: Opcode::Send,
+        flags: flags::SIGNALED,
+        len: 4,
+        laddr: 0x2000,
+        wr_id: 3,
+        ..Default::default()
+    };
+    w.nics[0]
+        .post_send(&mut w.mems[0], p.qp_a, late, false)
+        .unwrap();
+    let outs = w.nics[0].ring_doorbell(SimTime::ZERO, p.qp_a, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+    let cqes = poll(&mut w, 0, p.scq_a);
+    assert_eq!(cqes.len(), 1, "{cqes:#?}");
+    assert_eq!(cqes[0].wr_id, 3);
+    assert_eq!(cqes[0].status, CqeStatus::FlushedInError);
+}
+
+/// Ringing the doorbell on a QP that was never connected is a local
+/// fault, not a crash.
+#[test]
+fn send_on_unconnected_qp_errors_qp_instead_of_panicking() {
+    let mut w = World::new(1);
+    let mut eng = Engine::new();
+    let cq = w.nics[0].create_cq();
+    let qp = w.nics[0].create_qp(cq, cq, 0x10000, 8); // no connect()
+    let wqe = Wqe {
+        opcode: Opcode::Send,
+        flags: flags::SIGNALED,
+        len: 4,
+        laddr: 0x2000,
+        wr_id: 7,
+        ..Default::default()
+    };
+    w.nics[0].post_send(&mut w.mems[0], qp, wqe, false).unwrap();
+    let outs = w.nics[0].ring_doorbell(SimTime::ZERO, qp, &mut w.mems[0]);
+    route(0, outs, &mut eng);
+    eng.run(&mut w);
+
+    let cqes = poll(&mut w, 0, cq);
+    assert_eq!(cqes.len(), 1, "{cqes:#?}");
+    assert_eq!(cqes[0].wr_id, 7);
+    assert_eq!(cqes[0].status, CqeStatus::LocalProtection);
+}
