@@ -14,7 +14,8 @@
 //! `HL_GRAY_OPS` overrides ops per point (CI uses a small value).
 
 use hl_bench::gray::{
-    impairment_classes, run_gray_point, run_rejoin_case, GrayBackend, GrayCfg, GrayPoint,
+    impairment_classes, run_excursion_case, run_gray_point, run_rejoin_case, GrayBackend, GrayCfg,
+    GrayPoint,
 };
 use hl_bench::table::Table;
 
@@ -67,6 +68,15 @@ fn main() {
         bystander_identical
     );
 
+    // SLO-excursion round trip, run twice: the snapshot must be
+    // byte-identical across same-seed re-runs, and the causal chain
+    // (p99 excursion window → slo:fire: → Degrading) must hold.
+    let exc_ops = ops.max(500);
+    let exc = run_excursion_case(cfg.seed, exc_ops);
+    let exc2 = run_excursion_case(cfg.seed, exc_ops);
+    println!("{}", exc.report);
+    let snapshot_identical = exc.snapshot_json == exc2.snapshot_json;
+
     let mut txt = String::new();
     txt.push_str("# Gray-failure campaign: end-to-end supervised latency per impairment class\n");
     txt.push_str(&format!(
@@ -82,8 +92,14 @@ fn main() {
         "\nrejoin victim_acked={} victim_failed={} rejoined={} bystander_identical={}\n",
         rejoin.victim_acked, rejoin.victim_failed, rejoin.rejoined, bystander_identical
     ));
+    txt.push_str(&format!(
+        "\n{}\nsnapshot_identical={snapshot_identical}\n",
+        exc.report
+    ));
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/gray_chaos.txt", &txt).expect("write results/gray_chaos.txt");
+    std::fs::write("results/timeseries_excursion.json", &exc.snapshot_json)
+        .expect("write results/timeseries_excursion.json");
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"ops\": {},\n", cfg.ops));
@@ -150,9 +166,31 @@ fn main() {
             "    \"victim_failed\": {},\n",
             "    \"rejoined\": {},\n",
             "    \"bystander_byte_identical\": {}\n",
-            "  }}\n",
+            "  }},\n",
         ),
         rejoin.victim_acked, rejoin.victim_failed, rejoin.rejoined, bystander_identical
+    ));
+    json.push_str(&format!(
+        concat!(
+            "  \"excursion\": {{\n",
+            "    \"ops\": {},\n",
+            "    \"excursion_window\": {},\n",
+            "    \"excursion_end_ns\": {},\n",
+            "    \"slo_fire_ns\": {},\n",
+            "    \"degrading_ns\": {},\n",
+            "    \"degrades\": {},\n",
+            "    \"promotes\": {},\n",
+            "    \"snapshot_byte_identical\": {}\n",
+            "  }}\n",
+        ),
+        exc_ops,
+        exc.excursion_window,
+        exc.excursion_end_ns,
+        exc.slo_fire_ns.map_or(-1, |v| v as i64),
+        exc.degrading_ns.map_or(-1, |v| v as i64),
+        exc.degrades,
+        exc.promotes,
+        snapshot_identical
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_6.json", json).expect("write BENCH_6.json");
@@ -170,4 +208,26 @@ fn main() {
         bystander_identical,
         "bystander latencies perturbed by the victim's crash/rejoin"
     );
+
+    // The excursion's own floor: the snapshot is replay-identical and
+    // the causal chain (p99 excursion window ends before the alert
+    // fires, which precedes the Degrading transition) holds, with the
+    // round trip completing.
+    assert!(
+        snapshot_identical,
+        "excursion time-series snapshot differs across same-seed re-runs"
+    );
+    let fire = exc.slo_fire_ns.expect("SLO alert fired");
+    let degrading = exc.degrading_ns.expect("monitor degraded");
+    assert!(
+        exc.excursion_end_ns > 0 && exc.excursion_end_ns <= fire,
+        "p99 excursion window (ends {}) must close before the alert fires ({fire})",
+        exc.excursion_end_ns
+    );
+    assert!(
+        fire < degrading,
+        "SLO alert ({fire}) must precede the Degrading transition ({degrading})"
+    );
+    assert!(exc.degrades >= 1 && exc.promotes >= 1, "no round trip");
+    assert_eq!(exc.ops_failed, 0, "excursion ops failed");
 }

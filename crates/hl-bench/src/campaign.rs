@@ -41,6 +41,10 @@ pub struct CampaignArtifact {
     pub trace: String,
     /// Chrome trace-event JSON export of the whole campaign.
     pub chrome_trace: String,
+    /// Windowed time-series JSON snapshot (counters, sketches, marks).
+    /// Participates in the parallel == sequential byte-identity check
+    /// like every other field.
+    pub timeseries: String,
 }
 
 fn record(k: usize) -> Vec<u8> {
@@ -155,7 +159,7 @@ pub fn run_campaign(seed: u64) -> CampaignArtifact {
         .seed(seed)
         .build();
     w.tracer.enable(&["chaos", "recovery", "fault"]);
-    w.enable_telemetry();
+    w.enable_timeseries(SimDuration::from_millis(1));
 
     let group = GroupBuilder::new(GroupConfig {
         client: HostId(0),
@@ -251,6 +255,7 @@ pub fn run_campaign(seed: u64) -> CampaignArtifact {
     let now = eng.now();
     w.collect_metrics(now);
     let chrome_trace = w.telemetry.chrome_trace();
+    let timeseries = w.telemetry.timeseries_json();
     let acked = acked.borrow().clone();
     let failed_ops = *failed_ops.borrow();
     let final_ok = *final_ok.borrow();
@@ -303,6 +308,7 @@ pub fn run_campaign(seed: u64) -> CampaignArtifact {
         invariants,
         trace,
         chrome_trace,
+        timeseries,
     }
 }
 

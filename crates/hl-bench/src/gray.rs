@@ -31,6 +31,7 @@ use hyperloop::deadline::Backend;
 use hyperloop::health::{rejoin_member, HealthConfig, HealthMonitor};
 use hyperloop::naive::{Mode, NaiveBuilder, NaiveConfig};
 use hyperloop::recovery::{self, HeartbeatConfig};
+use hyperloop::slo::{SloEngine, SloRule};
 use hyperloop::{replica, DeadlinePolicy, GroupBuilder, GroupConfig, HyperLoopClient, RetryClient};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -537,5 +538,222 @@ pub fn run_rejoin_case(seed: u64, ops_per_shard: usize, fault: bool) -> RejoinOu
         victim_members,
         bystander_latencies,
         bystander_failed,
+    }
+}
+
+/// The SLO threshold the excursion case alerts on: supervised p99 must
+/// stay under this many nanoseconds per window.
+pub const EXCURSION_SLO_NS: u64 = 150_000;
+
+/// Outcome of the SLO-excursion case: one degrade/re-promote round trip
+/// with the full time-series snapshot and the causal chain extracted
+/// from the mark stream.
+#[derive(Debug, Clone)]
+pub struct ExcursionOutcome {
+    /// Deterministic JSON snapshot of the whole time-series store
+    /// (byte-compared across same-seed re-runs).
+    pub snapshot_json: String,
+    /// CSV flattening of the same snapshot.
+    pub snapshot_csv: String,
+    /// Rendered `op_latency_ns` timeline (per-window p50/p99 bars with
+    /// fault / SLO / transition marks overlaid).
+    pub timeline: String,
+    /// Time-series window width in nanoseconds.
+    pub window_ns: u64,
+    /// First window whose supervised p99 crossed [`EXCURSION_SLO_NS`].
+    pub excursion_window: u64,
+    /// End of that window (ns) — the earliest instant the SLO engine
+    /// could have observed the excursion.
+    pub excursion_end_ns: u64,
+    /// When `slo:fire:supervised-p99` was stamped.
+    pub slo_fire_ns: Option<u64>,
+    /// When `transition:backend:offloaded->degrading` was stamped.
+    pub degrading_ns: Option<u64>,
+    /// Health-monitor degradations (must be >= 1).
+    pub degrades: u64,
+    /// Health-monitor re-promotions (must be >= 1).
+    pub promotes: u64,
+    /// Flight-recorder dumps requested during the run.
+    pub flight_dumps: u64,
+    /// Ops that settled OK.
+    pub ops_ok: usize,
+    /// Ops that failed with a typed error.
+    pub ops_failed: u32,
+    /// One-line deterministic report.
+    pub report: String,
+}
+
+/// Run the SLO-excursion case: an offloaded group under health
+/// supervision with an attached burn-rate SLO rule
+/// (`p99(op_latency_ns{layer=supervised}) < 150us over 8 windows`)
+/// takes a 25ms jitter excursion on its client links. The expected
+/// causal chain, all visible in one time-series snapshot, is:
+///
+/// 1. per-window supervised p99 crosses the threshold (the excursion),
+/// 2. the SLO alert fires (`slo:fire:` mark, `slo_alerts_fired`
+///    counter),
+/// 3. the monitor — whose sick signal the alert feeds — degrades to the
+///    Naïve path (`transition:backend:offloaded->degrading`),
+/// 4. the fault heals, the alert resolves, and the monitor re-promotes.
+///
+/// Open-loop (one write per 100µs) so the workload spans the fault
+/// window regardless of per-op latency.
+pub fn run_excursion_case(seed: u64, ops: usize) -> ExcursionOutcome {
+    let rep_bytes = ((SLOTS * 256) as u64 + (64 << 10)).next_power_of_two();
+    let (mut w, mut eng) = ClusterBuilder::new(4)
+        .arena_size((rep_bytes as usize + (2 << 20)).next_power_of_two())
+        .seed(seed)
+        .build();
+    w.enable_timeseries(hl_sim::timeseries::DEFAULT_WINDOW);
+
+    let group = GroupBuilder::new(GroupConfig {
+        client: CLIENT,
+        replicas: vec![R1, R2],
+        rep_bytes,
+        ring_slots: 128,
+        transport_timeout: Some((SimDuration::from_millis(3), 7)),
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group.clone(), &mut w);
+    let retry = RetryClient::with_policy(client, policy());
+    let monitor = HealthMonitor::start(
+        retry.clone(),
+        group,
+        HealthConfig {
+            period: SimDuration::from_millis(2),
+            degrade_score: 20,
+            healthy_score: 5,
+            degrade_after: 2,
+            promote_after: 3,
+            min_degraded_dwell: SimDuration::from_millis(3),
+            ring_slots: 128,
+            naive_mode: Mode::Event,
+        },
+        &mut w,
+        &mut eng,
+    );
+    let slo = Rc::new(RefCell::new(SloEngine::new()));
+    slo.borrow_mut().add_rule(
+        SloRule::parse(
+            "supervised-p99",
+            "p99(op_latency_ns{layer=supervised}) < 150us over 8 windows",
+        )
+        .expect("rule parses")
+        .with_short_windows(2),
+    );
+    monitor.attach_slo(slo.clone());
+
+    // The excursion: heavy jitter on the client's links from 10ms,
+    // healing at 35ms. The health score barely moves (nothing times
+    // out), so the SLO alert is the only signal that can degrade.
+    FaultSchedule {
+        seed,
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: CLIENT,
+                    dst: R1,
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: R2,
+                    dst: CLIENT,
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+        ],
+    }
+    .apply(&mut eng);
+
+    let ops_ok = Rc::new(RefCell::new(0usize));
+    let ops_failed = Rc::new(RefCell::new(0u32));
+    for k in 0..ops {
+        let retry = retry.clone();
+        let ops_ok = ops_ok.clone();
+        let ops_failed = ops_failed.clone();
+        let at = SimTime::from_nanos(1_000_000 + k as u64 * 100_000);
+        eng.schedule_at(at, move |w: &mut World, eng| {
+            retry.gwrite(
+                w,
+                eng,
+                ((k % SLOTS) * 256) as u64,
+                &payload(k, 256),
+                true,
+                Box::new(move |_w, _e, r| match r {
+                    Ok(_) => *ops_ok.borrow_mut() += 1,
+                    Err(_) => *ops_failed.borrow_mut() += 1,
+                }),
+            );
+        });
+    }
+
+    let horizon = 1_000_000 + ops as u64 * 100_000 + 150_000_000;
+    eng.run_until(&mut w, SimTime::from_nanos(horizon));
+    monitor.stop();
+    let now = eng.now();
+    w.collect_metrics(now);
+
+    let window_ns = hl_sim::timeseries::DEFAULT_WINDOW.as_nanos();
+    let p99_series = w
+        .telemetry
+        .series
+        .quantile_series("op_latency_ns", "layer=supervised", 0.99);
+    let (excursion_window, excursion_end_ns) = p99_series
+        .iter()
+        .find(|(_, p99)| *p99 >= EXCURSION_SLO_NS)
+        .map(|(wdw, _)| (*wdw, (*wdw + 1) * window_ns))
+        .unwrap_or((0, 0));
+    let mark_ns = |name: &str| {
+        w.telemetry
+            .marks()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.at.as_nanos())
+    };
+    let slo_fire_ns = mark_ns("slo:fire:supervised-p99");
+    let degrading_ns = mark_ns("transition:backend:offloaded->degrading");
+
+    let snapshot_json = w.telemetry.timeseries_json();
+    let snapshot_csv = w.telemetry.timeseries_csv();
+    let timeline = w.telemetry.timeline("op_latency_ns");
+    let degrades = monitor.degrades();
+    let promotes = monitor.promotes();
+    let flight_dumps = w.telemetry.flight.requested();
+    let ops_ok = *ops_ok.borrow();
+    let ops_failed = *ops_failed.borrow();
+    let report = format!(
+        "excursion seed={seed} ops={ops} ok={ops_ok} failed={ops_failed} \
+         excursion_window={excursion_window} excursion_end_ns={excursion_end_ns} \
+         slo_fire_ns={} degrading_ns={} degrades={degrades} promotes={promotes} \
+         slo_fired={} flight_dumps={flight_dumps}",
+        slo_fire_ns.map_or(-1, |v| v as i64),
+        degrading_ns.map_or(-1, |v| v as i64),
+        slo.borrow().fired("supervised-p99"),
+    );
+    ExcursionOutcome {
+        snapshot_json,
+        snapshot_csv,
+        timeline,
+        window_ns,
+        excursion_window,
+        excursion_end_ns,
+        slo_fire_ns,
+        degrading_ns,
+        degrades,
+        promotes,
+        flight_dumps,
+        ops_ok,
+        ops_failed,
+        report,
     }
 }

@@ -10,7 +10,10 @@
 //! * [`apps`] — Figure 2 (native MongoDB-style multi-tenancy), Figure 11
 //!   (kvlite/RocksDB), Figure 12 (doclite/MongoDB across YCSB mixes).
 //! * [`gray`] — gray-failure campaign: tail latency per impairment
-//!   class per backend, and the crashed-host live-rejoin case.
+//!   class per backend, the crashed-host live-rejoin case, and the
+//!   SLO-excursion round trip.
+//! * [`timeline`] — per-shard p50/p99-over-time rendering with fault
+//!   marks overlaid.
 //! * [`table`] — plain-text table rendering.
 
 #![warn(missing_docs)]
@@ -21,3 +24,4 @@ pub mod gray;
 pub mod micro;
 pub mod shard;
 pub mod table;
+pub mod timeline;

@@ -119,6 +119,8 @@ pub struct MicroTelemetry {
     pub chrome_trace: String,
     /// Deterministic text dump of the labelled metrics registry.
     pub metrics: String,
+    /// Windowed time-series JSON snapshot of the measured run.
+    pub timeseries: String,
 }
 
 /// Measured outcome.
@@ -180,7 +182,7 @@ pub fn run_micro(cfg: &MicroCfg) -> MicroResult {
         .seed(cfg.seed)
         .build();
     if cfg.telemetry {
-        w.enable_telemetry();
+        w.enable_timeseries(hl_sim::timeseries::DEFAULT_WINDOW);
     }
     // Stagger hog start times so their slices do not expire in lockstep.
     // One third of the background load is bursty (sleep/wake tenants):
@@ -302,6 +304,7 @@ pub fn run_micro(cfg: &MicroCfg) -> MicroResult {
             attribution: w.attribution(),
             chrome_trace: w.telemetry.chrome_trace(),
             metrics: w.telemetry.metrics.render(),
+            timeseries: w.telemetry.timeseries_json(),
         }
     });
 

@@ -79,6 +79,9 @@ pub struct ShardCampaignResult {
     pub sim_secs: f64,
     /// Rendered labelled-metrics registry (`Some` iff telemetry).
     pub metrics: Option<String>,
+    /// Windowed time-series JSON snapshot (`Some` iff telemetry) —
+    /// carries the per-shard `op_latency_ns{shard=N}` sketch series.
+    pub timeseries: Option<String>,
     /// One-line deterministic report (identical across same-seed
     /// re-runs; the scaling table and CI byte-identity check use it).
     pub report: String,
@@ -108,7 +111,7 @@ pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
         .seed(cfg.seed)
         .build();
     if cfg.telemetry {
-        w.enable_telemetry();
+        w.enable_timeseries(hl_sim::timeseries::DEFAULT_WINDOW);
     }
 
     // Disjoint placement: every host serves exactly one group member.
@@ -202,6 +205,7 @@ pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
         w.collect_metrics(now);
         w.telemetry.metrics.render()
     });
+    let timeseries = cfg.telemetry.then(|| w.telemetry.timeseries_json());
 
     let summary = latency.summary();
     let per_shard_str = per_shard_kops
@@ -228,6 +232,7 @@ pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
         latency: summary,
         sim_secs: window,
         metrics,
+        timeseries,
         report,
     }
 }

@@ -394,9 +394,13 @@ fn inject(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
     hl_sim::trace!(w.tracer, eng.now(), "chaos", "inject {kind}");
     let now = eng.now();
     w.telemetry.mark(now, format!("fault:{kind}"), 0);
-    w.telemetry
-        .metrics
-        .counter_add("chaos_faults_injected", "layer=chaos", 1);
+    if w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("chaos_faults_injected", "layer=chaos", 1);
+        // Snapshot what was in flight when the fault landed.
+        w.telemetry.flight_dump(now, format!("fault:{kind}"));
+    }
     match kind {
         FaultKind::DropWindow { prob } => w.fabric.set_drop_prob(prob),
         FaultKind::OneWayPartition { src, dst } => w.fabric.partition(src, dst),
@@ -432,9 +436,11 @@ fn heal(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
     hl_sim::trace!(w.tracer, eng.now(), "chaos", "heal {kind}");
     let now = eng.now();
     w.telemetry.mark(now, format!("heal:{kind}"), 0);
-    w.telemetry
-        .metrics
-        .counter_add("chaos_faults_healed", "layer=chaos", 1);
+    if w.telemetry.enabled() {
+        w.telemetry
+            .metrics
+            .counter_add("chaos_faults_healed", "layer=chaos", 1);
+    }
     match kind {
         FaultKind::DropWindow { .. } => w.fabric.set_drop_prob(0.0),
         FaultKind::OneWayPartition { src, dst } => w.fabric.heal(src, dst),

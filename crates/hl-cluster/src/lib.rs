@@ -338,6 +338,12 @@ impl EventCtx for World {
                     cqe.wr_id,
                     cqe.status
                 );
+                if cqe.status != hl_rnic::CqeStatus::Ok {
+                    // Error CQEs are rare and always incident-relevant:
+                    // snapshot in-flight state for the postmortem.
+                    self.telemetry
+                        .flight_dump(now, format!("cqe:{:?}:host{}", cqe.status, host.0));
+                }
                 let h = &mut self.hosts[host.0];
                 let outs = h.nic.deliver_cqe(now, cq, cqe, &mut h.mem);
                 route_nic(host, outs, self, eng);
@@ -558,6 +564,16 @@ impl World {
         for h in &mut self.hosts {
             h.nic.set_telemetry(true);
         }
+    }
+
+    /// Turn on causal op tracing *and* the windowed time-series layer
+    /// with the given window width (see [`hl_sim::TimeSeries`]): issue
+    /// paths start feeding per-window counters and latency sketches,
+    /// and the flight recorder arms for error-CQE and chaos-fault
+    /// dumps.
+    pub fn enable_timeseries(&mut self, window: SimDuration) {
+        self.enable_telemetry();
+        self.telemetry.series.enable(window);
     }
 
     /// Per-hop latency attribution over every completed op span,

@@ -16,15 +16,22 @@ mod bytes;
 pub mod config;
 mod engine;
 mod rng;
+mod sketch;
 mod stats;
 pub mod telemetry;
 mod time;
+pub mod timeseries;
 mod trace;
 
 pub use bytes::Bytes;
 pub use engine::{Engine, EventCtx, EventToken, Handler, NoEvent};
 pub use rng::{RngFactory, RngStream};
+pub use sketch::Sketch;
 pub use stats::{Counters, Histogram, Summary};
-pub use telemetry::{Attribution, Metrics, OpKind, Stage, Telemetry};
+pub use telemetry::{
+    validate_exposition, Attribution, FlightDump, FlightEvent, FlightRecorder, Mark, Metrics,
+    OpKind, OpSpan, Stage, Telemetry,
+};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::TimeSeries;
 pub use trace::{TraceEntry, Tracer};

@@ -10,8 +10,36 @@
 use crate::time::SimDuration;
 use std::fmt;
 
-const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per octave → ≤1.6% error
-const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+pub(crate) const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per octave → ≤1.6% error
+pub(crate) const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Bucket index of `value` in the shared log-bucketed scheme used by
+/// both [`Histogram`] and [`crate::sketch::Sketch`]: exact buckets below
+/// `SUB_BUCKETS`, then `SUB_BUCKETS` sub-buckets per power-of-two
+/// octave (relative error < 1/64 for values ≥ 64).
+pub(crate) fn bucket_index(value: u64) -> usize {
+    // Values below SUB_BUCKETS get exact buckets in "octave zero".
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+    let octave = msb - SUB_BUCKET_BITS + 1;
+    // The SUB_BUCKET_BITS bits just below the most significant bit.
+    let sub = (value >> (msb - SUB_BUCKET_BITS)) as usize & (SUB_BUCKETS - 1);
+    // octave >= 1 here; layout: [exact 0..64), then octaves.
+    (octave as usize) * SUB_BUCKETS + sub
+}
+
+/// Representative (lower-bound) value of a bucket index.
+pub(crate) fn bucket_value(index: usize) -> u64 {
+    let octave = index / SUB_BUCKETS;
+    let sub = index % SUB_BUCKETS;
+    if octave == 0 {
+        return sub as u64;
+    }
+    let base = 1u64 << (octave as u32 + SUB_BUCKET_BITS - 1);
+    base + (sub as u64) * (base >> SUB_BUCKET_BITS)
+}
 
 /// Log-bucketed histogram of nanosecond values.
 ///
@@ -55,33 +83,9 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: u64) -> usize {
-        // Values below SUB_BUCKETS get exact buckets in "octave zero".
-        if value < SUB_BUCKETS as u64 {
-            return value as usize;
-        }
-        let msb = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
-        let octave = msb - SUB_BUCKET_BITS + 1;
-        // The SUB_BUCKET_BITS bits just below the most significant bit.
-        let sub = (value >> (msb - SUB_BUCKET_BITS)) as usize & (SUB_BUCKETS - 1);
-        // octave >= 1 here; layout: [exact 0..64), then octaves.
-        (octave as usize) * SUB_BUCKETS + sub
-    }
-
-    /// Representative (lower-bound) value of a bucket index.
-    fn bucket_value(index: usize) -> u64 {
-        let octave = index / SUB_BUCKETS;
-        let sub = index % SUB_BUCKETS;
-        if octave == 0 {
-            return sub as u64;
-        }
-        let base = 1u64 << (octave as u32 + SUB_BUCKET_BITS - 1);
-        base + (sub as u64) * (base >> SUB_BUCKET_BITS)
-    }
-
     /// Record one value.
     pub fn record(&mut self, value: u64) {
-        let idx = Self::bucket_index(value);
+        let idx = bucket_index(value);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value as u128;
@@ -110,6 +114,11 @@ impl Histogram {
             return 0.0;
         }
         self.sum as f64 / self.total as f64
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Exact minimum recorded value.
@@ -149,7 +158,7 @@ impl Histogram {
             if seen >= rank {
                 // Clamp the bucket's representative value to the observed
                 // extrema so p0/p100 are exact.
-                return Self::bucket_value(idx).clamp(self.min, self.max);
+                return bucket_value(idx).clamp(self.min, self.max);
             }
         }
         self.max
@@ -409,8 +418,8 @@ mod tests {
         vals.dedup();
         let mut last_idx = 0usize;
         for v in vals {
-            let idx = Histogram::bucket_index(v);
-            assert!(Histogram::bucket_value(idx) <= v, "v={v}");
+            let idx = bucket_index(v);
+            assert!(bucket_value(idx) <= v, "v={v}");
             assert!(idx >= last_idx, "non-monotonic at v={v}");
             last_idx = idx;
         }

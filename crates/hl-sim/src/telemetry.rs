@@ -26,8 +26,9 @@
 //!   loads in Perfetto / `chrome://tracing`.
 
 use crate::stats::Histogram;
-use crate::time::SimTime;
-use std::collections::BTreeMap;
+use crate::time::{SimDuration, SimTime};
+use crate::timeseries::TimeSeries;
+use std::collections::{BTreeMap, VecDeque};
 
 /// What kind of operation a span represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -218,6 +219,152 @@ pub struct Mark {
     pub host: usize,
 }
 
+/// One entry in the flight-recorder ring: a completed span or a mark.
+#[derive(Debug, Clone)]
+pub enum FlightEvent {
+    /// A span that completed (recorded at `end_op` time).
+    Span(OpSpan),
+    /// An instant annotation.
+    Mark(Mark),
+}
+
+impl FlightEvent {
+    /// Time the entry was recorded at.
+    pub fn at(&self) -> SimTime {
+        match self {
+            FlightEvent::Span(s) => s.end.unwrap_or(s.begin),
+            FlightEvent::Mark(m) => m.at,
+        }
+    }
+}
+
+/// A snapshot taken by [`Telemetry::flight_dump`]: the recent-history
+/// ring plus every span still in flight at dump time — the sim
+/// equivalent of a black-box recorder read-out after an incident.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// When the dump was taken.
+    pub at: SimTime,
+    /// Why (e.g. `fault:link-down`, `cqe:error`, `probe:nic-stall`).
+    pub reason: String,
+    /// The last-N completed spans and marks, oldest first.
+    pub recent: Vec<FlightEvent>,
+    /// Spans open (issued, not completed) at dump time, op-id order.
+    pub open_spans: Vec<OpSpan>,
+}
+
+impl FlightDump {
+    /// Does the dump mention op `id` (open or recently completed)?
+    pub fn contains_op(&self, id: u32) -> bool {
+        self.open_spans.iter().any(|s| s.id == id)
+            || self
+                .recent
+                .iter()
+                .any(|e| matches!(e, FlightEvent::Span(s) if s.id == id))
+    }
+
+    /// Deterministic text rendering for postmortem artifacts.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "flight dump @{}ns reason={} open={} recent={}\n",
+            self.at.as_nanos(),
+            self.reason,
+            self.open_spans.len(),
+            self.recent.len()
+        );
+        for s in &self.open_spans {
+            out.push_str(&format!(
+                "  open op {} {} begin={}ns events={}\n",
+                s.id,
+                s.kind.label(),
+                s.begin.as_nanos(),
+                s.events.len()
+            ));
+        }
+        for e in &self.recent {
+            match e {
+                FlightEvent::Span(s) => out.push_str(&format!(
+                    "  span op {} {} [{}..{}]ns e2e={}ns\n",
+                    s.id,
+                    s.kind.label(),
+                    s.begin.as_nanos(),
+                    s.end.map(|e| e.as_nanos()).unwrap_or(0),
+                    s.e2e_ns().unwrap_or(0)
+                )),
+                FlightEvent::Mark(m) => out.push_str(&format!(
+                    "  mark @{}ns {} host={}\n",
+                    m.at.as_nanos(),
+                    m.name,
+                    m.host
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// Ring buffer of the last N completed spans and marks, plus the dumps
+/// taken from it. Fed automatically by [`Telemetry::end_op`] /
+/// [`Telemetry::mark`] while telemetry is enabled; dumped by
+/// [`Telemetry::flight_dump`] on invariant failures, error CQEs and
+/// chaos faults.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    max_dumps: usize,
+    ring: VecDeque<FlightEvent>,
+    dumps: Vec<FlightDump>,
+    requested: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder {
+            cap: 64,
+            max_dumps: 8,
+            ring: VecDeque::new(),
+            dumps: Vec::new(),
+            requested: 0,
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// Resize the history ring (drops oldest entries if shrinking).
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.ring.len() > cap {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Cap the number of *stored* dumps (later triggers still count in
+    /// [`FlightRecorder::requested`] but keep no snapshot).
+    pub fn set_max_dumps(&mut self, n: usize) {
+        self.max_dumps = n;
+    }
+
+    fn push(&mut self, e: FlightEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(e);
+    }
+
+    /// Stored dumps, oldest first.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Total dump triggers seen (including ones past the storage cap).
+    pub fn requested(&self) -> u64 {
+        self.requested
+    }
+}
+
 /// Labelled metrics registry: counters, gauges and histograms keyed by
 /// `(name, labels)`. Both maps and label strings are ordered, so
 /// iteration and [`Metrics::render`] are deterministic.
@@ -339,6 +486,300 @@ impl Metrics {
         }
         out
     }
+
+    /// Valid Prometheus text exposition (format 0.0.4).
+    ///
+    /// The internal free-form `k=v,k2=v2` label strings become quoted
+    /// `{k="v",k2="v2"}` label sets, metric/label names are sanitized to
+    /// the Prometheus charset, each family gets a `# TYPE` line, and
+    /// histograms are exported as summaries (quantile samples plus
+    /// `_sum`/`_count`). [`Metrics::render`] keeps the legacy free-form
+    /// layout for the byte-identity tests that pin it.
+    pub fn render_prom(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<String> = None;
+        for ((n, l), v) in &self.counters {
+            let name = prom_name(n);
+            if last.as_deref() != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                last = Some(name.clone());
+            }
+            out.push_str(&format!("{name}{} {v}\n", prom_labels(l, None)));
+        }
+        last = None;
+        for ((n, l), v) in &self.gauges {
+            let name = prom_name(n);
+            if last.as_deref() != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                last = Some(name.clone());
+            }
+            out.push_str(&format!("{name}{} {v}\n", prom_labels(l, None)));
+        }
+        last = None;
+        for ((n, l), h) in &self.histograms {
+            let name = prom_name(n);
+            if last.as_deref() != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                last = Some(name.clone());
+            }
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    prom_labels(l, Some(&format!("quantile=\"{q}\"")))
+                ));
+            }
+            out.push_str(&format!("{name}_sum{} {}\n", prom_labels(l, None), h.sum()));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                prom_labels(l, None),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+/// Sanitize a metric name to the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(n: &str) -> String {
+    let mut out: String = n
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Sanitize a label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn prom_label_name(n: &str) -> String {
+    let mut out: String = n
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Convert an internal `k=v,k2=v2` label string (plus an optional
+/// pre-formatted extra pair) into a `{k="v",...}` label set. Empty
+/// input with no extra yields an empty string (no braces).
+fn prom_labels(l: &str, extra: Option<&str>) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    for part in l.split(',') {
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part.split_once('=').unwrap_or((part, ""));
+        pairs.push(format!(
+            "{}=\"{}\"",
+            prom_label_name(k),
+            prom_label_value(v)
+        ));
+    }
+    if let Some(e) = extra {
+        pairs.push(e.to_string());
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Promtool-style syntax check for Prometheus text exposition, strict
+/// enough to catch exporter bugs: every sample must parse (name, label
+/// set, float value), every sample's family must have a preceding
+/// `# TYPE` declaration (stricter than promtool, which allows untyped),
+/// `_sum`/`_count`/`_bucket` suffixes must match a summary/histogram
+/// family, and no family may be declared twice. Returns the number of
+/// samples on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {ln}: TYPE missing name"))?;
+                let ty = it
+                    .next()
+                    .ok_or_else(|| format!("line {ln}: TYPE missing type"))?;
+                if it.next().is_some() {
+                    return Err(format!("line {ln}: TYPE has trailing tokens"));
+                }
+                if !valid_name(name, true) {
+                    return Err(format!("line {ln}: invalid metric name {name:?}"));
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: invalid type {ty:?}"));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(format!("line {ln}: duplicate TYPE for {name}"));
+                }
+            }
+            // HELP and free comments pass through.
+            continue;
+        }
+        // Sample: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_name(name, true) {
+            return Err(format!("line {ln}: invalid sample name {name:?}"));
+        }
+        let mut rest = &line[name_end..];
+        if let Some(inner) = rest.strip_prefix('{') {
+            let close = find_brace_close(inner)
+                .ok_or_else(|| format!("line {ln}: unterminated label set"))?;
+            validate_labels(&inner[..close]).map_err(|e| format!("line {ln}: {e}"))?;
+            rest = &inner[close + 1..];
+        }
+        let value = rest.trim();
+        if value.is_empty() {
+            return Err(format!("line {ln}: missing value"));
+        }
+        let ok_value = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !ok_value {
+            return Err(format!("line {ln}: unparseable value {value:?}"));
+        }
+        // Family check: the sample name, or base_sum/base_count (summary,
+        // histogram) / base_bucket (histogram), must be declared.
+        let declared = types.contains_key(name)
+            || [
+                ("_sum", &["summary", "histogram"][..]),
+                ("_count", &["summary", "histogram"][..]),
+                ("_bucket", &["histogram"][..]),
+            ]
+            .iter()
+            .any(|(suf, tys)| {
+                name.strip_suffix(suf)
+                    .is_some_and(|base| types.get(base).is_some_and(|t| tys.contains(&t.as_str())))
+            });
+        if !declared {
+            return Err(format!("line {ln}: sample {name} has no TYPE declaration"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Metric (`colons = true`) or label (`colons = false`) name check.
+fn valid_name(n: &str, colons: bool) -> bool {
+    let mut chars = n.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    let head_ok = first.is_ascii_alphabetic() || first == '_' || (colons && first == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || (colons && c == ':'))
+}
+
+/// Index of the closing `}` of a label set, honoring quoted values.
+fn find_brace_close(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validate the inside of a `{...}` label set: `name="value"` pairs,
+/// comma-separated, values with `\\`/`\"`/`\n` escapes only.
+fn validate_labels(s: &str) -> Result<(), String> {
+    let mut rest = s;
+    loop {
+        if rest.is_empty() {
+            return Ok(());
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair missing '=' in {rest:?}"))?;
+        let name = &rest[..eq];
+        if !valid_name(name, false) {
+            return Err(format!("invalid label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        let inner = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted after {name}"))?;
+        // Scan to the closing quote, honoring escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("bad escape \\{c} in label {name}"));
+                }
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label {name}"))?;
+        rest = &inner[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label {name}: {rest:?}")),
+        }
+    }
 }
 
 /// One segment's contribution to a kind's latency profile.
@@ -435,12 +876,24 @@ pub struct Telemetry {
     marks: Vec<Mark>,
     /// The labelled metrics registry.
     pub metrics: Metrics,
+    /// Windowed time-series store (off unless
+    /// [`Telemetry::enable_timeseries`] is called).
+    pub series: TimeSeries,
+    /// Flight recorder fed by `end_op`/`mark` while enabled.
+    pub flight: FlightRecorder,
 }
 
 impl Telemetry {
     /// Turn span collection on.
     pub fn enable(&mut self) {
         self.enabled = true;
+    }
+
+    /// Turn on span collection *and* windowed time-series collection
+    /// with the given window width.
+    pub fn enable_timeseries(&mut self, window: SimDuration) {
+        self.enable();
+        self.series.enable(window);
     }
 
     /// Is span collection on?
@@ -488,7 +941,8 @@ impl Telemetry {
         }
     }
 
-    /// Close op `op` (records the `OpEnd` stage too).
+    /// Close op `op` (records the `OpEnd` stage too). The completed
+    /// span is also pushed into the flight-recorder ring.
     pub fn end_op(&mut self, at: SimTime, op: u32, host: usize) {
         if op == 0 {
             return;
@@ -501,6 +955,8 @@ impl Telemetry {
                 detail: 0,
             });
             s.end = Some(at);
+            let done = s.clone();
+            self.flight.push(FlightEvent::Span(done));
         }
     }
 
@@ -509,11 +965,62 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        self.marks.push(Mark {
+        let m = Mark {
             at,
             name: name.into(),
             host,
-        });
+        };
+        self.flight.push(FlightEvent::Mark(m.clone()));
+        self.marks.push(m);
+    }
+
+    /// Take a flight-recorder dump: snapshot the recent-history ring and
+    /// every span still open at `at`. Called automatically on error CQEs
+    /// and chaos-fault injection; call it directly on invariant
+    /// failures. Each trigger bumps the `flight_dumps` counter; at most
+    /// [`FlightRecorder::set_max_dumps`] snapshots are stored.
+    pub fn flight_dump(&mut self, at: SimTime, reason: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.flight.requested += 1;
+        self.metrics.counter_add("flight_dumps", "", 1);
+        if self.flight.dumps.len() >= self.flight.max_dumps {
+            return;
+        }
+        let mut open: Vec<OpSpan> = self
+            .spans
+            .values()
+            .filter(|s| s.end.is_none())
+            .cloned()
+            .collect();
+        // BTreeMap order = op-id order; cap so a saturated pipeline
+        // doesn't make dumps unboundedly large.
+        open.truncate(64);
+        let dump = FlightDump {
+            at,
+            reason: reason.into(),
+            recent: self.flight.ring.iter().cloned().collect(),
+            open_spans: open,
+        };
+        self.flight.dumps.push(dump);
+    }
+
+    /// JSON snapshot of the time-series store with this run's marks
+    /// attached (see [`TimeSeries::to_json`]).
+    pub fn timeseries_json(&self) -> String {
+        self.series.to_json(&self.marks)
+    }
+
+    /// CSV snapshot of the time-series store ([`TimeSeries::to_csv`]).
+    pub fn timeseries_csv(&self) -> String {
+        self.series.to_csv()
+    }
+
+    /// ASCII timeline of sketch metric `metric` with this run's marks
+    /// overlaid (see [`TimeSeries::render_timeline`]).
+    pub fn timeline(&self, metric: &str) -> String {
+        self.series.render_timeline(&self.marks, metric)
     }
 
     /// Record a named state-machine transition: an instant mark
@@ -799,5 +1306,125 @@ mod tests {
         let r = m.render();
         assert!(r.contains("counter a.first{host=0} 3"));
         assert!(r.contains("histogram lat{host=0} n=1"));
+    }
+
+    #[test]
+    fn render_prom_is_valid_exposition() {
+        let mut m = Metrics::default();
+        m.counter_add("ops_total", "shard=1,backend=hyper", 42);
+        m.counter_add("ops_total", "shard=2,backend=hyper", 7);
+        m.gauge_set("health_score", "layer=health", 3.0);
+        m.gauge_set("occupancy", "", 0.5);
+        m.histogram_record("op_latency_ns", "prim=gWRITE-ring", 150_000);
+        m.histogram_record("op_latency_ns", "prim=gWRITE-ring", 90_000);
+        let prom = m.render_prom();
+        let n = validate_exposition(&prom).expect("render_prom must validate");
+        // 2 counters + 2 gauges + (3 quantiles + sum + count).
+        assert_eq!(n, 9);
+        assert!(prom.contains("# TYPE ops_total counter\n"));
+        assert!(prom.contains("ops_total{shard=\"1\",backend=\"hyper\"} 42\n"));
+        assert!(prom.contains("health_score{layer=\"health\"} 3\n"));
+        assert!(prom.contains("occupancy 0.5\n"));
+        // Dashes in label values survive; the quantile label is appended.
+        assert!(prom.contains("op_latency_ns{prim=\"gWRITE-ring\",quantile=\"0.5\"}"));
+        assert!(prom.contains("op_latency_ns_sum{prim=\"gWRITE-ring\"} 240000\n"));
+        assert!(prom.contains("op_latency_ns_count{prim=\"gWRITE-ring\"} 2\n"));
+        // Legacy render is untouched.
+        assert!(m
+            .render()
+            .contains("counter ops_total{shard=1,backend=hyper} 42"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(validate_exposition("# TYPE a counter\na 1\n").is_ok());
+        // Sample without a TYPE declaration.
+        assert!(validate_exposition("orphan 1\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate_exposition("# TYPE a counter\n# TYPE a gauge\na 1\n").is_err());
+        // Unquoted label value (the old render() format).
+        assert!(validate_exposition("# TYPE a counter\na{layer=health} 3\n").is_err());
+        // Bad value.
+        assert!(validate_exposition("# TYPE a counter\na nope\n").is_err());
+        // Unterminated label set.
+        assert!(validate_exposition("# TYPE a counter\na{x=\"1\" 3\n").is_err());
+        // _sum/_count ride a summary family; _bucket needs histogram.
+        assert!(validate_exposition("# TYPE s summary\ns_sum 4\ns_count 2\n").is_ok());
+        assert!(validate_exposition("# TYPE s summary\ns_bucket 4\n").is_err());
+        // Inf/NaN values are legal.
+        assert!(validate_exposition("# TYPE g gauge\ng +Inf\n").is_ok());
+    }
+
+    #[test]
+    fn flight_recorder_rings_and_dumps() {
+        let mut tel = Telemetry::default();
+        tel.enable();
+        tel.flight.set_capacity(4);
+        // 6 completed ops: ring keeps the last 4.
+        for i in 0..6u64 {
+            let op = tel.begin_op(t(i * 100), OpKind::GWrite, 0);
+            tel.end_op(t(i * 100 + 50), op, 0);
+        }
+        // One op left open — the "victim".
+        let victim = tel.begin_op(t(700), OpKind::GCas, 0);
+        tel.mark(t(710), "fault:link-down", 1);
+        tel.flight_dump(t(720), "fault:link-down");
+        let dumps = tel.flight.dumps();
+        assert_eq!(dumps.len(), 1);
+        let d = &dumps[0];
+        assert_eq!(d.reason, "fault:link-down");
+        assert!(d.contains_op(victim), "open victim span must be captured");
+        assert!(!d.contains_op(1), "op 1 rolled off the 4-entry ring");
+        assert!(d.contains_op(6));
+        assert!(d
+            .recent
+            .iter()
+            .any(|e| matches!(e, FlightEvent::Mark(m) if m.name == "fault:link-down")));
+        assert_eq!(tel.metrics.counter("flight_dumps", ""), 1);
+        let r = d.render();
+        assert!(r.contains("reason=fault:link-down"));
+        assert!(r.contains("open op 7 gCAS"));
+    }
+
+    #[test]
+    fn flight_dump_storage_is_capped_but_counted() {
+        let mut tel = Telemetry::default();
+        tel.enable();
+        tel.flight.set_max_dumps(2);
+        for i in 0..5u64 {
+            tel.flight_dump(t(i), "invariant");
+        }
+        assert_eq!(tel.flight.dumps().len(), 2);
+        assert_eq!(tel.flight.requested(), 5);
+        assert_eq!(tel.metrics.counter("flight_dumps", ""), 5);
+    }
+
+    #[test]
+    fn disabled_telemetry_takes_no_dumps() {
+        let mut tel = Telemetry::default();
+        tel.flight_dump(t(0), "nope");
+        assert_eq!(tel.flight.dumps().len(), 0);
+        assert_eq!(tel.flight.requested(), 0);
+        assert_eq!(tel.metrics.counter("flight_dumps", ""), 0);
+    }
+
+    #[test]
+    fn telemetry_timeseries_roundtrip() {
+        let mut tel = Telemetry::default();
+        tel.enable_timeseries(crate::SimDuration::from_micros(1000));
+        assert!(tel.enabled());
+        assert!(tel.series.enabled());
+        tel.series
+            .record(t(500_000), "op_latency_ns", "shard=0", 120_000);
+        tel.mark(t(600_000), "fault:jitter", 0);
+        let json = tel.timeseries_json();
+        assert!(json.contains("\"name\":\"op_latency_ns\""));
+        assert!(json.contains("\"name\":\"fault:jitter\""));
+        let tl = tel.timeline("op_latency_ns");
+        assert!(tl.contains("== op_latency_ns{shard=0}"));
+        assert!(tl.contains("<- fault:jitter"));
+        assert!(tel
+            .timeseries_csv()
+            .contains("histogram,op_latency_ns,shard=0,0,1"));
     }
 }

@@ -1,0 +1,626 @@
+//! Windowed time-series telemetry: behavior over time, not just
+//! end-of-run aggregates.
+//!
+//! [`TimeSeries`] buckets sim time into fixed-width windows (window `w`
+//! covers `[w·width, (w+1)·width)`) and accumulates, per window:
+//!
+//! * **counter deltas** — how many of something happened *in* that
+//!   window (not cumulative totals);
+//! * **gauge samples** — last-write-wins instantaneous values;
+//! * **latency sketches** — a sparse mergeable [`Sketch`] per window,
+//!   so per-window p50/p99 are first-class and cross-shard aggregation
+//!   is a [`Sketch::merge`] away.
+//!
+//! Everything is keyed `(name, labels)` in `BTreeMap`s and windows are
+//! integer indices, so iteration order, the JSON/CSV snapshot exports
+//! and the ASCII timeline render are all byte-deterministic for a given
+//! sim run — same-seed re-runs produce identical snapshots, which the
+//! campaign and gray-chaos suites assert.
+//!
+//! Like span collection, the layer is disabled by default; every
+//! recording entry point is a cheap branch when off.
+
+use crate::sketch::Sketch;
+use crate::telemetry::Mark;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Default window width when [`TimeSeries::enable`] is given none.
+pub const DEFAULT_WINDOW: SimDuration = SimDuration::from_micros(1000);
+
+/// Windowed metrics store. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    enabled: bool,
+    window: SimDuration,
+    /// (name, labels) -> window index -> delta accumulated in window.
+    counters: BTreeMap<(String, String), BTreeMap<u64, u64>>,
+    /// (name, labels) -> window index -> last sampled value in window.
+    gauges: BTreeMap<(String, String), BTreeMap<u64, f64>>,
+    /// (name, labels) -> window index -> latency sketch for window.
+    sketches: BTreeMap<(String, String), BTreeMap<u64, Sketch>>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries {
+            enabled: false,
+            window: DEFAULT_WINDOW,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+        }
+    }
+}
+
+impl TimeSeries {
+    /// Turn windowed collection on with the given window width.
+    pub fn enable(&mut self, window: SimDuration) {
+        assert!(window.as_nanos() > 0, "time-series window must be > 0");
+        self.enabled = true;
+        self.window = window;
+    }
+
+    /// Is windowed collection on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window.as_nanos()
+    }
+
+    /// Window index containing `at`.
+    pub fn window_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.window.as_nanos()
+    }
+
+    /// Start time (ns) of window `w`.
+    pub fn window_start_ns(&self, w: u64) -> u64 {
+        w * self.window.as_nanos()
+    }
+
+    /// Add `delta` to counter `name{labels}` in the window containing
+    /// `at`. No-op while disabled.
+    pub fn counter_add(&mut self, at: SimTime, name: &str, labels: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let w = self.window_of(at);
+        *self
+            .counters
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .entry(w)
+            .or_insert(0) += delta;
+    }
+
+    /// Sample gauge `name{labels}` in the window containing `at`
+    /// (last write in a window wins). No-op while disabled.
+    pub fn gauge_sample(&mut self, at: SimTime, name: &str, labels: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        let w = self.window_of(at);
+        self.gauges
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .insert(w, v);
+    }
+
+    /// Record latency `v` (ns) into the sketch for `name{labels}` in the
+    /// window containing `at`. No-op while disabled.
+    pub fn record(&mut self, at: SimTime, name: &str, labels: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let w = self.window_of(at);
+        self.sketches
+            .entry((name.to_string(), labels.to_string()))
+            .or_default()
+            .entry(w)
+            .or_default()
+            .record(v);
+    }
+
+    /// Counter delta for one window (0 if nothing was recorded).
+    pub fn counter_in(&self, name: &str, labels: &str, w: u64) -> u64 {
+        self.counters
+            .get(&(name.to_string(), labels.to_string()))
+            .and_then(|m| m.get(&w))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The per-window sketch for `name{labels}`, if that window saw data.
+    pub fn sketch_in(&self, name: &str, labels: &str, w: u64) -> Option<&Sketch> {
+        self.sketches
+            .get(&(name.to_string(), labels.to_string()))
+            .and_then(|m| m.get(&w))
+    }
+
+    /// All `(window, sketch)` pairs for `name{labels}`, window order.
+    pub fn sketch_windows(&self, name: &str, labels: &str) -> Vec<(u64, &Sketch)> {
+        self.sketches
+            .get(&(name.to_string(), labels.to_string()))
+            .map(|m| m.iter().map(|(&w, s)| (w, s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Merge every window of `name{labels}` into one whole-run sketch.
+    pub fn merged_sketch(&self, name: &str, labels: &str) -> Sketch {
+        let mut out = Sketch::new();
+        if let Some(m) = self.sketches.get(&(name.to_string(), labels.to_string())) {
+            for s in m.values() {
+                out.merge(s);
+            }
+        }
+        out
+    }
+
+    /// Per-window quantile series for `name{labels}`:
+    /// `(window, value_at_quantile(q))` in window order.
+    pub fn quantile_series(&self, name: &str, labels: &str, q: f64) -> Vec<(u64, u64)> {
+        self.sketch_windows(name, labels)
+            .into_iter()
+            .map(|(w, s)| (w, s.value_at_quantile(q)))
+            .collect()
+    }
+
+    /// Label sets under which sketch metric `name` was recorded, in
+    /// label order.
+    pub fn sketch_label_sets(&self, name: &str) -> Vec<&str> {
+        self.sketches
+            .keys()
+            .filter(|(n, _)| n == name)
+            .map(|(_, l)| l.as_str())
+            .collect()
+    }
+
+    /// `(first, last)` window index observed across all series, if any.
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut any = false;
+        let mut take = |w: u64| {
+            lo = lo.min(w);
+            hi = hi.max(w);
+            any = true;
+        };
+        for m in self.counters.values() {
+            for &w in m.keys() {
+                take(w);
+            }
+        }
+        for m in self.gauges.values() {
+            for &w in m.keys() {
+                take(w);
+            }
+        }
+        for m in self.sketches.values() {
+            for &w in m.keys() {
+                take(w);
+            }
+        }
+        any.then_some((lo, hi))
+    }
+
+    /// Deterministic JSON snapshot of the whole store plus the run's
+    /// instant marks. Hand-rolled with fixed field order and integer (or
+    /// fixed-precision) values, so the same run always produces
+    /// byte-identical output — the time-series counterpart of
+    /// [`crate::Telemetry::chrome_trace`].
+    ///
+    /// Schema (version 1):
+    /// ```json
+    /// {"version":1,"window_ns":N,
+    ///  "counters":[{"name":..,"labels":..,"points":[[w,v],..]},..],
+    ///  "gauges":[{"name":..,"labels":..,"points":[[w,v],..]},..],
+    ///  "histograms":[{"name":..,"labels":..,"windows":[
+    ///      {"w":..,"count":..,"sum":..,"min":..,"max":..,
+    ///       "p50":..,"p99":..,"buckets":[[idx,count],..]},..]},..],
+    ///  "marks":[{"at_ns":..,"name":..,"host":..},..]}
+    /// ```
+    pub fn to_json(&self, marks: &[Mark]) -> String {
+        let mut out = String::from("{\"version\":1,");
+        out.push_str(&format!("\"window_ns\":{},", self.window.as_nanos()));
+
+        out.push_str("\"counters\":[");
+        let mut first = true;
+        for ((n, l), points) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"points\":[",
+                esc(n),
+                esc(l)
+            ));
+            let pts: Vec<String> = points.iter().map(|(w, v)| format!("[{w},{v}]")).collect();
+            out.push_str(&pts.join(","));
+            out.push_str("]}");
+        }
+        out.push_str("],");
+
+        out.push_str("\"gauges\":[");
+        let mut first = true;
+        for ((n, l), points) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"points\":[",
+                esc(n),
+                esc(l)
+            ));
+            let pts: Vec<String> = points
+                .iter()
+                .map(|(w, v)| format!("[{w},{v:.3}]"))
+                .collect();
+            out.push_str(&pts.join(","));
+            out.push_str("]}");
+        }
+        out.push_str("],");
+
+        out.push_str("\"histograms\":[");
+        let mut first = true;
+        for ((n, l), windows) in &self.sketches {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"windows\":[",
+                esc(n),
+                esc(l)
+            ));
+            let ws: Vec<String> = windows
+                .iter()
+                .map(|(w, s)| {
+                    let buckets: Vec<String> = s
+                        .occupied_buckets()
+                        .map(|(i, c)| format!("[{i},{c}]"))
+                        .collect();
+                    format!(
+                        "{{\"w\":{w},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p99\":{},\"buckets\":[{}]}}",
+                        s.count(),
+                        s.sum(),
+                        s.min(),
+                        s.max(),
+                        s.p50(),
+                        s.p99(),
+                        buckets.join(",")
+                    )
+                })
+                .collect();
+            out.push_str(&ws.join(","));
+            out.push_str("]}");
+        }
+        out.push_str("],");
+
+        out.push_str("\"marks\":[");
+        let ms: Vec<String> = marks
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"at_ns\":{},\"name\":\"{}\",\"host\":{}}}",
+                    m.at.as_nanos(),
+                    esc(&m.name),
+                    m.host
+                )
+            })
+            .collect();
+        out.push_str(&ms.join(","));
+        out.push_str("]}");
+        out
+    }
+
+    /// Deterministic CSV snapshot: one row per (series, window).
+    ///
+    /// Columns: `kind,name,labels,window,count,value,p50_ns,p99_ns,max_ns`
+    /// — counters put the delta in `value`, gauges the sample, sketches
+    /// fill `count`/`p50_ns`/`p99_ns`/`max_ns` and leave `value` empty.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,labels,window,count,value,p50_ns,p99_ns,max_ns\n");
+        for ((n, l), points) in &self.counters {
+            for (w, v) in points {
+                out.push_str(&format!("counter,{n},{l},{w},,{v},,,\n"));
+            }
+        }
+        for ((n, l), points) in &self.gauges {
+            for (w, v) in points {
+                out.push_str(&format!("gauge,{n},{l},{w},,{v:.3},,,\n"));
+            }
+        }
+        for ((n, l), windows) in &self.sketches {
+            for (w, s) in windows {
+                out.push_str(&format!(
+                    "histogram,{n},{l},{w},{},,{},{},{}\n",
+                    s.count(),
+                    s.p50(),
+                    s.p99(),
+                    s.max()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render an ASCII per-window timeline for sketch metric `metric`:
+    /// one table per label set, columns for window time range, sample
+    /// count, p50/p99 (µs), a p99 bar (log-ish integer scaling) and any
+    /// interesting marks (fault/heal/slo/transition/probe/cutover/
+    /// rejoin) landing in that window. All arithmetic is integer, so the
+    /// render is byte-deterministic.
+    pub fn render_timeline(&self, marks: &[Mark], metric: &str) -> String {
+        let labels = self.sketch_label_sets(metric);
+        let mut out = String::new();
+        if labels.is_empty() {
+            out.push_str(&format!("timeline: no data for metric {metric}\n"));
+            return out;
+        }
+        // Align every label set's table to the same window range.
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for l in &labels {
+            for (w, _) in self.sketch_windows(metric, l) {
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+        }
+        for m in marks {
+            if interesting_mark(&m.name) {
+                let w = self.window_of(m.at);
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+        }
+        let win_us = self.window.as_nanos() / 1000;
+        let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+        for l in &labels {
+            let series = self.sketch_windows(metric, l);
+            let max_p99 = series
+                .iter()
+                .map(|(_, s)| s.p99())
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            let title = if l.is_empty() {
+                metric.to_string()
+            } else {
+                format!("{metric}{{{l}}}")
+            };
+            out.push_str(&format!(
+                "== {title} (window {win_us}us, windows {lo}..={hi}) ==\n"
+            ));
+            out.push_str("window     t_start_us       n    p50_us    p99_us  |p99\n");
+            let by_w: BTreeMap<u64, &Sketch> = series.into_iter().collect();
+            for w in lo..=hi {
+                let start_us = self.window_start_ns(w) / 1000;
+                let mut mark_notes: Vec<String> = Vec::new();
+                for m in marks {
+                    if interesting_mark(&m.name) && self.window_of(m.at) == w {
+                        mark_notes.push(m.name.clone());
+                    }
+                }
+                match by_w.get(&w) {
+                    Some(s) => {
+                        let p50 = s.p50() / 1000;
+                        let p99 = s.p99() / 1000;
+                        // Integer bar: 40 chars at the series max.
+                        let bar_len = ((s.p99() * 40) / max_p99) as usize;
+                        out.push_str(&format!(
+                            "{w:>6} {start_us:>13} {n:>7} {p50:>9} {p99:>9}  |{bar}",
+                            n = s.count(),
+                            bar = "#".repeat(bar_len),
+                        ));
+                    }
+                    None => {
+                        out.push_str(&format!(
+                            "{w:>6} {start_us:>13}       -         -         -  |"
+                        ));
+                    }
+                }
+                if !mark_notes.is_empty() {
+                    out.push_str(&format!("  <- {}", mark_notes.join(", ")));
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Marks worth overlaying on a timeline render.
+fn interesting_mark(name: &str) -> bool {
+    [
+        "fault:",
+        "heal:",
+        "slo:",
+        "transition:",
+        "probe:",
+        "cutover:",
+        "rejoin:",
+    ]
+    .iter()
+    .any(|p| name.starts_with(p))
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_micros(n * 1000)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut ts = TimeSeries::default();
+        ts.counter_add(t(0), "ops", "", 1);
+        ts.record(t(0), "lat", "", 100);
+        ts.gauge_sample(t(0), "g", "", 1.0);
+        assert!(ts.window_span().is_none());
+        assert_eq!(ts.counter_in("ops", "", 0), 0);
+    }
+
+    #[test]
+    fn windows_partition_time() {
+        let mut ts = TimeSeries::default();
+        ts.enable(ms(1));
+        assert_eq!(ts.window_of(t(0)), 0);
+        assert_eq!(ts.window_of(t(999_999)), 0);
+        assert_eq!(ts.window_of(t(1_000_000)), 1);
+        ts.counter_add(t(500_000), "ops", "shard=0", 2);
+        ts.counter_add(t(999_999), "ops", "shard=0", 1);
+        ts.counter_add(t(1_000_000), "ops", "shard=0", 5);
+        assert_eq!(ts.counter_in("ops", "shard=0", 0), 3);
+        assert_eq!(ts.counter_in("ops", "shard=0", 1), 5);
+        assert_eq!(ts.window_span(), Some((0, 1)));
+    }
+
+    #[test]
+    fn per_window_sketches_merge_to_whole_run() {
+        let mut ts = TimeSeries::default();
+        ts.enable(ms(1));
+        let mut whole = Sketch::new();
+        for i in 0..100u64 {
+            let at = t(i * 100_000); // 10 windows
+            let v = 10_000 + i * 1_000;
+            ts.record(at, "lat", "", v);
+            whole.record(v);
+        }
+        assert_eq!(ts.merged_sketch("lat", ""), whole);
+        assert_eq!(ts.sketch_windows("lat", "").len(), 10);
+        let p99 = ts.quantile_series("lat", "", 0.99);
+        assert_eq!(p99.len(), 10);
+        // Ramp: later windows have strictly larger p99s.
+        assert!(p99.windows(2).all(|p| p[0].1 < p[1].1));
+    }
+
+    #[test]
+    fn gauge_last_write_wins_within_window() {
+        let mut ts = TimeSeries::default();
+        ts.enable(ms(1));
+        ts.gauge_sample(t(100), "score", "", 1.0);
+        ts.gauge_sample(t(200), "score", "", 7.0);
+        let json = ts.to_json(&[]);
+        assert!(json.contains("[0,7.000]"), "{json}");
+        assert!(!json.contains("1.000"), "{json}");
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_shaped() {
+        let build = || {
+            let mut ts = TimeSeries::default();
+            ts.enable(ms(1));
+            ts.counter_add(t(100), "ops", "shard=1", 3);
+            ts.record(t(200), "lat", "shard=1", 150_000);
+            ts.record(t(1_200_000), "lat", "shard=1", 450_000);
+            ts.gauge_sample(t(50), "score", "layer=health", 12.0);
+            let marks = vec![Mark {
+                at: t(600_000),
+                name: "fault:jitter".into(),
+                host: 1,
+            }];
+            ts.to_json(&marks)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"version\":1,\"window_ns\":1000000,"));
+        assert!(a.contains(
+            "\"counters\":[{\"name\":\"ops\",\"labels\":\"shard=1\",\"points\":[[0,3]]}]"
+        ));
+        assert!(
+            a.contains("\"histograms\":[{\"name\":\"lat\",\"labels\":\"shard=1\",\"windows\":[")
+        );
+        assert!(a.contains("\"marks\":[{\"at_ns\":600000,\"name\":\"fault:jitter\",\"host\":1}]"));
+        assert!(a.ends_with("]}"));
+    }
+
+    #[test]
+    fn csv_rows_cover_all_series() {
+        let mut ts = TimeSeries::default();
+        ts.enable(ms(1));
+        ts.counter_add(t(0), "ops", "shard=0", 4);
+        ts.gauge_sample(t(0), "score", "", 2.5);
+        ts.record(t(0), "lat", "", 99_000);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("kind,name,labels,window,"));
+        assert!(csv.contains("counter,ops,shard=0,0,,4,,,\n"));
+        assert!(csv.contains("gauge,score,,0,,2.500,,,\n"));
+        assert!(csv.contains("histogram,lat,,0,1,,99000,99000,99000\n"));
+    }
+
+    #[test]
+    fn timeline_render_overlays_marks() {
+        let mut ts = TimeSeries::default();
+        ts.enable(ms(1));
+        for w in 0..5u64 {
+            let lat = if w == 2 { 900_000 } else { 90_000 };
+            for i in 0..10u64 {
+                ts.record(t(w * 1_000_000 + i * 1_000), "lat", "shard=0", lat);
+            }
+        }
+        let marks = vec![
+            Mark {
+                at: t(2_100_000),
+                name: "fault:jitter".into(),
+                host: 0,
+            },
+            Mark {
+                at: t(3_400_000),
+                name: "heal:jitter".into(),
+                host: 0,
+            },
+            Mark {
+                at: t(1_000),
+                name: "boring-note".into(),
+                host: 0,
+            },
+        ];
+        let render = ts.render_timeline(&marks, "lat");
+        assert!(render.contains("== lat{shard=0}"));
+        assert!(render.contains("<- fault:jitter"));
+        assert!(render.contains("<- heal:jitter"));
+        assert!(!render.contains("boring-note"));
+        // The excursion window has the longest bar.
+        let excursion_line = render.lines().find(|l| l.contains("fault:")).unwrap();
+        assert!(excursion_line.contains("#".repeat(40).as_str()));
+        // Same input renders identically.
+        assert_eq!(render, ts.render_timeline(&marks, "lat"));
+    }
+
+    #[test]
+    fn missing_metric_renders_placeholder() {
+        let ts = TimeSeries::default();
+        let r = ts.render_timeline(&[], "nope");
+        assert!(r.contains("no data for metric nope"));
+    }
+}

@@ -427,6 +427,13 @@ fn dispatch_ack(group: &GroupRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut En
             &format!("prim={kind}"),
             latency.as_nanos(),
         );
+        let now = eng.now();
+        w.telemetry.series.record(
+            now,
+            "hyperloop_op_latency_ns",
+            &format!("prim={kind}"),
+            latency.as_nanos(),
+        );
     }
     if let Some(done) = p.done {
         done(

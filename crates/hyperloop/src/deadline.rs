@@ -30,7 +30,7 @@ use crate::group::{Backpressure, OnDone, OpResult};
 use crate::naive::NaiveClient;
 use crate::HyperLoopClient;
 use hl_cluster::World;
-use hl_sim::{Bytes, Engine, SimDuration};
+use hl_sim::{Bytes, Engine, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -296,6 +296,7 @@ struct IssueState {
     op: GroupOp,
     done: Option<OnOutcome>,
     settled: bool,
+    issued_at: SimTime,
     outstanding: Rc<RefCell<u32>>,
     failures: Rc<RefCell<Vec<OpError>>>,
     stats: Rc<RefCell<RetryStats>>,
@@ -448,6 +449,7 @@ impl RetryClient {
             op,
             done: Some(done),
             settled: false,
+            issued_at: eng.now(),
             outstanding: self.outstanding.clone(),
             failures: self.failures.clone(),
             stats: self.stats.clone(),
@@ -548,7 +550,7 @@ fn settle(
     eng: &mut Engine<World>,
     outcome: Result<OpResult, OpError>,
 ) {
-    let done = {
+    let (done, issued_at) = {
         let mut s = st.borrow_mut();
         if s.settled {
             return;
@@ -570,14 +572,33 @@ fn settle(
                 s.failures.borrow_mut().push(e.clone());
             }
         }
-        s.done.take()
+        (s.done.take(), s.issued_at)
     };
-    if outcome.is_err() && w.telemetry.enabled() {
-        w.telemetry
-            .metrics
-            .counter_add("retry_deadline_exceeded", "layer=deadline", 1);
+    if w.telemetry.enabled() {
         let now = eng.now();
-        w.telemetry.mark(now, "deadline-exceeded", 0);
+        match &outcome {
+            Ok(_) => {
+                // The headline SLO series: supervised end-to-end latency
+                // including retries and backoff, continuous across
+                // backend swaps (degrade / re-promote keep feeding it).
+                let e2e = now.duration_since(issued_at).as_nanos();
+                w.telemetry
+                    .series
+                    .record(now, "op_latency_ns", "layer=supervised", e2e);
+                w.telemetry
+                    .series
+                    .counter_add(now, "supervised_ops", "layer=supervised", 1);
+            }
+            Err(_) => {
+                w.telemetry
+                    .metrics
+                    .counter_add("retry_deadline_exceeded", "layer=deadline", 1);
+                w.telemetry
+                    .series
+                    .counter_add(now, "retry_deadline_exceeded", "layer=deadline", 1);
+                w.telemetry.mark(now, "deadline-exceeded", 0);
+            }
+        }
     }
     if let Some(done) = done {
         done(w, eng, outcome);
@@ -719,6 +740,9 @@ fn probe_note_timeout(st: &Rc<RefCell<IssueState>>, w: &mut World, eng: &mut Eng
             .counter_add("nic_stall_suspected", "layer=probe", 1);
         let now = eng.now();
         w.telemetry.mark(now, "probe:nic-stall-suspected", host);
+        // Postmortem snapshot: the victim op is still open (its silence
+        // is what fired the probe), so its span lands in the dump.
+        w.telemetry.flight_dump(now, "probe:nic-stall-suspected");
     }
     // Take the callback out for the call so it may re-enter the probe
     // (e.g. trigger a rebuild that disarms or re-arms it).

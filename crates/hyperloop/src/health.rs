@@ -36,6 +36,7 @@ use crate::deadline::{Backend, RetryClient, RetryStats};
 use crate::group::{GroupBuilder, GroupConfig, GroupRef};
 use crate::naive::Mode;
 use crate::recovery::{catch_up, degrade_to_naive, OnRebuilt};
+use crate::slo::SloEngine;
 use crate::HyperLoopClient;
 use hl_cluster::World;
 use hl_fabric::HostId;
@@ -133,6 +134,9 @@ struct MonitorInner {
     degrades: u64,
     promotes: u64,
     stopped: bool,
+    /// Optional SLO engine evaluated each period; a firing alert is a
+    /// structured *sick* input beside the counter-delta score.
+    slo: Option<Rc<RefCell<SloEngine>>>,
 }
 
 /// The periodic health evaluator driving degrade / re-promote.
@@ -182,6 +186,7 @@ impl HealthMonitor {
             degrades: 0,
             promotes: 0,
             stopped: false,
+            slo: None,
         }));
         let period = inner.borrow().cfg.period;
         let m = inner.clone();
@@ -192,6 +197,17 @@ impl HealthMonitor {
     /// Stop evaluating (any in-flight transition still completes).
     pub fn stop(&self) {
         self.inner.borrow_mut().stopped = true;
+    }
+
+    /// Attach an [`SloEngine`]: every evaluation period the engine runs
+    /// first, and [`SloEngine::any_firing`] then counts as a sick
+    /// signal — while offloaded a firing alert accrues toward the
+    /// degrade threshold even when the counter score looks clean, and
+    /// while degraded it blocks re-promotion. Because degrading takes
+    /// `degrade_after` consecutive sick periods, the alert's fire mark
+    /// always precedes the `Degrading` transition it predicts.
+    pub fn attach_slo(&self, slo: Rc<RefCell<SloEngine>>) {
+        self.inner.borrow_mut().slo = Some(slo);
     }
 
     /// Current state-machine position.
@@ -250,9 +266,24 @@ fn tick(m: Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
         return;
     }
     let score = sample_score(&m, w);
-    w.telemetry
-        .metrics
-        .gauge_set("health_score", "layer=health", score as f64);
+    if w.telemetry.enabled() {
+        let now = eng.now();
+        w.telemetry
+            .metrics
+            .gauge_set("health_score", "layer=health", score as f64);
+        w.telemetry
+            .series
+            .gauge_sample(now, "health_score", "layer=health", score as f64);
+    }
+    // Evaluate attached SLO rules *before* the state decision, so a
+    // firing alert's mark precedes any transition it contributes to.
+    let slo_alert = {
+        let slo = m.borrow().slo.clone();
+        match slo {
+            Some(s) => s.borrow_mut().eval(eng.now(), &mut w.telemetry),
+            None => false,
+        }
+    };
 
     enum Action {
         None,
@@ -263,7 +294,7 @@ fn tick(m: Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
         let mut mm = m.borrow_mut();
         match mm.state {
             HealthState::Offloaded => {
-                if score >= mm.cfg.degrade_score {
+                if score >= mm.cfg.degrade_score || slo_alert {
                     mm.sick += 1;
                     mm.healthy = 0;
                     if mm.sick >= mm.cfg.degrade_after {
@@ -277,7 +308,7 @@ fn tick(m: Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<World>) {
                 }
             }
             HealthState::Degraded => {
-                if score <= mm.cfg.healthy_score {
+                if score <= mm.cfg.healthy_score && !slo_alert {
                     mm.healthy += 1;
                     let dwelt = eng.now().duration_since(mm.degraded_at);
                     if mm.healthy >= mm.cfg.promote_after && dwelt >= mm.cfg.min_degraded_dwell {
@@ -342,9 +373,11 @@ fn start_degrade(m: &Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<
                 mm.healthy = 0;
             }
             transition_to(&m, w, eng, HealthState::Degraded);
-            w.telemetry
-                .metrics
-                .counter_add("health_degrades", "layer=health", 1);
+            if w.telemetry.enabled() {
+                w.telemetry
+                    .metrics
+                    .counter_add("health_degrades", "layer=health", 1);
+            }
         }),
     );
 }
@@ -381,9 +414,11 @@ fn start_promote(m: &Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<
                 mm.healthy = 0;
             }
             transition_to(&m, w, eng, HealthState::Offloaded);
-            w.telemetry
-                .metrics
-                .counter_add("health_promotes", "layer=health", 1);
+            if w.telemetry.enabled() {
+                w.telemetry
+                    .metrics
+                    .counter_add("health_promotes", "layer=health", 1);
+            }
         }),
     );
 }

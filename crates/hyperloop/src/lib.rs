@@ -24,6 +24,10 @@
 //! * [`deadline`] wraps the client with per-operation deadlines,
 //!   exponential backoff and idempotent re-issue so a supervised
 //!   operation either completes or fails with a typed error.
+//! * [`slo`] evaluates declarative latency objectives
+//!   (`p99(op_latency_ns{…}) < 200us over 8 windows`) with multi-window
+//!   burn rates over the windowed time-series layer, feeding
+//!   [`health::HealthMonitor`] as a structured sick signal.
 //! * [`fanout`] is the §7 extension: FaRM-style primary/backup
 //!   replication with the coordination offloaded to the primary's NIC
 //!   (parallel WAIT-triggered transfers, ack aggregation by WAIT count).
@@ -45,6 +49,7 @@ pub mod naive;
 pub mod recovery;
 pub mod replica;
 pub mod router;
+pub mod slo;
 
 pub use client::HyperLoopClient;
 pub use deadline::{Backend, DeadlinePolicy, GroupOp, OnOutcome, OpError, RetryClient, RetryStats};
@@ -54,3 +59,4 @@ pub use group::{
 pub use health::{HealthConfig, HealthMonitor, HealthState};
 pub use metadata::Primitive;
 pub use router::ShardRouter;
+pub use slo::{SloEngine, SloRule};

@@ -438,6 +438,10 @@ fn ack_dispatch(rc: &NaiveRef, cqe: hl_rnic::Cqe, w: &mut World, eng: &mut Engin
         w.telemetry
             .metrics
             .histogram_record("naive_op_latency_ns", label, latency.as_nanos());
+        let now = eng.now();
+        w.telemetry
+            .series
+            .record(now, "naive_op_latency_ns", label, latency.as_nanos());
     }
     if let Some(done) = p.done {
         done(

@@ -73,18 +73,41 @@ impl ShardRouter {
     }
 
     /// Issue `op` on an explicit shard under deadline supervision.
+    ///
+    /// When the windowed time-series layer is on, the routed op also
+    /// feeds a per-shard `router_ops{shard=N}` window counter and, at
+    /// completion, a per-shard `op_latency_ns{shard=N}` latency sketch —
+    /// the series the `timeline` report renders per shard.
     pub fn issue_on(
         &self,
         w: &mut World,
         eng: &mut Engine<World>,
         sid: usize,
         op: GroupOp,
-        done: OnOutcome,
+        mut done: OnOutcome,
     ) {
         if w.telemetry.enabled() {
             w.telemetry
                 .metrics
                 .counter_add("router_ops", &format!("shard={sid}"), 1);
+        }
+        if w.telemetry.series.enabled() {
+            let now = eng.now();
+            let labels = format!("shard={sid}");
+            w.telemetry
+                .series
+                .counter_add(now, "router_ops", &labels, 1);
+            let issued_at = now;
+            done = Box::new(move |w, eng, outcome| {
+                if outcome.is_ok() && w.telemetry.series.enabled() {
+                    let now = eng.now();
+                    let e2e = now.duration_since(issued_at).as_nanos();
+                    w.telemetry
+                        .series
+                        .record(now, "op_latency_ns", &labels, e2e);
+                }
+                done(w, eng, outcome);
+            });
         }
         self.shards[sid].issue(w, eng, op, done);
     }

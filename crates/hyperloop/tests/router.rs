@@ -173,3 +173,81 @@ fn keyed_writes_land_on_owning_shard() {
         "router_ops counters must cover every issue:\n{rendered}"
     );
 }
+
+/// Satellite regression: the router's telemetry writes are gated — a
+/// world without telemetry records neither labelled counters nor
+/// windowed series, while an enabled one accounts for every issue in
+/// both (`router_ops{shard=N}` counters and the per-shard
+/// `op_latency_ns{shard=N}` latency sketches the timeline renders).
+#[test]
+fn router_series_gated_on_telemetry() {
+    const OPS: u64 = 16;
+    let run = |w: &mut World, eng: &mut Engine<World>, router: &ShardRouter| {
+        for i in 0..OPS {
+            let key = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let done: OnOutcome = Box::new(|_w, _e, r| {
+                r.expect("fault-free write must complete");
+            });
+            router.gwrite_keyed(w, eng, &key.to_le_bytes(), i * 64, &[7u8; 32], true, done);
+        }
+        let r2: Vec<_> = (0..router.n_shards())
+            .map(|s| router.client(s).clone())
+            .collect();
+        eng.run_while(w, move |_| r2.iter().any(|c| c.outstanding() > 0));
+    };
+
+    // Telemetry off: nothing recorded anywhere, and nothing panics.
+    let (mut w, mut eng, router) = build_router(2);
+    run(&mut w, &mut eng, &router);
+    for s in 0..2 {
+        assert_eq!(
+            w.telemetry
+                .metrics
+                .counter("router_ops", &format!("shard={s}")),
+            0,
+            "disabled telemetry must not count"
+        );
+    }
+    assert!(
+        w.telemetry
+            .series
+            .sketch_label_sets("op_latency_ns")
+            .is_empty(),
+        "disabled series must stay empty"
+    );
+
+    // Time-series on: every issue lands in both stores, per shard.
+    let (mut w, mut eng, router) = build_router(2);
+    w.enable_timeseries(hl_sim::SimDuration::from_millis(1));
+    run(&mut w, &mut eng, &router);
+    let counted: u64 = (0..2)
+        .map(|s| {
+            w.telemetry
+                .metrics
+                .counter("router_ops", &format!("shard={s}"))
+        })
+        .sum();
+    assert_eq!(counted, OPS, "router_ops counters must account every issue");
+    let sketched: u64 = (0..2)
+        .map(|s| {
+            w.telemetry
+                .series
+                .merged_sketch("op_latency_ns", &format!("shard={s}"))
+                .count()
+        })
+        .sum();
+    assert_eq!(
+        sketched, OPS,
+        "per-shard latency sketches must cover every op"
+    );
+    for s in 0..2 {
+        assert!(
+            w.telemetry
+                .series
+                .merged_sketch("op_latency_ns", &format!("shard={s}"))
+                .count()
+                > 0,
+            "shard {s} recorded no latency samples"
+        );
+    }
+}

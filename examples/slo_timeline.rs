@@ -1,0 +1,174 @@
+//! SLO burn-rate alerting on windowed time series, end to end: a
+//! jitter excursion inflates the supervised p99, the declarative SLO
+//! rule fires, the health monitor degrades the backend to the CPU
+//! path, the fault heals, the alert resolves, and the monitor
+//! re-promotes — all visible on one timeline render with the marks
+//! overlaid on the window where they happened.
+//!
+//! ```sh
+//! cargo run --release --example slo_timeline
+//! ```
+
+use hyperloop_repro::cluster::chaos::{FaultEvent, FaultKind, FaultSchedule};
+use hyperloop_repro::cluster::{ClusterBuilder, World};
+use hyperloop_repro::fabric::HostId;
+use hyperloop_repro::hyperloop::health::{HealthConfig, HealthMonitor};
+use hyperloop_repro::hyperloop::naive::Mode;
+use hyperloop_repro::hyperloop::slo::{SloEngine, SloRule};
+use hyperloop_repro::hyperloop::{
+    replica, DeadlinePolicy, GroupBuilder, GroupConfig, HyperLoopClient, RetryClient,
+};
+use hyperloop_repro::sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const CLIENT: HostId = HostId(0);
+const REC: usize = 256;
+
+fn main() {
+    let seed = 9090;
+    let (mut w, mut eng) = ClusterBuilder::new(4)
+        .arena_size(2 << 20)
+        .seed(seed)
+        .build();
+
+    // One call turns on telemetry plus the windowed store (1ms
+    // windows): per-window counter deltas, gauge samples, and latency
+    // sketches.
+    w.enable_timeseries(SimDuration::from_millis(1));
+
+    let group = GroupBuilder::new(GroupConfig {
+        client: CLIENT,
+        replicas: vec![HostId(1), HostId(2)],
+        rep_bytes: 64 << 10,
+        ring_slots: 64,
+        transport_timeout: Some((SimDuration::from_millis(3), 7)),
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group.clone(), &mut w);
+
+    // A generous per-attempt deadline keeps the health score quiet:
+    // the SLO alert is the only signal that can degrade the backend,
+    // so the fire mark strictly precedes the Degrading transition.
+    let retry = RetryClient::with_policy(
+        client,
+        DeadlinePolicy {
+            deadline: SimDuration::from_millis(4),
+            max_attempts: 40,
+            backoff: SimDuration::from_micros(500),
+            backoff_cap: SimDuration::from_millis(4),
+        },
+    );
+    let monitor = HealthMonitor::start(
+        retry.clone(),
+        group,
+        HealthConfig {
+            period: SimDuration::from_millis(2),
+            degrade_score: 20,
+            healthy_score: 5,
+            degrade_after: 2,
+            promote_after: 3,
+            min_degraded_dwell: SimDuration::from_millis(3),
+            ring_slots: 64,
+            naive_mode: Mode::Event,
+        },
+        &mut w,
+        &mut eng,
+    );
+
+    // The objective, as you would write it in an alerting config:
+    // fire when both the long (8-window) and short (2-window) burn
+    // fractions breach; resolve when the short lookback is clean.
+    let slo = Rc::new(RefCell::new(SloEngine::new()));
+    slo.borrow_mut().add_rule(
+        SloRule::parse(
+            "supervised-p99",
+            "p99(op_latency_ns{layer=supervised}) < 150us over 8 windows",
+        )
+        .unwrap()
+        .with_short_windows(2),
+    );
+    monitor.attach_slo(slo.clone());
+
+    // The excursion: heavy jitter on the client's links, 10ms → 35ms.
+    FaultSchedule {
+        seed,
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: CLIENT,
+                    dst: HostId(1),
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: HostId(2),
+                    dst: CLIENT,
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+        ],
+    }
+    .apply(&mut eng);
+
+    // Open-loop supervised writes, one every 100µs, spanning the
+    // whole excursion and the recovery after it.
+    for k in 0..500usize {
+        let retry2 = retry.clone();
+        let at = SimTime::from_nanos(1_000_000 + k as u64 * 100_000);
+        eng.schedule_at(at, move |w: &mut World, eng| {
+            let data = vec![b'a' + (k % 26) as u8; REC];
+            retry2.gwrite(
+                w,
+                eng,
+                ((k % 64) * REC) as u64,
+                &data,
+                true,
+                Box::new(|_w, _e, r| {
+                    r.expect("supervised op failed");
+                }),
+            );
+        });
+    }
+    eng.run_until(&mut w, SimTime::from_nanos(250_000_000));
+    monitor.stop();
+
+    // The timeline: p50/p99 per window with fault/fire/transition/
+    // heal/resolve marks inlined. Same seed → byte-identical render.
+    println!("{}", w.telemetry.timeline("op_latency_ns"));
+    println!(
+        "alert fired {}x, firing now: {}; degrades={} promotes={}",
+        slo.borrow().fired("supervised-p99"),
+        slo.borrow().any_firing(),
+        monitor.degrades(),
+        monitor.promotes()
+    );
+
+    // The same data, machine-readable: a versioned JSON snapshot, a
+    // flat CSV, and Prometheus text exposition off the cumulative
+    // registry.
+    let json = w.telemetry.timeseries_json();
+    let csv = w.telemetry.timeseries_csv();
+    println!(
+        "snapshot: {} bytes JSON, {} CSV rows",
+        json.len(),
+        csv.lines().count().saturating_sub(1)
+    );
+    let prom = w.telemetry.metrics.render_prom();
+    for line in prom
+        .lines()
+        .filter(|l| l.contains("slo_") || l.contains("health_score"))
+        .take(8)
+    {
+        println!("prom> {line}");
+    }
+}

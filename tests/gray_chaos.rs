@@ -30,6 +30,7 @@ use hyperloop_repro::hyperloop::deadline::Backend;
 use hyperloop_repro::hyperloop::health::{HealthConfig, HealthMonitor, HealthState};
 use hyperloop_repro::hyperloop::naive::{Mode, NaiveBuilder, NaiveConfig};
 use hyperloop_repro::hyperloop::recovery;
+use hyperloop_repro::hyperloop::slo::{SloEngine, SloRule};
 use hyperloop_repro::hyperloop::{
     replica, DeadlinePolicy, GroupBuilder, GroupConfig, GroupOp, GroupRef, HyperLoopClient,
     RetryClient,
@@ -222,6 +223,7 @@ fn degrade_repromote_round_trip_preserves_committed_state() {
     let seed = 4242;
     let n_ops = 400;
     let (mut w, mut eng, group, retry) = build_offloaded(seed);
+    w.enable_timeseries(SimDuration::from_millis(1));
 
     let health_cfg = HealthConfig {
         period: SimDuration::from_millis(2),
@@ -235,6 +237,22 @@ fn degrade_repromote_round_trip_preserves_committed_state() {
     };
     let dwell = health_cfg.min_degraded_dwell;
     let monitor = HealthMonitor::start(retry.clone(), group, health_cfg, &mut w, &mut eng);
+
+    // Burn-rate SLO on the supervised latency series: the gray window
+    // blows the per-window p99 through 500µs, and the alert feeds the
+    // monitor's sick signal beside the health score. (Here the score
+    // races the alert to the degrade; the alert-leads ordering is
+    // pinned by `slo_alert_precedes_health_degrade` below, where the
+    // score stays quiet.)
+    let slo = Rc::new(RefCell::new(SloEngine::new()));
+    slo.borrow_mut().add_rule(
+        SloRule::parse(
+            "supervised-p99",
+            "p99(op_latency_ns{layer=supervised}) < 500us over 4 windows",
+        )
+        .expect("rule parses"),
+    );
+    monitor.attach_slo(slo.clone());
 
     // Gray window 5ms → 15ms: loss on the head hop + jitter on the ACK
     // hop. Nothing dies; only end-to-end signals move.
@@ -292,6 +310,30 @@ fn degrade_repromote_round_trip_preserves_committed_state() {
         promoting_at.as_nanos()
     );
 
+    // The attached SLO saw the excursion: it fired during the gray
+    // window and resolved after the heal (a firing alert blocks
+    // re-promotion, so reaching Offloaded above already proves the
+    // resolve edge; these pin the counters and marks).
+    assert!(
+        slo.borrow().fired("supervised-p99") >= 1,
+        "SLO alert never fired across the gray window"
+    );
+    assert!(!slo.borrow().any_firing(), "alert still firing after heal");
+    assert!(
+        w.telemetry
+            .metrics
+            .counter("slo_alerts_fired", "rule=supervised-p99")
+            >= 1,
+        "slo_alerts_fired counter not bumped"
+    );
+    assert!(
+        w.telemetry
+            .marks()
+            .iter()
+            .any(|m| m.name == "slo:resolve:supervised-p99"),
+        "resolve mark missing"
+    );
+
     // Differential oracle: committed state byte-identical to the
     // fault-free Naïve control — across a degrade, a re-promotion, and
     // every retry in between, no write was lost or applied twice (the
@@ -314,6 +356,163 @@ fn degrade_repromote_round_trip_preserves_committed_state() {
         cas_word,
         (n_ops / 5) as u64,
         "CAS increments lost or duplicated"
+    );
+}
+
+/// Tentpole causal-order invariant: when the SLO alert is what makes
+/// the monitor sick, its fire mark strictly precedes the Degrading
+/// transition. Heavy jitter inflates the supervised p99 far past the
+/// threshold without tripping a single per-attempt deadline (the 4ms
+/// budget dwarfs the jitter), so the health score stays quiet and the
+/// alert is the only signal that can degrade — and because degrading
+/// takes `degrade_after` consecutive sick periods, the transition lands
+/// at least one period after the fire.
+#[test]
+fn slo_alert_precedes_health_degrade() {
+    let seed = 9090;
+    let (mut w, mut eng) = ClusterBuilder::new(4)
+        .arena_size(2 << 20)
+        .seed(seed)
+        .build();
+    w.enable_timeseries(SimDuration::from_millis(1));
+    let group = GroupBuilder::new(GroupConfig {
+        client: CLIENT,
+        replicas: vec![R1, R2],
+        rep_bytes: REP_BYTES,
+        ring_slots: 64,
+        transport_timeout: Some((SimDuration::from_millis(3), 7)),
+        ..Default::default()
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group.clone(), &mut w);
+    // Generous per-attempt deadline: jitter never exhausts it, so the
+    // health score never moves.
+    let retry = RetryClient::with_policy(
+        client,
+        DeadlinePolicy {
+            deadline: SimDuration::from_millis(4),
+            max_attempts: 40,
+            backoff: SimDuration::from_micros(500),
+            backoff_cap: SimDuration::from_millis(4),
+        },
+    );
+    let monitor = HealthMonitor::start(
+        retry.clone(),
+        group,
+        HealthConfig {
+            period: SimDuration::from_millis(2),
+            degrade_score: 20,
+            healthy_score: 5,
+            degrade_after: 2,
+            promote_after: 3,
+            min_degraded_dwell: SimDuration::from_millis(3),
+            ring_slots: 64,
+            naive_mode: Mode::Event,
+        },
+        &mut w,
+        &mut eng,
+    );
+    let slo = Rc::new(RefCell::new(SloEngine::new()));
+    slo.borrow_mut().add_rule(
+        SloRule::parse(
+            "supervised-p99",
+            "p99(op_latency_ns{layer=supervised}) < 150us over 8 windows",
+        )
+        .unwrap()
+        .with_short_windows(2),
+    );
+    monitor.attach_slo(slo.clone());
+
+    // Jitter excursion on the client's links, 10ms → 35ms.
+    FaultSchedule {
+        seed,
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: CLIENT,
+                    dst: R1,
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_nanos(10_000_000),
+                duration: Some(SimDuration::from_millis(25)),
+                kind: FaultKind::Jitter {
+                    src: R2,
+                    dst: CLIENT,
+                    delay: SimDuration::from_micros(40),
+                    jitter: SimDuration::from_micros(120),
+                },
+            },
+        ],
+    }
+    .apply(&mut eng);
+
+    // Open-loop writes every 100µs span the whole excursion.
+    let n_ops = 500usize;
+    for k in 0..n_ops {
+        let retry2 = retry.clone();
+        let at = SimTime::from_nanos(1_000_000 + k as u64 * 100_000);
+        eng.schedule_at(at, move |w: &mut World, eng| {
+            retry2.gwrite(
+                w,
+                eng,
+                ((k % N_SLOTS) * REC_BYTES) as u64,
+                &record(k),
+                true,
+                Box::new(|_w, _e, r| {
+                    r.expect("supervised op failed");
+                }),
+            );
+        });
+    }
+
+    eng.run_until(&mut w, SimTime::from_nanos(250_000_000));
+    monitor.stop();
+
+    assert!(monitor.degrades() >= 1, "alert never degraded the monitor");
+    assert!(monitor.promotes() >= 1, "monitor never re-promoted");
+    assert_eq!(
+        w.telemetry
+            .metrics
+            .counter("retry_deadline_exceeded", "layer=deadline"),
+        0,
+        "scenario invalid: the health score had its own reason to degrade"
+    );
+
+    let marks = w.telemetry.marks();
+    let fire = marks
+        .iter()
+        .find(|m| m.name == "slo:fire:supervised-p99")
+        .expect("slo:fire mark");
+    let degrading = marks
+        .iter()
+        .find(|m| m.name == "transition:backend:offloaded->degrading")
+        .expect("degrading transition mark");
+    assert!(
+        fire.at < degrading.at,
+        "alert ({}) must strictly precede the Degrading transition ({})",
+        fire.at.as_nanos(),
+        degrading.at.as_nanos()
+    );
+
+    // The snapshot carries the whole causal chain: the first window
+    // whose p99 crossed the threshold closes before the alert fires.
+    let excursion = w
+        .telemetry
+        .series
+        .quantile_series("op_latency_ns", "layer=supervised", 0.99)
+        .into_iter()
+        .find(|(_, p99)| *p99 >= 150_000)
+        .expect("no excursion window");
+    let excursion_end = SimTime::from_nanos((excursion.0 + 1) * 1_000_000);
+    assert!(
+        excursion_end <= fire.at,
+        "excursion window must close before the alert fires"
     );
 }
 
@@ -473,6 +672,29 @@ fn nic_stall_probe_detects_and_recovers() {
     assert_eq!(*settled.borrow(), n_ops, "ops hung across the stall");
     assert_eq!(retry.outstanding(), 0);
 
+    // The probe's flight-recorder dump captured the victim: at dump
+    // time the op that tripped the stall detector was still open, so it
+    // must appear in the dump's open-span list.
+    assert!(w.telemetry.flight.requested() >= 1, "no flight dump taken");
+    let probe_dump = w
+        .telemetry
+        .flight
+        .dumps()
+        .iter()
+        .find(|d| d.reason.starts_with("probe:nic-stall"))
+        .expect("probe-triggered flight dump stored");
+    assert!(
+        !probe_dump.open_spans.is_empty(),
+        "flight dump must pin the victim op's open span"
+    );
+    assert!(
+        probe_dump
+            .open_spans
+            .iter()
+            .all(|s| s.end.is_none() && s.begin <= probe_dump.at),
+        "open spans must have been in flight at dump time"
+    );
+
     // The rebuilt chain (around the stalled host) serves new traffic.
     let final_ok = Rc::new(RefCell::new(None::<bool>));
     {
@@ -502,9 +724,10 @@ fn nic_stall_probe_detects_and_recovers() {
 
 /// Gray campaign used by the determinism check: seeded gray-only fault
 /// schedule + health monitor + open-loop writes, full telemetry on.
-fn gray_campaign(seed: u64) -> (String, String, usize) {
+fn gray_campaign(seed: u64) -> (String, String, String, usize) {
     let (mut w, mut eng, group, retry) = build_offloaded(seed);
     w.tracer.enable(&["chaos", "recovery", "fault"]);
+    w.enable_timeseries(SimDuration::from_millis(1));
     let monitor = HealthMonitor::start(
         retry.clone(),
         group,
@@ -555,6 +778,7 @@ fn gray_campaign(seed: u64) -> (String, String, usize) {
     (
         w.telemetry.chrome_trace(),
         w.telemetry.metrics.render(),
+        w.telemetry.timeseries_json(),
         n_gray,
     )
 }
@@ -566,8 +790,8 @@ fn gray_campaign(seed: u64) -> (String, String, usize) {
 #[test]
 fn gray_campaigns_are_deterministic_across_reruns() {
     for seed in [41, 42, 43] {
-        let (trace_a, metrics_a, n_gray) = gray_campaign(seed);
-        let (trace_b, metrics_b, _) = gray_campaign(seed);
+        let (trace_a, metrics_a, series_a, n_gray) = gray_campaign(seed);
+        let (trace_b, metrics_b, series_b, _) = gray_campaign(seed);
         assert!(n_gray >= 1, "seed {seed}: no gray faults scheduled");
         assert!(
             trace_a.starts_with("{\"traceEvents\":["),
@@ -584,6 +808,15 @@ fn gray_campaigns_are_deterministic_across_reruns() {
         assert_eq!(
             metrics_a, metrics_b,
             "seed {seed}: gray campaign metrics diverged across reruns"
+        );
+        assert!(
+            series_a.starts_with("{\"version\":1,")
+                && series_a.contains("\"name\":\"op_latency_ns\""),
+            "seed {seed}: time-series snapshot missing the supervised latency series"
+        );
+        assert_eq!(
+            series_a, series_b,
+            "seed {seed}: time-series snapshot diverged across reruns"
         );
     }
 }
