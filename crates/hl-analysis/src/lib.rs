@@ -22,7 +22,7 @@
 //! | `hash-collections` | `std::collections::HashMap`/`HashSet` anywhere in sim code (RandomState iteration order) |
 //! | `wall-clock` | `std::time::Instant`/`SystemTime` (host clock) |
 //! | `os-entropy` | `thread_rng`/`OsRng`/`getrandom`/`RandomState` (unseeded randomness) |
-//! | `thread-spawn` | `std::thread::spawn` (host scheduling order) |
+//! | `thread-spawn` | `std::thread::spawn` / `std::thread::scope` (host scheduling order) |
 //! | `float-time` | float-tainted arguments to `SimTime`/`SimDuration` constructors |
 //! | `panic-in-handler` | `panic!`/`unwrap`/`expect` inside NIC packet/doorbell handlers |
 //! | `rand-raw` | raw `rand::` paths outside the named-RNG-stream API |

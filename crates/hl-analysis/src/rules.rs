@@ -244,13 +244,16 @@ fn rule_banned_idents(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-/// `thread-spawn`: the token sequence `thread :: spawn`.
+/// `thread-spawn`: the token sequences `thread :: spawn` and
+/// `thread :: scope`. Scoped spawns are caught at the `scope` call —
+/// every `Scope::spawn` needs one, so linting the scope entry covers
+/// all of them with a single site to `allow` and justify.
 fn rule_thread_spawn(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     for w in toks.windows(4) {
         if w[0].is_ident("thread")
             && w[1].is_punct(':')
             && w[2].is_punct(':')
-            && w[3].is_ident("spawn")
+            && (w[3].is_ident("spawn") || w[3].is_ident("scope"))
         {
             out.push(Finding {
                 rule: "thread-spawn",

@@ -1,0 +1,11 @@
+// Fixture: `thread-spawn` also fires on std::thread::scope (scoped
+// spawns race the event loop exactly like detached ones).
+fn bad() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+    // hl-lint: allow(thread-spawn)
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}

@@ -34,6 +34,7 @@ fixture_tests! {
     wall_clock_fixture: "wall_clock.rs" => "wall-clock",
     os_entropy_fixture: "os_entropy.rs" => "os-entropy",
     thread_spawn_fixture: "thread_spawn.rs" => "thread-spawn",
+    thread_scope_fixture: "thread_scope.rs" => "thread-spawn",
     float_time_fixture: "float_time.rs" => "float-time",
     panic_in_handler_fixture: "panic_in_handler.rs" => "panic-in-handler",
     rand_raw_fixture: "rand_raw.rs" => "rand-raw",

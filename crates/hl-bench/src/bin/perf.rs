@@ -1,7 +1,9 @@
-//! Simulator-self performance harness (ISSUE 4 "baseline the win").
+//! Simulator-self performance harness (ISSUE 9 "parallel simulation
+//! that scales").
 //!
-//! Measures the hot-path overhaul against the engine it replaced and
-//! emits `BENCH_4.json`:
+//! Measures the hot-path engine against the engine it replaced and the
+//! threaded campaign runners against their sequential baselines, and
+//! emits `BENCH_9.json`:
 //!
 //! 1. **Event-queue microbench** (`datapath_timer_pattern`, the
 //!    headline) — the access pattern the NIC datapath actually
@@ -15,24 +17,44 @@
 //!    at a fixed delay, no timers. This is `BinaryHeap`'s best case
 //!    (every push lands at a leaf, every pop sifts a max key from the
 //!    root) and measures the arena engine's bookkeeping tax when the
-//!    cancel machinery goes unused.
+//!    cancel machinery goes unused — the closure lane is the historical
+//!    regression this file watches.
 //! 3. **End-to-end gWRITE** — wall-clock ops/sec of the full simulated
 //!    stack (NIC, fabric, NVM, telemetry) via the Figure-9 throughput
 //!    configuration.
 //! 4. **Campaign wall-clock** — the chaos campaign fanned across OS
 //!    threads vs run sequentially, with a byte-identity check on the
 //!    merged artifacts.
+//! 5. **Threaded shard campaign** — 64 disjoint shard worlds, ≥1M ops
+//!    total, each shard's event loop on its own thread via
+//!    [`ShardExecutor`]-backed [`run_shard_campaign_threaded`], vs the
+//!    same jobs run sequentially; merged reports must be
+//!    byte-identical.
+//!
+//! **Noise discipline**: this host is shared and single-digit-core; a
+//! one-shot timing can swing 2-3x between minutes. Every ratio here is
+//! therefore taken from *interleaved* rounds — one warmup round per
+//! variant, then `ROUNDS` measurement rounds cycling through the
+//! variants (A,B,C, A,B,C, ...) so slow minutes hit all variants
+//! alike — and the reported wall time is the per-variant **median**.
+//! `host_parallelism` is recorded so CI can gate thread-scaling
+//! assertions on hosts that actually have cores.
 //!
 //! Timing uses `std::time::Instant`, which is legal here: hl-bench is
 //! host-side tooling, deliberately outside the determinism-linted
 //! simulation crates.
+//!
+//! [`ShardExecutor`]: hl_cluster::exec::ShardExecutor
+//! [`run_shard_campaign_threaded`]: hl_bench::shard::run_shard_campaign_threaded
 
 use hl_bench::campaign::{run_campaigns_parallel, run_campaigns_sequential};
 use hl_bench::micro::{run_micro, Backend, MicroCfg, MicroOp};
+use hl_bench::shard::{run_shard_campaign_threaded, ShardCampaignCfg};
+use hl_cluster::exec::host_parallelism;
 use hl_sim::{Engine, EventCtx, EventToken, SimDuration};
 use std::time::Instant;
 
-/// The engine this PR replaced, embedded as the measurement baseline:
+/// The engine this repo replaced, embedded as the measurement baseline:
 /// a `BinaryHeap` of `(time, seq)`-ordered events, each one a separate
 /// `Box<dyn FnOnce>` allocation, with no cancellation support.
 mod legacy {
@@ -130,6 +152,11 @@ const LANES: usize = 1024;
 const EVENTS: u64 = 2_000_000;
 const TIMER_OPS: u64 = 300_000;
 const CAMPAIGN_SEEDS: [u64; 8] = [101, 102, 103, 104, 105, 106, 107, 108];
+/// Interleaved measurement rounds per variant (the median is reported).
+const ROUNDS: usize = 3;
+/// Threaded shard campaign geometry: 64 shards x 16k ops > 1M ops.
+const SHARDS: usize = 64;
+const OPS_PER_SHARD: usize = 16_000;
 
 /// Shared lane state for the engine microbenches. `remaining` gates the
 /// total event count; `acc` consumes the payload so the work per event
@@ -202,6 +229,7 @@ fn lane_step_legacy(w: &mut Lanes, eng: &mut legacy::Engine<Lanes>, lane: u32, p
     }
 }
 
+#[derive(Clone, Copy)]
 struct EngineSample {
     wall_ms: f64,
     events_per_sec: f64,
@@ -217,6 +245,20 @@ fn sample(wall: std::time::Duration, executed: u64, w: &Lanes) -> EngineSample {
         executed,
         checksum: w.acc.iter().fold(0u64, |a, &b| a.wrapping_add(b)),
     }
+}
+
+/// Median-by-wall-time of one variant's measurement rounds. Throughput
+/// and wall time come from the same (median) round, so the reported
+/// numbers are mutually consistent rather than a mix of rounds.
+fn median_by_wall<S: Clone>(rounds: &[S], wall_of: impl Fn(&S) -> f64) -> S {
+    assert!(!rounds.is_empty());
+    let mut order: Vec<usize> = (0..rounds.len()).collect();
+    order.sort_by(|&a, &b| {
+        wall_of(&rounds[a])
+            .partial_cmp(&wall_of(&rounds[b]))
+            .expect("wall times are finite")
+    });
+    rounds[order[order.len() / 2]].clone()
 }
 
 fn bench_legacy_closures() -> EngineSample {
@@ -264,6 +306,7 @@ fn bench_arena_typed() -> EngineSample {
     sample(t0.elapsed(), eng.events_executed(), &w)
 }
 
+#[derive(Clone, Copy)]
 struct TimerSample {
     wall_ms: f64,
     events_per_sec: f64,
@@ -276,9 +319,8 @@ struct TimerSample {
 /// arms a 3ms retransmit timeout (the chain's `transport_timeout`) it
 /// cannot cancel, completion fires 200ns later, and the dead timer
 /// fires as a stale no-op three milliseconds on — so ~30k dead entries
-/// are resident at steady state, deepening
-/// every heap operation, and a third of all executed events are pure
-/// waste.
+/// are resident at steady state, deepening every heap operation, and a
+/// third of all executed events are pure waste.
 fn bench_timers_legacy() -> TimerSample {
     struct W {
         live: u64,
@@ -385,24 +427,49 @@ fn f(v: f64) -> String {
 }
 
 fn main() {
+    let cores = host_parallelism();
+    eprintln!("perf: host_parallelism={cores}, {ROUNDS} interleaved rounds per variant");
+
     eprintln!("perf: event-queue microbench, datapath timer pattern ({TIMER_OPS} ops)...");
-    let timers_legacy = bench_timers_legacy();
-    let timers_cancel = bench_timers_cancel();
+    // Warmup round per variant, then interleaved measurement rounds.
+    let _ = bench_timers_legacy();
+    let _ = bench_timers_cancel();
+    let mut t_legacy = Vec::with_capacity(ROUNDS);
+    let mut t_cancel = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        t_legacy.push(bench_timers_legacy());
+        t_cancel.push(bench_timers_cancel());
+    }
+    let timers_legacy = median_by_wall(&t_legacy, |s| s.wall_ms);
+    let timers_cancel = median_by_wall(&t_cancel, |s| s.wall_ms);
     let timers_ev_speedup = timers_cancel.events_per_sec / timers_legacy.events_per_sec;
     let timers_op_speedup = timers_cancel.ops_per_sec / timers_legacy.ops_per_sec;
 
     eprintln!("perf: uniform rotation ({LANES} lanes, {EVENTS} events per variant)...");
-    let legacy_ev = bench_legacy_closures();
-    let arena_cl = bench_arena_closures();
-    let arena_ty = bench_arena_typed();
-    assert_eq!(legacy_ev.executed, arena_cl.executed);
-    assert_eq!(legacy_ev.executed, arena_ty.executed);
-    assert_eq!(
-        legacy_ev.checksum, arena_ty.checksum,
-        "engine variants diverged on the same workload"
-    );
-    assert_eq!(legacy_ev.checksum, arena_cl.checksum);
+    let _ = bench_legacy_closures();
+    let _ = bench_arena_closures();
+    let _ = bench_arena_typed();
+    let mut r_legacy = Vec::with_capacity(ROUNDS);
+    let mut r_cl = Vec::with_capacity(ROUNDS);
+    let mut r_ty = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        r_legacy.push(bench_legacy_closures());
+        r_cl.push(bench_arena_closures());
+        r_ty.push(bench_arena_typed());
+    }
+    for (a, b) in r_legacy.iter().zip(&r_cl) {
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.checksum, b.checksum, "engine variants diverged");
+    }
+    for (a, b) in r_legacy.iter().zip(&r_ty) {
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.checksum, b.checksum, "engine variants diverged");
+    }
+    let legacy_ev = median_by_wall(&r_legacy, |s| s.wall_ms);
+    let arena_cl = median_by_wall(&r_cl, |s| s.wall_ms);
+    let arena_ty = median_by_wall(&r_ty, |s| s.wall_ms);
     let uniform_typed_speedup = arena_ty.events_per_sec / legacy_ev.events_per_sec;
+    let uniform_closures_speedup = arena_cl.events_per_sec / legacy_ev.events_per_sec;
 
     eprintln!("perf: end-to-end gWRITE throughput...");
     let cfg = MicroCfg {
@@ -415,31 +482,68 @@ fn main() {
         pipeline: 16,
         ..Default::default()
     };
-    let t0 = Instant::now();
-    let micro = run_micro(&cfg);
-    let gwrite_wall = t0.elapsed();
-    let gwrite_wall_ops = cfg.ops as f64 / gwrite_wall.as_secs_f64();
+    let _ = run_micro(&cfg);
+    let mut g_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        let micro = run_micro(&cfg);
+        g_rounds.push((t0.elapsed().as_secs_f64(), micro.kops));
+    }
+    let (gwrite_wall_s, gwrite_kops) = median_by_wall(&g_rounds, |s| s.0);
+    let gwrite_wall_ops = cfg.ops as f64 / gwrite_wall_s;
 
     // Floor at 2 so the fan-out/merge machinery is always exercised;
     // with a single hardware thread the two timings are honestly
-    // reported as roughly equal.
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(2, CAMPAIGN_SEEDS.len());
+    // reported as roughly equal (host_parallelism tells CI which).
+    let threads = cores.clamp(2, CAMPAIGN_SEEDS.len());
     eprintln!(
         "perf: chaos campaign x{} sequential vs {threads} threads...",
         CAMPAIGN_SEEDS.len()
     );
+    let mut c_seq = Vec::with_capacity(ROUNDS);
+    let mut c_par = Vec::with_capacity(ROUNDS);
+    let mut byte_identical = true;
+    for round in 0..ROUNDS {
+        let t0 = Instant::now();
+        let seq = run_campaigns_sequential(&CAMPAIGN_SEEDS);
+        c_seq.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let par = run_campaigns_parallel(&CAMPAIGN_SEEDS, threads);
+        c_par.push(t0.elapsed().as_secs_f64());
+        if round == 0 {
+            byte_identical = seq == par;
+            assert!(byte_identical, "parallel campaign output diverged");
+        }
+    }
+    let seq_wall = median_by_wall(&c_seq, |&s| s);
+    let par_wall = median_by_wall(&c_par, |&s| s);
+    let campaign_speedup = seq_wall / par_wall;
+
+    let shard_threads = cores.clamp(2, SHARDS);
+    eprintln!(
+        "perf: threaded shard campaign, {SHARDS} shards x {OPS_PER_SHARD} ops, \
+         sequential vs {shard_threads} threads..."
+    );
+    let shard_cfg = ShardCampaignCfg {
+        n_shards: SHARDS,
+        ops_per_shard: OPS_PER_SHARD,
+        warmup_per_shard: 200,
+        ..Default::default()
+    };
     let t0 = Instant::now();
-    let seq = run_campaigns_sequential(&CAMPAIGN_SEEDS);
-    let seq_wall = t0.elapsed();
+    let shard_seq = run_shard_campaign_threaded(&shard_cfg, 1);
+    let shard_seq_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let par = run_campaigns_parallel(&CAMPAIGN_SEEDS, threads);
-    let par_wall = t0.elapsed();
-    let byte_identical = seq == par;
-    assert!(byte_identical, "parallel campaign output diverged");
-    let campaign_speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64();
+    let shard_par = run_shard_campaign_threaded(&shard_cfg, shard_threads);
+    let shard_par_s = t0.elapsed().as_secs_f64();
+    let shard_identical = shard_seq.report == shard_par.report;
+    assert!(shard_identical, "threaded shard campaign output diverged");
+    assert!(
+        shard_seq.total_ops >= 1_000_000,
+        "campaign must cover >= 1M ops, got {}",
+        shard_seq.total_ops
+    );
+    let shard_speedup = shard_seq_s / shard_par_s;
 
     let engine_sample = |s: &EngineSample| {
         format!(
@@ -462,7 +566,10 @@ fn main() {
     };
     let json = format!(
         "{{\n\
-         \x20 \"bench\": \"BENCH_4\",\n\
+         \x20 \"bench\": \"BENCH_9\",\n\
+         \x20 \"host_parallelism\": {cores},\n\
+         \x20 \"measurement\": {{\"warmup_rounds\": 1, \"rounds\": {ROUNDS}, \
+         \"interleaved\": true, \"aggregate\": \"median\"}},\n\
          \x20 \"engine_microbench\": {{\n\
          \x20   \"headline\": \"datapath_timer_pattern\",\n\
          \x20   \"datapath_timer_pattern\": {{\n\
@@ -478,7 +585,8 @@ fn main() {
          \x20     \"baseline_legacy_boxed_closures\": {},\n\
          \x20     \"arena_closures\": {},\n\
          \x20     \"arena_typed\": {},\n\
-         \x20     \"speedup_typed_vs_baseline\": {}\n\
+         \x20     \"speedup_typed_vs_baseline\": {},\n\
+         \x20     \"speedup_closures_vs_baseline\": {}\n\
          \x20   }}\n\
          \x20 }},\n\
          \x20 \"gwrite_e2e\": {{\n\
@@ -496,6 +604,16 @@ fn main() {
          \x20   \"parallel_ms\": {},\n\
          \x20   \"speedup\": {},\n\
          \x20   \"byte_identical\": {byte_identical}\n\
+         \x20 }},\n\
+         \x20 \"threaded_shard_campaign\": {{\n\
+         \x20   \"shards\": {SHARDS},\n\
+         \x20   \"ops\": {},\n\
+         \x20   \"threads\": {shard_threads},\n\
+         \x20   \"agg_sim_kops\": {},\n\
+         \x20   \"sequential_s\": {},\n\
+         \x20   \"threaded_s\": {},\n\
+         \x20   \"speedup\": {},\n\
+         \x20   \"byte_identical\": {shard_identical}\n\
          \x20 }}\n\
          }}\n",
         timer_sample(&timers_legacy),
@@ -507,16 +625,22 @@ fn main() {
         engine_sample(&arena_cl),
         engine_sample(&arena_ty),
         f(uniform_typed_speedup),
+        f(uniform_closures_speedup),
         cfg.ops,
-        f(micro.kops),
-        f(gwrite_wall.as_secs_f64() * 1e3),
+        f(gwrite_kops),
+        f(gwrite_wall_s * 1e3),
         f(gwrite_wall_ops),
         CAMPAIGN_SEEDS,
-        f(seq_wall.as_secs_f64() * 1e3),
-        f(par_wall.as_secs_f64() * 1e3),
+        f(seq_wall * 1e3),
+        f(par_wall * 1e3),
         f(campaign_speedup),
+        shard_seq.total_ops,
+        f(shard_seq.agg_kops),
+        format_args!("{shard_seq_s:.2}"),
+        format_args!("{shard_par_s:.2}"),
+        f(shard_speedup),
     );
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
 
     println!(
         "event-queue microbench (datapath timer pattern): {} -> {} events/sec ({}x), \
@@ -531,25 +655,37 @@ fn main() {
         timers_cancel.max_pending
     );
     println!(
-        "uniform rotation: baseline {} / arena-closures {} / arena-typed {} events/sec ({}x typed)",
+        "uniform rotation: baseline {} / arena-closures {} ({}x) / arena-typed {} ({}x) events/sec",
         f(legacy_ev.events_per_sec),
         f(arena_cl.events_per_sec),
+        f(uniform_closures_speedup),
         f(arena_ty.events_per_sec),
         f(uniform_typed_speedup)
     );
     println!(
         "gWRITE e2e: {} sim-Kops/s, {} wall ops/sec",
-        f(micro.kops),
+        f(gwrite_kops),
         f(gwrite_wall_ops)
     );
     println!(
         "campaign: {} seeds, sequential {} ms, parallel({} threads) {} ms, speedup {}x, byte_identical {}",
         CAMPAIGN_SEEDS.len(),
-        f(seq_wall.as_secs_f64() * 1e3),
+        f(seq_wall * 1e3),
         threads,
-        f(par_wall.as_secs_f64() * 1e3),
+        f(par_wall * 1e3),
         f(campaign_speedup),
         byte_identical
     );
-    println!("wrote BENCH_4.json");
+    println!(
+        "threaded shard campaign: {} shards, {} ops, sequential {:.2}s, \
+         threaded({} threads) {:.2}s, speedup {}x, byte_identical {}",
+        SHARDS,
+        shard_seq.total_ops,
+        shard_seq_s,
+        shard_threads,
+        shard_par_s,
+        f(shard_speedup),
+        shard_identical
+    );
+    println!("wrote BENCH_9.json (host_parallelism {cores})");
 }

@@ -246,12 +246,17 @@ pub fn run_campaign(seed: u64) -> CampaignArtifact {
     }
     eng.run_until(&mut w, SimTime::from_nanos(400_000_000));
 
-    let trace: String = w
-        .tracer
-        .entries()
-        .iter()
-        .map(|e| format!("{} {} {}\n", e.at.as_nanos(), e.sys, e.msg))
-        .collect();
+    // One pre-sized buffer instead of a `format!` String per entry —
+    // the trace is thousands of lines per seed.
+    let trace = {
+        use std::fmt::Write;
+        let entries = w.tracer.entries();
+        let mut out = String::with_capacity(entries.len() * 48);
+        for e in entries {
+            writeln!(out, "{} {} {}", e.at.as_nanos(), e.sys, e.msg).expect("string write");
+        }
+        out
+    };
     let now = eng.now();
     w.collect_metrics(now);
     let chrome_trace = w.telemetry.chrome_trace();
@@ -330,15 +335,19 @@ where
     if threads == 1 {
         return items.iter().map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    // The claim counter lives alone on its cache line so worker
+    // fetch_adds never false-share with the result slots below.
+    #[repr(align(64))]
+    struct PaddedCounter(AtomicUsize);
+    let next = PaddedCounter(AtomicUsize::new(0));
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
                     let mut mine = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let i = next.0.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
@@ -348,12 +357,18 @@ where
                 })
             })
             .collect();
+        // Merge by moving each result into its input-order slot — no
+        // clone, no sort.
         for h in handles {
-            indexed.extend(h.join().expect("campaign worker panicked"));
+            for (i, r) in h.join().expect("campaign worker panicked") {
+                debug_assert!(out[i].is_none(), "result slot claimed twice");
+                out[i] = Some(r);
+            }
         }
     });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    out.into_iter()
+        .map(|r| r.expect("every input index was claimed"))
+        .collect()
 }
 
 /// Run the chaos campaigns for `seeds` one after the other on this

@@ -12,10 +12,12 @@
 //! ops/sec scales near-linearly with the shard count — the scale-out
 //! claim this campaign measures.
 
-use hl_cluster::shard::ShardPlan;
+use hl_cluster::exec::ShardExecutor;
+use hl_cluster::shard::{HashRing, ShardPlan};
 use hl_cluster::{ClusterBuilder, World};
 use hl_fabric::HostId;
 use hl_sim::{Engine, Histogram, SimDuration, SimTime, Summary};
+use hyperloop::api::GroupClient;
 use hyperloop::{
     replica, DeadlinePolicy, GroupBuilder, GroupConfig, GroupOp, HyperLoopClient, RetryClient,
     ShardRouter,
@@ -89,6 +91,10 @@ pub struct ShardCampaignResult {
 
 struct ShardPump {
     sid: usize,
+    /// Router shard to issue on: `sid` in the single-world multi-shard
+    /// campaign, `0` in a per-shard slice world (whose router is
+    /// one-wide even though `sid` is global).
+    route: usize,
     issued: usize,
     recorded: usize,
     total: usize,
@@ -97,6 +103,9 @@ struct ShardPump {
     hist: Histogram,
     keys: Vec<u64>,
     write_size: usize,
+    /// Payload cache keyed by `key & 0xff` (the only byte the payload
+    /// depends on): refcount bumps instead of a fresh buffer per op.
+    payloads: Vec<Option<hl_sim::Bytes>>,
 }
 
 /// Run one sharded campaign.
@@ -149,6 +158,7 @@ pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
         .map(|(sid, keys)| {
             Rc::new(RefCell::new(ShardPump {
                 sid,
+                route: sid,
                 issued: 0,
                 recorded: 0,
                 total: cfg.ops_per_shard + cfg.warmup_per_shard,
@@ -157,6 +167,7 @@ pub fn run_shard_campaign(cfg: &ShardCampaignCfg) -> ShardCampaignResult {
                 hist: Histogram::new(),
                 keys,
                 write_size: cfg.write_size,
+                payloads: vec![None; 256],
             }))
         })
         .collect();
@@ -243,18 +254,23 @@ fn issue_next(
     w: &mut World,
     eng: &mut Engine<World>,
 ) {
-    let (sid, idx, key, size) = {
-        let p = pump.borrow();
+    let (sid, route, idx, key, size, data) = {
+        let mut p = pump.borrow_mut();
         if p.issued >= p.total {
             return;
         }
         let key = p.keys[p.issued % p.keys.len()];
-        (p.sid, p.issued as u64, key, p.write_size)
+        let size = p.write_size;
+        let data = p.payloads[(key & 0xff) as usize]
+            .get_or_insert_with(|| hl_sim::Bytes::from(vec![(key & 0xff) as u8; size]))
+            .clone();
+        (p.sid, p.route, p.issued as u64, key, size, data)
     };
     pump.borrow_mut().issued += 1;
-    debug_assert_eq!(
-        router.shard_of_u64(key),
-        sid,
+    // In a slice world the router is one-wide while `sid` is global, so
+    // the homing check only applies when the router spans every shard.
+    debug_assert!(
+        router.ring().n_shards() == 1 || router.shard_of_u64(key) == sid,
         "bucketed key must route home"
     );
 
@@ -278,11 +294,10 @@ fn issue_next(
 
     // Rotate over 128 disjoint offsets so pipelined writes don't overlap.
     let slot = idx % 128;
-    let data = hl_sim::Bytes::from(vec![(key & 0xff) as u8; size]);
     router.issue_on(
         w,
         eng,
-        sid,
+        route,
         GroupOp::Write {
             offset: slot * size.max(64) as u64,
             data,
@@ -290,6 +305,220 @@ fn issue_next(
         },
         done,
     );
+}
+
+/// Per-shard outcome of a partitioned campaign — plain `Send` data
+/// (strings, byte vectors, counters) so it can cross the
+/// [`ShardExecutor`] thread boundary. A slice is a pure function of
+/// `(cfg, sid)`: the shard's world is built, run and torn down inside
+/// the job, so the slice is byte-identical whatever thread ran it.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// Global shard id (`0..cfg.n_shards`).
+    pub sid: usize,
+    /// Recorded (post-warmup) operations.
+    pub ops: usize,
+    /// Throughput over the shard's active window (Kops/s).
+    pub kops: f64,
+    /// Latency histogram over recorded operations.
+    pub hist: Histogram,
+    /// Byte snapshot of every member's written region (slot area), in
+    /// chain order — the threaded byte-identity suite compares these
+    /// against the sequential run.
+    pub nvm: Vec<Vec<u8>>,
+    /// Rendered labelled-metrics registry (`Some` iff telemetry).
+    pub metrics: Option<String>,
+    /// Windowed time-series JSON snapshot (`Some` iff telemetry).
+    pub timeseries: Option<String>,
+    /// One-line deterministic report.
+    pub report: String,
+}
+
+/// Run shard `sid` of an `cfg.n_shards`-way partitioned campaign in its
+/// own single-group world.
+///
+/// The key stream is bucketed with the *global* [`HashRing`] over
+/// `cfg.n_shards` shards — the same keys the shard would own inside the
+/// single-world campaign — so the routed workload partition is
+/// preserved even though this world holds only shard `sid`'s group.
+pub fn run_shard_slice(cfg: &ShardCampaignCfg, sid: usize) -> ShardSlice {
+    assert!(sid < cfg.n_shards);
+    let group_size = 1 + cfg.replicas_per_shard;
+    let rep_bytes = (128 * cfg.write_size.max(64) as u64 + (64 << 10)).next_power_of_two();
+    let arena = (rep_bytes as usize + (4 << 20)).next_power_of_two();
+
+    let (mut w, mut eng) = ClusterBuilder::new(group_size)
+        .arena_size(arena)
+        .seed(cfg.seed.wrapping_add(sid as u64))
+        .build();
+    if cfg.telemetry {
+        w.enable_timeseries(hl_sim::timeseries::DEFAULT_WINDOW);
+    }
+
+    let hosts: Vec<HostId> = (0..group_size).map(HostId).collect();
+    let plan = ShardPlan::place(1, cfg.replicas_per_shard, &hosts);
+    let group = GroupBuilder::new(GroupConfig {
+        client: plan.groups[0].client,
+        replicas: plan.groups[0].replicas.clone(),
+        rep_bytes,
+        ring_slots: cfg.ring_slots,
+        replenish_period: SimDuration::from_micros(50),
+        transport_timeout: None,
+    })
+    .build(&mut w);
+    replica::start_replenishers(&group, &mut w, &mut eng);
+    let client = HyperLoopClient::new(group, &mut w);
+    let router = Rc::new(ShardRouter::new(vec![RetryClient::with_policy(
+        client,
+        DeadlinePolicy::default(),
+    )]));
+
+    // Shard `sid`'s cut of the same deterministic key stream the
+    // single-world campaign buckets.
+    let ring = HashRing::new(cfg.n_shards);
+    let keys: Vec<u64> = (0..(1024 * cfg.n_shards as u64))
+        .filter(|&k| ring.shard_of_u64(k) == sid)
+        .collect();
+
+    let pump = Rc::new(RefCell::new(ShardPump {
+        sid,
+        route: 0,
+        issued: 0,
+        recorded: 0,
+        total: cfg.ops_per_shard + cfg.warmup_per_shard,
+        warmup: cfg.warmup_per_shard,
+        done_at: None,
+        hist: Histogram::new(),
+        keys,
+        write_size: cfg.write_size,
+        payloads: vec![None; 256],
+    }));
+
+    eng.run_until(&mut w, SimTime::from_nanos(2_000_000));
+    let measure_from = eng.now();
+    for _ in 0..cfg.pipeline {
+        issue_next(&router, &pump, &mut w, &mut eng);
+    }
+    let p2 = pump.clone();
+    eng.run_while(&mut w, move |_| {
+        let p = p2.borrow();
+        p.recorded < p.total
+    });
+    assert_eq!(router.failures().len(), 0, "clean slice must not fail ops");
+
+    let now = eng.now();
+    let metrics = cfg.telemetry.then(|| {
+        w.collect_metrics(now);
+        w.telemetry.metrics.render()
+    });
+    let timeseries = cfg.telemetry.then(|| w.telemetry.timeseries_json());
+
+    let (hist, window, ops) = {
+        let p = pump.borrow();
+        assert_eq!(p.recorded, p.total, "shard {sid} did not finish");
+        let window = p
+            .done_at
+            .expect("finished shard has a completion time")
+            .duration_since(measure_from)
+            .as_secs_f64();
+        (p.hist.clone(), window, p.total - p.warmup)
+    };
+    let kops = ops as f64 / window / 1e3;
+
+    // Snapshot the written slot area of every member, chain order.
+    let c = router.client(0).client();
+    let span = 128 * cfg.write_size.max(64);
+    let nvm: Vec<Vec<u8>> = (0..c.group_size())
+        .map(|m| {
+            let host = c.member_host(m);
+            let addr = c.member_addr(m, 0);
+            w.hosts[host.0]
+                .mem
+                .read_vec(addr, span)
+                .expect("replicated region mapped")
+        })
+        .collect();
+
+    let summary = hist.summary();
+    let report = format!(
+        "shard={} ops={} kops={:.1} window_us={:.0} p50_ns={} p99_ns={} events={}",
+        sid,
+        ops,
+        kops,
+        window * 1e6,
+        summary.p50_ns,
+        summary.p99_ns,
+        eng.events_executed()
+    );
+
+    ShardSlice {
+        sid,
+        ops,
+        kops,
+        hist,
+        nvm,
+        metrics,
+        timeseries,
+        report,
+    }
+}
+
+/// Merged outcome of a threaded partitioned campaign.
+#[derive(Debug, Clone)]
+pub struct ThreadedShardCampaign {
+    /// Shard count.
+    pub n_shards: usize,
+    /// OS threads the executor fanned shards over.
+    pub threads: usize,
+    /// Total recorded operations across shards.
+    pub total_ops: usize,
+    /// Sum of per-shard throughputs (Kops/s) — shards share nothing,
+    /// so aggregate simulated throughput is additive.
+    pub agg_kops: f64,
+    /// Latency over all recorded operations (shard-order merge).
+    pub latency: Summary,
+    /// Per-shard slices, indexed by shard id.
+    pub slices: Vec<ShardSlice>,
+    /// Deterministic multi-line report: one header plus each shard's
+    /// line in shard order; byte-identical whatever the thread count.
+    pub report: String,
+}
+
+/// Run an `cfg.n_shards`-way partitioned campaign with each shard's
+/// event loop on its own thread (up to `threads`), merging results in
+/// shard order. `threads == 1` is the sequential baseline the
+/// byte-identity suite compares against.
+pub fn run_shard_campaign_threaded(cfg: &ShardCampaignCfg, threads: usize) -> ThreadedShardCampaign {
+    let exec = ShardExecutor::new(threads);
+    let slices = exec.run(cfg.n_shards, |sid| run_shard_slice(cfg, sid));
+
+    let mut latency = Histogram::new();
+    let mut agg_kops = 0.0;
+    let mut total_ops = 0usize;
+    for s in &slices {
+        latency.merge(&s.hist);
+        agg_kops += s.kops;
+        total_ops += s.ops;
+    }
+    let summary = latency.summary();
+    let mut report = format!(
+        "threaded_shards={} ops={} agg_kops={:.1} p50_ns={} p99_ns={}\n",
+        cfg.n_shards, total_ops, agg_kops, summary.p50_ns, summary.p99_ns
+    );
+    for s in &slices {
+        report.push_str(&s.report);
+        report.push('\n');
+    }
+
+    ThreadedShardCampaign {
+        n_shards: cfg.n_shards,
+        threads: exec.threads(),
+        total_ops,
+        agg_kops,
+        latency: summary,
+        slices,
+        report,
+    }
 }
 
 /// Run the campaign at each shard count and render the scaling table.

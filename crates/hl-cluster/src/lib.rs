@@ -20,12 +20,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod exec;
 pub mod shard;
 
 use hl_cpu::{CpuOutput, HostCpu, ProcId};
 use hl_fabric::{Delivery, Fabric, HostId};
 use hl_nvm::{Layout, NvmArena};
-use hl_rnic::{Cqe, Nic, NicEventKind, NicOutput, Packet, RecvWqe, RingFull, Wqe};
+use hl_rnic::{Cqe, Nic, NicEvent, NicEventKind, NicOutput, Packet, RecvWqe, RingFull, Wqe};
 use hl_sim::config::HwProfile;
 use hl_sim::telemetry::Stage;
 use hl_sim::{
@@ -223,6 +224,15 @@ pub struct World {
     /// Superseded or dead timers are cancelled in the engine rather
     /// than left queued as no-op events.
     timer_tokens: BTreeMap<(usize, u32), EventToken>,
+    /// Reused buffer for NIC telemetry drains: events hop NIC → scratch
+    /// → hub without allocating in steady state (the NIC buffer and
+    /// this scratch both keep their capacity).
+    nic_event_scratch: Vec<NicEvent>,
+    /// Reused buffer for callback CQ drains (see `dispatch_cq_event`):
+    /// completions are polled into this scratch instead of a fresh
+    /// `Vec` per poll. Taken out of the world during the drain, so a
+    /// reentrant drain simply grows a transient empty `Vec`.
+    cqe_scratch: Vec<Cqe>,
 }
 
 /// High-frequency datapath events, dispatched through the engine's
@@ -701,6 +711,8 @@ impl ClusterBuilder {
             dropped_packets: 0,
             telemetry: Telemetry::default(),
             timer_tokens: BTreeMap::new(),
+            nic_event_scratch: Vec::new(),
+            cqe_scratch: Vec::new(),
         };
         (world, Engine::new())
     }
@@ -768,11 +780,17 @@ fn run_handler(addr: ProcAddr, ev: ProcEvent, w: &mut World, eng: &mut Engine<Wo
 }
 
 /// Forward a NIC's buffered telemetry events to the world's hub.
+///
+/// Runs after every NIC entry-point call on the datapath, so it moves
+/// events through a reused scratch buffer instead of `take_events`'s
+/// fresh `Vec` per drain — zero allocations in steady state.
 fn drain_nic_telemetry(host: HostId, w: &mut World) {
     if !w.hosts[host.0].nic.has_events() {
         return;
     }
-    for e in w.hosts[host.0].nic.take_events() {
+    let mut scratch = std::mem::take(&mut w.nic_event_scratch);
+    w.hosts[host.0].nic.take_events_into(&mut scratch);
+    for e in scratch.drain(..) {
         let (stage, detail) = match e.kind {
             NicEventKind::Fetch { qpn } => (Stage::NicFetch, qpn),
             NicEventKind::WaitPark { cq } => (Stage::WaitPark, cq),
@@ -784,6 +802,7 @@ fn drain_nic_telemetry(host: HostId, w: &mut World) {
         };
         w.telemetry.stage(e.at, e.op, stage, host.0, detail);
     }
+    w.nic_event_scratch = scratch;
 }
 
 /// Turn NIC outputs into events.
@@ -851,16 +870,22 @@ fn dispatch_cq_event(host: HostId, cq: u32, w: &mut World, eng: &mut Engine<Worl
             // ibv_req_notify_cq); see Ctx::arm_cq.
         }
         CqSub::Callback(mut f) => {
-            // Zero-CPU driver: drain now, re-arm.
+            // Zero-CPU driver: drain now, re-arm. Completions go through
+            // the world's reusable scratch so the steady-state drain
+            // performs no allocations.
+            let mut cqes = std::mem::take(&mut w.cqe_scratch);
             loop {
-                let cqes = w.hosts[host.0].nic.poll_cq(cq, 64);
+                cqes.clear();
+                w.hosts[host.0].nic.poll_cq_into(cq, 64, &mut cqes);
                 if cqes.is_empty() {
                     break;
                 }
-                for c in cqes {
+                for &c in &cqes {
                     f(c, w, eng);
                 }
             }
+            cqes.clear();
+            w.cqe_scratch = cqes;
             w.hosts[host.0].nic.arm_cq(cq);
             w.cq_subs.insert((host.0, cq), CqSub::Callback(f));
         }

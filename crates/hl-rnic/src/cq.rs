@@ -88,8 +88,17 @@ impl Cq {
     /// Poll up to `max` completions (consumer side; does not affect WAIT
     /// accounting, which is by production).
     pub fn poll(&mut self, max: usize) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        self.poll_into(max, &mut out);
+        out
+    }
+
+    /// Poll up to `max` completions into a caller-owned buffer, appending
+    /// to whatever is already there. Lets hot drain loops reuse one
+    /// scratch `Vec` instead of allocating per poll.
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<Cqe>) {
         let n = max.min(self.entries.len());
-        self.entries.drain(..n).collect()
+        out.extend(self.entries.drain(..n));
     }
 
     /// Arm the one-shot completion event.

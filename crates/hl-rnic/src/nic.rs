@@ -278,6 +278,15 @@ impl Nic {
         std::mem::take(&mut self.events)
     }
 
+    /// Drain buffered telemetry events into `out` (appending, in
+    /// stamping order). Unlike [`Nic::take_events`] this preserves both
+    /// buffers' capacity, so a caller draining after every entry-point
+    /// call — the cluster's output router — allocates nothing in steady
+    /// state.
+    pub fn take_events_into(&mut self, out: &mut Vec<NicEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Are there buffered telemetry events?
     pub fn has_events(&self) -> bool {
         !self.events.is_empty()
@@ -604,6 +613,12 @@ impl Nic {
     /// Poll completions (CPU verb; CPU cost is accounted by the caller).
     pub fn poll_cq(&mut self, cq: u32, max: usize) -> Vec<Cqe> {
         self.cqs[cq as usize].poll(max)
+    }
+
+    /// Poll completions into a caller-owned buffer (appending), so hot
+    /// drain loops can reuse one scratch `Vec` across polls.
+    pub fn poll_cq_into(&mut self, cq: u32, max: usize, out: &mut Vec<Cqe>) {
+        self.cqs[cq as usize].poll_into(max, out);
     }
 
     /// Arm the one-shot completion event on a CQ.

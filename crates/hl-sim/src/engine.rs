@@ -8,9 +8,12 @@
 //!   This is the hot path: a typed event is stored inline in an arena
 //!   slot, so the datapath (packet delivery, CQE dispatch, timer fire)
 //!   costs no per-event heap allocation.
-//! * **Boxed closures** — `FnOnce(&mut C, &mut Engine<C>)`, the escape
-//!   hatch for cold-path and setup-time events that need to capture
-//!   arbitrary state.
+//! * **Closures** — `FnOnce(&mut C, &mut Engine<C>)`, the escape hatch
+//!   for cold-path and setup-time events that need to capture arbitrary
+//!   state. Closures whose captures fit [`INLINE_CALL_BYTES`] (and are
+//!   at most word-aligned) are stored *inline* in the arena slot, so
+//!   the escape hatch costs no allocation either; only oversized
+//!   captures fall back to a `Box`.
 //!
 //! Events are ordered by `(time, seq)`, where `seq` is a monotonically
 //! increasing tiebreaker so that events scheduled for the same instant
@@ -18,14 +21,41 @@
 //! order of `schedule` calls and the RNG seed — never on hash iteration
 //! order, arena layout, or wall-clock time.
 //!
-//! Internally the queue is an index-min **4-ary heap** over a slab of
-//! event slots. Every schedule call returns an [`EventToken`]
-//! (generation-checked slot handle) that can later be passed to
-//! [`Engine::cancel`], which removes the entry from the heap in
-//! O(log n) — retransmit timers that are superseded no longer leak
-//! dead entries that the loop must pop and discard.
+//! Internally the queue is a **two-level calendar queue**. Events due
+//! within the wheel horizon (2048 buckets × 32 ns ≈ 65 µs of simulated
+//! time) go into a ring of time buckets: push is an O(1) append, and
+//! when the loop reaches a bucket it orders the bucket once — a stable
+//! counting sort on the few low time bits, zero key comparisons in the
+//! common case — and drains it FIFO, so the datapath's dense
+//! near-future traffic (packet hops, CQE dispatch, replenisher ticks)
+//! never pays a per-event sift at all. Events beyond the horizon
+//! (retransmit timeouts, telemetry flushes) land in an overflow
+//! **4-ary index-min heap** and migrate into buckets as the wheel
+//! advances, costing one heap pop exactly as if the heap had been the
+//! only structure. Every queue entry — bucket or heap — is a single
+//! `u128` packing `time:64 | seq:40 | slot:24`: one wide integer
+//! compare orders it, and it carries its own payload-arena address, so
+//! ordering keys never travel with payload bytes.
+//!
+//! Every schedule call returns an [`EventToken`] (generation-checked
+//! slot handle) that can later be passed to [`Engine::cancel`], which
+//! is O(1) *regardless of which structure holds the event*: the
+//! payload is dropped in place and the queue entry becomes a
+//! tombstone, reclaimed when it surfaces or by an amortized compaction
+//! pass (triggered when tombstones outnumber live entries) that keeps
+//! the physical queue within 2× of the live event count. Cancel-heavy
+//! timer churn therefore cannot grow the queue the way the legacy
+//! engine's pop-and-discard scheme did.
+//!
+//! Determinism is untouched by the bucketing: buckets are drained in
+//! time order, a drained bucket is sorted by the same `(time, seq)`
+//! key the heap orders by, and an event scheduled mid-drain for a time
+//! the current bucket covers is inserted into the drain buffer at its
+//! sorted position — the executed sequence is byte-for-byte the one a
+//! single global priority queue would produce.
 
 use crate::time::{SimDuration, SimTime};
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 
 /// Event handler signature: mutate the world, schedule more events.
 pub type Handler<C> = Box<dyn FnOnce(&mut C, &mut Engine<C>)>;
@@ -90,45 +120,161 @@ pub struct EventToken {
     gen: u32,
 }
 
+/// Closure captures up to this many bytes (at most word-aligned) are
+/// stored inline in the event arena instead of behind a `Box`.
+pub const INLINE_CALL_BYTES: usize = 48;
+const INLINE_WORDS: usize = INLINE_CALL_BYTES / 8;
+
+/// A scheduled closure, stored without allocation when its captures fit
+/// [`INLINE_CALL_BYTES`].
+///
+/// The closure's bytes live in `buf`; `call` and `drop` are the
+/// monomorphized thunks that know the erased type. Exactly one of them
+/// runs for any closure: `call` via [`InlineCall::invoke`] (which
+/// defuses the destructor first), `drop` via the `Drop` impl when a
+/// scheduled event is cancelled or the engine is dropped with events
+/// still queued.
+struct InlineCall<C: EventCtx> {
+    buf: [MaybeUninit<u64>; INLINE_WORDS],
+    call: unsafe fn(*mut u8, &mut C, &mut Engine<C>),
+    drop: unsafe fn(*mut u8),
+}
+
+/// Reads the closure out of `buf` and calls it. Safety: `buf` must hold
+/// a valid, not-yet-consumed `F` and must not be read again.
+unsafe fn call_thunk<C: EventCtx, F: FnOnce(&mut C, &mut Engine<C>)>(
+    buf: *mut u8,
+    ctx: &mut C,
+    eng: &mut Engine<C>,
+) {
+    let f = unsafe { std::ptr::read(buf as *const F) };
+    f(ctx, eng)
+}
+
+/// Drops the closure in place. Safety: `buf` must hold a valid,
+/// not-yet-consumed `F` and must not be used again.
+unsafe fn drop_thunk<F>(buf: *mut u8) {
+    unsafe { std::ptr::drop_in_place(buf as *mut F) }
+}
+
+impl<C: EventCtx> InlineCall<C> {
+    fn new<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut C, &mut Engine<C>) + 'static,
+    {
+        // Both branches of this size check are compile-time constant
+        // per `F`; the untaken one is dead code after monomorphization.
+        if size_of::<F>() <= INLINE_CALL_BYTES && align_of::<F>() <= align_of::<u64>() {
+            Self::store(f)
+        } else {
+            // Oversized or over-aligned captures: box the closure and
+            // store the 16-byte `Box` inline instead.
+            Self::store(Box::new(f) as Handler<C>)
+        }
+    }
+
+    /// Moves `f` into an inline buffer. Caller (i.e. [`InlineCall::new`])
+    /// guarantees `f` fits and is at most word-aligned. No `'static`
+    /// bound here: the box fallback passes `Handler<C>` through this
+    /// path, and `new` already enforced `'static` on the original
+    /// closure.
+    fn store<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut C, &mut Engine<C>),
+    {
+        debug_assert!(size_of::<F>() <= INLINE_CALL_BYTES && align_of::<F>() <= align_of::<u64>());
+        let mut buf = [MaybeUninit::<u64>::uninit(); INLINE_WORDS];
+        // SAFETY: F fits in buf and buf's u64 alignment satisfies F's.
+        unsafe { std::ptr::write(buf.as_mut_ptr() as *mut F, f) };
+        InlineCall {
+            buf,
+            call: call_thunk::<C, F>,
+            drop: drop_thunk::<F>,
+        }
+    }
+
+    /// Consumes the stored closure and calls it.
+    fn invoke(self, ctx: &mut C, eng: &mut Engine<C>) {
+        // Defuse Drop: ownership of the closure bytes passes to the
+        // call thunk, which reads them out exactly once.
+        let mut this = ManuallyDrop::new(self);
+        // SAFETY: buf holds a valid closure (store wrote it, nothing
+        // consumed it), and ManuallyDrop prevents a second drop.
+        unsafe { (this.call)(this.buf.as_mut_ptr() as *mut u8, ctx, eng) }
+    }
+}
+
+impl<C: EventCtx> Drop for InlineCall<C> {
+    fn drop(&mut self) {
+        // SAFETY: drop only runs if invoke never did (invoke defuses
+        // it), so buf still holds the unconsumed closure.
+        unsafe { (self.drop)(self.buf.as_mut_ptr() as *mut u8) }
+    }
+}
+
 /// What a scheduled slot carries.
 enum Payload<C: EventCtx> {
     /// Inline typed event — no heap allocation.
     Typed(C::Event),
-    /// Boxed closure escape hatch.
-    Call(Handler<C>),
+    /// Closure, inline up to [`INLINE_CALL_BYTES`] of captures.
+    Call(InlineCall<C>),
 }
 
 /// Bookkeeping for one arena slot. Vacant slots chain through
-/// `next_free`; occupied slots know their heap position so
-/// [`Engine::cancel`] is O(log n). Payloads live in a parallel vector
-/// (`Engine::payloads`) so the metadata the sift loops touch stays
-/// 12 bytes per slot — L1-resident at datapath arena sizes.
+/// `next_free`. Occupied slots carry no heap back-pointer: cancel
+/// tombstones the payload instead of editing the heap, so the sift
+/// loops never write slot metadata at all.
 struct Slot {
     /// Bumped on every free; stale [`EventToken`]s fail the check.
     gen: u32,
-    /// Index into the heap while occupied.
-    heap_pos: u32,
     /// Free-list link while vacant.
     next_free: u32,
 }
 
 const NONE: u32 = u32::MAX;
 
-/// A heap entry: the ordering key plus the arena slot it refers to.
-/// Keys are duplicated here so sift compares stay within one cache
-/// line instead of chasing the arena.
-#[derive(Clone, Copy)]
-struct HeapEntry {
-    at: SimTime,
-    seq: u64,
-    slot: u32,
+/// Key layout below the 64 time bits: sequence number above the arena
+/// slot. 2^40 events per engine (~30 h of wall time at 10 M events/s)
+/// and 2^24 concurrent events — both asserted, both far beyond any
+/// simulation this repo runs.
+const SEQ_BITS: u32 = 40;
+const SLOT_BITS: u32 = 24;
+const SEQ_LIMIT: u64 = 1 << SEQ_BITS;
+const SLOT_LIMIT: usize = 1 << SLOT_BITS;
+
+/// Pack an ordering key: time in the high 64 bits, sequence number
+/// above the arena slot in the low 64 — `(time, seq)` lexicographic
+/// order is one `u128` compare (the trailing slot bits never decide an
+/// ordering because seq is unique), and every queue entry is a single
+/// 16-byte word that carries its own payload address.
+#[inline]
+fn pack_key(at: SimTime, seq: u64, slot: u32) -> u128 {
+    debug_assert!(seq < SEQ_LIMIT && (slot as usize) < SLOT_LIMIT);
+    ((at.as_nanos() as u128) << 64) | ((seq as u128) << SLOT_BITS) | slot as u128
 }
 
-impl HeapEntry {
-    #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
-    }
+/// Upper bound for every key at instant `at` (all seq/slot bits set) —
+/// the inclusive cutoff used by [`Engine::run_until`].
+#[inline]
+fn key_cutoff(at: SimTime) -> u128 {
+    ((at.as_nanos() as u128) << 64) | (u64::MAX as u128)
+}
+
+#[inline]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
+}
+
+#[inline]
+fn key_slot(key: u128) -> u32 {
+    (key as u32) & ((SLOT_LIMIT - 1) as u32)
+}
+
+/// Smallest possible key inside `bucket` — the drain-buffer watermark
+/// (`batch_hi`) for a staged bucket.
+#[inline]
+fn bucket_start_key(bucket: u64) -> u128 {
+    ((bucket << BUCKET_SHIFT) as u128) << 64
 }
 
 /// Deterministic discrete-event loop over a world of type `C`.
@@ -144,20 +290,62 @@ impl HeapEntry {
 /// assert_eq!(world, vec![5_000]);
 /// ```
 pub struct Engine<C: EventCtx> {
-    /// Index-min 4-ary heap ordered by `(at, seq)`.
-    heap: Vec<HeapEntry>,
-    /// Slot bookkeeping addressed by heap entries and tokens.
+    /// Packed `(time, seq, slot)` keys of the overflow 4-ary index-min
+    /// heap (events beyond the wheel horizon).
+    keys: Vec<u128>,
+    /// Slot bookkeeping addressed by queue entries and tokens.
     slots: Vec<Slot>,
-    /// Event payloads, parallel to `slots` (split off so the sift
-    /// loops never pull payload bytes into cache).
+    /// Event payloads, parallel to `slots` (split off so the queue
+    /// structures never pull payload bytes into cache). `None` while
+    /// the slot is vacant *or* tombstoned by [`Engine::cancel`].
     payloads: Vec<Option<Payload<C>>>,
     free_head: u32,
+    /// Live (scheduled, not cancelled, not executed) event count.
+    live: usize,
+    /// Cancelled entries still parked somewhere in the queue
+    /// (approximate: surfaced tombstones are reclaimed with a
+    /// saturating decrement).
+    dead: usize,
+    /// The calendar wheel: ring of buckets, each an unsorted list of
+    /// packed keys whose time falls in that bucket's span. Bucket
+    /// capacities are recycled via the `batch` swap.
+    wheel: Vec<Vec<u128>>,
+    /// One bit per bucket: does it hold any entries?
+    occupied: [u64; WHEEL_BUCKETS / 64],
+    /// Total entries across all wheel buckets (incl. tombstones).
+    wheel_count: usize,
+    /// Absolute index (time >> [`BUCKET_SHIFT`]) of the next bucket to
+    /// drain. Wheel entries always have absolute bucket indices in
+    /// `[cur_bucket, cur_bucket + WHEEL_BUCKETS)`.
+    cur_bucket: u64,
+    /// Keys strictly below this bound belong to the in-flight drain
+    /// buffer (`batch`), not the wheel: it is the packed key of the
+    /// current bucket's start instant. Pushes below it are inserted
+    /// into `batch` at their sorted position.
+    batch_hi: u128,
+    /// Drain buffer: the current bucket's entries in `(time, seq)`
+    /// order, consumed from `batch_cursor`. Buckets are *copied* in so
+    /// both the buffer and every bucket keep their steady-state
+    /// capacities.
+    batch: Vec<u128>,
+    batch_cursor: usize,
+    /// Scatter target for the counting sort in [`Self::sort_batch`];
+    /// kept around so its capacity recycles across bucket drains.
+    sort_scratch: Vec<u128>,
     now: SimTime,
     seq: u64,
     executed: u64,
     /// Hard cap on executed events, a runaway-loop backstop.
     event_limit: u64,
 }
+
+/// Wheel geometry: 2048 buckets of 2^5 = 32 ns each — a ~65 µs
+/// horizon, comfortably past every datapath delay (link hops, DMA,
+/// CQE latency) while keeping per-bucket sorts small. Both are powers
+/// of two so bucket mapping is a shift and a mask.
+const WHEEL_BUCKETS: usize = 2048;
+const BUCKET_SHIFT: u32 = 5;
+const WHEEL_MASK: u64 = WHEEL_BUCKETS as u64 - 1;
 
 impl<C: EventCtx> Default for Engine<C> {
     fn default() -> Self {
@@ -169,10 +357,20 @@ impl<C: EventCtx> Engine<C> {
     /// A fresh engine at t = 0.
     pub fn new() -> Self {
         Engine {
-            heap: Vec::new(),
+            keys: Vec::new(),
             slots: Vec::new(),
             payloads: Vec::new(),
             free_head: NONE,
+            live: 0,
+            dead: 0,
+            wheel: vec![Vec::new(); WHEEL_BUCKETS],
+            occupied: [0; WHEEL_BUCKETS / 64],
+            wheel_count: 0,
+            cur_bucket: 0,
+            batch_hi: 0,
+            batch: Vec::new(),
+            batch_cursor: 0,
+            sort_scratch: Vec::new(),
             now: SimTime::ZERO,
             seq: 0,
             executed: 0,
@@ -196,9 +394,10 @@ impl<C: EventCtx> Engine<C> {
         self.executed
     }
 
-    /// Number of events waiting in the queue.
+    /// Number of live events waiting in the queue (cancelled entries
+    /// whose tombstones have not been reclaimed yet don't count).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Schedule `f` to run after `delay`.
@@ -216,7 +415,7 @@ impl<C: EventCtx> Engine<C> {
     where
         F: FnOnce(&mut C, &mut Engine<C>) + 'static,
     {
-        self.push(at, Payload::Call(Box::new(f)))
+        self.push(at, Payload::Call(InlineCall::new(f)))
     }
 
     /// Schedule a typed event after `delay` (allocation-free hot path).
@@ -231,45 +430,219 @@ impl<C: EventCtx> Engine<C> {
     }
 
     /// Cancel a scheduled event. Returns `true` if the token was live
-    /// (the event is removed and will never fire); `false` if it already
-    /// ran or was cancelled. O(log n) — the heap entry is removed, not
-    /// left behind as a dead no-op.
+    /// (the event will never fire); `false` if it already ran or was
+    /// cancelled. O(1): the payload is dropped in place (running
+    /// closure destructors exactly as if the event had been consumed)
+    /// and the heap entry becomes a tombstone, reclaimed at the root or
+    /// by the next amortized compaction pass.
     pub fn cancel(&mut self, tok: EventToken) -> bool {
         let Some(slot) = self.slots.get(tok.slot as usize) else {
             return false;
         };
-        if slot.gen != tok.gen || self.payloads[tok.slot as usize].is_none() {
+        if slot.gen != tok.gen {
             return false;
         }
-        let pos = slot.heap_pos as usize;
-        self.heap_remove(pos);
-        self.free_slot(tok.slot);
+        let p = &mut self.payloads[tok.slot as usize];
+        if p.is_none() {
+            return false;
+        }
+        *p = None;
+        self.live -= 1;
+        self.dead += 1;
+        // Keep the physical queue (heap + wheel + drain buffer) within
+        // ~2× of the live count so cancel-heavy timer churn cannot grow
+        // it (or deepen sift paths for the live events threading
+        // through the heap). Amortized O(1): each compaction is
+        // O(queue) and at least halves it.
+        if self.dead >= 16 && self.dead > self.queued_entries() / 2 {
+            self.compact();
+        }
         true
+    }
+
+    /// Physical entries across all queue structures, tombstones
+    /// included.
+    fn queued_entries(&self) -> usize {
+        self.keys.len() + self.wheel_count + (self.batch.len() - self.batch_cursor)
     }
 
     /// Run a single event if one is pending. Returns `false` when idle.
     pub fn step(&mut self, ctx: &mut C) -> bool {
+        self.step_inner(ctx, u128::MAX)
+    }
+
+    /// Pop and execute the next live event with key ≤ `deadline`.
+    fn step_inner(&mut self, ctx: &mut C, deadline: u128) -> bool {
+        loop {
+            // Drain the current bucket's sorted buffer first; pushes
+            // below `batch_hi` were inserted at their sorted position,
+            // so this order is exactly global `(time, seq)` order.
+            while self.batch_cursor < self.batch.len() {
+                let key = self.batch[self.batch_cursor];
+                if key > deadline {
+                    return false;
+                }
+                let slot = key_slot(key);
+                self.batch_cursor += 1;
+                let Some(payload) = self.payloads[slot as usize].take() else {
+                    // Cancelled while waiting in the buffer.
+                    self.free_slot_meta(slot);
+                    self.dead = self.dead.saturating_sub(1);
+                    continue;
+                };
+                self.free_slot_meta(slot);
+                return self.fire(ctx, key, payload);
+            }
+            if !self.batch.is_empty() {
+                self.batch.clear();
+                self.batch_cursor = 0;
+            }
+
+            // Migrate far events that have come within the horizon into
+            // their wheel buckets (and reclaim far tombstones at the
+            // root). One heap pop per event that ever went far — the
+            // same cost it would have paid in a heap-only design.
+            let horizon_t = (self.cur_bucket + WHEEL_BUCKETS as u64) << BUCKET_SHIFT;
+            while let Some(&key) = self.keys.first() {
+                let slot = key_slot(key);
+                if self.payloads[slot as usize].is_none() {
+                    self.pop_root();
+                    self.free_slot_meta(slot);
+                    self.dead = self.dead.saturating_sub(1);
+                    continue;
+                }
+                if (key >> 64) as u64 >= horizon_t {
+                    break;
+                }
+                self.pop_root();
+                self.wheel_insert(key);
+            }
+
+            if self.wheel_count == 0 {
+                let Some(&key) = self.keys.first() else {
+                    return false;
+                };
+                // Everything left is beyond the horizon: jump the wheel
+                // to the earliest far event and re-run the migration.
+                self.cur_bucket = ((key >> 64) as u64) >> BUCKET_SHIFT;
+                self.batch_hi = bucket_start_key(self.cur_bucket);
+                continue;
+            }
+
+            // Advance to the next occupied bucket and stage it for
+            // draining: copy it into the (empty) drain buffer and sort
+            // once. A copy, not a swap, so every bucket keeps its own
+            // capacity — after one ring revolution nothing reallocates.
+            // Keys embed unique seq numbers, so the sort is total and
+            // the drained order is exactly what individual heap pops
+            // would produce.
+            let start = (self.cur_bucket & WHEEL_MASK) as usize;
+            let delta = self.next_occupied(start).expect("wheel_count > 0");
+            let abs = self.cur_bucket + delta as u64;
+            let si = (abs & WHEEL_MASK) as usize;
+            debug_assert!(self.batch.is_empty());
+            let bucket = &mut self.wheel[si];
+            self.batch.extend_from_slice(bucket);
+            bucket.clear();
+            self.sort_batch();
+            self.wheel_count -= self.batch.len();
+            self.occupied[si >> 6] &= !(1u64 << (si & 63));
+            self.cur_bucket = abs + 1;
+            self.batch_hi = bucket_start_key(abs + 1);
+        }
+    }
+
+    /// Sort the staged drain buffer into `(time, seq)` order.
+    ///
+    /// Every entry shares one absolute wheel bucket, so the time field
+    /// differs only in its low [`BUCKET_SHIFT`] bits — and pushes
+    /// append in seq order, so a *stable* counting sort on those few
+    /// time bits orders the full key with zero comparisons. The one
+    /// exception is a bucket that interleaved direct pushes with
+    /// heap-migrated far events (migration appends in key order, not
+    /// seq order, so same-instant entries can land swapped); the
+    /// `is_sorted` check catches that rare case and falls back to a
+    /// comparison sort.
+    fn sort_batch(&mut self) {
+        let n = self.batch.len();
+        if n <= 1 {
+            return;
+        }
+        const LANES: usize = 1 << BUCKET_SHIFT;
+        let mut counts = [0u32; LANES];
+        for &key in &self.batch {
+            counts[((key >> 64) as usize) & (LANES - 1)] += 1;
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let run = *c;
+            *c = sum;
+            sum += run;
+        }
+        self.sort_scratch.resize(n, 0);
+        for &key in &self.batch {
+            let lane = ((key >> 64) as usize) & (LANES - 1);
+            self.sort_scratch[counts[lane] as usize] = key;
+            counts[lane] += 1;
+        }
+        std::mem::swap(&mut self.batch, &mut self.sort_scratch);
+        if !self.batch.is_sorted() {
+            self.batch.sort_unstable();
+        }
+    }
+
+    /// File a packed key into its wheel bucket. Caller guarantees the
+    /// key's bucket lies within `[cur_bucket, cur_bucket + WHEEL_BUCKETS)`.
+    #[inline]
+    fn wheel_insert(&mut self, key: u128) {
+        let ab = ((key >> 64) as u64) >> BUCKET_SHIFT;
+        debug_assert!(
+            ab >= self.cur_bucket && ab < self.cur_bucket + WHEEL_BUCKETS as u64,
+            "bucket {ab} outside wheel window at {}",
+            self.cur_bucket
+        );
+        let si = (ab & WHEEL_MASK) as usize;
+        self.wheel[si].push(key);
+        self.occupied[si >> 6] |= 1u64 << (si & 63);
+        self.wheel_count += 1;
+    }
+
+    /// Distance (in buckets) from ring slot `from` to the nearest
+    /// occupied slot, scanning forward with wrap-around via the
+    /// occupancy bitmap. `None` if the whole wheel is empty.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let words = self.occupied.len();
+        let w0 = from >> 6;
+        let first = self.occupied[w0] >> (from & 63);
+        if first != 0 {
+            return Some(first.trailing_zeros() as usize);
+        }
+        for i in 1..=words {
+            let w = (w0 + i) % words;
+            if self.occupied[w] != 0 {
+                let bit = self.occupied[w].trailing_zeros() as usize;
+                return Some((w * 64 + bit + WHEEL_BUCKETS - from) % WHEEL_BUCKETS);
+            }
+        }
+        None
+    }
+
+    /// Advance the clock to `key`'s instant and execute `payload`.
+    #[inline]
+    fn fire(&mut self, ctx: &mut C, key: u128, payload: Payload<C>) -> bool {
         if self.executed >= self.event_limit {
             panic!(
                 "engine event limit ({}) exceeded at t={} — runaway event loop?",
                 self.event_limit, self.now
             );
         }
-        if self.heap.is_empty() {
-            return false;
-        }
-        let head = self.heap[0];
-        debug_assert!(head.at >= self.now, "time went backwards");
-        self.heap_remove(0);
-        let payload = self.payloads[head.slot as usize]
-            .take()
-            .expect("occupied slot");
-        self.free_slot(head.slot);
-        self.now = head.at;
+        debug_assert!(key_time(key) >= self.now, "time went backwards");
+        self.live -= 1;
+        self.now = key_time(key);
         self.executed += 1;
         match payload {
             Payload::Typed(ev) => ctx.run_event(self, ev),
-            Payload::Call(f) => f(ctx, self),
+            Payload::Call(f) => f.invoke(ctx, self),
         }
         true
     }
@@ -283,12 +656,8 @@ impl<C: EventCtx> Engine<C> {
     /// Events scheduled after the deadline remain queued; the clock is
     /// left at the last executed event (≤ deadline).
     pub fn run_until(&mut self, ctx: &mut C, deadline: SimTime) {
-        while let Some(head) = self.heap.first() {
-            if head.at > deadline {
-                break;
-            }
-            self.step(ctx);
-        }
+        let cutoff = key_cutoff(deadline);
+        while self.step_inner(ctx, cutoff) {}
     }
 
     /// Run until `pred(ctx)` is true, checking after every event, or until
@@ -307,122 +676,262 @@ impl<C: EventCtx> Engine<C> {
         }
     }
 
-    // ----- arena + 4-ary heap internals ----------------------------------
+    // ----- arena + calendar-queue internals ------------------------------
 
     fn push(&mut self, at: SimTime, payload: Payload<C>) -> EventToken {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        // Claim a slot from the free list, or grow the slab.
+        // Claim a slot from the free list, or grow the slab — the slot
+        // index rides in the key's low bits, so it must exist first.
         let slot = if self.free_head != NONE {
             let s = self.free_head;
             self.free_head = self.slots[s as usize].next_free;
             self.payloads[s as usize] = Some(payload);
             s
         } else {
-            assert!(self.slots.len() < NONE as usize, "event arena overflow");
+            assert!(self.slots.len() < SLOT_LIMIT, "event arena overflow");
             self.slots.push(Slot {
                 gen: 0,
-                heap_pos: 0,
                 next_free: NONE,
             });
             self.payloads.push(Some(payload));
             (self.slots.len() - 1) as u32
         };
-        let pos = self.heap.len();
-        self.heap.push(HeapEntry { at, seq, slot });
-        self.slots[slot as usize].heap_pos = pos as u32;
-        self.sift_up(pos);
+        assert!(self.seq < SEQ_LIMIT, "event sequence space exhausted");
+        let key = pack_key(at, self.seq, slot);
+        self.seq += 1;
+        if key < self.batch_hi {
+            // The in-flight drain buffer covers this instant: insert at
+            // the key's sorted position in the undrained tail (already
+            // fired entries all have smaller keys). Rare — only pushes
+            // for (near-)immediate execution land here.
+            let pos =
+                self.batch_cursor + self.batch[self.batch_cursor..].partition_point(|&k| k < key);
+            self.batch.insert(pos, key);
+        } else if ((key >> 64) as u64) >> BUCKET_SHIFT < self.cur_bucket + WHEEL_BUCKETS as u64 {
+            self.wheel_insert(key);
+        } else {
+            let pos = self.keys.len();
+            self.keys.push(key);
+            self.sift_up(pos);
+        }
+        self.live += 1;
         EventToken {
             slot,
             gen: self.slots[slot as usize].gen,
         }
     }
 
-    fn free_slot(&mut self, slot: u32) {
-        self.payloads[slot as usize] = None;
+    /// Retire a consumed slot's metadata. The payload must already be
+    /// `None` (taken by `step`, or overwritten by `cancel`).
+    fn free_slot_meta(&mut self, slot: u32) {
+        debug_assert!(self.payloads[slot as usize].is_none());
         let s = &mut self.slots[slot as usize];
         s.gen = s.gen.wrapping_add(1);
         s.next_free = self.free_head;
         self.free_head = slot;
     }
 
-    /// Remove the heap entry at `pos`, restoring the heap property.
-    fn heap_remove(&mut self, pos: usize) {
-        let last = self.heap.len() - 1;
-        self.heap.swap_remove(pos);
-        if pos < last {
-            let moved_slot = self.heap[pos].slot;
-            self.slots[moved_slot as usize].heap_pos = pos as u32;
-            // The element that moved in may need to travel either way;
-            // if sift_down left it in place, try the other direction.
-            self.sift_down(pos);
-            if self.slots[moved_slot as usize].heap_pos as usize == pos {
-                self.sift_up(pos);
+    /// Remove the root (minimum) heap entry: the displaced tail entry
+    /// is sunk into the root hole.
+    fn pop_root(&mut self) {
+        let last_key = self.keys.pop().expect("pop_root on empty heap");
+        if !self.keys.is_empty() {
+            self.sift_down_hole(0, last_key);
+        }
+    }
+
+    /// Index and key of the minimum entry in `[first, end)` (a sibling
+    /// group of at most four). Written as a two-round select so the
+    /// compiler emits conditional moves instead of a data-dependent
+    /// branchy scan.
+    ///
+    /// Safety: caller guarantees `first < end <= self.keys.len()`; the
+    /// sift loops run once per heap level, so the elided bounds checks
+    /// (up to four per level) are the difference between this heap and
+    /// `BinaryHeap`'s unchecked internals.
+    #[inline]
+    unsafe fn min_child(&self, first: usize, end: usize) -> (usize, u128) {
+        debug_assert!(first < end && end <= self.keys.len());
+        let at = |i: usize| unsafe { *self.keys.get_unchecked(i) };
+        match end - first {
+            4 => {
+                let (a, ka) = if at(first + 1) < at(first) {
+                    (first + 1, at(first + 1))
+                } else {
+                    (first, at(first))
+                };
+                let (b, kb) = if at(first + 3) < at(first + 2) {
+                    (first + 3, at(first + 3))
+                } else {
+                    (first + 2, at(first + 2))
+                };
+                if kb < ka {
+                    (b, kb)
+                } else {
+                    (a, ka)
+                }
             }
+            3 => {
+                let (a, ka) = if at(first + 1) < at(first) {
+                    (first + 1, at(first + 1))
+                } else {
+                    (first, at(first))
+                };
+                if at(first + 2) < ka {
+                    (first + 2, at(first + 2))
+                } else {
+                    (a, ka)
+                }
+            }
+            2 => {
+                if at(first + 1) < at(first) {
+                    (first + 1, at(first + 1))
+                } else {
+                    (first, at(first))
+                }
+            }
+            _ => (first, at(first)),
         }
     }
 
     /// Both sifts use the classic hole technique: the moving entry is
-    /// held in a register while displaced entries shift one copy (and
-    /// one `heap_pos` fix-up) each, instead of a three-copy swap with
-    /// two fix-ups per level. On the hot pop path this halves the
-    /// random writes into the slot arena.
+    /// held in registers while displaced entries shift one copy each,
+    /// instead of a three-copy swap per level. Neither touches slot
+    /// metadata — the heap keeps no back-pointers.
     fn sift_up(&mut self, mut i: usize) {
-        let entry = self.heap[i];
-        let key = entry.key();
+        // SAFETY (this fn): `i < keys.len()` on entry (caller passes a
+        // valid heap position), `parent < i`, and `keys` stays the same
+        // length throughout — every index below is in bounds.
+        let key = unsafe { *self.keys.get_unchecked(i) };
         let start = i;
         while i > 0 {
             let parent = (i - 1) / 4;
-            let p = self.heap[parent];
-            if key >= p.key() {
+            let pk = unsafe { *self.keys.get_unchecked(parent) };
+            if key >= pk {
                 break;
             }
-            self.heap[i] = p;
-            self.slots[p.slot as usize].heap_pos = i as u32;
+            unsafe {
+                *self.keys.get_unchecked_mut(i) = pk;
+            }
             i = parent;
         }
-        // Callers guarantee heap[start] and its heap_pos are already
-        // consistent, so an unmoved entry needs no write-back at all —
-        // the common case for a freshly pushed (latest-key) event.
+        // An unmoved entry needs no write-back at all — the common
+        // case for a freshly pushed (latest-key) event.
         if i != start {
-            self.heap[i] = entry;
-            self.slots[entry.slot as usize].heap_pos = i as u32;
+            unsafe {
+                *self.keys.get_unchecked_mut(i) = key;
+            }
         }
     }
 
-    fn sift_down(&mut self, mut i: usize) {
-        let len = self.heap.len();
-        let entry = self.heap[i];
-        let key = entry.key();
-        let start = i;
+    /// Sink the detached entry `key` into the hole at `i`, writing it
+    /// at its final position (unconditionally — the hole never holds a
+    /// valid entry).
+    fn sift_down_hole(&mut self, mut i: usize, key: u128) {
+        let len = self.keys.len();
+        debug_assert!(i < len);
+        // SAFETY (this fn): `i < len` on entry, `min < end <= len` from
+        // the loop condition, and `len` never changes — every index
+        // below is in bounds.
         loop {
             let first = 4 * i + 1;
             if first >= len {
                 break;
             }
             let end = (first + 4).min(len);
-            let mut min = first;
-            let mut min_key = self.heap[first].key();
-            for c in first + 1..end {
-                let k = self.heap[c].key();
-                if k < min_key {
-                    min = c;
-                    min_key = k;
-                }
-            }
+            let (min, min_key) = unsafe { self.min_child(first, end) };
             if min_key >= key {
                 break;
             }
-            let m = self.heap[min];
-            self.heap[i] = m;
-            self.slots[m.slot as usize].heap_pos = i as u32;
+            unsafe {
+                *self.keys.get_unchecked_mut(i) = min_key;
+            }
             i = min;
         }
-        if i != start {
-            self.heap[i] = entry;
-            self.slots[entry.slot as usize].heap_pos = i as u32;
+        unsafe {
+            *self.keys.get_unchecked_mut(i) = key;
         }
+    }
+
+    /// Restore the heap property over the whole array (Floyd's bottom-up
+    /// heapify, O(n)).
+    fn heapify(&mut self) {
+        let len = self.keys.len();
+        if len < 2 {
+            return;
+        }
+        for i in (0..=(len - 2) / 4).rev() {
+            let key = self.keys[i];
+            self.sift_down_hole(i, key);
+        }
+    }
+
+    /// Drop tombstoned entries out of every queue structure (heap,
+    /// wheel buckets, drain buffer) and rebuild the heap. Called when
+    /// tombstones outnumber live entries, so the O(queue) pass is
+    /// amortized O(1) per cancel.
+    fn compact(&mut self) {
+        // Overflow heap.
+        let mut w = 0usize;
+        for r in 0..self.keys.len() {
+            let key = self.keys[r];
+            let slot = key_slot(key);
+            if self.payloads[slot as usize].is_some() {
+                self.keys[w] = key;
+                w += 1;
+            } else {
+                self.free_slot_meta(slot);
+            }
+        }
+        self.keys.truncate(w);
+        self.heapify();
+
+        // Wheel buckets (visit only occupied ones via the bitmap).
+        if self.wheel_count > 0 {
+            for word in 0..self.occupied.len() {
+                let mut bits = self.occupied[word];
+                while bits != 0 {
+                    let si = word * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let mut bucket = std::mem::take(&mut self.wheel[si]);
+                    let before = bucket.len();
+                    let mut keep = 0usize;
+                    for r in 0..bucket.len() {
+                        let key = bucket[r];
+                        let slot = key_slot(key);
+                        if self.payloads[slot as usize].is_some() {
+                            bucket[keep] = key;
+                            keep += 1;
+                        } else {
+                            self.free_slot_meta(slot);
+                        }
+                    }
+                    bucket.truncate(keep);
+                    self.wheel_count -= before - keep;
+                    if keep == 0 {
+                        self.occupied[word] &= !(1u64 << (si & 63));
+                    }
+                    self.wheel[si] = bucket;
+                }
+            }
+        }
+
+        // Undrained tail of the drain buffer (the fired prefix holds
+        // consumed entries and is left alone).
+        let mut keep = self.batch_cursor;
+        for r in self.batch_cursor..self.batch.len() {
+            let key = self.batch[r];
+            let slot = key_slot(key);
+            if self.payloads[slot as usize].is_some() {
+                self.batch[keep] = key;
+                keep += 1;
+            } else {
+                self.free_slot_meta(slot);
+            }
+        }
+        self.batch.truncate(keep);
+
+        self.dead = 0;
     }
 }
 
@@ -645,5 +1154,302 @@ mod tests {
         }
         eng.run(&mut w);
         assert_eq!(w.fired, vec![(10_999, 999)]);
+    }
+
+    /// A large same-timestamp run fires in schedule order, interleaves
+    /// correctly with events scheduled *for the same instant during the
+    /// drain*, and respects cancels issued mid-drain.
+    #[test]
+    fn batch_pop_preserves_seq_order_and_cancels() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        // A canceller leads the bucket, followed by 200 events at t=100,
+        // plus stragglers at t=200 to keep the queue non-trivial.
+        // Victim tokens are filled in after the marks are scheduled.
+        let victims: Rc<RefCell<Vec<EventToken>>> = Rc::new(RefCell::new(Vec::new()));
+        let v2 = victims.clone();
+        eng.schedule_at(SimTime::from_nanos(100), move |_: &mut Typed, eng| {
+            // Runs first in the batch: cancels ten later batch members
+            // and schedules three more for the same instant, which must
+            // run after the whole surviving batch.
+            for t in v2.borrow().iter() {
+                assert!(eng.cancel(*t), "mid-batch cancel must hit live events");
+            }
+            for i in 0..3u32 {
+                eng.schedule_event_at(SimTime::from_nanos(100), TypedEv::Mark(2000 + i));
+            }
+        });
+        let toks: Vec<EventToken> = (0..200u32)
+            .map(|i| eng.schedule_event(SimDuration::from_nanos(100), TypedEv::Mark(i)))
+            .collect();
+        *victims.borrow_mut() = toks[100..110].to_vec();
+        for i in 0..40u32 {
+            eng.schedule_event(SimDuration::from_nanos(200), TypedEv::Mark(1000 + i));
+        }
+        eng.run(&mut w);
+        let at_100: Vec<u32> = w
+            .fired
+            .iter()
+            .filter(|(t, _)| *t == 100)
+            .map(|(_, id)| *id)
+            .collect();
+        let mut expect: Vec<u32> = (0..200).filter(|i| !(100..110).contains(i)).collect();
+        expect.extend([2000, 2001, 2002]);
+        assert_eq!(at_100, expect);
+        let at_200: Vec<u32> = w
+            .fired
+            .iter()
+            .filter(|(t, _)| *t == 200)
+            .map(|(_, id)| *id)
+            .collect();
+        assert_eq!(at_200, (1000..1040).collect::<Vec<u32>>());
+    }
+
+    /// `run_until` must not execute live events past the deadline even
+    /// when tombstones with earlier times sit at the heap root.
+    #[test]
+    fn run_until_skips_tombstones_without_overshooting() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        let early = eng.schedule_event(SimDuration::from_nanos(10), TypedEv::Mark(1));
+        eng.schedule_event(SimDuration::from_nanos(50), TypedEv::Mark(2));
+        assert!(eng.cancel(early));
+        // Deadline is past the tombstone but before the live event.
+        eng.run_until(&mut w, SimTime::from_nanos(20));
+        assert!(w.fired.is_empty(), "live event past deadline must wait");
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w.fired, vec![(50, 2)]);
+    }
+
+    /// Cancel-heavy churn compacts tombstones: the physical heap stays
+    /// within a small constant of the live count.
+    #[test]
+    fn tombstone_compaction_bounds_physical_heap() {
+        let mut eng: Engine<Typed> = Engine::new();
+        let mut w = Typed { fired: Vec::new() };
+        let mut tok = eng.schedule_event(SimDuration::from_nanos(10_000), TypedEv::Mark(0));
+        for i in 1..10_000u32 {
+            assert!(eng.cancel(tok));
+            tok = eng.schedule_event(SimDuration::from_nanos(10_000 + i as u64), TypedEv::Mark(i));
+            assert_eq!(eng.pending(), 1);
+            assert!(
+                eng.queued_entries() <= 128,
+                "queue grew to {} entries with 1 live event",
+                eng.queued_entries()
+            );
+        }
+        eng.run(&mut w);
+        assert_eq!(w.fired, vec![(19_999, 9_999)]);
+    }
+
+    // ----- inline closure storage ----------------------------------------
+
+    /// Captures below the inline threshold run and drop correctly.
+    #[test]
+    fn small_captures_run_inline() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let payload = [7u64; 4]; // 32 bytes < INLINE_CALL_BYTES
+        assert!(size_of::<[u64; 4]>() <= INLINE_CALL_BYTES);
+        eng.schedule(SimDuration::from_nanos(1), move |w: &mut World, _| {
+            assert_eq!(payload, [7u64; 4]);
+            w.log.push((1, "inline"));
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(1, "inline")]);
+    }
+
+    /// Captures past the inline threshold fall back to a box and still
+    /// run exactly once.
+    #[test]
+    fn oversized_captures_fall_back_to_box() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let big = [3u64; 16]; // 128 bytes > INLINE_CALL_BYTES
+        assert!(size_of::<[u64; 16]>() > INLINE_CALL_BYTES);
+        eng.schedule(SimDuration::from_nanos(2), move |w: &mut World, _| {
+            assert_eq!(big.iter().sum::<u64>(), 48);
+            w.log.push((2, "boxed"));
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(2, "boxed")]);
+    }
+
+    /// A cancelled closure's captures are dropped (no leak, no double
+    /// drop), whether stored inline or boxed — observed through an Rc's
+    /// strong count.
+    #[test]
+    fn cancelled_closures_drop_their_captures() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        let small_rc = Rc::new(1u32);
+        let big_rc = Rc::new(2u32);
+        let small = {
+            let rc = small_rc.clone();
+            eng.schedule(SimDuration::from_nanos(5), move |_: &mut World, _| {
+                let _keep = &rc;
+                unreachable!("cancelled event must not run");
+            })
+        };
+        let big = {
+            let rc = big_rc.clone();
+            let pad = [0u64; 16];
+            eng.schedule(SimDuration::from_nanos(5), move |_: &mut World, _| {
+                let _keep = (&rc, &pad);
+                unreachable!("cancelled event must not run");
+            })
+        };
+        assert_eq!(Rc::strong_count(&small_rc), 2);
+        assert_eq!(Rc::strong_count(&big_rc), 2);
+        assert!(eng.cancel(small));
+        assert!(eng.cancel(big));
+        assert_eq!(Rc::strong_count(&small_rc), 1, "inline capture leaked");
+        assert_eq!(Rc::strong_count(&big_rc), 1, "boxed capture leaked");
+        eng.run(&mut w);
+        assert!(w.log.is_empty());
+    }
+
+    /// Dropping an engine with events still queued drops their captures.
+    #[test]
+    fn dropping_engine_drops_pending_captures() {
+        let rc = Rc::new(0u32);
+        {
+            let mut eng: Engine<World> = Engine::new();
+            let held = rc.clone();
+            eng.schedule(SimDuration::from_nanos(1), move |_: &mut World, _| {
+                let _keep = &held;
+            });
+            assert_eq!(Rc::strong_count(&rc), 2);
+        }
+        assert_eq!(Rc::strong_count(&rc), 1, "pending inline capture leaked");
+    }
+
+    // ----- calendar-wheel structure --------------------------------------
+
+    /// A fired slot must return to the free list: a one-wide
+    /// self-rescheduling chain keeps at most two slots in flight, so
+    /// the arena must not grow with the event count.
+    #[test]
+    fn fired_slots_recycle_into_free_list() {
+        fn tick(w: &mut u64, eng: &mut Engine<u64>) {
+            *w += 1;
+            if *w < 10_000 {
+                eng.schedule(SimDuration::from_nanos(40), tick);
+            }
+        }
+        let mut eng: Engine<u64> = Engine::new();
+        let mut n = 0u64;
+        eng.schedule(SimDuration::from_nanos(40), tick);
+        eng.run(&mut n);
+        assert_eq!(n, 10_000);
+        assert!(
+            eng.slots.len() <= 2,
+            "arena grew to {} slots for a 1-wide chain",
+            eng.slots.len()
+        );
+    }
+
+    /// A far (beyond-horizon) event and a same-instant event pushed
+    /// directly into the wheel *before* the far one migrates must still
+    /// fire in seq order. This pins the counting-sort fallback: the
+    /// bucket's append order is (near, far) while seq order is
+    /// (far, near).
+    #[test]
+    fn heap_migration_same_instant_keeps_seq_order() {
+        const T: u64 = 100_000;
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        // seq 0: beyond the 65 536 ns horizon at schedule time.
+        eng.schedule(SimDuration::from_nanos(T), |w: &mut World, _| {
+            w.log.push((T, "far"));
+        });
+        // Fires in the last bucket staged before the far event comes
+        // within the horizon, and schedules a same-instant rival that
+        // reaches the wheel bucket ahead of the migrated entry.
+        eng.schedule(
+            SimDuration::from_nanos(34_464),
+            |w: &mut World, eng: &mut Engine<World>| {
+                w.log.push((34_464, "stone"));
+                eng.schedule_at(SimTime::from_nanos(T), |w: &mut World, _| {
+                    w.log.push((T, "near"));
+                });
+            },
+        );
+        eng.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(34_464, "stone"), (T, "far"), (T, "near")],
+            "same-instant events must fire in scheduling (seq) order"
+        );
+    }
+
+    /// The wheel ring wraps many times without losing or reordering
+    /// events, and a queue holding only far events jumps the wheel
+    /// instead of scanning empty buckets.
+    #[test]
+    fn wheel_wraps_and_far_jumps_keep_time_order() {
+        fn near(w: &mut Vec<u64>, eng: &mut Engine<Vec<u64>>) {
+            w.push(eng.now().as_nanos());
+            if w.len() < 200 {
+                // ~1031 buckets per hop: wraps the 2048-bucket ring
+                // every other event.
+                eng.schedule(SimDuration::from_nanos(33_000), near);
+            }
+        }
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut times = Vec::new();
+        eng.schedule(SimDuration::from_nanos(33_000), near);
+        eng.run(&mut times);
+        assert_eq!(times.len(), 200);
+        assert!(times.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(*times.last().unwrap(), 200 * 33_000);
+
+        fn far(w: &mut Vec<u64>, eng: &mut Engine<Vec<u64>>) {
+            w.push(eng.now().as_nanos());
+            if w.len() < 50 {
+                // Beyond the horizon every hop: heap + jump path only.
+                eng.schedule(SimDuration::from_nanos(1_000_000), far);
+            }
+        }
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut times = Vec::new();
+        eng.schedule(SimDuration::from_nanos(1_000_000), far);
+        eng.run(&mut times);
+        assert_eq!(times.len(), 50);
+        assert_eq!(*times.last().unwrap(), 50_000_000);
+    }
+
+    /// Events pushed while their own bucket is mid-drain land at their
+    /// sorted position in the drain buffer — after same-instant
+    /// already-queued events, before later ones.
+    #[test]
+    fn mid_drain_pushes_land_in_sorted_position() {
+        let mut eng: Engine<World> = Engine::new();
+        let mut w = World::default();
+        // 100, 101, and 120 all map to wheel bucket 3 (96..128 ns).
+        eng.schedule(
+            SimDuration::from_nanos(100),
+            |w: &mut World, eng: &mut Engine<World>| {
+                w.log.push((100, "a"));
+                eng.schedule(SimDuration::from_nanos(0), |w: &mut World, _| {
+                    w.log.push((100, "d"));
+                });
+                eng.schedule(SimDuration::from_nanos(1), |w: &mut World, _| {
+                    w.log.push((101, "e"));
+                });
+            },
+        );
+        eng.schedule(SimDuration::from_nanos(100), |w: &mut World, _| {
+            w.log.push((100, "b"));
+        });
+        eng.schedule(SimDuration::from_nanos(120), |w: &mut World, _| {
+            w.log.push((120, "f"));
+        });
+        eng.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(100, "a"), (100, "b"), (100, "d"), (101, "e"), (120, "f")]
+        );
     }
 }

@@ -24,6 +24,7 @@
 //! Under `--features check-ownership` both worlds additionally assert an
 //! empty WQE-ownership/DMA race report.
 
+use hyperloop_repro::cluster::exec::ShardExecutor;
 use hyperloop_repro::cluster::shard::{HashRing, ShardGroup, ShardPlan};
 use hyperloop_repro::cluster::{ClusterBuilder, World};
 use hyperloop_repro::fabric::HostId;
@@ -475,5 +476,162 @@ proptest! {
 
         assert_race_free(&hw, "hyperloop world");
         assert_race_free(&nw, "naive world");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threaded 8-shard configuration: the oracle under the ShardExecutor.
+// ---------------------------------------------------------------------
+
+/// The routing key of any generated op.
+fn op_key(spec: &OpSpec) -> u64 {
+    match *spec {
+        OpSpec::Write { key, .. }
+        | OpSpec::Memcpy { key, .. }
+        | OpSpec::Cas { key, .. }
+        | OpSpec::Flush { key, .. } => key,
+    }
+}
+
+/// Seeded splitmix64 op generator mirroring [`op_strategy`]'s shapes —
+/// a plain function so the threaded property needs no proptest runner
+/// (the sequence must be *fixed*, the only varying input is the thread
+/// count).
+fn gen_ops(seed: u64, n: usize) -> Vec<OpSpec> {
+    let mut x = seed;
+    let mut next = move || {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            let key = next();
+            match next() % 9 {
+                0..=3 => OpSpec::Write {
+                    key,
+                    slot: next() % N_SLOTS,
+                    len: 1 + (next() as usize % SLOT),
+                    fill: next() as u8,
+                    flush: next() % 2 == 0,
+                },
+                4 | 5 => {
+                    let src_slot = next() % N_SLOTS;
+                    let d = next() % (N_SLOTS - 1);
+                    let dst_slot = if d >= src_slot { d + 1 } else { d };
+                    OpSpec::Memcpy {
+                        key,
+                        src_slot,
+                        dst_slot,
+                        len: 1 + (next() as usize % SLOT),
+                        flush: next() % 2 == 0,
+                    }
+                }
+                6 | 7 => OpSpec::Cas {
+                    key,
+                    word: next() % N_WORDS,
+                    cmp_zero: next() % 2 == 0,
+                    swp: next(),
+                    exec_map: 1 + (next() as u32 % (((1u32 << G) - 1) - 1 + 1)),
+                },
+                _ => OpSpec::Flush {
+                    key,
+                    slot: next() % N_SLOTS,
+                    len: 1 + (next() as usize % SLOT),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Everything one threaded shard job observes — plain `Send` data.
+#[derive(Debug, Clone, PartialEq)]
+struct ShardObs {
+    obs: Vec<CasObs>,
+    hl_members: Vec<Vec<u8>>,
+    nv_members: Vec<Vec<u8>>,
+}
+
+/// Run shard `sid`'s cut of `ops` through both backends in fresh
+/// single-group worlds (built inside the job — the executor's contract)
+/// and snapshot everything the oracle compares.
+fn run_shard_oracle(ops: &[OpSpec], global_ring: &HashRing, sid: usize) -> ShardObs {
+    let local = HashRing::new(1);
+    let mine: Vec<OpSpec> = ops
+        .iter()
+        .filter(|op| global_ring.shard_of_u64(op_key(op)) == sid)
+        .cloned()
+        .collect();
+    let plan = ShardPlan::place(1, G - 1, &(0..G).map(HostId).collect::<Vec<_>>());
+
+    let (mut hw, mut he) = fresh_world(G);
+    let hl = Rc::new(build_hl_shard(&plan.groups[0], &mut hw, &mut he));
+    let hl_obs = drive_clients(std::slice::from_ref(&hl), &local, &mine, &mut hw, &mut he);
+
+    let (mut nw, mut ne) = fresh_world(G);
+    let nv = Rc::new(build_naive_shard(&plan.groups[0], &mut nw, &mut ne));
+    let nv_obs = drive_clients(std::slice::from_ref(&nv), &local, &mine, &mut nw, &mut ne);
+
+    assert_eq!(hl_obs, nv_obs, "shard {sid}: gCAS observations diverged");
+    assert_race_free(&hw, "threaded hyperloop shard world");
+    assert_race_free(&nw, "threaded naive shard world");
+
+    ShardObs {
+        obs: hl_obs,
+        hl_members: member_regions(hl.as_ref(), &hw),
+        nv_members: member_regions(nv.as_ref(), &nw),
+    }
+}
+
+/// Eight disjoint shards, each running the differential oracle in its
+/// own world on its own thread: backends agree on every shard, and
+/// every artifact — gCAS observations, both backends' member NVM
+/// snapshots — is byte-identical to the sequential (`threads == 1`)
+/// execution of the very same jobs.
+#[test]
+fn threaded_eight_shard_oracle_matches_sequential() {
+    const N_SHARDS: usize = 8;
+    let ops = gen_ops(0x5EED_CAFE, 192);
+    let ring = HashRing::new(N_SHARDS);
+    // Every shard must own at least one op, or a slice of the identity
+    // check is vacuous.
+    for sid in 0..N_SHARDS {
+        assert!(
+            ops.iter().any(|op| ring.shard_of_u64(op_key(op)) == sid),
+            "shard {sid} owns no ops; enlarge the sequence"
+        );
+    }
+
+    let seq = ShardExecutor::sequential().run(N_SHARDS, |sid| run_shard_oracle(&ops, &ring, sid));
+    let par = ShardExecutor::new(8).run(N_SHARDS, |sid| run_shard_oracle(&ops, &ring, sid));
+
+    for (sid, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            a, b,
+            "shard {sid}: threaded artifacts diverged from sequential"
+        );
+        for m in 0..G {
+            let mm = first_mismatch(&a.hl_members[m], &a.nv_members[m]);
+            assert!(
+                mm.is_none(),
+                "shard {sid} member {m}: NVM diverged between backends at byte {mm:?}"
+            );
+        }
+        for m in 1..G {
+            let mm = first_mismatch(
+                &a.hl_members[0][..UNIFORM_BYTES],
+                &a.hl_members[m][..UNIFORM_BYTES],
+            );
+            assert!(
+                mm.is_none(),
+                "shard {sid}: HyperLoop member {m} != client at byte {mm:?}"
+            );
+        }
+        assert!(
+            a.hl_members.iter().any(|r| r.iter().any(|&x| x != 0)),
+            "shard {sid}: all-zero NVM; oracle is vacuous"
+        );
     }
 }
