@@ -21,7 +21,7 @@
 //! serving — and the bystander shard's per-op latency vector must be
 //! byte-identical to a fault-free control run.
 
-use hl_cluster::chaos::{FaultEvent, FaultKind, FaultSchedule};
+use hl_cluster::chaos::{BystanderProbe, FaultEvent, FaultKind, FaultSchedule};
 use hl_cluster::shard::ShardPlan;
 use hl_cluster::{ClusterBuilder, World};
 use hl_fabric::HostId;
@@ -487,20 +487,18 @@ pub fn run_rejoin_case(seed: u64, ops_per_shard: usize, fault: bool) -> RejoinOu
         );
     }
 
-    // Open-loop: each shard writes one record every 200µs.
+    // Open-loop: each shard writes one record every 200µs. Settlement
+    // goes through the shared bystander probe so this case, the chaos
+    // suites and the migration battery all record identically.
     let acked: Vec<_> = (0..N_SHARDS)
         .map(|_| Rc::new(RefCell::new(0usize)))
         .collect();
-    let failed: Vec<_> = (0..N_SHARDS).map(|_| Rc::new(RefCell::new(0u32))).collect();
-    let lats: Vec<_> = (0..N_SHARDS)
-        .map(|_| Rc::new(RefCell::new(Vec::<(usize, u64)>::new())))
-        .collect();
+    let probes: Vec<_> = (0..N_SHARDS).map(|_| BystanderProbe::new()).collect();
     for sid in 0..N_SHARDS {
         for k in 0..ops_per_shard {
             let retry = retries[sid].clone();
             let acked = acked[sid].clone();
-            let failed = failed[sid].clone();
-            let lats = lats[sid].clone();
+            let probe = probes[sid].clone();
             let at = SimTime::from_nanos(1_000_000 + k as u64 * 200_000);
             eng.schedule_at(at, move |w: &mut World, eng| {
                 let issued_at = eng.now();
@@ -513,10 +511,9 @@ pub fn run_rejoin_case(seed: u64, ops_per_shard: usize, fault: bool) -> RejoinOu
                     Box::new(move |_w, eng, r| match r {
                         Ok(_) => {
                             *acked.borrow_mut() += 1;
-                            lats.borrow_mut()
-                                .push((k, eng.now().duration_since(issued_at).as_nanos()));
+                            probe.record(k, eng.now().duration_since(issued_at).as_nanos());
                         }
-                        Err(_) => *failed.borrow_mut() += 1,
+                        Err(_) => probe.record_failure(),
                     }),
                 );
             });
@@ -528,9 +525,9 @@ pub fn run_rejoin_case(seed: u64, ops_per_shard: usize, fault: bool) -> RejoinOu
     let c = retries[0].client();
     let victim_members: Vec<HostId> = (0..c.group_size()).map(|m| c.member_host(m)).collect();
     let victim_acked = *acked[0].borrow();
-    let victim_failed = *failed[0].borrow();
-    let bystander_latencies = lats[1].borrow().clone();
-    let bystander_failed = *failed[1].borrow();
+    let victim_failed = probes[0].failed() as u32;
+    let bystander_latencies = probes[1].latencies();
+    let bystander_failed = probes[1].failed() as u32;
     RejoinOutcome {
         victim_acked,
         victim_failed,

@@ -12,6 +12,8 @@
 //! * [`gray`] — gray-failure campaign: tail latency per impairment
 //!   class per backend, the crashed-host live-rejoin case, and the
 //!   SLO-excursion round trip.
+//! * [`migration`] — live shard split under traffic: disruption ratio
+//!   for the migrating shard, byte-identical bystanders.
 //! * [`timeline`] — per-shard p50/p99-over-time rendering with fault
 //!   marks overlaid.
 //! * [`table`] — plain-text table rendering.
@@ -22,6 +24,7 @@ pub mod apps;
 pub mod campaign;
 pub mod gray;
 pub mod micro;
+pub mod migration;
 pub mod shard;
 pub mod table;
 pub mod timeline;

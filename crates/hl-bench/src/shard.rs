@@ -488,7 +488,10 @@ pub struct ThreadedShardCampaign {
 /// event loop on its own thread (up to `threads`), merging results in
 /// shard order. `threads == 1` is the sequential baseline the
 /// byte-identity suite compares against.
-pub fn run_shard_campaign_threaded(cfg: &ShardCampaignCfg, threads: usize) -> ThreadedShardCampaign {
+pub fn run_shard_campaign_threaded(
+    cfg: &ShardCampaignCfg,
+    threads: usize,
+) -> ThreadedShardCampaign {
     let exec = ShardExecutor::new(threads);
     let slices = exec.run(cfg.n_shards, |sid| run_shard_slice(cfg, sid));
 

@@ -11,6 +11,8 @@
 use crate::World;
 use hl_fabric::HostId;
 use hl_sim::{Engine, RngFactory, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -457,9 +459,121 @@ fn heal(kind: FaultKind, w: &mut World, eng: &mut Engine<World>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bystander byte-identity harness
+// ---------------------------------------------------------------------------
+
+/// Shared recorder for the bystander byte-identity invariant.
+///
+/// The chaos, gray-chaos and migration suites all prove the same thing:
+/// a shard that is *not* the victim of a fault (or the subject of a
+/// migration) must see an experience byte-identical to a control run
+/// with no fault at all — same per-op latency vector, same failure
+/// count, nanosecond for nanosecond. This probe is the one shared
+/// implementation of that recorder; campaigns clone it into their
+/// completion callbacks and compare outcomes with
+/// [`BystanderProbe::assert_identical_to`].
+#[derive(Clone, Default)]
+pub struct BystanderProbe {
+    inner: Rc<RefCell<ProbeInner>>,
+}
+
+#[derive(Default)]
+struct ProbeInner {
+    latencies: Vec<(usize, u64)>,
+    failed: usize,
+}
+
+impl BystanderProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the completion of op `idx` after `latency_ns`.
+    pub fn record(&self, idx: usize, latency_ns: u64) {
+        self.inner.borrow_mut().latencies.push((idx, latency_ns));
+    }
+
+    /// Record a failed op.
+    pub fn record_failure(&self) {
+        self.inner.borrow_mut().failed += 1;
+    }
+
+    /// The `(op index, latency ns)` vector in completion order.
+    pub fn latencies(&self) -> Vec<(usize, u64)> {
+        self.inner.borrow().latencies.clone()
+    }
+
+    /// Number of failed ops recorded.
+    pub fn failed(&self) -> usize {
+        self.inner.borrow().failed
+    }
+
+    /// Number of completions recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().latencies.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().latencies.is_empty()
+    }
+
+    /// Assert this probe recorded the byte-identical experience of
+    /// `control`: same completion order, same per-op latencies to the
+    /// nanosecond, same failure count. `what` names the campaign in the
+    /// panic message.
+    pub fn assert_identical_to(&self, control: &BystanderProbe, what: &str) {
+        let (a, b) = (self.inner.borrow(), control.inner.borrow());
+        assert_eq!(
+            a.failed, b.failed,
+            "{what}: bystander failure count diverged from control"
+        );
+        assert_eq!(
+            a.latencies.len(),
+            b.latencies.len(),
+            "{what}: bystander completion count diverged from control"
+        );
+        for (i, (x, y)) in a.latencies.iter().zip(b.latencies.iter()).enumerate() {
+            assert_eq!(
+                x, y,
+                "{what}: bystander op #{i} diverged (got {x:?}, control {y:?})"
+            );
+        }
+    }
+}
+
+/// Snapshot `len` bytes of a member's replicated region (the byte-level
+/// half of the bystander invariant — campaigns compare these snapshots
+/// across runs and members).
+pub fn member_snapshot(w: &World, host: HostId, addr: u64, len: usize) -> Vec<u8> {
+    w.hosts[host.0]
+        .mem
+        .read_vec(addr, len)
+        .expect("member region readable")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bystander_probe_detects_divergence() {
+        let a = BystanderProbe::new();
+        let b = BystanderProbe::new();
+        a.record(0, 100);
+        b.record(0, 100);
+        a.assert_identical_to(&b, "unit");
+        a.record(1, 200);
+        b.record(1, 201);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.assert_identical_to(&b, "unit")
+        }));
+        assert!(r.is_err(), "divergent latency vectors must panic");
+        assert_eq!(a.latencies(), vec![(0, 100), (1, 200)]);
+        assert_eq!(a.failed(), 0);
+    }
 
     #[test]
     fn same_seed_same_schedule() {

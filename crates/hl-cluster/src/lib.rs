@@ -21,6 +21,7 @@
 
 pub mod chaos;
 pub mod exec;
+pub mod migrate;
 pub mod shard;
 
 use hl_cpu::{CpuOutput, HostCpu, ProcId};

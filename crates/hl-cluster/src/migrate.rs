@@ -1,0 +1,421 @@
+//! Shard migration state machine and its checkable shadow model.
+//!
+//! A live split/merge walks five stages:
+//!
+//! ```text
+//! Planned → Streaming → Draining → CutOver → Retired
+//! ```
+//!
+//! * **Planned** — the destination chain is placed and the donor's
+//!   dirty-range log is armed; no data has moved.
+//! * **Streaming** — the bulk of the moving range is copied to the
+//!   destination with chunked one-sided READs while the donor keeps
+//!   serving; every concurrent write lands in the donor's region *and*
+//!   the dirty log.
+//! * **Draining** — the router opens the dual window: new operations on
+//!   moving keys park in arrival order, in-flight donor ops drain
+//!   (bounded).
+//! * **CutOver** — the dirty delta is copied, the ring flips atomically
+//!   and parked operations replay onto the post-cutover owner. This
+//!   stage is the commit point: before it the source is authoritative,
+//!   from it on the destination is.
+//! * **Retired** — the migration object is dismantled (for a merge, the
+//!   victim chain is torn down).
+//!
+//! The driver that executes this against a real cluster lives in the
+//! `hyperloop` crate (it needs clients and the router); this module
+//! keeps the *protocol* — legal transitions, who is authoritative
+//! where, and what a crash at each point must do — as plain data so the
+//! model checker can enumerate every fault point exhaustively without
+//! standing up a simulator.
+
+use std::collections::BTreeMap;
+
+/// The five stages of a live shard migration, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MigrationStage {
+    /// Destination placed, dirty log armed, nothing copied yet.
+    Planned,
+    /// Bulk copy in flight; donor still serves all traffic.
+    Streaming,
+    /// Dual window open: moving-key ops park, donor drains.
+    Draining,
+    /// Commit point: delta copied, ring flipped, parked ops replayed.
+    CutOver,
+    /// Migration dismantled; for a merge the victim chain is torn down.
+    Retired,
+}
+
+impl MigrationStage {
+    /// All stages in protocol order (for exhaustive enumeration).
+    pub const ALL: [MigrationStage; 5] = [
+        MigrationStage::Planned,
+        MigrationStage::Streaming,
+        MigrationStage::Draining,
+        MigrationStage::CutOver,
+        MigrationStage::Retired,
+    ];
+
+    /// Stage name as it appears in telemetry transitions.
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationStage::Planned => "planned",
+            MigrationStage::Streaming => "streaming",
+            MigrationStage::Draining => "draining",
+            MigrationStage::CutOver => "cutover",
+            MigrationStage::Retired => "retired",
+        }
+    }
+
+    /// The next stage, if any.
+    pub fn next(self) -> Option<MigrationStage> {
+        match self {
+            MigrationStage::Planned => Some(MigrationStage::Streaming),
+            MigrationStage::Streaming => Some(MigrationStage::Draining),
+            MigrationStage::Draining => Some(MigrationStage::CutOver),
+            MigrationStage::CutOver => Some(MigrationStage::Retired),
+            MigrationStage::Retired => None,
+        }
+    }
+
+    /// True once the commit point has been passed: the destination is
+    /// authoritative for the moving range from `CutOver` on.
+    pub fn dest_authoritative(self) -> bool {
+        matches!(self, MigrationStage::CutOver | MigrationStage::Retired)
+    }
+}
+
+/// The three processes whose crash the protocol must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationActor {
+    /// Head (client/coordinator) of the donor chain.
+    SourceHead,
+    /// Head of the freshly built destination chain.
+    DestHead,
+    /// The frontend routing process holding the dual window.
+    Router,
+}
+
+impl MigrationActor {
+    /// All actors (for exhaustive enumeration).
+    pub const ALL: [MigrationActor; 3] = [
+        MigrationActor::SourceHead,
+        MigrationActor::DestHead,
+        MigrationActor::Router,
+    ];
+}
+
+/// What recovery does after `actor` crashes while the migration sits in
+/// `stage`. Chain replication makes each side individually durable
+/// (a crashed head rebuilds from its replicas); the only protocol-level
+/// question is which side owns the moving range afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOutcome {
+    /// Migration aborts: the destination is discarded, parked ops
+    /// re-issue onto the source, the source remains authoritative.
+    AbortToSource,
+    /// Migration is already committed: the destination is
+    /// authoritative; the crashed process recovers independently and
+    /// parked ops replay onto the destination.
+    CommittedToDest,
+}
+
+/// The recovery rule table: before the commit point every crash aborts
+/// back to the source (nothing the destination holds is authoritative
+/// yet); from `CutOver` on the flip has happened and every crash
+/// resolves toward the destination.
+pub fn on_crash(stage: MigrationStage, _actor: MigrationActor) -> CrashOutcome {
+    if stage.dest_authoritative() {
+        CrashOutcome::CommittedToDest
+    } else {
+        CrashOutcome::AbortToSource
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executable shadow model
+// ---------------------------------------------------------------------------
+
+/// A checkable shadow model of one migration: keys are `u64`, each
+/// applied operation is a unique id appended to its key's history, and
+/// state transfer copies histories wholesale (byte-copy semantics —
+/// idempotent overwrite, unlike *applying* an op twice, which the model
+/// flags). After the run, [`MigrationModel::check`] asserts every
+/// issued op appears exactly once in the final owner's history.
+#[derive(Debug)]
+pub struct MigrationModel {
+    stage: MigrationStage,
+    aborted: bool,
+    /// Key → applied op ids, donor side.
+    src: BTreeMap<u64, Vec<u64>>,
+    /// Key → applied op ids, destination side.
+    dest: BTreeMap<u64, Vec<u64>>,
+    /// Ops parked by the router during the dual window.
+    parked: Vec<(u64, u64)>,
+    /// Dirty log: keys written since the log was armed (the real log is
+    /// offset ranges; keys stand in for ranges here).
+    dirty: Vec<u64>,
+    /// Every op ever issued, `(key, op id)`.
+    issued: Vec<(u64, u64)>,
+    next_op: u64,
+}
+
+impl MigrationModel {
+    /// A model at `Planned` with the dirty log armed (arming precedes
+    /// any copy, exactly as the driver orders it).
+    pub fn new() -> Self {
+        MigrationModel {
+            stage: MigrationStage::Planned,
+            aborted: false,
+            src: BTreeMap::new(),
+            dest: BTreeMap::new(),
+            parked: Vec::new(),
+            dirty: Vec::new(),
+            issued: Vec::new(),
+            next_op: 0,
+        }
+    }
+
+    /// Current stage.
+    pub fn stage(&self) -> MigrationStage {
+        self.stage
+    }
+
+    /// True once a crash rolled the migration back to the source.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Pre-populate `key` on the source (state that existed before the
+    /// migration was planned). Not recorded as an issued op.
+    pub fn seed(&mut self, key: u64) {
+        self.src.entry(key).or_default();
+    }
+
+    /// Issue a client write to `key` on behalf of the key's owner.
+    /// `moving` says whether the key belongs to the moving range.
+    /// Returns the op id.
+    pub fn issue(&mut self, key: u64, moving: bool) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.issued.push((key, op));
+        match self.stage {
+            // Before the window opens every op applies at the source;
+            // while streaming it is also captured by the dirty log.
+            MigrationStage::Planned | MigrationStage::Streaming => {
+                self.src.entry(key).or_default().push(op);
+                self.dirty.push(key);
+            }
+            // In the dual window moving keys park unapplied; bystander
+            // keys flow to the source untouched.
+            MigrationStage::Draining => {
+                if moving {
+                    self.parked.push((key, op));
+                } else {
+                    self.src.entry(key).or_default().push(op);
+                    self.dirty.push(key);
+                }
+            }
+            // Post-flip the destination owns the moving range.
+            MigrationStage::CutOver | MigrationStage::Retired => {
+                let side = if moving && !self.aborted {
+                    &mut self.dest
+                } else {
+                    &mut self.src
+                };
+                side.entry(key).or_default().push(op);
+            }
+        }
+        op
+    }
+
+    /// Advance one stage, performing that stage's state transfer:
+    /// entering `Streaming` copies the bulk snapshot, entering
+    /// `CutOver` copies the dirty delta, flips and replays parked ops
+    /// (the driver performs these as one atomic event-time step).
+    pub fn advance(&mut self, moving: impl Fn(u64) -> bool) {
+        assert!(!self.aborted, "cannot advance an aborted migration");
+        let next = self.stage.next().expect("advance past Retired");
+        match next {
+            MigrationStage::Streaming => {
+                // Bulk copy: overwrite the destination's image of every
+                // moving key with the source's current history.
+                let snap: Vec<(u64, Vec<u64>)> = self
+                    .src
+                    .iter()
+                    .filter(|(k, _)| moving(**k))
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect();
+                for (k, v) in snap {
+                    self.dest.insert(k, v);
+                }
+            }
+            MigrationStage::CutOver => {
+                // Delta copy: only keys dirtied since the log was armed
+                // (an idempotent overwrite — re-copying a key the bulk
+                // already carried is harmless).
+                let dirty = std::mem::take(&mut self.dirty);
+                for k in dirty {
+                    if moving(k) {
+                        let v = self.src.get(&k).cloned().unwrap_or_default();
+                        self.dest.insert(k, v);
+                    }
+                }
+                // Flip, then replay parked ops onto the new owner.
+                let parked = std::mem::take(&mut self.parked);
+                for (k, op) in parked {
+                    self.dest.entry(k).or_default().push(op);
+                }
+            }
+            MigrationStage::Draining | MigrationStage::Retired => {}
+            MigrationStage::Planned => unreachable!(),
+        }
+        self.stage = next;
+    }
+
+    /// Crash `actor` at the current stage and run recovery per
+    /// [`on_crash`]. Chain durability keeps each side's applied state;
+    /// the parked queue is re-issued (exactly once) onto whichever side
+    /// recovery made authoritative.
+    pub fn crash(&mut self, actor: MigrationActor) -> CrashOutcome {
+        let outcome = on_crash(self.stage, actor);
+        let parked = std::mem::take(&mut self.parked);
+        match outcome {
+            CrashOutcome::AbortToSource => {
+                // Destination discarded; nothing applied there was
+                // authoritative. Parked ops re-issue onto the source.
+                self.dest.clear();
+                self.dirty.clear();
+                for (k, op) in parked {
+                    self.src.entry(k).or_default().push(op);
+                }
+                self.aborted = true;
+                self.stage = MigrationStage::Retired;
+            }
+            CrashOutcome::CommittedToDest => {
+                // Flip already happened; a straggling parked queue (the
+                // router died mid-replay) replays onto the destination.
+                for (k, op) in parked {
+                    self.dest.entry(k).or_default().push(op);
+                }
+                self.stage = MigrationStage::Retired;
+            }
+        }
+        outcome
+    }
+
+    /// Verify the end state: every issued op id appears **exactly
+    /// once** in its key's final-owner history — no op lost, none
+    /// double-applied — and no op leaked onto the non-owning side.
+    pub fn check(&self, moving: impl Fn(u64) -> bool) -> Result<(), String> {
+        assert_eq!(self.stage, MigrationStage::Retired, "run not finished");
+        let dest_owns = !self.aborted;
+        for &(key, op) in &self.issued {
+            let owner = if moving(key) && dest_owns {
+                &self.dest
+            } else {
+                &self.src
+            };
+            let n = owner
+                .get(&key)
+                .map(|h| h.iter().filter(|&&o| o == op).count())
+                .unwrap_or(0);
+            if n == 0 {
+                return Err(format!("op {op} on key {key} lost"));
+            }
+            if n > 1 {
+                return Err(format!("op {op} on key {key} applied {n} times"));
+            }
+        }
+        // A committed migration must actually have transferred every
+        // pre-cutover write: the destination history of each moving key
+        // equals the source's (the copies were overwrites of it).
+        if dest_owns {
+            for (k, hist) in &self.src {
+                if moving(*k) {
+                    let d = self.dest.get(k).cloned().unwrap_or_default();
+                    if !hist.iter().all(|op| d.contains(op)) {
+                        return Err(format!("moving key {k} missing source history at dest"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moving(k: u64) -> bool {
+        k % 2 == 1
+    }
+
+    #[test]
+    fn stage_order_and_names() {
+        let mut s = MigrationStage::Planned;
+        let mut names = vec![s.name()];
+        while let Some(n) = s.next() {
+            s = n;
+            names.push(s.name());
+        }
+        assert_eq!(
+            names,
+            ["planned", "streaming", "draining", "cutover", "retired"]
+        );
+        assert!(!MigrationStage::Draining.dest_authoritative());
+        assert!(MigrationStage::CutOver.dest_authoritative());
+    }
+
+    #[test]
+    fn faultless_run_applies_every_op_once() {
+        let mut m = MigrationModel::new();
+        for k in 0..8 {
+            m.seed(k);
+        }
+        m.issue(1, true);
+        m.issue(2, false);
+        m.advance(moving); // Streaming
+        m.issue(3, true);
+        m.advance(moving); // Draining
+        m.issue(5, true); // parks
+        m.issue(4, false);
+        m.advance(moving); // CutOver: delta + flip + replay
+        m.issue(7, true); // lands on dest
+        m.advance(moving); // Retired
+        m.check(moving).unwrap();
+    }
+
+    #[test]
+    fn crash_before_cutover_aborts_to_source() {
+        let mut m = MigrationModel::new();
+        m.issue(1, true);
+        m.advance(moving);
+        m.advance(moving); // Draining
+        m.issue(3, true); // parks
+        let out = m.crash(MigrationActor::DestHead);
+        assert_eq!(out, CrashOutcome::AbortToSource);
+        m.issue(5, true); // post-abort ops stay on source
+        m.check(moving).unwrap();
+    }
+
+    #[test]
+    fn crash_after_cutover_stays_committed() {
+        let mut m = MigrationModel::new();
+        m.issue(1, true);
+        m.advance(moving);
+        m.advance(moving);
+        m.advance(moving); // CutOver
+        let out = m.crash(MigrationActor::SourceHead);
+        assert_eq!(out, CrashOutcome::CommittedToDest);
+        m.issue(3, true);
+        m.check(moving).unwrap();
+    }
+}

@@ -51,11 +51,13 @@ fn point(salt: u64, id: u64, v: u64) -> u64 {
 }
 
 /// Consistent-hash ring mapping keys to shard ids `0..n_shards`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HashRing {
     /// Sorted `(ring point, shard id)` pairs.
     points: Vec<(u64, u32)>,
     n_shards: usize,
+    /// Vnodes per shard at construction (split candidates reuse it).
+    vnodes: usize,
 }
 
 impl HashRing {
@@ -81,7 +83,11 @@ impl HashRing {
             }
         }
         points.sort_unstable();
-        HashRing { points, n_shards }
+        HashRing {
+            points,
+            n_shards,
+            vnodes,
+        }
     }
 
     /// Number of shards.
@@ -89,17 +95,83 @@ impl HashRing {
         self.n_shards
     }
 
-    /// Shard owning `key` (successor of the key's hash on the ring).
-    pub fn shard_of(&self, key: &[u8]) -> usize {
-        let h = fnv1a(key);
+    /// Owner of ring position `h` (successor lookup with wrap).
+    fn owner_at(&self, h: u64) -> usize {
         let i = self.points.partition_point(|&(p, _)| p < h);
         let i = if i == self.points.len() { 0 } else { i };
         self.points[i].1 as usize
     }
 
+    /// Shard owning `key` (successor of the key's hash on the ring).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.owner_at(fnv1a(key))
+    }
+
     /// Shard owning a `u64` key (hashes its little-endian bytes).
     pub fn shard_of_u64(&self, key: u64) -> usize {
         self.shard_of(&key.to_le_bytes())
+    }
+
+    /// The ring after splitting `parent`: shard `n_shards` is stood up
+    /// with the subset of its candidate points that currently land in
+    /// `parent`'s arcs, so the only keys that change owner move
+    /// `parent → new shard` — a *single-source* split. (A plain
+    /// `HashRing::new(n+1)` would instead make every shard a donor,
+    /// which an online migration cannot stream from one chain.)
+    ///
+    /// Ownership of every other key is untouched because the surviving
+    /// shards' points are byte-identical and the new points subdivide
+    /// only arcs `parent` already owned.
+    pub fn split_shard(&self, parent: usize) -> HashRing {
+        assert!(parent < self.n_shards, "split of unknown shard {parent}");
+        let new_id = self.n_shards as u64;
+        let mut points = self.points.clone();
+        let mut kept = 0usize;
+        for v in 0..self.vnodes as u64 {
+            let p = point(SHARD_SALT, new_id, v);
+            // Keys that would map to this candidate point sit in the arc
+            // ending at `p`; their current owner is the successor of `p`
+            // on the existing ring.
+            if self.owner_at(p) == parent {
+                points.push((p, new_id as u32));
+                kept += 1;
+            }
+        }
+        assert!(
+            kept > 0,
+            "split of shard {parent} kept no ring points (vnodes too low)"
+        );
+        points.sort_unstable();
+        HashRing {
+            points,
+            n_shards: self.n_shards + 1,
+            vnodes: self.vnodes,
+        }
+    }
+
+    /// The ring after merging the *last* shard into survivor `into`:
+    /// the victim's points stay on the ring relabelled to `into`, so
+    /// every key the victim owned moves to `into` — a *single-dest*
+    /// merge the survivor chain can absorb in one stream — and no other
+    /// key moves. Requiring the victim to be the highest shard id keeps
+    /// surviving ids dense (`0..n-1` still index the shard vectors).
+    pub fn merge_shard(&self, victim: usize, into: usize) -> HashRing {
+        assert_eq!(
+            victim,
+            self.n_shards - 1,
+            "merge retires the last shard id so survivors keep their ids"
+        );
+        assert!(into < victim, "merge target must be a surviving shard");
+        let points = self
+            .points
+            .iter()
+            .map(|&(p, s)| (p, if s as usize == victim { into as u32 } else { s }))
+            .collect();
+        HashRing {
+            points,
+            n_shards: self.n_shards - 1,
+            vnodes: self.vnodes,
+        }
     }
 }
 
@@ -273,6 +345,55 @@ mod tests {
             frac > 0.5 * ideal && frac < 2.0 * ideal,
             "moved fraction {frac:.4} vs ideal {ideal:.4}"
         );
+    }
+
+    #[test]
+    fn split_moves_only_parent_keys_onto_the_new_shard() {
+        let old = HashRing::new(4);
+        let new = old.split_shard(2);
+        assert_eq!(new.n_shards(), 5);
+        const KEYS: u64 = 64_000;
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let (a, b) = (old.shard_of_u64(k), new.shard_of_u64(k));
+            if a != b {
+                moved += 1;
+                assert_eq!(a, 2, "key {k} moved out of shard {a}, not the parent");
+                assert_eq!(b, 4, "key {k} moved {a}->{b}, not onto the new shard");
+            }
+        }
+        // The new shard's points subdivide the parent's arcs, so it
+        // takes a healthy fraction of the parent's share (~half) and
+        // nothing else.
+        let parent_share = (0..KEYS).filter(|&k| old.shard_of_u64(k) == 2).count() as u64;
+        assert!(
+            moved > parent_share / 5 && moved < parent_share,
+            "moved {moved} of parent's {parent_share} keys"
+        );
+    }
+
+    #[test]
+    fn merge_moves_only_victim_keys_onto_the_survivor() {
+        let old = HashRing::new(5);
+        let new = old.merge_shard(4, 1);
+        assert_eq!(new.n_shards(), 4);
+        for k in 0u64..64_000 {
+            let (a, b) = (old.shard_of_u64(k), new.shard_of_u64(k));
+            if a != b {
+                assert_eq!(a, 4, "key {k} moved out of shard {a}, not the victim");
+                assert_eq!(b, 1, "key {k} moved {a}->{b}, not onto the survivor");
+            }
+        }
+    }
+
+    #[test]
+    fn split_then_merge_back_restores_ownership() {
+        let base = HashRing::new(3);
+        let split = base.split_shard(0);
+        let merged = split.merge_shard(3, 0);
+        for k in 0u64..32_000 {
+            assert_eq!(base.shard_of_u64(k), merged.shard_of_u64(k), "key {k}");
+        }
     }
 
     #[test]

@@ -119,6 +119,69 @@ impl<C: GroupClient + 'static> ShardedKv<C> {
         all.truncate(limit);
         all
     }
+
+    /// Entries of shard `sid` whose owner changes under `next_ring` —
+    /// the moving set a split or merge must re-home.
+    pub fn moving_entries(&self, sid: usize, next_ring: &HashRing) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.shards[sid]
+            .scan(b"", usize::MAX)
+            .into_iter()
+            .filter(|(k, _)| next_ring.shard_of(k) != sid)
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect()
+    }
+
+    /// Split shard `parent`: extract its moving entries (the split ring
+    /// moves keys only `parent → new`, so no other shard is touched),
+    /// write each durably through `new_db`'s replicated log, delete it
+    /// from the parent's log, then install the split ring. Returns the
+    /// number of re-homed keys.
+    ///
+    /// A `Backpressure` error leaves the re-home incomplete (the ring is
+    /// only installed after every entry lands); size the logs for the
+    /// moving set or retry from a snapshot.
+    pub fn split_install(
+        &mut self,
+        parent: usize,
+        new_db: KvDb<C>,
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) -> Result<usize, Backpressure> {
+        let next = self.ring.split_shard(parent);
+        let moving = self.moving_entries(parent, &next);
+        self.shards.push(new_db);
+        let new_sid = self.shards.len() - 1;
+        for (k, v) in &moving {
+            debug_assert_eq!(next.shard_of(k), new_sid, "split moved a key off-target");
+            self.shards[new_sid].put(w, eng, k, v, Box::new(|_, _, _| {}))?;
+            self.shards[parent].delete(w, eng, k, Box::new(|_, _, _| {}))?;
+        }
+        self.ring = next;
+        Ok(moving.len())
+    }
+
+    /// Merge the **last** shard into survivor `into`: re-home every one
+    /// of the victim's entries through the survivor's replicated log
+    /// (the merge ring relabels all victim points to `into`, so the
+    /// survivor is the single destination), install the merged ring and
+    /// return the retired [`KvDb`] so its group can be torn down.
+    pub fn merge_install(
+        &mut self,
+        into: usize,
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) -> Result<(usize, KvDb<C>), Backpressure> {
+        let victim = self.shards.len() - 1;
+        let next = self.ring.merge_shard(victim, into);
+        let moving = self.moving_entries(victim, &next);
+        for (k, v) in &moving {
+            debug_assert_eq!(next.shard_of(k), into, "merge moved a key off-target");
+            self.shards[into].put(w, eng, k, v, Box::new(|_, _, _| {}))?;
+        }
+        let retired = self.shards.pop().expect("victim shard present");
+        self.ring = next;
+        Ok((moving.len(), retired))
+    }
 }
 
 /// A document store partitioned over per-shard [`DocStore`] instances;
@@ -185,5 +248,70 @@ impl<C: GroupClient + 'static> ShardedDoc<C> {
     /// Committed operations summed across shards.
     pub fn committed(&self) -> u64 {
         self.shards.iter().map(|s| s.committed()).sum()
+    }
+
+    /// Of the candidate `ids` (document ids are journaled, not
+    /// enumerable — the catalog supplies the universe), those owned by
+    /// shard `sid` today whose owner changes under `next_ring`.
+    pub fn moving_ids(&self, sid: usize, next_ring: &HashRing, ids: &[u64]) -> Vec<u64> {
+        ids.iter()
+            .copied()
+            .filter(|&id| self.shard_of(id) == sid && next_ring.shard_of_u64(id) != sid)
+            .collect()
+    }
+
+    /// Split shard `parent`: copy each moving document (read from the
+    /// parent's client region, journaled upsert into `new_store`), then
+    /// install the split ring. The parent's stale copies become
+    /// unreachable through routing. Returns the re-homed ids.
+    pub fn split_install(
+        &mut self,
+        parent: usize,
+        new_store: DocStore<C>,
+        ids: &[u64],
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) -> Result<Vec<u64>, Backpressure> {
+        let next = self.ring.split_shard(parent);
+        let moving = self.moving_ids(parent, &next, ids);
+        self.shards.push(new_store);
+        let new_sid = self.shards.len() - 1;
+        for &id in &moving {
+            debug_assert_eq!(
+                next.shard_of_u64(id),
+                new_sid,
+                "split moved a doc off-target"
+            );
+            if let Some(doc) = self.shards[parent].read(w, id) {
+                self.shards[new_sid].upsert(w, eng, &doc, Box::new(|_, _, _| {}))?;
+            }
+        }
+        self.ring = next;
+        Ok(moving)
+    }
+
+    /// Merge the **last** shard into survivor `into`: copy each of the
+    /// victim's documents into the survivor (journaled upsert), install
+    /// the merged ring and return the retired [`DocStore`] for group
+    /// teardown.
+    pub fn merge_install(
+        &mut self,
+        into: usize,
+        ids: &[u64],
+        w: &mut World,
+        eng: &mut Engine<World>,
+    ) -> Result<(Vec<u64>, DocStore<C>), Backpressure> {
+        let victim = self.shards.len() - 1;
+        let next = self.ring.merge_shard(victim, into);
+        let moving = self.moving_ids(victim, &next, ids);
+        for &id in &moving {
+            debug_assert_eq!(next.shard_of_u64(id), into, "merge moved a doc off-target");
+            if let Some(doc) = self.shards[victim].read(w, id) {
+                self.shards[into].upsert(w, eng, &doc, Box::new(|_, _, _| {}))?;
+            }
+        }
+        let retired = self.shards.pop().expect("victim shard present");
+        self.ring = next;
+        Ok((moving, retired))
     }
 }

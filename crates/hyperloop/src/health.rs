@@ -430,7 +430,7 @@ fn start_promote(m: &Rc<RefCell<MonitorInner>>, w: &mut World, eng: &mut Engine<
 /// How long the drain phase polls for outstanding supervised ops
 /// before proceeding anyway (under loss, in-flight ops may never reach
 /// zero within any bound; re-issue on the new chain covers them).
-const DRAIN_POLLS: u32 = 20;
+pub(crate) const DRAIN_POLLS: u32 = 20;
 const DRAIN_POLL_PERIOD: SimDuration = SimDuration::from_micros(100);
 
 /// Cut the supervised group over to a freshly built offloaded chain
@@ -558,11 +558,17 @@ pub fn live_cutover(
     }
 }
 
-type OnDrained = Box<dyn FnOnce(&mut World, &mut Engine<World>)>;
+pub(crate) type OnDrained = Box<dyn FnOnce(&mut World, &mut Engine<World>)>;
 
 /// Poll until no supervised ops are outstanding, or the poll budget is
-/// spent — then run `then`.
-fn drain_then(retry: RetryClient, polls_left: u32, eng: &mut Engine<World>, then: OnDrained) {
+/// spent — then run `then`. Shared with the migration driver, whose
+/// drain phase is the same bounded wait.
+pub(crate) fn drain_then(
+    retry: RetryClient,
+    polls_left: u32,
+    eng: &mut Engine<World>,
+    then: OnDrained,
+) {
     eng.schedule(DRAIN_POLL_PERIOD, move |w: &mut World, eng| {
         if retry.outstanding() == 0 || polls_left == 0 {
             then(w, eng);

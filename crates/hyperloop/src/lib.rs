@@ -44,6 +44,7 @@ pub mod fanout;
 mod group;
 pub mod health;
 pub mod metadata;
+pub mod migrate;
 pub mod multi;
 pub mod naive;
 pub mod recovery;
@@ -58,5 +59,6 @@ pub use group::{
 };
 pub use health::{HealthConfig, HealthMonitor, HealthState};
 pub use metadata::Primitive;
+pub use migrate::{merge_live, split_live, MigrationSpec, OnMigrated};
 pub use router::ShardRouter;
 pub use slo::{SloEngine, SloRule};

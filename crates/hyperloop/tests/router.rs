@@ -99,6 +99,117 @@ fn growth_remaps_only_one_over_n_keys() {
     );
 }
 
+/// Shrinking 9 → 8 shards with `merge_shard` remaps *only* the removed
+/// shard's keys, and every one of them lands on the designated
+/// survivor — no bystander shard gains or loses a single key.
+#[test]
+fn shrink_remaps_removed_shard_keys_onto_survivor_only() {
+    let r9 = HashRing::new(9);
+    let merged = r9.merge_shard(8, 3);
+    assert_eq!(merged.n_shards(), 8);
+    const KEYS: u64 = 64 * 1024;
+    let mut moved = 0u64;
+    for k in 0..KEYS {
+        let (a, b) = (r9.shard_of_u64(k), merged.shard_of_u64(k));
+        if a == 8 {
+            assert_eq!(b, 3, "key {k} of the removed shard missed the survivor");
+            moved += 1;
+        } else {
+            assert_eq!(a, b, "key {k} moved {a}->{b} though its shard survives");
+        }
+    }
+    let ideal = KEYS as f64 / 9.0;
+    assert!(
+        (moved as f64) > 0.5 * ideal && (moved as f64) < 2.0 * ideal,
+        "moved {moved} keys; ideal ~{ideal:.0}"
+    );
+}
+
+/// Live shrink through the dual window: a write for a key the merge
+/// moves parks while the window is open, and the install replays it
+/// onto the surviving owner — the removed shard's chain never sees it.
+#[test]
+fn merge_window_replays_parked_writes_onto_survivor() {
+    let (mut w, mut eng, router) = build_router(3);
+    let merged_ring = router.ring().merge_shard(2, 0);
+
+    // One key the merge moves (2 -> 0) and one owned by a bystander.
+    let k_move = (0..u64::MAX)
+        .find(|&k| router.shard_of_u64(k) == 2 && merged_ring.shard_of_u64(k) == 0)
+        .unwrap();
+    let k_stay = (0..u64::MAX)
+        .find(|&k| router.shard_of_u64(k) == 1 && merged_ring.shard_of_u64(k) == 1)
+        .unwrap();
+    let victim = router.client(2).client();
+
+    router.open_window(merged_ring.clone());
+    let done_move = Rc::new(RefCell::new(false));
+    let done_stay = Rc::new(RefCell::new(false));
+    {
+        let d = done_move.clone();
+        router.gwrite_keyed(
+            &mut w,
+            &mut eng,
+            &k_move.to_le_bytes(),
+            128,
+            &[0xAB; 32],
+            true,
+            Box::new(move |_w, _e, r| {
+                r.expect("replayed write must complete");
+                *d.borrow_mut() = true;
+            }),
+        );
+    }
+    {
+        let d = done_stay.clone();
+        router.gwrite_keyed(
+            &mut w,
+            &mut eng,
+            &k_stay.to_le_bytes(),
+            256,
+            &[0xCD; 32],
+            true,
+            Box::new(move |_w, _e, r| {
+                r.expect("bystander write must complete");
+                *d.borrow_mut() = true;
+            }),
+        );
+    }
+    assert_eq!(router.parked(), 1, "moving-key write must park");
+    let ds = done_stay.clone();
+    eng.run_while(&mut w, move |_| !*ds.borrow());
+    assert!(
+        !*done_move.borrow(),
+        "parked write completed before the flip"
+    );
+
+    let survivors = vec![router.client(0), router.client(1)];
+    router.install(&mut w, &mut eng, merged_ring, survivors);
+    assert_eq!(router.epoch(), 1);
+    assert_eq!(router.parked(), 0);
+    let dm = done_move.clone();
+    eng.run_while(&mut w, move |_| !*dm.borrow());
+
+    // Payload on every member of the survivor; the removed chain clean.
+    let survivor = router.client(0).client();
+    for m in 0..survivor.group_size() {
+        let host = survivor.member_host(m);
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(survivor.member_addr(m, 128), 32)
+            .unwrap();
+        assert_eq!(got, vec![0xAB; 32], "survivor member {m} missing replay");
+    }
+    for m in 0..victim.group_size() {
+        let host = victim.member_host(m);
+        let got = w.hosts[host.0]
+            .mem
+            .read_vec(victim.member_addr(m, 128), 32)
+            .unwrap();
+        assert_eq!(got, vec![0u8; 32], "removed shard member {m} saw the write");
+    }
+}
+
 /// Keyed writes reach the owning shard's replicas (and only that
 /// shard), and the router's telemetry counters account for every issue
 /// under `shard=<n>` labels.

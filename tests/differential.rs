@@ -480,6 +480,129 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Mid-sequence migration: the oracle with a SplitAt(op_idx) marker.
+// ---------------------------------------------------------------------
+
+/// Hosts for the split-off shard's chain (past the two-shard pool).
+fn split_dest_group() -> ShardGroup {
+    ShardGroup {
+        shard: 2,
+        client: HostId(2 * G),
+        replicas: (1..G).map(|i| HostId(2 * G + i)).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `SplitAt(op_idx)`: the sharded oracle with a live migration in
+    /// the middle of the sequence. The HyperLoop side runs the *real*
+    /// [`split_live`] protocol (dirty log, streamed catch-up, dual
+    /// window, router flip) between ops `split_at - 1` and `split_at`;
+    /// the baseline side models the same split at spec level (copy the
+    /// donor region, swap in the split ring). Afterwards both sides
+    /// route by the identical three-shard ring, so every member of
+    /// every shard — including the freshly stood-up one — must be
+    /// byte-identical across backends.
+    #[test]
+    fn sharded_backends_agree_with_mid_sequence_split(
+        ops in pvec(op_strategy(), 8..33),
+        split_frac in 0usize..100,
+        parent in 0usize..2,
+    ) {
+        use hyperloop_repro::hyperloop::{split_live, MigrationSpec};
+
+        let split_at = split_frac * ops.len() / 100;
+        let plan = two_shard_plan();
+        let dest = split_dest_group();
+        let n_hosts = 3 * G;
+
+        // HyperLoop side: drive to the split point, run the live
+        // migration to completion (closed loop: no concurrent traffic,
+        // so the delta is empty and the dest region is an exact donor
+        // snapshot), then drive the rest through the flipped router.
+        let (mut hw, mut he) = fresh_world(n_hosts);
+        let hl_clients: Vec<HyperLoopClient> = plan
+            .groups
+            .iter()
+            .map(|g| build_hl_shard(g, &mut hw, &mut he))
+            .collect();
+        let router = Rc::new(ShardRouter::new(
+            hl_clients.iter().cloned().map(RetryClient::new).collect(),
+        ));
+        let mut hl_obs = drive_router(&router, &ops[..split_at], &mut hw, &mut he);
+        let migrated = Rc::new(RefCell::new(false));
+        {
+            let m = migrated.clone();
+            split_live(
+                &router,
+                parent,
+                dest.clone(),
+                MigrationSpec::default(),
+                &mut hw,
+                &mut he,
+                Box::new(move |_w, _e| *m.borrow_mut() = true),
+            );
+        }
+        let m2 = migrated.clone();
+        he.run_while(&mut hw, move |_| !*m2.borrow());
+        prop_assert!(*migrated.borrow(), "split did not complete");
+        prop_assert_eq!(router.epoch(), 1);
+        hl_obs.extend(drive_router(&router, &ops[split_at..], &mut hw, &mut he));
+        prop_assert_eq!(router.failures().len(), 0, "fault-free run must not fail ops");
+        let ring3 = router.ring();
+        prop_assert_eq!(ring3.n_shards(), 3);
+
+        // Baseline side: the same split at spec level.
+        let ring2 = HashRing::new(2);
+        prop_assert_eq!(&ring3, &ring2.split_shard(parent));
+        let (mut nw, mut ne) = fresh_world(n_hosts);
+        let mut nv_clients: Vec<Rc<NaiveClient>> = plan
+            .groups
+            .iter()
+            .map(|g| Rc::new(build_naive_shard(g, &mut nw, &mut ne)))
+            .collect();
+        let mut nv_obs = drive_clients(&nv_clients, &ring2, &ops[..split_at], &mut nw, &mut ne);
+        let nv_dest = Rc::new(build_naive_shard(&dest, &mut nw, &mut ne));
+        {
+            // Spec-level migration: the dest region becomes a byte copy
+            // of the donor head's region on every new member.
+            let donor = &nv_clients[parent];
+            let src = nw.hosts[donor.member_host(0).0]
+                .mem
+                .read_vec(donor.member_addr(0, 0), REP_BYTES as usize)
+                .unwrap();
+            for m in 0..nv_dest.group_size() {
+                let host = nv_dest.member_host(m);
+                let addr = nv_dest.member_addr(m, 0);
+                nw.hosts[host.0].mem.write(addr, &src).unwrap();
+            }
+        }
+        nv_clients.push(nv_dest);
+        nv_obs.extend(drive_clients(&nv_clients, &ring3, &ops[split_at..], &mut nw, &mut ne));
+
+        prop_assert_eq!(&hl_obs, &nv_obs, "gCAS observations diverged across the split");
+
+        for (sid, nv_client) in nv_clients.iter().enumerate() {
+            let hl_members = member_regions(&router.client(sid).client(), &hw);
+            let nv_members = member_regions(nv_client.as_ref(), &nw);
+            for m in 0..G {
+                let mm = first_mismatch(&hl_members[m], &nv_members[m]);
+                prop_assert!(
+                    mm.is_none(),
+                    "shard {} member {} NVM diverged between backends at byte {:?} \
+                     (split_at {} of {}, parent {})",
+                    sid, m, mm, split_at, ops.len(), parent
+                );
+            }
+        }
+
+        assert_race_free(&hw, "split hyperloop world");
+        assert_race_free(&nw, "split naive world");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Threaded 8-shard configuration: the oracle under the ShardExecutor.
 // ---------------------------------------------------------------------
 

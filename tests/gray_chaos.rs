@@ -22,7 +22,7 @@
 //! 5. **Determinism** — gray campaigns re-run on the same seed yield
 //!    byte-identical Chrome traces and metrics renders.
 
-use hyperloop_repro::cluster::chaos::{FaultEvent, FaultKind, FaultSchedule};
+use hyperloop_repro::cluster::chaos::{member_snapshot, FaultEvent, FaultKind, FaultSchedule};
 use hyperloop_repro::cluster::{ClusterBuilder, World};
 use hyperloop_repro::fabric::HostId;
 use hyperloop_repro::hyperloop::api::GroupClient;
@@ -199,12 +199,12 @@ fn naive_control_bytes(seed: u64, n_ops: usize) -> Vec<u8> {
 }
 
 fn member_bytes<C: GroupClient>(client: &C, m: usize, w: &World) -> Vec<u8> {
-    let host = client.member_host(m);
-    let addr = client.member_addr(m, 0);
-    w.hosts[host.0]
-        .mem
-        .read_vec(addr, REP_BYTES as usize)
-        .unwrap()
+    member_snapshot(
+        w,
+        client.member_host(m),
+        client.member_addr(m, 0),
+        REP_BYTES as usize,
+    )
 }
 
 fn mark_time(w: &World, name: &str) -> Option<SimTime> {

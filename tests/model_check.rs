@@ -328,6 +328,92 @@ fn pipelined_memcpys_match_shadow_model() {
     run_ops_pipelined(&ops, 8);
 }
 
+// ---------------------------------------------------------------------
+// Migration fault-point coverage: crash every actor at every stage.
+// ---------------------------------------------------------------------
+
+mod migration_faults {
+    use hyperloop_repro::cluster::migrate::{
+        on_crash, CrashOutcome, MigrationActor, MigrationModel, MigrationStage,
+    };
+
+    const KEYS: u64 = 12;
+
+    fn moving(k: u64) -> bool {
+        k.is_multiple_of(3)
+    }
+
+    /// Build a model mid-migration at exactly `stage`, with traffic
+    /// issued before the migration and at every stage boundary crossed
+    /// on the way (so parked, dirty and streamed state are all
+    /// populated when the crash lands).
+    fn model_at(stage: MigrationStage) -> MigrationModel {
+        let mut m = MigrationModel::new();
+        for k in 0..KEYS {
+            m.seed(k);
+        }
+        for k in 0..KEYS {
+            m.issue(k, moving(k));
+        }
+        while m.stage() != stage {
+            m.advance(moving);
+            for k in 0..KEYS {
+                m.issue(k, moving(k));
+            }
+        }
+        m
+    }
+
+    /// Exhaustive enumeration: a crash of the source head, the dest
+    /// head or the router at each of the five protocol states never
+    /// loses an issued op and never applies one twice, and resolves to
+    /// the outcome the commit-point rule dictates (abort-to-source
+    /// before cut-over, committed-to-dest from cut-over on).
+    #[test]
+    fn every_actor_crash_at_every_stage_keeps_history_exact() {
+        for &stage in &MigrationStage::ALL {
+            for &actor in &MigrationActor::ALL {
+                let mut m = model_at(stage);
+                let got = m.crash(actor);
+                let want = on_crash(stage, actor);
+                assert_eq!(
+                    got, want,
+                    "crash of {actor:?} at {stage:?}: wrong resolution"
+                );
+                assert_eq!(
+                    m.aborted(),
+                    want == CrashOutcome::AbortToSource,
+                    "crash of {actor:?} at {stage:?}: abort flag disagrees"
+                );
+                assert_eq!(m.stage(), MigrationStage::Retired);
+                // Post-crash traffic must still land exactly once.
+                for k in 0..KEYS {
+                    m.issue(k, moving(k));
+                }
+                if let Err(e) = m.check(moving) {
+                    panic!("crash of {actor:?} at {stage:?}: {e}");
+                }
+            }
+        }
+    }
+
+    /// The commit point itself: the two resolutions partition the five
+    /// states exactly at CutOver, whatever the crashing actor.
+    #[test]
+    fn commit_point_partitions_states_at_cutover() {
+        for &stage in &MigrationStage::ALL {
+            for &actor in &MigrationActor::ALL {
+                let want = if stage.dest_authoritative() {
+                    CrashOutcome::CommittedToDest
+                } else {
+                    CrashOutcome::AbortToSource
+                };
+                assert_eq!(on_crash(stage, actor), want, "{stage:?}/{actor:?}");
+            }
+        }
+    }
+}
+
 /// A fixed long mixed sequence as a plain test (fast path in CI).
 #[test]
 fn fixed_mixed_sequence_matches_model() {

@@ -30,7 +30,7 @@
 //! 4. **Race-freedom** — under `check-ownership`, the WQE-ownership &
 //!    DMA race detector stays clean across the whole campaign.
 
-use hyperloop_repro::cluster::chaos::{FaultEvent, FaultKind, FaultSchedule};
+use hyperloop_repro::cluster::chaos::{BystanderProbe, FaultEvent, FaultKind, FaultSchedule};
 use hyperloop_repro::cluster::shard::ShardPlan;
 use hyperloop_repro::cluster::{ClusterBuilder, World};
 use hyperloop_repro::fabric::HostId;
@@ -235,9 +235,9 @@ fn arm_recovery(
 struct ShardOutcome {
     retry: RetryClient,
     acked: Vec<bool>,
-    failed_ops: u32,
-    /// Per-op completion latencies (ns) in op order, successes only.
-    latencies: Vec<(usize, u64)>,
+    /// Shared bystander recorder: per-op completion latencies (ns) in
+    /// op order (successes only) plus the failed-op count.
+    probe: BystanderProbe,
     rebuilds: u32,
     final_ok: Option<bool>,
 }
@@ -308,16 +308,12 @@ fn run_campaign(seed: u64, faults: Option<&FaultSchedule>) -> CampaignOutcome {
     let acked: Vec<_> = (0..N_SHARDS)
         .map(|_| Rc::new(RefCell::new(vec![false; N_RECORDS])))
         .collect();
-    let failed_ops: Vec<_> = (0..N_SHARDS).map(|_| Rc::new(RefCell::new(0u32))).collect();
-    let latencies: Vec<_> = (0..N_SHARDS)
-        .map(|_| Rc::new(RefCell::new(Vec::<(usize, u64)>::new())))
-        .collect();
+    let probes: Vec<_> = (0..N_SHARDS).map(|_| BystanderProbe::new()).collect();
     for sid in 0..N_SHARDS {
         for k in 0..N_RECORDS {
             let retry = retries[sid].clone();
             let acked = acked[sid].clone();
-            let failed = failed_ops[sid].clone();
-            let lats = latencies[sid].clone();
+            let probe = probes[sid].clone();
             let at = SimTime::from_nanos(1_000_000 + k as u64 * 2_000_000);
             eng.schedule_at(at, move |w: &mut World, eng| {
                 retry.gwrite(
@@ -329,9 +325,9 @@ fn run_campaign(seed: u64, faults: Option<&FaultSchedule>) -> CampaignOutcome {
                     Box::new(move |_w, _e, r| match r {
                         Ok(res) => {
                             acked.borrow_mut()[k] = true;
-                            lats.borrow_mut().push((k, res.latency.as_nanos()));
+                            probe.record(k, res.latency.as_nanos());
                         }
-                        Err(_) => *failed.borrow_mut() += 1,
+                        Err(_) => probe.record_failure(),
                     }),
                 );
             });
@@ -365,8 +361,7 @@ fn run_campaign(seed: u64, faults: Option<&FaultSchedule>) -> CampaignOutcome {
         .map(|sid| ShardOutcome {
             retry: retries[sid].clone(),
             acked: acked[sid].borrow().clone(),
-            failed_ops: *failed_ops[sid].borrow(),
-            latencies: latencies[sid].borrow().clone(),
+            probe: probes[sid].clone(),
             rebuilds: *rebuild_counters[sid].borrow(),
             final_ok: *final_ok[sid].borrow(),
         })
@@ -405,7 +400,7 @@ fn assert_isolation(seed: u64) {
     );
     let n_acked = v.acked.iter().filter(|&&a| a).count();
     assert_eq!(
-        n_acked + v.failed_ops as usize,
+        n_acked + v.probe.failed(),
         N_RECORDS,
         "seed {seed}: victim op settled neither ACK nor error"
     );
@@ -439,7 +434,11 @@ fn assert_isolation(seed: u64) {
     // Bystander: zero failures, zero rebuilds, everything acked.
     let b = &faulted.shards[BYSTANDER];
     assert_eq!(b.retry.outstanding(), 0, "seed {seed}: bystander unsettled");
-    assert_eq!(b.failed_ops, 0, "seed {seed}: bystander saw op failures");
+    assert_eq!(
+        b.probe.failed(),
+        0,
+        "seed {seed}: bystander saw op failures"
+    );
     assert_eq!(b.rebuilds, 0, "seed {seed}: bystander rebuilt its chain");
     assert!(
         b.acked.iter().all(|&a| a),
@@ -454,10 +453,8 @@ fn assert_isolation(seed: u64) {
     // The strong isolation form: the bystander's per-op latencies are
     // byte-identical to the fault-free control run — the victim's
     // faults, retries and rebuild did not perturb its timing at all.
-    assert_eq!(
-        b.latencies, control.shards[BYSTANDER].latencies,
-        "seed {seed}: bystander latencies differ from fault-free control"
-    );
+    b.probe
+        .assert_identical_to(&control.shards[BYSTANDER].probe, "shard-chaos");
 
     // Race-freedom under the ownership/DMA detector.
     #[cfg(feature = "check-ownership")]
@@ -516,8 +513,9 @@ fn victim_shard_permanent_fault_rebuilds_only_its_group() {
 
     let b = &faulted.shards[BYSTANDER];
     assert_eq!(b.rebuilds, 0, "rebuild leaked to the bystander shard");
-    assert_eq!(b.failed_ops, 0);
-    assert_eq!(b.latencies, control.shards[BYSTANDER].latencies);
+    assert_eq!(b.probe.failed(), 0);
+    b.probe
+        .assert_identical_to(&control.shards[BYSTANDER].probe, "permanent-fault");
 
     #[cfg(feature = "check-ownership")]
     assert!(faulted.w.race_report().is_empty());
@@ -546,7 +544,7 @@ fn debug_shard_campaign() {
         println!(
             "shard {sid}: acked={} failed={} rebuilds={} final_ok={:?} outstanding={}",
             s.acked.iter().filter(|&&a| a).count(),
-            s.failed_ops,
+            s.probe.failed(),
             s.rebuilds,
             s.final_ok,
             s.retry.outstanding()
